@@ -1,0 +1,45 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one table or figure of the paper on
+realistic-size traces (``REPRO_TRACE_LENGTH``, default 200000 branches),
+prints the rendered report, saves it under ``benchmarks/results/``, and
+asserts the paper's *shape* claims (who wins, where the crossovers are),
+not absolute numbers.
+
+The experiment context is session-scoped: traces, profiles, and accuracy
+measurements are shared across benchmarks, like the paper's phase-one
+database feeding every phase-two measurement.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def ctx() -> ExperimentContext:
+    """Shared experiment context for the whole benchmark session."""
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered report under benchmarks/results/."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _save(report) -> str:
+        path = os.path.join(RESULTS_DIR, f"{report.experiment_id}.txt")
+        text = report.render()
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(text)
+        print()
+        print(text)
+        return path
+
+    return _save

@@ -1,0 +1,121 @@
+"""Benchmarks: the ablation studies (agree baseline, cutoff sweep,
+history-length sweep) plus raw predictor throughput."""
+
+from repro.experiments import ablations
+from repro.predictors.sizing import PREDICTOR_NAMES, make_predictor
+
+import pytest
+
+
+def test_ablation_agree(benchmark, ctx, save_report):
+    report = benchmark.pedantic(ablations.run_agree, args=(ctx,), rounds=1,
+                                iterations=1)
+    save_report(report)
+    # The agree mechanism addresses the same destructive aliasing; it
+    # should beat plain gshare on the aliasing-limited programs (gcc has
+    # the most static branches and the highest density).
+    gcc = report.data["gcc"]
+    assert gcc["agree"] < gcc["gshare"]
+    # And profile-guided static selection should be at least competitive
+    # with agree's hardware bias bits somewhere in the suite.
+    wins = sum(
+        1 for program, row in report.data.items()
+        if row["gshare+static_acc"] < row["agree"]
+    )
+    assert wins >= 2
+
+
+def test_ablation_cutoff(benchmark, ctx, save_report):
+    report = benchmark.pedantic(ablations.run_cutoff_sweep, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_report(report)
+    # Every cutoff should improve gshare for gcc (aliasing-dominated).
+    assert all(g > 0 for g in report.data["gcc"].values())
+
+
+def test_ablation_history(benchmark, ctx, save_report):
+    report = benchmark.pedantic(ablations.run_history_sweep, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_report(report)
+    lengths = sorted(report.data)
+    # The sweep must not be flat: history length is a real knob.
+    values = [report.data[length] for length in lengths]
+    assert max(values) > min(values) * 1.02
+    # The library's default (8 bits) must be competitive with the sweep's
+    # best point, or the default is mis-chosen.  The best length drifts
+    # with trace length (shorter traces favour shorter histories), so the
+    # band is generous.
+    best = min(values)
+    assert report.data[8] <= best * 1.20
+
+
+def test_ablation_selection(benchmark, ctx, save_report):
+    report = benchmark.pedantic(ablations.run_selection_shootout, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_report(report)
+    for program, per_scheme in report.data.items():
+        # The iterative scheme subsumes static_acc (it IS static_acc run
+        # to a fixpoint), so it must not lose to it materially.
+        assert (per_scheme["static_iter"]["gain"]
+                >= per_scheme["static_acc"]["gain"] - 0.02), program
+        # The collision-aware scheme is the hint-frugal option: it covers
+        # fewer dynamic executions than static_acc on every program
+        # (it only touches branches implicated in destructive aliasing).
+        assert (per_scheme["static_collision"]["static_fraction"]
+                < per_scheme["static_acc"]["static_fraction"]), program
+    # And it still delivers a real improvement where aliasing is the
+    # bottleneck (gcc).
+    assert report.data["gcc"]["static_collision"]["gain"] > 0.05
+
+
+def test_pipeline_impact(benchmark, ctx, save_report):
+    from repro.experiments import extras
+
+    report = benchmark.pedantic(extras.run_pipeline_impact, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_report(report)
+    # Deeper pipelines amplify the benefit for every program.
+    for program, per_depth in report.data.items():
+        shallow, deep = per_depth[7], per_depth[20]
+        assert deep >= shallow - 1e-9, (program, per_depth)
+    # And static hints never slow the front end down materially.
+    for program, per_depth in report.data.items():
+        assert per_depth[7] > 0.98, (program, per_depth)
+
+
+def test_classification(benchmark, ctx, save_report):
+    from repro.experiments import extras
+
+    report = benchmark.pedantic(extras.run_classification, args=(ctx,),
+                                rounds=1, iterations=1)
+    save_report(report)
+    # The classification's highly-biased share must order the programs
+    # like Table 2: go lowest, m88ksim highest.
+    shares = {p: d["highly_biased"] for p, d in report.data.items()}
+    assert min(shares, key=shares.get) == "go"
+    assert max(shares, key=shares.get) == "m88ksim"
+
+
+@pytest.mark.parametrize("name", PREDICTOR_NAMES)
+def test_predictor_throughput(benchmark, ctx, name):
+    """Raw predict/update throughput per scheme (microbenchmark)."""
+    trace = ctx.trace("gcc", "ref")
+    addresses = trace.addresses[:20_000]
+    outcomes = trace.outcomes[:20_000]
+
+    def run():
+        predictor = make_predictor(name, 8192)
+        predict = predictor.predict
+        update = predictor.update
+        mispredictions = 0
+        for i in range(len(addresses)):
+            address = addresses[i]
+            taken = outcomes[i]
+            predicted = predict(address)
+            update(address, taken, predicted)
+            if predicted != taken:
+                mispredictions += 1
+        return mispredictions
+
+    mispredictions = benchmark(run)
+    assert 0 < mispredictions < len(addresses)

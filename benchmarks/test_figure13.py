@@ -1,0 +1,45 @@
+"""Benchmark: regenerate paper Figure 13 (cross-training effects)."""
+
+from repro.experiments import figure13
+
+
+def test_figure13(benchmark, ctx, save_report):
+    report = benchmark.pedantic(figure13.run, args=(ctx,), rounds=1,
+                                iterations=1)
+    save_report(report)
+    misp = report.data["misp"]
+
+    # Shape 1: self-trained static prediction does not materially hurt
+    # (it is the paper's upper-bound setup).  At 16 Kbytes our scaled
+    # workloads have *less* aliasing than the paper's full-size ones
+    # (8x fewer static branches), so this size behaves like the paper's
+    # very large predictors -- where its own Table 4 records static_95
+    # degradations (m88ksim -1.8%, gcc -2.4% at 32KB).  The band allows
+    # that regime's wobble; the cross-training contrasts below are the
+    # figure's real claims.
+    for program, bars in misp.items():
+        assert bars["self"] <= bars["none"] * 1.15, (program, bars)
+
+    # Shape 2: naive cross-training severely degrades perl and m88ksim
+    # (their hot branches reverse between inputs): worse than both the
+    # self-trained case and the no-static baseline.
+    for program in ("perl", "m88ksim"):
+        bars = misp[program]
+        assert bars["cross-naive"] > bars["self"] * 1.15, (program, bars)
+        assert bars["cross-naive"] > bars["none"], (program, bars)
+
+    # Shape 3: the merged-and-filtered profile rescues them -- much
+    # closer to the self-trained result.
+    for program in ("perl", "m88ksim"):
+        bars = misp[program]
+        assert bars["cross-filtered"] < bars["cross-naive"], (program, bars)
+        recovered = (bars["cross-naive"] - bars["cross-filtered"]) / (
+            bars["cross-naive"] - bars["self"]
+        )
+        assert recovered > 0.5, (program, recovered)
+
+    # Shape 4: for behaviour-stable programs, naive cross-training stays
+    # close to self-training (within 20%).
+    for program in ("gcc", "ijpeg"):
+        bars = misp[program]
+        assert bars["cross-naive"] <= bars["self"] * 1.2, (program, bars)

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate paper Table 1 (program characteristics)."""
+
+from repro.experiments import table1
+from repro.workloads.spec95 import PROGRAM_ORDER, get_spec
+
+
+def test_table1(benchmark, ctx, save_report):
+    report = benchmark.pedantic(table1.run, args=(ctx,), rounds=1, iterations=1)
+    save_report(report)
+
+    rows = report.tables[0].rows
+    assert len(rows) == len(PROGRAM_ORDER)
+    for row in rows:
+        program = row[0]
+        spec = get_spec(program)
+        # Paper static CBR counts reproduced exactly.
+        assert row[1] == spec.static_branches
+        # Measured CBRs/KI within 5% of the paper's Table 1 values.
+        measured_train, paper_train = row[4], row[5]
+        measured_ref, paper_ref = row[7], row[8]
+        assert abs(measured_train - paper_train) / paper_train < 0.05
+        assert abs(measured_ref - paper_ref) / paper_ref < 0.05
+    # gcc has the highest branch density, ijpeg the lowest (paper's
+    # aliasing-pressure ordering).
+    by_density = {row[0]: row[7] for row in rows}
+    assert max(by_density, key=by_density.get) == "gcc"
+    assert min(by_density, key=by_density.get) == "ijpeg"

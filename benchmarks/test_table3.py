@@ -1,0 +1,33 @@
+"""Benchmark: regenerate paper Table 3 (2bcgskew improvements, go & gcc)."""
+
+from repro.experiments import table3
+
+
+def test_table3(benchmark, ctx, save_report):
+    report = benchmark.pedantic(table3.run, args=(ctx,), rounds=1, iterations=1)
+    save_report(report)
+
+    go = report.data["go"]
+    gcc = report.data["gcc"]
+
+    # Shape 1: gains shrink as 2bcgskew grows (paper: gcc +13-14% at 2KB
+    # falling monotonically to +2-4% at 32KB).  Require the small-size
+    # gain to beat the large-size gain for both programs and schemes.
+    for program in (go, gcc):
+        for scheme in ("static_95", "static_acc"):
+            gains = program[scheme]
+            assert gains[0] > gains[-1], (scheme, gains)
+
+    # Shape 2: gcc keeps a positive improvement at every size (it has the
+    # highest CBRs/KI and the most aliasing).
+    for scheme in ("static_95", "static_acc"):
+        assert all(g > 0 for g in gcc[scheme]), gcc[scheme]
+
+    # Shape 3: gcc's improvements exceed go's at every size under
+    # Static_Acc (paper columns: gcc 14.1 -> 4.2 vs go 7.7 -> -1.4).
+    for gcc_gain, go_gain in zip(gcc["static_acc"], go["static_acc"]):
+        assert gcc_gain > go_gain
+
+    # Shape 4: 2bcgskew does benefit at small sizes for both programs.
+    assert go["static_acc"][0] > 0.0
+    assert gcc["static_acc"][0] > 0.05

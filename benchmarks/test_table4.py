@@ -1,0 +1,47 @@
+"""Benchmark: regenerate paper Table 4 (shifting static outcomes into the
+global history register, 2bcgskew at 32/64 KB)."""
+
+from repro.experiments import table4
+from repro.workloads.spec95 import PROGRAM_ORDER
+
+
+def test_table4(benchmark, ctx, save_report):
+    report = benchmark.pedantic(table4.run, args=(ctx,), rounds=1, iterations=1)
+    save_report(report)
+    improvements = report.data["improvements"]
+
+    # Shape 1 (the paper's contribution #1): when Static_Acc degrades
+    # the predictor, adding the shift recovers (paper: ijpeg -1.4% ->
+    # +5.8%).  The paper's own Table 4 shows Static_95 degradations are
+    # NOT always rescued (m88ksim -1.8% -> -2.1%), so the strict check
+    # applies to Static_Acc only, plus a majority check across all
+    # degradation cells.
+    degraded = 0
+    shift_helped = 0
+    for (program, size), cell in improvements.items():
+        if cell["static_acc"] < -0.005:
+            assert cell["static_acc+shift"] > cell["static_acc"], (
+                program, size, cell,
+            )
+        for scheme in ("static_95", "static_acc"):
+            if cell[scheme] < -0.005:
+                degraded += 1
+                if cell[scheme + "+shift"] > cell[scheme]:
+                    shift_helped += 1
+    if degraded:
+        assert shift_helped * 2 >= degraded, (shift_helped, degraded)
+
+    # Shape 2: shifting with Static_Acc helps go and gcc even at these
+    # large sizes (paper: go +5.8%, gcc +5.0% at 32KB with shift).
+    for program in ("go", "gcc"):
+        for size in table4.SIZES:
+            cell = improvements[(program, size)]
+            assert cell["static_acc+shift"] > 0.0, (program, size, cell)
+
+    # Shape 3: shift changes results materially somewhere -- the policy
+    # is not a no-op (paper: m88ksim Static_Acc 2.1% -> 8.9% with shift).
+    deltas = [
+        abs(cell["static_acc+shift"] - cell["static_acc"])
+        for cell in improvements.values()
+    ]
+    assert max(deltas) > 0.02

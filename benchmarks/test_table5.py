@@ -1,0 +1,41 @@
+"""Benchmark: regenerate paper Table 5 (train vs ref branch behaviour)."""
+
+from repro.experiments import table5
+from repro.workloads.spec95 import PROGRAM_ORDER
+
+
+def test_table5(benchmark, ctx, save_report):
+    report = benchmark.pedantic(table5.run, args=(ctx,), rounds=1, iterations=1)
+    save_report(report)
+
+    drifts = {program: report.data[program] for program in PROGRAM_ORDER}
+
+    # Shape 1: "except in case of perl, the train input executes almost
+    # all the branches the ref input does" -- perl has the lowest static
+    # coverage, everyone else is high.
+    coverages = {p: d.coverage_static for p, d in drifts.items()}
+    assert min(coverages, key=coverages.get) == "perl"
+    for program, coverage in coverages.items():
+        if program != "perl":
+            assert coverage > 0.75, (program, coverage)
+
+    # Shape 2: every program has a non-trivial majority-direction-change
+    # tail ("a non-trivial number of branches showing complete reversal").
+    for program, drift in drifts.items():
+        assert drift.majority_change_static > 0.0, program
+
+    # Shape 3: most common branches change bias by < 5% -- the fact that
+    # makes the Section 5.1 filter retain most profile data.
+    for program, drift in drifts.items():
+        assert drift.small_change_static > 0.5, (
+            program, drift.small_change_static,
+        )
+        assert drift.small_change_static > drift.large_change_static
+
+    # Shape 4: perl and m88ksim carry *hot* behaviour changes -- their
+    # dynamic (execution-weighted) majority-change rate exceeds gcc's,
+    # which is what breaks naive cross-training for exactly those two
+    # programs in Figure 13.
+    for program in ("perl", "m88ksim"):
+        assert (drifts[program].majority_change_dynamic
+                > drifts["gcc"].majority_change_dynamic), program

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Destructive aliasing under the microscope.
+
+The paper's framing device is the *collision*: two branches sharing a
+counter, classified constructive (prediction still right) or destructive
+(prediction wrong).  This example uses the library's tag-based collision
+instrumentation to show, for one program:
+
+1. how collisions scale with predictor size (the paper's Figures 1-6
+   x-axis),
+2. how static prediction removes branches from the tables and cuts
+   collisions, and
+3. how the surviving collisions split into constructive vs destructive.
+
+Run:  python examples/aliasing_study.py [program]
+"""
+
+import sys
+
+from repro import (
+    build_workload,
+    get_spec,
+    make_predictor,
+    run_combined,
+    run_selection_phase,
+    simulate,
+)
+from repro.utils.charts import render_line_chart
+from repro.utils.tables import render_table
+
+SIZES = (512, 1024, 2048, 4096, 8192, 16384)
+TRACE_LENGTH = 100_000
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    workload = build_workload(get_spec(program), "ref", root_seed=42,
+                              site_scale=0.125)
+    trace = workload.execute(TRACE_LENGTH, run_seed=1)
+    hints = run_selection_phase(trace, "static_95")
+    print(f"{program}: {len(trace)} branches; static_95 marked "
+          f"{hints.static_count()} of "
+          f"{len(set(trace.addresses))} executed branches\n")
+
+    rows = []
+    misp_series = {"dynamic only": [], "with static_95": []}
+    collision_series = {"dynamic only": [], "with static_95": []}
+    for size in SIZES:
+        base = simulate(trace, make_predictor("gshare", size),
+                        track_collisions=True)
+        combined = run_combined(trace, make_predictor("gshare", size),
+                                hints, track_collisions=True)
+        rows.append([
+            size,
+            round(base.misp_per_ki, 2),
+            base.collisions.collisions,
+            f"{base.collisions.destructive_fraction:.0%}",
+            round(combined.misp_per_ki, 2),
+            combined.collisions.collisions,
+            f"{combined.collisions.destructive_fraction:.0%}",
+        ])
+        misp_series["dynamic only"].append(base.misp_per_ki)
+        misp_series["with static_95"].append(combined.misp_per_ki)
+        collision_series["dynamic only"].append(float(base.collisions.collisions))
+        collision_series["with static_95"].append(
+            float(combined.collisions.collisions)
+        )
+
+    print(render_table(
+        ["size (B)", "MISP/KI", "collisions", "destr.",
+         "MISP/KI +static", "collisions +static", "destr. +static"],
+        rows,
+        title=f"gshare on {program}: aliasing vs size",
+    ))
+    print()
+    labels = [str(s) for s in SIZES]
+    print(render_line_chart(labels, misp_series,
+                            title="MISP/KI vs size", y_label="MISP/KI"))
+    print()
+    print(render_line_chart(labels, collision_series,
+                            title="collisions vs size", y_label="collisions"))
+    print()
+    print("Reading: collisions fall both with table size (fewer branches "
+          "per counter)\nand with static prediction (statically predicted "
+          "branches stop indexing the\ntables entirely) -- the two "
+          "aliasing levers the paper compares.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Cross-training pitfalls and the Spike profile-database fix.
+
+Profile-guided static prediction is only as good as its training input.
+Section 5.1 of the paper shows that when branch behaviour changes from
+the ``train`` to the ``ref`` input -- as it does for perl and m88ksim --
+naively applying train-derived hints to a ref run *increases*
+mispredictions, and that merging profiles across inputs while filtering
+branches whose bias moves more than 5% repairs the damage.
+
+This example walks the full deployment flow through the
+:class:`repro.SpikeOptimizer` model: instrument runs, accumulate the
+profile database, and compare four hint policies on the ref input.
+
+Run:  python examples/cross_training.py [program]
+"""
+
+import sys
+
+from repro import (
+    ProgramProfile,
+    SpikeOptimizer,
+    build_workload,
+    get_spec,
+    make_predictor,
+    run_combined,
+    select_static_95,
+    simulate,
+)
+from repro.utils.tables import render_table
+
+GSHARE_BYTES = 16 * 1024
+TRACE_LENGTH = 120_000
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "m88ksim"
+    spec = get_spec(program)
+    train_trace = build_workload(spec, "train", root_seed=42,
+                                 site_scale=0.125).execute(TRACE_LENGTH, 1)
+    ref_trace = build_workload(spec, "ref", root_seed=42,
+                               site_scale=0.125).execute(TRACE_LENGTH, 1)
+
+    # Instrumentation runs populate the Spike profile database.
+    spike = SpikeOptimizer()
+    spike.instrument_run(train_trace)
+    spike.instrument_run(ref_trace)
+
+    predictor = lambda: make_predictor("gshare", GSHARE_BYTES)
+
+    results = {}
+    results["no static"] = simulate(ref_trace, predictor())
+    results["self-trained"] = run_combined(
+        ref_trace, predictor(),
+        select_static_95(ProgramProfile.from_trace(ref_trace)),
+    )
+    results["naive cross-trained"] = run_combined(
+        ref_trace, predictor(),
+        select_static_95(ProgramProfile.from_trace(train_trace)),
+    )
+    results["merged + 5% filter"] = run_combined(
+        ref_trace, predictor(),
+        spike.select_hints(program, scheme="static_95", stable_only=True),
+    )
+
+    base = results["no static"].misp_per_ki
+    rows = []
+    for label, result in results.items():
+        gain = (base - result.misp_per_ki) / base if base else 0.0
+        rows.append([
+            label,
+            round(result.misp_per_ki, 2),
+            f"{gain:+.1%}",
+            result.static_branches,
+            f"{result.static_accuracy:.1%}" if result.static_branches else "-",
+        ])
+    print(render_table(
+        ["hint policy", "MISP/KI", "vs no static", "static execs",
+         "static accuracy"],
+        rows,
+        title=f"{program}: gshare {GSHARE_BYTES // 1024}KB + static_95 "
+              "(Figure 13 flow)",
+    ))
+    print()
+    print("Reading: for programs whose hot branches reverse behaviour "
+          "between inputs\n(perl, m88ksim), the naive row degrades sharply; "
+          "the filtered-merge row --\nthe paper's proposed Spike database "
+          "flow -- recovers nearly all of it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The paper's future-work idea, implemented: collision-aware selection.
+
+Closing their Figures 1-6 discussion, Patil & Emer write: "we want to
+predict only those branches statically that will boost constructive
+collisions and reduce destructive collisions.  We plan to explore this
+idea in the future."
+
+This example explores it.  Phase one attributes every destructive
+collision to both parties (the looking-up *victim* and the counter's
+previous owner, the *aggressor*); selection then statically predicts
+only branches that are (a) materially involved in destructive aliasing
+and (b) biased enough that a fixed hint is cheap.  The comparison also
+includes Lindsay's full iterative scheme (the paper evaluated only its
+single-iteration simplification, Static_Fac).
+
+Run:  python examples/future_work_selection.py [program] [size_bytes]
+"""
+
+import sys
+
+from repro import (
+    build_workload,
+    get_spec,
+    make_predictor,
+    run_combined,
+    run_selection_phase,
+    simulate,
+)
+from repro.staticpred.iterative import select_static_iterative
+from repro.utils.tables import render_table
+
+TRACE_LENGTH = 120_000
+
+
+def main() -> None:
+    program = sys.argv[1] if len(sys.argv) > 1 else "gcc"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 2 * 1024
+
+    workload = build_workload(get_spec(program), "ref", root_seed=42,
+                              site_scale=0.125)
+    trace = workload.execute(TRACE_LENGTH, run_seed=1)
+    factory = lambda: make_predictor("gshare", size)
+    base = simulate(trace, factory())
+    print(f"{program}: gshare {size}B baseline MISP/KI = "
+          f"{base.misp_per_ki:.2f}\n")
+
+    rows = []
+    for scheme in ("static_95", "static_acc", "static_collision"):
+        hints = run_selection_phase(trace, scheme, predictor_factory=factory)
+        result = run_combined(trace, factory(), hints)
+        gain = (base.misp_per_ki - result.misp_per_ki) / base.misp_per_ki
+        rows.append([
+            scheme, hints.static_count(), f"{result.static_fraction:.1%}",
+            round(result.misp_per_ki, 2), f"{gain:+.1%}",
+            f"{gain / max(hints.static_count(), 1) * 1e4:.2f}",
+        ])
+
+    iter_hints = select_static_iterative(trace, factory)
+    iter_result = run_combined(trace, factory(), iter_hints)
+    iter_gain = (base.misp_per_ki - iter_result.misp_per_ki) / base.misp_per_ki
+    rows.append([
+        iter_hints.scheme, iter_hints.static_count(),
+        f"{iter_result.static_fraction:.1%}",
+        round(iter_result.misp_per_ki, 2), f"{iter_gain:+.1%}",
+        f"{iter_gain / max(iter_hints.static_count(), 1) * 1e4:.2f}",
+    ])
+
+    print(render_table(
+        ["scheme", "hints", "exec coverage", "MISP/KI", "improvement",
+         "gain per 100 hints (%)"],
+        rows,
+        title="Selection schemes compared",
+    ))
+    print()
+    print("Reading: static_collision spends far fewer hint bits because it "
+          "only touches\nbranches implicated in destructive aliasing -- the "
+          "highest gain per hint.\nThe iterative scheme re-simulates after "
+          "each selection round and usually finds\na few extra points the "
+          "single-pass schemes leave behind.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Predictor design-space tour: five schemes, six programs, one budget.
+
+Sweeps the paper's five dynamic predictors (plus the related-work agree
+predictor) across all six SPECINT95 stand-ins at a fixed hardware
+budget, with and without profile-guided static assistance -- a compact
+version of the paper's Figures 7-12 panels, useful for seeing at a
+glance which scheme/program combinations are aliasing-limited.
+
+Run:  python examples/predictor_design_space.py [size_bytes]
+"""
+
+import sys
+
+from repro import (
+    build_workload,
+    get_spec,
+    make_predictor,
+    run_combined,
+    run_selection_phase,
+    simulate,
+)
+from repro.utils.tables import render_table
+from repro.workloads.spec95 import PROGRAM_ORDER
+
+PREDICTORS = ("bimodal", "ghist", "gshare", "bimode", "2bcgskew", "agree")
+TRACE_LENGTH = 80_000
+
+
+def main() -> None:
+    size = int(sys.argv[1]) if len(sys.argv) > 1 else 8 * 1024
+
+    print(f"MISP/KI at {size} bytes, {TRACE_LENGTH} branches per program")
+    print("(second value: with static_acc hints; '-' = scheme has no "
+          "accuracy profile)\n")
+
+    rows = []
+    for program in PROGRAM_ORDER:
+        workload = build_workload(get_spec(program), "ref", root_seed=42,
+                                  site_scale=0.125)
+        trace = workload.execute(TRACE_LENGTH, run_seed=1)
+        row = [program]
+        for name in PREDICTORS:
+            factory = lambda: make_predictor(name, size)
+            base = simulate(trace, factory())
+            hints = run_selection_phase(trace, "static_acc",
+                                        predictor_factory=factory)
+            combined = run_combined(trace, factory(), hints)
+            row.append(f"{base.misp_per_ki:.1f}/{combined.misp_per_ki:.1f}")
+        rows.append(row)
+
+    print(render_table(["program"] + list(PREDICTORS), rows,
+                       title="MISP/KI: dynamic alone / with static_acc"))
+    print()
+    print("Reading: 2bcgskew is the strongest dynamic predictor everywhere "
+          "(its skewed\nbanks and partial update already fight aliasing), "
+          "so static hints move it least;\nsimple history predictors at "
+          "small budgets gain the most -- the paper's central\ntrade-off "
+          "between hardware and profile-guided aliasing relief.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,108 @@
+#!/usr/bin/env python3
+"""End-to-end deployment: profile, rewrite, persist, and price it out.
+
+Walks the full toolchain flow the paper envisions for production use:
+
+1. **instrument** -- run the program twice (train + ref) under the Atom
+   model, accumulating the Spike profile database;
+2. **optimize** -- have Spike stamp static hint bits onto the program's
+   branch instructions from the stable part of the merged profile;
+3. **persist** -- save the hint database (the paper's "database"
+   recording phase-one decisions) and the profiles to disk, reload them,
+   and verify the round trip;
+4. **measure** -- simulate the rewritten program against the plain
+   dynamic predictor;
+5. **price** -- convert the MISP/KI delta into a CPI/speedup estimate
+   with the pipeline cost model (the paper's motivation: wrong-path work
+   costs cycles).
+
+Run:  python examples/toolchain_deployment.py [program]
+"""
+
+import os
+import sys
+import tempfile
+
+from repro import (
+    HintAssignment,
+    SpikeOptimizer,
+    build_workload,
+    get_spec,
+    make_predictor,
+    run_combined,
+    simulate,
+)
+from repro.analysis.cost import PipelineCostModel
+from repro.pipeline.frontend import FrontEndSimulator
+from repro.core.combined import CombinedPredictor
+from repro.profiling.database import ProfileDatabase
+
+PREDICTOR = "gshare"
+SIZE = 4 * 1024
+TRACE_LENGTH = 100_000
+
+
+def main() -> None:
+    program_name = sys.argv[1] if len(sys.argv) > 1 else "perl"
+    spec = get_spec(program_name)
+
+    # 1. Instrumented runs feed the Spike database.
+    train_workload = build_workload(spec, "train", root_seed=42,
+                                    site_scale=0.125)
+    ref_workload = build_workload(spec, "ref", root_seed=42, site_scale=0.125)
+    train_trace = train_workload.execute(TRACE_LENGTH, run_seed=1)
+    ref_trace = ref_workload.execute(TRACE_LENGTH, run_seed=1)
+
+    spike = SpikeOptimizer()
+    spike.instrument_run(train_trace)
+    spike.instrument_run(ref_trace)
+    print(f"instrumented {program_name}: inputs "
+          f"{spike.database.inputs(program_name)}")
+
+    # 2. Rewrite the program's hint bits from the stable merged profile.
+    program = ref_workload.program
+    hints = spike.optimize(program, scheme="static_95", stable_only=True)
+    print(f"spike stamped {program.count_static_hints()} static hints onto "
+          f"{len(program)} branch sites")
+
+    # 3. Persist and reload everything (profiles + hint database).
+    with tempfile.TemporaryDirectory() as tmp:
+        spike.database.save(os.path.join(tmp, "profiles"))
+        hints.save(os.path.join(tmp, "hints.json"))
+        reloaded_db = ProfileDatabase.load(os.path.join(tmp, "profiles"))
+        reloaded_hints = HintAssignment.load(os.path.join(tmp, "hints.json"))
+    assert reloaded_hints.static_count() == hints.static_count()
+    assert reloaded_db.inputs(program_name) == spike.database.inputs(program_name)
+    print("profile database and hint database round-tripped through disk")
+
+    # 4. Measure on the ref input.
+    base = simulate(ref_trace, make_predictor(PREDICTOR, SIZE))
+    combined = run_combined(ref_trace, make_predictor(PREDICTOR, SIZE),
+                            reloaded_hints)
+    print(f"\n{PREDICTOR} {SIZE}B:        MISP/KI {base.misp_per_ki:.2f}")
+    print(f"{PREDICTOR} + hints:     MISP/KI {combined.misp_per_ki:.2f} "
+          f"({combined.static_fraction:.0%} of executions static)")
+
+    # 5. Price the improvement in cycles, two ways: the closed-form cost
+    #    model and the trace-driven front-end simulation.
+    model = PipelineCostModel(base_cpi=1.0, misprediction_penalty=7.0)
+    print(f"\nclosed-form cost model (penalty "
+          f"{model.misprediction_penalty:.0f} cycles):")
+    print(f"  CPI {model.cpi(base):.4f} -> {model.cpi(combined):.4f}  "
+          f"(speedup {model.speedup(base, combined):.3f}x)")
+
+    frontend = FrontEndSimulator(fetch_width=4, redirect_penalty=7,
+                                 taken_bubble=1)
+    pipe_base = frontend.run(ref_trace, make_predictor(PREDICTOR, SIZE))
+    pipe_combined = frontend.run(
+        ref_trace,
+        CombinedPredictor(make_predictor(PREDICTOR, SIZE), reloaded_hints),
+    )
+    print("trace-driven front-end model (4-wide, 7-cycle redirect):")
+    print(f"  IPC {pipe_base.ipc:.3f} -> {pipe_combined.ipc:.3f}; "
+          f"redirect overhead {pipe_base.redirect_overhead:.1%} -> "
+          f"{pipe_combined.redirect_overhead:.1%}")
+
+
+if __name__ == "__main__":
+    main()

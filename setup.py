@@ -1,0 +1,10 @@
+"""Legacy setuptools entry point.
+
+Present so ``pip install -e .`` works in offline environments whose pip
+cannot build PEP 660 editable wheels (no ``wheel`` package available).
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,122 @@
+"""repro: a reproduction of Patil & Emer (HPCA 2000).
+
+*Combining Static and Dynamic Branch Prediction to Reduce Destructive
+Aliasing* studies how profile-selected static branch hints relieve
+aliasing in dynamic branch predictors.  This library rebuilds the whole
+stack in Python:
+
+* five dynamic predictors (bimodal, ghist/GAg, gshare, bi-mode,
+  2bcgskew) plus an agree-predictor baseline (:mod:`repro.predictors`);
+* synthetic SPECINT95-calibrated workloads standing in for the paper's
+  Atom-instrumented Alpha binaries (:mod:`repro.workloads`);
+* profiling, Spike-style profile databases, and the Static_95 /
+  Static_Acc / Static_Fac selection schemes (:mod:`repro.profiling`,
+  :mod:`repro.staticpred`);
+* the combined static+dynamic predictor with the optional
+  history-shift policy, simulation, and collision instrumentation
+  (:mod:`repro.core`);
+* one experiment runner per table and figure of the paper
+  (:mod:`repro.experiments`) and a CLI (``python -m repro``).
+
+Quickstart::
+
+    from repro import (
+        build_workload, get_spec, make_predictor, simulate,
+        run_selection_phase, run_combined,
+    )
+
+    workload = build_workload(get_spec("gcc"), "ref", root_seed=42,
+                              site_scale=0.125)
+    trace = workload.execute(100_000)
+    base = simulate(trace, make_predictor("gshare", 8192))
+    hints = run_selection_phase(
+        trace, "static_acc",
+        predictor_factory=lambda: make_predictor("gshare", 8192),
+    )
+    combined = run_combined(trace, make_predictor("gshare", 8192), hints)
+    print(base.misp_per_ki, "->", combined.misp_per_ki)
+"""
+
+from repro.arch import BranchSite, HintBits, Program, ShiftPolicy
+from repro.core import (
+    CombinedPredictor,
+    SimulationResult,
+    run_combined,
+    run_selection_phase,
+    simulate,
+)
+from repro.errors import ReproError
+from repro.experiments import run_experiment
+from repro.predictors import (
+    BranchPredictor,
+    CollisionTracker,
+    make_predictor,
+    PREDICTOR_NAMES,
+)
+from repro.profiling import (
+    AccuracyProfile,
+    ProfileDatabase,
+    ProgramProfile,
+    analyze_drift,
+    measure_accuracy,
+)
+from repro.staticpred import (
+    HintAssignment,
+    select_static_95,
+    select_static_acc,
+    select_static_fac,
+)
+from repro.pipeline import FrontEndSimulator, PipelineResult
+from repro.tools import AtomTool, SpikeOptimizer
+from repro.workloads import (
+    BranchTrace,
+    SPEC95_PROGRAMS,
+    build_workload,
+    get_spec,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # architecture
+    "Program",
+    "BranchSite",
+    "HintBits",
+    "ShiftPolicy",
+    # predictors
+    "BranchPredictor",
+    "make_predictor",
+    "PREDICTOR_NAMES",
+    "CollisionTracker",
+    # workloads
+    "BranchTrace",
+    "build_workload",
+    "get_spec",
+    "SPEC95_PROGRAMS",
+    # profiling
+    "ProgramProfile",
+    "AccuracyProfile",
+    "ProfileDatabase",
+    "measure_accuracy",
+    "analyze_drift",
+    # static prediction
+    "HintAssignment",
+    "select_static_95",
+    "select_static_acc",
+    "select_static_fac",
+    # core
+    "CombinedPredictor",
+    "SimulationResult",
+    "simulate",
+    "run_selection_phase",
+    "run_combined",
+    # tools, pipeline, and experiments
+    "AtomTool",
+    "SpikeOptimizer",
+    "FrontEndSimulator",
+    "PipelineResult",
+    "run_experiment",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,27 @@
+"""Analysis helpers built on profiles and simulation results.
+
+* :mod:`repro.analysis.classification` -- the Chang et al. branch
+  classification (Section 3 of the paper: "Branches are put into
+  different categories depending on their run-time behavior"), which is
+  the intellectual ancestor of the ``Static_95`` scheme;
+* :mod:`repro.analysis.interference` -- who collides with whom: the
+  aggressor/victim pair analysis behind the collision-aware selection
+  scheme;
+* :mod:`repro.analysis.cost` -- the pipeline cost model that motivates
+  MISPs/KI as the paper's metric ("an incorrect prediction degrades
+  performance because the processor has wasted time and resources
+  evaluating wrong path instructions").
+"""
+
+from repro.analysis.classification import BiasClass, classify_branches, ClassBreakdown
+from repro.analysis.cost import PipelineCostModel
+from repro.analysis.interference import InterferenceAnalysis, analyze_interference
+
+__all__ = [
+    "BiasClass",
+    "ClassBreakdown",
+    "classify_branches",
+    "PipelineCostModel",
+    "InterferenceAnalysis",
+    "analyze_interference",
+]

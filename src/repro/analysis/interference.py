@@ -1,0 +1,135 @@
+"""Interference analysis: which branch pairs destroy each other.
+
+The paper quantifies aliasing with aggregate collision counts; selecting
+branches to fix it (the future-work ``static_collision`` scheme) needs
+the per-pair view: for every (victim, aggressor) pair sharing counters,
+how many destructive and constructive collisions did the pair produce?
+
+``analyze_interference`` replays a trace through a predictor with
+per-pair tag accounting and reports the dominant destructive pairs --
+useful both for debugging workload models (is aliasing concentrated or
+diffuse?) and for explaining why a particular hint assignment worked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.predictors.base import BranchPredictor
+from repro.workloads.trace import BranchTrace
+
+__all__ = ["PairCounts", "InterferenceAnalysis", "analyze_interference"]
+
+
+@dataclass(slots=True)
+class PairCounts:
+    """Collision counts for one ordered (victim, aggressor) pair."""
+
+    destructive: int = 0
+    constructive: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.destructive + self.constructive
+
+
+@dataclass(slots=True)
+class InterferenceAnalysis:
+    """Full pairwise collision accounting for one run."""
+
+    program_name: str
+    predictor_name: str
+    pairs: dict[tuple[int, int], PairCounts] = field(default_factory=dict)
+    total_collisions: int = 0
+    total_destructive: int = 0
+
+    @property
+    def destructive_fraction(self) -> float:
+        """Overall destructive share -- Young et al.'s observation that
+        collisions are "more likely to be destructive than constructive"
+        is checkable here."""
+        if self.total_collisions == 0:
+            return 0.0
+        return self.total_destructive / self.total_collisions
+
+    def top_destructive_pairs(self, count: int = 10) -> list[tuple[tuple[int, int], PairCounts]]:
+        """The pairs responsible for the most destructive collisions."""
+        ranked = sorted(
+            self.pairs.items(), key=lambda item: item[1].destructive,
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def concentration(self, fraction: float = 0.5) -> int:
+        """How many pairs account for ``fraction`` of destructive events.
+
+        A small number means aliasing is concentrated (a few hint bits
+        fix it); a large number means it is diffuse (grow the table).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        target = self.total_destructive * fraction
+        accumulated = 0
+        for count_index, (_pair, counts) in enumerate(
+            sorted(self.pairs.items(), key=lambda item: item[1].destructive,
+                   reverse=True),
+            start=1,
+        ):
+            accumulated += counts.destructive
+            if accumulated >= target:
+                return count_index
+        return len(self.pairs)
+
+
+def analyze_interference(
+    trace: BranchTrace, predictor: BranchPredictor
+) -> InterferenceAnalysis:
+    """Replay ``trace`` through ``predictor`` with per-pair accounting.
+
+    The predictor is consumed (trained).  Pair keys are
+    ``(victim_address, aggressor_address)`` -- the branch doing the
+    lookup and the previous owner of the counter it hit.
+    """
+    analysis = InterferenceAnalysis(
+        program_name=trace.program_name,
+        predictor_name=predictor.name,
+    )
+    tags: list[list[int]] = [
+        [-1] * entries for entries in predictor.table_entry_counts()
+    ]
+    pairs = analysis.pairs
+    predict = predictor.predict
+    update = predictor.update
+    accessed = predictor.accessed
+    addresses = trace.addresses
+    outcomes = trace.outcomes
+
+    for i in range(len(addresses)):
+        address = addresses[i]
+        taken = outcomes[i]
+        predicted = predict(address)
+        hit_aggressors: list[int] = []
+        for table_id, index in accessed():
+            table_tags = tags[table_id]
+            previous = table_tags[index]
+            if previous >= 0 and previous != address:
+                hit_aggressors.append(previous)
+            table_tags[index] = address
+        update(address, taken, predicted)
+        if not hit_aggressors:
+            continue
+        destructive = predicted != taken
+        analysis.total_collisions += len(hit_aggressors)
+        if destructive:
+            analysis.total_destructive += len(hit_aggressors)
+        for aggressor in hit_aggressors:
+            key = (address, aggressor)
+            counts = pairs.get(key)
+            if counts is None:
+                counts = PairCounts()
+                pairs[key] = counts
+            if destructive:
+                counts.destructive += 1
+            else:
+                counts.constructive += 1
+    return analysis

@@ -1,0 +1,21 @@
+"""Minimal Alpha-like architecture substrate.
+
+The paper runs Alpha binaries under the Atom instrumentation tool; only
+two architectural facts actually reach the branch-prediction study:
+
+* conditional branches have 4-byte-aligned instruction addresses that
+  index predictor tables, and
+* conditional-branch instructions can carry **static hint bits** (the
+  paper assumes the two IA-64-style bits: "use the static prediction" and
+  "predicted direction", plus an optional third bit controlling whether
+  the branch's outcome is shifted into the global history register).
+
+This subpackage models exactly that: :mod:`repro.arch.isa` defines the
+hint-bit encoding, and :mod:`repro.arch.program` defines a program as a
+set of static conditional-branch sites with addresses.
+"""
+
+from repro.arch.isa import HintBits, ShiftPolicy
+from repro.arch.program import BranchSite, Program
+
+__all__ = ["HintBits", "ShiftPolicy", "BranchSite", "Program"]

@@ -1,0 +1,86 @@
+"""Instruction-set-level modelling of static branch hints.
+
+Section 4 of the paper assumes "two bits of static prediction hint similar
+to those available in Intel's upcoming IA-64 processor": one bit carries
+the static prediction itself (the *static sub-component*), the other tells
+the hardware whether to use it (the *static meta-predictor*).  Section 4
+further notes that whether a statically predicted branch's outcome is
+shifted into the global history register can be controlled "on a per
+application basis using an architectural flag or on a per branch basis
+using one extra hint bit"; we model both granularities.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["ShiftPolicy", "HintBits", "INSTRUCTION_BYTES"]
+
+INSTRUCTION_BYTES = 4
+"""Alpha instructions are 4 bytes; branch addresses step by this amount."""
+
+
+class ShiftPolicy(enum.Enum):
+    """How statically predicted branches interact with global history.
+
+    ``NO_SHIFT`` reproduces the paper's default ("unless otherwise noted,
+    we did not shift outcomes of statically predicted branches in the
+    global history register").  ``SHIFT`` reproduces the Table 4 "Shift"
+    columns.  ``PER_BRANCH`` defers to each branch's own hint bit,
+    modelling the extra per-branch hint bit the paper proposes.
+    """
+
+    NO_SHIFT = "no_shift"
+    SHIFT = "shift"
+    PER_BRANCH = "per_branch"
+
+
+@dataclass(frozen=True, slots=True)
+class HintBits:
+    """Static hint bits attached to one conditional-branch instruction.
+
+    Attributes
+    ----------
+    use_static:
+        The static meta-predictor bit.  When clear, the branch is
+        predicted dynamically and the other bits are ignored.
+    direction:
+        The static prediction: ``True`` = predicted taken.
+    shift_history:
+        The optional per-branch bit saying whether this branch's resolved
+        outcome should be shifted into the global history register when it
+        is statically predicted.  Only consulted when the combined
+        predictor runs under :attr:`ShiftPolicy.PER_BRANCH`.
+    """
+
+    use_static: bool = False
+    direction: bool = False
+    shift_history: bool = False
+
+    @classmethod
+    def dynamic(cls) -> "HintBits":
+        """Hints for a branch left entirely to the dynamic predictor."""
+        return cls(use_static=False, direction=False, shift_history=False)
+
+    @classmethod
+    def static(cls, direction: bool, shift_history: bool = False) -> "HintBits":
+        """Hints for a statically predicted branch."""
+        return cls(use_static=True, direction=direction, shift_history=shift_history)
+
+    def encode(self) -> int:
+        """Pack the hints into the low 3 bits of an int (for trace files)."""
+        return (
+            (1 if self.use_static else 0)
+            | ((1 if self.direction else 0) << 1)
+            | ((1 if self.shift_history else 0) << 2)
+        )
+
+    @classmethod
+    def decode(cls, bits: int) -> "HintBits":
+        """Inverse of :meth:`encode`."""
+        return cls(
+            use_static=bool(bits & 1),
+            direction=bool(bits & 2),
+            shift_history=bool(bits & 4),
+        )

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands::
+
+    repro list                         # programs, predictors, experiments
+    repro run --program gcc --predictor gshare --size 8192 \
+              [--scheme static_acc] [--shift] [--collisions] \
+              [--length 200000] [--input ref] [--profile-input ref]
+    repro experiment table3 [--length N] [--seed N] [--scale F]
+    repro trace --program gcc --input ref --length 10000 --out gcc.trace
+    repro profile --program gcc --input train --out gcc.profile.json
+    repro classify --program gcc [--predictor gshare --size 8192]
+    repro interference --program gcc --predictor gshare --size 2048
+
+``run`` performs the paper's full two-phase flow for a single
+configuration and prints the result line; ``experiment`` regenerates a
+whole table or figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch.isa import ShiftPolicy
+from repro.errors import ReproError
+from repro.experiments.common import ExperimentContext
+from repro.experiments.registry import EXPERIMENT_IDS, get_experiment
+from repro.predictors.sizing import PREDICTOR_NAMES
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.selection import SELECTION_SCHEMES
+from repro.workloads.spec95 import PROGRAM_ORDER
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of Patil & Emer (HPCA 2000): combining "
+                    "static and dynamic branch prediction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list programs, predictors, and experiments")
+
+    run = sub.add_parser("run", help="run one predictor configuration")
+    run.add_argument("--program", required=True, choices=PROGRAM_ORDER)
+    run.add_argument("--predictor", required=True, choices=PREDICTOR_NAMES)
+    run.add_argument("--size", type=int, required=True,
+                     help="hardware budget in bytes (power of two)")
+    run.add_argument("--scheme", default="none", choices=SELECTION_SCHEMES)
+    run.add_argument("--shift", action="store_true",
+                     help="shift statically predicted outcomes into history")
+    run.add_argument("--collisions", action="store_true",
+                     help="track constructive/destructive collisions")
+    run.add_argument("--input", default="ref", choices=("train", "ref"),
+                     help="measurement input")
+    run.add_argument("--profile-input", default=None,
+                     choices=("train", "ref"),
+                     help="profiling input (defaults to the measurement "
+                          "input, i.e. self-trained)")
+    run.add_argument("--cutoff", type=float, default=0.95,
+                     help="bias cutoff for static_95")
+    run.add_argument("--length", type=int, default=None,
+                     help="trace length in branches")
+    run.add_argument("--seed", type=int, default=None)
+    run.add_argument("--scale", type=float, default=None,
+                     help="static-branch site scale")
+
+    experiment = sub.add_parser("experiment",
+                                help="regenerate a paper table or figure")
+    experiment.add_argument("id", choices=EXPERIMENT_IDS)
+    experiment.add_argument("--length", type=int, default=None)
+    experiment.add_argument("--seed", type=int, default=None)
+    experiment.add_argument("--scale", type=float, default=None)
+
+    trace = sub.add_parser("trace", help="generate and save a branch trace")
+    trace.add_argument("--program", required=True, choices=PROGRAM_ORDER)
+    trace.add_argument("--input", default="ref", choices=("train", "ref"))
+    trace.add_argument("--length", type=int, default=10_000)
+    trace.add_argument("--out", required=True, help="output trace file")
+    trace.add_argument("--seed", type=int, default=None)
+    trace.add_argument("--scale", type=float, default=None)
+
+    profile = sub.add_parser("profile", help="profile a workload to JSON")
+    profile.add_argument("--program", required=True, choices=PROGRAM_ORDER)
+    profile.add_argument("--input", default="train", choices=("train", "ref"))
+    profile.add_argument("--length", type=int, default=None)
+    profile.add_argument("--out", required=True, help="output profile JSON")
+    profile.add_argument("--seed", type=int, default=None)
+    profile.add_argument("--scale", type=float, default=None)
+
+    classify = sub.add_parser(
+        "classify",
+        help="Chang-style bias classification of a program's branches",
+    )
+    classify.add_argument("--program", required=True, choices=PROGRAM_ORDER)
+    classify.add_argument("--input", default="ref", choices=("train", "ref"))
+    classify.add_argument("--predictor", default=None,
+                          choices=PREDICTOR_NAMES,
+                          help="also report this predictor's per-class accuracy")
+    classify.add_argument("--size", type=int, default=8192)
+    classify.add_argument("--length", type=int, default=None)
+    classify.add_argument("--seed", type=int, default=None)
+    classify.add_argument("--scale", type=float, default=None)
+
+    interference = sub.add_parser(
+        "interference",
+        help="per-pair destructive collision analysis",
+    )
+    interference.add_argument("--program", required=True, choices=PROGRAM_ORDER)
+    interference.add_argument("--predictor", required=True,
+                              choices=PREDICTOR_NAMES)
+    interference.add_argument("--size", type=int, required=True)
+    interference.add_argument("--input", default="ref", choices=("train", "ref"))
+    interference.add_argument("--top", type=int, default=10,
+                              help="pairs to list")
+    interference.add_argument("--length", type=int, default=None)
+    interference.add_argument("--seed", type=int, default=None)
+    interference.add_argument("--scale", type=float, default=None)
+
+    return parser
+
+
+def _context(args: argparse.Namespace) -> ExperimentContext:
+    return ExperimentContext(
+        trace_length=getattr(args, "length", None),
+        site_scale=getattr(args, "scale", None),
+        seed=getattr(args, "seed", None),
+    )
+
+
+def _cmd_list() -> int:
+    print("programs:   ", " ".join(PROGRAM_ORDER))
+    print("predictors: ", " ".join(PREDICTOR_NAMES))
+    print("schemes:    ", " ".join(SELECTION_SCHEMES))
+    print("experiments:", " ".join(EXPERIMENT_IDS))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    result = ctx.run(
+        args.program,
+        args.predictor,
+        args.size,
+        scheme=args.scheme,
+        shift_policy=ShiftPolicy.SHIFT if args.shift else ShiftPolicy.NO_SHIFT,
+        measure_input=args.input,
+        profile_input=args.profile_input or args.input,
+        track_collisions=args.collisions,
+        cutoff=args.cutoff,
+    )
+    print(result.describe())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    report = get_experiment(args.id)(ctx)
+    print(report.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    trace = ctx.workload(args.program, args.input).execute(args.length, run_seed=1)
+    trace.save(args.out)
+    print(f"wrote {len(trace)} branches ({trace.instruction_count} "
+          f"instructions) to {args.out}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    ctx = _context(args)
+    profile = ProgramProfile.from_trace(ctx.trace(args.program, args.input))
+    profile.save(args.out)
+    print(f"wrote profile of {len(profile)} branches to {args.out}")
+    return 0
+
+
+def _cmd_classify(args: argparse.Namespace) -> int:
+    from repro.analysis.classification import classify_branches
+    from repro.utils.tables import render_table
+
+    ctx = _context(args)
+    profile = ProgramProfile.from_trace(ctx.trace(args.program, args.input))
+    accuracy = None
+    if args.predictor is not None:
+        accuracy = ctx.accuracy(args.program, args.predictor, args.size,
+                                input_name=args.input)
+    breakdown = classify_branches(profile, accuracy)
+    title = f"{args.program}/{args.input}: branch classification"
+    if args.predictor:
+        title += f" (accuracy: {args.predictor} {args.size}B)"
+    print(render_table(
+        ["class", "static branches", "dynamic share", "predictor accuracy"],
+        breakdown.rows(), title=title,
+    ))
+    print(f"\nhighly biased (>=95%) dynamic share: "
+          f"{breakdown.highly_biased_dynamic_fraction():.1%}")
+    return 0
+
+
+def _cmd_interference(args: argparse.Namespace) -> int:
+    from repro.analysis.interference import analyze_interference
+    from repro.predictors.sizing import make_predictor
+    from repro.utils.tables import render_table
+
+    ctx = _context(args)
+    trace = ctx.trace(args.program, args.input)
+    analysis = analyze_interference(
+        trace, make_predictor(args.predictor, args.size)
+    )
+    print(f"{args.program}: {analysis.total_collisions} collisions, "
+          f"{analysis.total_destructive} destructive "
+          f"({analysis.destructive_fraction:.0%}); "
+          f"{analysis.concentration(0.5)} pairs cause half the destruction")
+    rows = [
+        [f"{victim:#x}", f"{aggressor:#x}", counts.destructive,
+         counts.constructive]
+        for (victim, aggressor), counts in analysis.top_destructive_pairs(args.top)
+    ]
+    if rows:
+        print()
+        print(render_table(
+            ["victim", "aggressor", "destructive", "constructive"],
+            rows, title=f"top destructive pairs ({args.predictor} "
+                        f"{args.size}B)",
+        ))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.command == "list":
+            return _cmd_list()
+        if args.command == "run":
+            return _cmd_run(args)
+        if args.command == "experiment":
+            return _cmd_experiment(args)
+        if args.command == "trace":
+            return _cmd_trace(args)
+        if args.command == "profile":
+            return _cmd_profile(args)
+        if args.command == "classify":
+            return _cmd_classify(args)
+        if args.command == "interference":
+            return _cmd_interference(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: combined static + dynamic prediction.
+
+* :mod:`repro.core.combined` -- :class:`CombinedPredictor`, a dynamic
+  predictor wrapped with a static hint database and a history-shift
+  policy (the hardware model of Section 4);
+* :mod:`repro.core.simulator` -- the simulation driver: run a trace
+  through a predictor, collect MISPs/KI and collision statistics, and
+  the two-phase (selection, then measurement) orchestration;
+* :mod:`repro.core.metrics` -- result records;
+* :mod:`repro.core.sweep` -- parameter sweeps over sizes, schemes, and
+  programs used by the figure/table experiments.
+"""
+
+from repro.core.combined import CombinedPredictor
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import (
+    simulate,
+    run_selection_phase,
+    run_combined,
+)
+
+__all__ = [
+    "CombinedPredictor",
+    "SimulationResult",
+    "simulate",
+    "run_selection_phase",
+    "run_combined",
+]

@@ -1,0 +1,108 @@
+"""Simulation result records.
+
+The paper's metric is **MISPs/KI** -- conditional-branch mispredictions
+per thousand instructions executed -- argued to be more honest than raw
+prediction accuracy "as the latter can be deceptive if the test programs
+have too few or unevenly distributed branches".  Both are recorded here,
+along with the static/dynamic split and collision counts when the run
+was instrumented for them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.predictors.collisions import CollisionCounts
+
+__all__ = ["SimulationResult", "improvement"]
+
+
+@dataclass(slots=True)
+class SimulationResult:
+    """Outcome of simulating one predictor over one trace."""
+
+    program_name: str
+    input_name: str
+    predictor_name: str
+    scheme: str
+    """Static scheme in effect ("none" for pure dynamic)."""
+    size_bytes: float
+    branches: int
+    instructions: int
+    mispredictions: int
+    static_branches: int = 0
+    """Dynamic branch executions resolved by a static hint."""
+    static_mispredictions: int = 0
+    collisions: CollisionCounts | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def misp_per_ki(self) -> float:
+        """Mispredictions per thousand instructions (the paper's metric)."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.instructions
+
+    @property
+    def accuracy(self) -> float:
+        """Overall prediction accuracy."""
+        if self.branches == 0:
+            return 0.0
+        return 1.0 - self.mispredictions / self.branches
+
+    @property
+    def cbrs_per_ki(self) -> float:
+        """Branch density of the measured trace."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.branches / self.instructions
+
+    @property
+    def dynamic_branches(self) -> int:
+        """Branch executions that consulted the dynamic predictor."""
+        return self.branches - self.static_branches
+
+    @property
+    def static_fraction(self) -> float:
+        """Fraction of dynamic branch executions handled statically."""
+        if self.branches == 0:
+            return 0.0
+        return self.static_branches / self.branches
+
+    @property
+    def static_accuracy(self) -> float:
+        """Accuracy over the statically predicted executions."""
+        if self.static_branches == 0:
+            return 0.0
+        return 1.0 - self.static_mispredictions / self.static_branches
+
+    def describe(self) -> str:
+        """One-line summary for logs and examples."""
+        parts = [
+            f"{self.program_name}/{self.input_name}",
+            f"{self.predictor_name}@{int(self.size_bytes)}B",
+            f"scheme={self.scheme}",
+            f"MISP/KI={self.misp_per_ki:.2f}",
+            f"acc={self.accuracy:.4f}",
+        ]
+        if self.static_branches:
+            parts.append(f"static={self.static_fraction:.1%}")
+        if self.collisions is not None:
+            parts.append(
+                f"collisions={self.collisions.collisions} "
+                f"(destructive={self.collisions.destructive})"
+            )
+        return " ".join(parts)
+
+
+def improvement(base: SimulationResult, improved: SimulationResult) -> float:
+    """Fractional MISPs/KI improvement of ``improved`` over ``base``.
+
+    Positive = fewer mispredictions (better), matching the sign
+    convention of the paper's Tables 3 and 4; a value of 0.14 is the
+    paper's "14%".
+    """
+    base_misp = base.misp_per_ki
+    if base_misp == 0.0:
+        return 0.0
+    return (base_misp - improved.misp_per_ki) / base_misp

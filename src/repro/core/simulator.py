@@ -1,0 +1,186 @@
+"""Simulation driver: traces through predictors, in the paper's two phases.
+
+* :func:`simulate` -- run one trace through one predictor, producing a
+  :class:`~repro.core.metrics.SimulationResult` (optionally with the
+  tag-based collision instrumentation of Figures 1-6).
+* :func:`run_selection_phase` -- phase one: profile a trace (and, for the
+  accuracy-based schemes, simulate the dynamic predictor over it) and
+  produce a :class:`~repro.staticpred.hints.HintAssignment`.
+* :func:`run_combined` -- phase two: wrap a fresh dynamic predictor with
+  the hints and measure on the measurement trace.
+
+Keeping the phases as separate functions keeps "self-trained" versus
+"cross-trained" experiments honest: the caller explicitly chooses which
+trace feeds selection and which feeds measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.arch.isa import ShiftPolicy
+from repro.core.combined import CombinedPredictor
+from repro.core.metrics import SimulationResult
+from repro.errors import SelectionError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.collisions import CollisionTracker
+from repro.profiling.accuracy import measure_accuracy
+from repro.profiling.collision_profile import measure_collision_involvement
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.hints import HintAssignment
+from repro.staticpred.selection import (
+    select_static_95,
+    select_static_acc,
+    select_static_collision,
+    select_static_fac,
+)
+from repro.workloads.trace import BranchTrace
+
+__all__ = ["simulate", "run_selection_phase", "run_combined"]
+
+
+def simulate(
+    trace: BranchTrace,
+    predictor: BranchPredictor,
+    scheme: str = "none",
+    track_collisions: bool = False,
+) -> SimulationResult:
+    """Run ``trace`` through ``predictor`` and collect statistics.
+
+    The predictor is trained in place; pass a fresh instance for
+    independent measurements.  With ``track_collisions`` every counter
+    lookup is tag-checked (slower; used by the Figures 1-6 sweep).
+    """
+    addresses = trace.addresses
+    outcomes = trace.outcomes
+    predict = predictor.predict
+    update = predictor.update
+    mispredictions = 0
+
+    if track_collisions:
+        tracker = CollisionTracker(predictor)
+        observe = tracker.observe_lookup
+        classify = tracker.classify
+        for i in range(len(addresses)):
+            address = addresses[i]
+            taken = outcomes[i]
+            predicted = predict(address)
+            collisions = observe(address)
+            update(address, taken, predicted)
+            correct = predicted == taken
+            if not correct:
+                mispredictions += 1
+            classify(collisions, correct)
+        collision_counts = tracker.counts
+    else:
+        for i in range(len(addresses)):
+            address = addresses[i]
+            taken = outcomes[i]
+            predicted = predict(address)
+            update(address, taken, predicted)
+            if predicted != taken:
+                mispredictions += 1
+        collision_counts = None
+
+    static_branches = 0
+    static_mispredictions = 0
+    if isinstance(predictor, CombinedPredictor):
+        static_branches = predictor.static_lookups
+        static_mispredictions = predictor.static_mispredictions
+
+    return SimulationResult(
+        program_name=trace.program_name,
+        input_name=trace.input_name,
+        predictor_name=predictor.name,
+        scheme=scheme,
+        size_bytes=predictor.size_bytes,
+        branches=len(addresses),
+        instructions=trace.instruction_count,
+        mispredictions=mispredictions,
+        static_branches=static_branches,
+        static_mispredictions=static_mispredictions,
+        collisions=collision_counts,
+    )
+
+
+def run_selection_phase(
+    profile_trace: BranchTrace,
+    scheme: str,
+    predictor_factory: Callable[[], BranchPredictor] | None = None,
+    profile: ProgramProfile | None = None,
+    cutoff: float = 0.95,
+    factor: float = 1.05,
+    min_executions: int | None = None,
+    shift_history: bool = False,
+) -> HintAssignment:
+    """Phase one: produce the static hint database.
+
+    ``scheme`` is one of ``"none"``, ``"static_95"``, ``"static_acc"``,
+    ``"static_fac"``.  The accuracy-based schemes simulate a *fresh*
+    predictor from ``predictor_factory`` over the profiling trace --
+    matching the paper, where the selection simulation uses the same
+    dynamic configuration as the measurement run.
+
+    ``profile`` overrides the bias profile (used by cross-training
+    experiments that select from a merged/filtered Spike database rather
+    than the raw profiling run).
+    """
+    if profile is None:
+        profile = ProgramProfile.from_trace(profile_trace)
+    kwargs = {}
+    if min_executions is not None:
+        kwargs["min_executions"] = min_executions
+
+    if scheme == "none":
+        return HintAssignment(profile.program_name, "none")
+    if scheme == "static_95":
+        return select_static_95(
+            profile, cutoff=cutoff, shift_history=shift_history, **kwargs
+        )
+    if scheme in ("static_acc", "static_fac"):
+        if predictor_factory is None:
+            raise SelectionError(
+                f"scheme {scheme!r} needs a predictor_factory to measure "
+                "per-branch dynamic accuracy"
+            )
+        accuracy = measure_accuracy(profile_trace, predictor_factory())
+        if scheme == "static_acc":
+            return select_static_acc(
+                profile, accuracy, shift_history=shift_history, **kwargs
+            )
+        return select_static_fac(
+            profile, accuracy, factor=factor, shift_history=shift_history, **kwargs
+        )
+    if scheme == "static_collision":
+        if predictor_factory is None:
+            raise SelectionError(
+                "scheme 'static_collision' needs a predictor_factory to "
+                "attribute per-branch collisions"
+            )
+        collisions = measure_collision_involvement(
+            profile_trace, predictor_factory()
+        )
+        return select_static_collision(
+            profile, collisions, shift_history=shift_history, **kwargs
+        )
+    raise SelectionError(
+        f"unknown selection scheme {scheme!r}; expected one of "
+        "none, static_95, static_acc, static_fac, static_collision"
+    )
+
+
+def run_combined(
+    measure_trace: BranchTrace,
+    dynamic: BranchPredictor,
+    hints: HintAssignment,
+    shift_policy: ShiftPolicy = ShiftPolicy.NO_SHIFT,
+    track_collisions: bool = False,
+) -> SimulationResult:
+    """Phase two: measure the combined predictor on the measurement trace."""
+    combined = CombinedPredictor(dynamic, hints, shift_policy=shift_policy)
+    scheme = hints.scheme
+    if shift_policy is ShiftPolicy.SHIFT:
+        scheme += "+shift"
+    return simulate(
+        measure_trace, combined, scheme=scheme, track_collisions=track_collisions
+    )

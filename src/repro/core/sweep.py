@@ -1,0 +1,89 @@
+"""Parameter sweeps over predictor size and static scheme.
+
+Thin, cache-free building blocks used by the experiment runners in
+:mod:`repro.experiments` (which add workload/trace caching on top).
+Each function takes explicit traces so self-trained versus cross-trained
+setups stay visible at the call site.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.arch.isa import ShiftPolicy
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import run_combined, run_selection_phase, simulate
+from repro.predictors.base import BranchPredictor
+from repro.predictors.sizing import make_predictor
+from repro.workloads.trace import BranchTrace
+
+__all__ = ["run_configuration", "size_sweep"]
+
+
+def run_configuration(
+    profile_trace: BranchTrace,
+    measure_trace: BranchTrace,
+    predictor_name: str,
+    size_bytes: int,
+    scheme: str,
+    shift_policy: ShiftPolicy = ShiftPolicy.NO_SHIFT,
+    track_collisions: bool = False,
+    predictor_kwargs: dict | None = None,
+    **selection_kwargs,
+) -> SimulationResult:
+    """Run one full (selection phase + measurement phase) configuration.
+
+    ``profile_trace`` feeds the selection phase; ``measure_trace`` is
+    what MISPs/KI is reported on.  Self-trained experiments pass the same
+    trace for both.
+    """
+    kwargs = predictor_kwargs or {}
+    factory: Callable[[], BranchPredictor] = lambda: make_predictor(
+        predictor_name, size_bytes, **kwargs
+    )
+    if scheme == "none":
+        return simulate(
+            measure_trace, factory(), scheme="none",
+            track_collisions=track_collisions,
+        )
+    hints = run_selection_phase(
+        profile_trace, scheme, predictor_factory=factory, **selection_kwargs
+    )
+    return run_combined(
+        measure_trace, factory(), hints,
+        shift_policy=shift_policy, track_collisions=track_collisions,
+    )
+
+
+def size_sweep(
+    profile_trace: BranchTrace,
+    measure_trace: BranchTrace,
+    predictor_name: str,
+    sizes: Sequence[int],
+    schemes: Sequence[str] = ("none",),
+    shift_policy: ShiftPolicy = ShiftPolicy.NO_SHIFT,
+    track_collisions: bool = False,
+    **selection_kwargs,
+) -> dict[str, list[SimulationResult]]:
+    """Sweep predictor sizes for each scheme (the Figures 1-6 shape).
+
+    Returns ``{scheme: [result per size, in input order]}``.  The
+    selection phase runs per (scheme, size) because ``Static_Acc``'s
+    hint set legitimately depends on the simulated predictor's size.
+    """
+    results: dict[str, list[SimulationResult]] = {scheme: [] for scheme in schemes}
+    for scheme in schemes:
+        for size in sizes:
+            results[scheme].append(
+                run_configuration(
+                    profile_trace,
+                    measure_trace,
+                    predictor_name,
+                    size,
+                    scheme,
+                    shift_policy=shift_policy,
+                    track_collisions=track_collisions,
+                    **selection_kwargs,
+                )
+            )
+    return results

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid parameters.
+
+    Raised, for example, when a predictor is given a non-power-of-two
+    hardware budget, a workload specification mixes behaviour fractions
+    that do not sum to one, or a history length exceeds the register width
+    supported by the simulator.
+    """
+
+
+class SizingError(ConfigurationError):
+    """A hardware budget cannot be decomposed into the required tables."""
+
+
+class WorkloadError(ReproError):
+    """A synthetic workload could not be generated or loaded."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file is malformed or has an unsupported version."""
+
+
+class ProfileError(ReproError):
+    """Profile data is missing, inconsistent, or cannot be merged."""
+
+
+class SelectionError(ReproError):
+    """A static-selection scheme was invoked with insufficient inputs.
+
+    ``Static_Acc`` requires per-branch dynamic-predictor accuracy data in
+    addition to the bias profile; invoking it with a bias-only profile
+    raises this error rather than silently selecting nothing.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment was requested with an unknown id or bad parameters."""

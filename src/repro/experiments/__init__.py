@@ -1,0 +1,27 @@
+"""Experiment runners: one per table and figure of the paper.
+
+Every experiment is registered in :mod:`repro.experiments.registry` under
+the paper's table/figure id and returns an
+:class:`~repro.experiments.report.ExperimentReport` that renders the
+corresponding rows or series as text.  The benchmark harness under
+``benchmarks/`` and the CLI (``repro experiment <id>``) are thin wrappers
+over these runners.
+
+Shared configuration -- trace lengths, the experiment site scale, the
+cached workload/trace/profile store -- lives in
+:mod:`repro.experiments.common`; see its docstring for how the
+``REPRO_*`` environment variables scale experiment cost.
+"""
+
+from repro.experiments.common import ExperimentContext, default_context
+from repro.experiments.registry import EXPERIMENT_IDS, get_experiment, run_experiment
+from repro.experiments.report import ExperimentReport
+
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "ExperimentReport",
+    "EXPERIMENT_IDS",
+    "get_experiment",
+    "run_experiment",
+]

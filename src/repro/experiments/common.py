@@ -1,0 +1,317 @@
+"""Shared experiment configuration and cached simulation context.
+
+Scaling knobs (environment variables, all optional):
+
+``REPRO_TRACE_LENGTH``
+    Branches per measurement trace (default 200000).  Experiment wall
+    time scales linearly with it.
+``REPRO_EXPERIMENT_SITE_SCALE``
+    Static-branch scale for experiment workloads (default 0.125).  The
+    paper's runs cover billions of branches; scaling the static branch
+    count by the same factor as the trace length keeps per-branch
+    execution counts -- and therefore predictor warm-up -- realistic.
+    Table 1 separately reports the paper's unscaled static counts.
+``REPRO_SEED``
+    Root seed for every workload and trace (default 42).
+
+The :class:`ExperimentContext` memoizes workloads, traces, bias
+profiles, per-predictor accuracy profiles, and hint assignments, because
+the figure/table runners share most of their inputs (e.g. every
+Figures 7-12 panel reuses the same six ref traces).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable
+
+from repro.arch.isa import ShiftPolicy
+from repro.core.metrics import SimulationResult
+from repro.core.simulator import run_combined, simulate
+from repro.errors import ExperimentError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.sizing import make_predictor
+from repro.profiling.accuracy import AccuracyProfile, measure_accuracy
+from repro.profiling.collision_profile import (
+    CollisionProfile,
+    measure_collision_involvement,
+)
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.hints import HintAssignment
+from repro.staticpred.iterative import select_static_iterative
+from repro.staticpred.selection import (
+    select_static_95,
+    select_static_acc,
+    select_static_collision,
+    select_static_fac,
+)
+from repro.workloads.generator import SyntheticWorkload, build_workload
+from repro.workloads.spec95 import PROGRAM_ORDER, get_spec
+from repro.workloads.trace import BranchTrace
+
+__all__ = [
+    "PROGRAMS",
+    "KIB",
+    "default_trace_length",
+    "default_site_scale",
+    "default_seed",
+    "ExperimentContext",
+    "default_context",
+]
+
+PROGRAMS = PROGRAM_ORDER
+KIB = 1024
+
+
+def _env_float(name: str, default: float) -> float:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise ExperimentError(f"{name} must be numeric, got {raw!r}") from exc
+
+
+def default_trace_length() -> int:
+    """Measurement-trace length in branches."""
+    return int(_env_float("REPRO_TRACE_LENGTH", 200_000))
+
+
+def default_site_scale() -> float:
+    """Static-branch scale used by experiment workloads."""
+    return _env_float("REPRO_EXPERIMENT_SITE_SCALE", 0.125)
+
+
+def default_seed() -> int:
+    """Root seed for experiment workloads."""
+    return int(_env_float("REPRO_SEED", 42))
+
+
+class ExperimentContext:
+    """Cached workloads, traces, profiles, and hint assignments."""
+
+    def __init__(
+        self,
+        trace_length: int | None = None,
+        site_scale: float | None = None,
+        seed: int | None = None,
+    ):
+        self.trace_length = trace_length if trace_length is not None else default_trace_length()
+        self.site_scale = site_scale if site_scale is not None else default_site_scale()
+        self.seed = seed if seed is not None else default_seed()
+        if self.trace_length <= 0:
+            raise ExperimentError(f"trace_length must be positive, got {self.trace_length}")
+        self._workloads: dict[tuple, SyntheticWorkload] = {}
+        self._traces: dict[tuple, BranchTrace] = {}
+        self._profiles: dict[tuple, ProgramProfile] = {}
+        self._accuracies: dict[tuple, AccuracyProfile] = {}
+        self._collision_profiles: dict[tuple, CollisionProfile] = {}
+        self._hints: dict[tuple, HintAssignment] = {}
+
+    # -- workloads and traces -------------------------------------------
+
+    def workload(self, program: str, input_name: str) -> SyntheticWorkload:
+        """The (cached) workload for one program and input."""
+        key = (program, input_name)
+        workload = self._workloads.get(key)
+        if workload is None:
+            workload = build_workload(
+                get_spec(program), input_name,
+                root_seed=self.seed, site_scale=self.site_scale,
+            )
+            self._workloads[key] = workload
+        return workload
+
+    def trace(self, program: str, input_name: str = "ref",
+              length: int | None = None) -> BranchTrace:
+        """The (cached) trace for one program and input."""
+        if length is None:
+            length = self.trace_length
+        key = (program, input_name, length)
+        trace = self._traces.get(key)
+        if trace is None:
+            trace = self.workload(program, input_name).execute(length, run_seed=1)
+            self._traces[key] = trace
+        return trace
+
+    # -- profiles --------------------------------------------------------
+
+    def profile(self, program: str, input_name: str = "ref") -> ProgramProfile:
+        """Bias profile of the (cached) trace."""
+        key = (program, input_name, self.trace_length)
+        profile = self._profiles.get(key)
+        if profile is None:
+            profile = ProgramProfile.from_trace(self.trace(program, input_name))
+            self._profiles[key] = profile
+        return profile
+
+    def accuracy(
+        self,
+        program: str,
+        predictor_name: str,
+        size_bytes: int,
+        input_name: str = "ref",
+        predictor_kwargs: dict | None = None,
+    ) -> AccuracyProfile:
+        """Per-branch accuracy of a fresh predictor over the cached trace."""
+        kwargs = predictor_kwargs or {}
+        key = (program, input_name, self.trace_length, predictor_name,
+               size_bytes, tuple(sorted(kwargs.items())))
+        accuracy = self._accuracies.get(key)
+        if accuracy is None:
+            predictor = make_predictor(predictor_name, size_bytes, **kwargs)
+            accuracy = measure_accuracy(self.trace(program, input_name), predictor)
+            self._accuracies[key] = accuracy
+        return accuracy
+
+    def collision_profile(
+        self,
+        program: str,
+        predictor_name: str,
+        size_bytes: int,
+        input_name: str = "ref",
+        predictor_kwargs: dict | None = None,
+    ) -> CollisionProfile:
+        """Per-branch collision involvement of a fresh predictor."""
+        kwargs = predictor_kwargs or {}
+        key = (program, input_name, self.trace_length, predictor_name,
+               size_bytes, tuple(sorted(kwargs.items())))
+        profile = self._collision_profiles.get(key)
+        if profile is None:
+            predictor = make_predictor(predictor_name, size_bytes, **kwargs)
+            profile = measure_collision_involvement(
+                self.trace(program, input_name), predictor
+            )
+            self._collision_profiles[key] = profile
+        return profile
+
+    # -- hint selection ---------------------------------------------------
+
+    def hints(
+        self,
+        program: str,
+        scheme: str,
+        predictor_name: str | None = None,
+        size_bytes: int | None = None,
+        profile_input: str = "ref",
+        cutoff: float = 0.95,
+        factor: float = 1.05,
+        predictor_kwargs: dict | None = None,
+    ) -> HintAssignment:
+        """Phase-one selection, memoized.
+
+        ``profile_input`` names the profiling input: ``"ref"`` for the
+        paper's self-trained setup, ``"train"`` for cross-training.
+        """
+        key = (program, scheme, predictor_name, size_bytes, profile_input,
+               cutoff, factor, self.trace_length,
+               tuple(sorted((predictor_kwargs or {}).items())))
+        hints = self._hints.get(key)
+        if hints is not None:
+            return hints
+        profile = self.profile(program, profile_input)
+        if scheme == "none":
+            hints = HintAssignment(program, "none")
+        elif scheme == "static_95":
+            hints = select_static_95(profile, cutoff=cutoff)
+        elif scheme in ("static_acc", "static_fac"):
+            if predictor_name is None or size_bytes is None:
+                raise ExperimentError(
+                    f"scheme {scheme!r} needs predictor_name and size_bytes"
+                )
+            accuracy = self.accuracy(
+                program, predictor_name, size_bytes,
+                input_name=profile_input, predictor_kwargs=predictor_kwargs,
+            )
+            if scheme == "static_acc":
+                hints = select_static_acc(profile, accuracy)
+            else:
+                hints = select_static_fac(profile, accuracy, factor=factor)
+        elif scheme == "static_collision":
+            if predictor_name is None or size_bytes is None:
+                raise ExperimentError(
+                    "scheme 'static_collision' needs predictor_name and "
+                    "size_bytes"
+                )
+            collisions = self.collision_profile(
+                program, predictor_name, size_bytes,
+                input_name=profile_input, predictor_kwargs=predictor_kwargs,
+            )
+            hints = select_static_collision(profile, collisions)
+        elif scheme == "static_iter":
+            if predictor_name is None or size_bytes is None:
+                raise ExperimentError(
+                    "scheme 'static_iter' needs predictor_name and size_bytes"
+                )
+            hints = select_static_iterative(
+                self.trace(program, profile_input),
+                self.predictor_factory(
+                    predictor_name, size_bytes, **(predictor_kwargs or {})
+                ),
+                profile=profile,
+            )
+        else:
+            raise ExperimentError(f"unknown scheme {scheme!r}")
+        self._hints[key] = hints
+        return hints
+
+    # -- measurement -------------------------------------------------------
+
+    def run(
+        self,
+        program: str,
+        predictor_name: str,
+        size_bytes: int,
+        scheme: str = "none",
+        shift_policy: ShiftPolicy = ShiftPolicy.NO_SHIFT,
+        measure_input: str = "ref",
+        profile_input: str = "ref",
+        track_collisions: bool = False,
+        cutoff: float = 0.95,
+        factor: float = 1.05,
+        predictor_kwargs: dict | None = None,
+        hints: HintAssignment | None = None,
+    ) -> SimulationResult:
+        """One full configuration: (cached) selection + fresh measurement.
+
+        Measurement results are deliberately *not* cached: predictors are
+        stateful and cheap to rebuild, and the collision-tracking flag
+        changes what a run records.
+        """
+        kwargs = predictor_kwargs or {}
+        predictor = make_predictor(predictor_name, size_bytes, **kwargs)
+        measure_trace = self.trace(program, measure_input)
+        if scheme == "none" and hints is None:
+            return simulate(
+                measure_trace, predictor, scheme="none",
+                track_collisions=track_collisions,
+            )
+        if hints is None:
+            hints = self.hints(
+                program, scheme,
+                predictor_name=predictor_name, size_bytes=size_bytes,
+                profile_input=profile_input, cutoff=cutoff, factor=factor,
+                predictor_kwargs=predictor_kwargs,
+            )
+        return run_combined(
+            measure_trace, predictor, hints,
+            shift_policy=shift_policy, track_collisions=track_collisions,
+        )
+
+    def predictor_factory(
+        self, predictor_name: str, size_bytes: int, **kwargs
+    ) -> Callable[[], BranchPredictor]:
+        """A factory closure for APIs that build predictors lazily."""
+        return lambda: make_predictor(predictor_name, size_bytes, **kwargs)
+
+
+_DEFAULT_CONTEXT: ExperimentContext | None = None
+
+
+def default_context() -> ExperimentContext:
+    """A process-wide shared context (used by benchmarks and the CLI)."""
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        _DEFAULT_CONTEXT = ExperimentContext()
+    return _DEFAULT_CONTEXT

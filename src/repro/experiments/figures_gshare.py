@@ -1,0 +1,124 @@
+"""Figures 1-6: gshare size sweep with and without static prediction.
+
+Paper: "Figures 1-6 show the effect of increasing branch predictor size
+on MISP/KI with and without static prediction.  The base branch predictor
+is a gshare.  The static prediction scheme chosen (static_ACC) selects
+branches each of which has a bias greater than the prediction accuracy of
+gshare for that branch.  Also plotted in the figures are the total
+numbers of collisions observed."
+
+One figure per program; this module runs the sweep for one program or
+all six.  The paper's sizes are 1-64 Kbytes; because our workloads scale
+static branch counts down 8x, the sweep covers 512 bytes - 32 Kbytes,
+preserving the table-entries-per-static-branch ratio at each point.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
+from repro.experiments.report import ExperimentReport
+from repro.utils.charts import render_line_chart
+
+__all__ = ["run", "run_program", "SIZES"]
+
+SIZES = (512, 1 * KIB, 2 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB)
+FIGURE_NUMBER = {program: i + 1 for i, program in enumerate(PROGRAMS)}
+
+
+def run_program(ctx: ExperimentContext, program: str) -> ExperimentReport:
+    """Regenerate one program's figure (gshare sweep + collisions)."""
+    figure = FIGURE_NUMBER.get(program, 0)
+    report = ExperimentReport(
+        experiment_id=f"figure{figure}",
+        title=f"gshare size sweep for {program} (paper Figure {figure})",
+    )
+    table = report.add_table(
+        f"{program}: MISP/KI and collisions vs gshare size",
+        [
+            "size (bytes)",
+            "MISP/KI none",
+            "MISP/KI static_acc",
+            "improvement",
+            "collisions none",
+            "collisions static_acc",
+            "destructive none",
+            "destructive static_acc",
+        ],
+    )
+    misp_none: list[float] = []
+    misp_static: list[float] = []
+    collisions_none: list[float] = []
+    collisions_static: list[float] = []
+    for size in SIZES:
+        base = ctx.run(program, "gshare", size, scheme="none",
+                       track_collisions=True)
+        static = ctx.run(program, "gshare", size, scheme="static_acc",
+                         track_collisions=True)
+        assert base.collisions is not None and static.collisions is not None
+        improvement = 0.0
+        if base.misp_per_ki:
+            improvement = (base.misp_per_ki - static.misp_per_ki) / base.misp_per_ki
+        table.rows.append(
+            [
+                size,
+                round(base.misp_per_ki, 2),
+                round(static.misp_per_ki, 2),
+                f"{improvement * 100:+.1f}%",
+                base.collisions.collisions,
+                static.collisions.collisions,
+                base.collisions.destructive,
+                static.collisions.destructive,
+            ]
+        )
+        misp_none.append(base.misp_per_ki)
+        misp_static.append(static.misp_per_ki)
+        collisions_none.append(float(base.collisions.collisions))
+        collisions_static.append(float(static.collisions.collisions))
+
+    labels = [f"{s // KIB}K" if s >= KIB else f"{s}B" for s in SIZES]
+    report.charts.append(
+        render_line_chart(
+            labels,
+            {"none": misp_none, "static_acc": misp_static},
+            title=f"{program}: MISP/KI vs gshare size",
+            y_label="MISP/KI",
+        )
+    )
+    report.charts.append(
+        render_line_chart(
+            labels,
+            {"none": collisions_none, "static_acc": collisions_static},
+            title=f"{program}: collisions vs gshare size",
+            y_label="collisions",
+        )
+    )
+    report.data["misp_none"] = misp_none
+    report.data["misp_static"] = misp_static
+    report.data["collisions_none"] = collisions_none
+    report.data["collisions_static"] = collisions_static
+    report.notes.append(
+        "Shape checks: static prediction reduces MISP/KI at every size; "
+        "the improvement shrinks as the predictor grows; collisions "
+        "generally drop with static prediction (ijpeg's constructive-"
+        "collision anomaly excepted)."
+    )
+    return report
+
+
+def run(ctx: ExperimentContext) -> ExperimentReport:
+    """Regenerate all six figures (1-6) into one combined report."""
+    combined = ExperimentReport(
+        experiment_id="figures1-6",
+        title="gshare size sweeps, all programs (paper Figures 1-6)",
+    )
+    for program in PROGRAMS:
+        report = run_program(ctx, program)
+        combined.tables.extend(report.tables)
+        combined.charts.extend(report.charts)
+        combined.data[program] = report.data
+    combined.notes.append(
+        "See per-program notes; Figures 1-6 correspond to "
+        + ", ".join(f"{p} (Fig {FIGURE_NUMBER[p]})" for p in PROGRAMS)
+        + "."
+    )
+    return combined

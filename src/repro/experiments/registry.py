@@ -1,0 +1,80 @@
+"""Registry mapping experiment ids to runners.
+
+Ids follow the paper: ``table1`` .. ``table5``, ``figure1`` ..
+``figure13`` (figures 1-6 are the per-program gshare sweeps, 7-12 the
+per-program scheme comparisons), plus the grouped ids ``figures1-6`` and
+``figures7-12`` and the ``ablations`` extras.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.experiments import (
+    ablations,
+    extras,
+    figure13,
+    figures_gshare,
+    figures_schemes,
+    summary,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+)
+from repro.experiments.common import PROGRAMS, ExperimentContext, default_context
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["EXPERIMENT_IDS", "get_experiment", "run_experiment"]
+
+Runner = Callable[[ExperimentContext], ExperimentReport]
+
+
+def _program_figure(module, program: str) -> Runner:
+    return lambda ctx: module.run_program(ctx, program)
+
+
+_RUNNERS: dict[str, Runner] = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "figures1-6": figures_gshare.run,
+    "figures7-12": figures_schemes.run,
+    "figure13": figure13.run,
+    "ablations": ablations.run,
+    "ablation-agree": ablations.run_agree,
+    "ablation-cutoff": ablations.run_cutoff_sweep,
+    "ablation-history": ablations.run_history_sweep,
+    "ablation-selection": ablations.run_selection_shootout,
+    "pipeline-impact": extras.run_pipeline_impact,
+    "classification": extras.run_classification,
+    "summary": summary.run_all,
+}
+for _i, _program in enumerate(PROGRAMS):
+    _RUNNERS[f"figure{_i + 1}"] = _program_figure(figures_gshare, _program)
+    _RUNNERS[f"figure{_i + 7}"] = _program_figure(figures_schemes, _program)
+
+EXPERIMENT_IDS = tuple(sorted(_RUNNERS))
+
+
+def get_experiment(experiment_id: str) -> Runner:
+    """The runner for an experiment id; raises on unknown ids."""
+    try:
+        return _RUNNERS[experiment_id]
+    except KeyError:
+        known = ", ".join(EXPERIMENT_IDS)
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; known ids: {known}"
+        ) from None
+
+
+def run_experiment(
+    experiment_id: str, ctx: ExperimentContext | None = None
+) -> ExperimentReport:
+    """Run one experiment, using the shared default context by default."""
+    runner = get_experiment(experiment_id)
+    return runner(ctx if ctx is not None else default_context())

@@ -1,0 +1,74 @@
+"""Structured experiment results with text rendering.
+
+Experiments return an :class:`ExperimentReport` holding named tables
+(rows of plain values) and pre-rendered charts, plus free-form notes
+recording the paper's expected shape for the experiment.  ``render()``
+produces the text the benchmark harness prints and EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.utils.tables import render_table
+
+__all__ = ["ReportTable", "ExperimentReport"]
+
+
+@dataclass(slots=True)
+class ReportTable:
+    """One table of an experiment report."""
+
+    title: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]] = field(default_factory=list)
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows, title=self.title)
+
+    def column(self, name: str) -> list[object]:
+        """All values of a named column (for tests over report shapes)."""
+        index = list(self.headers).index(name)
+        return [row[index] for row in self.rows]
+
+
+@dataclass(slots=True)
+class ExperimentReport:
+    """Full result of one experiment run."""
+
+    experiment_id: str
+    title: str
+    tables: list[ReportTable] = field(default_factory=list)
+    charts: list[str] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+    """Structured results for programmatic consumers (tests, examples)."""
+
+    def add_table(self, title: str, headers: Sequence[str]) -> ReportTable:
+        """Create, register, and return a new table."""
+        table = ReportTable(title=title, headers=headers)
+        self.tables.append(table)
+        return table
+
+    def table(self, title: str) -> ReportTable:
+        """Look up a registered table by title."""
+        for table in self.tables:
+            if table.title == title:
+                return table
+        known = ", ".join(t.title for t in self.tables)
+        raise KeyError(f"no table {title!r} in report; have: {known}")
+
+    def render(self) -> str:
+        """Render the whole report as text."""
+        lines = [f"== {self.experiment_id}: {self.title} ==", ""]
+        for table in self.tables:
+            lines.append(table.render())
+            lines.append("")
+        for chart in self.charts:
+            lines.append(chart)
+            lines.append("")
+        if self.notes:
+            lines.append("Notes:")
+            lines.extend(f"  - {note}" for note in self.notes)
+        return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,72 @@
+"""Table 1: test program characteristics.
+
+Paper columns: static instruction count, static conditional-branch count,
+dynamic instruction count and CBRs/KI for the train and ref inputs.
+
+Our report shows the paper's published static counts (which the workload
+specs reproduce at scale 1.0) alongside the experiment-scale measured
+values, so the scaling substitution is visible rather than hidden.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import PROGRAMS, ExperimentContext
+from repro.experiments.report import ExperimentReport
+from repro.workloads.spec95 import get_spec
+from repro.workloads.stats import characterize
+
+__all__ = ["run"]
+
+
+def run(ctx: ExperimentContext) -> ExperimentReport:
+    """Regenerate Table 1 from the synthetic workloads."""
+    report = ExperimentReport(
+        experiment_id="table1",
+        title="Test program characteristics (paper Table 1)",
+    )
+    table = report.add_table(
+        "Program characteristics",
+        [
+            "program",
+            "paper static CBRs",
+            "sim static CBRs",
+            "train instrs",
+            "train CBRs/KI",
+            "paper train CBRs/KI",
+            "ref instrs",
+            "ref CBRs/KI",
+            "paper ref CBRs/KI",
+        ],
+    )
+    for program in PROGRAMS:
+        spec = get_spec(program)
+        train = characterize(ctx.trace(program, "train"))
+        ref = characterize(ctx.trace(program, "ref"))
+        table.rows.append(
+            [
+                program,
+                spec.static_branches,
+                spec.site_count(ctx.site_scale),
+                train.instruction_count,
+                round(train.cbrs_per_ki, 1),
+                spec.cbrs_per_ki["train"],
+                ref.instruction_count,
+                round(ref.cbrs_per_ki, 1),
+                spec.cbrs_per_ki["ref"],
+            ]
+        )
+        report.data[program] = {
+            "train": train,
+            "ref": ref,
+        }
+    report.notes.append(
+        "Paper dynamic instruction counts (0.5-63 billion) are replaced by "
+        f"traces of {ctx.trace_length} branches; static branch counts are "
+        f"scaled by {ctx.site_scale:g} for simulation (column 3) while "
+        "column 2 reproduces the paper's counts."
+    )
+    report.notes.append(
+        "Shape check: measured CBRs/KI should match the paper columns "
+        "within sampling noise for every program and input."
+    )
+    return report

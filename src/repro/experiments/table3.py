@@ -1,0 +1,54 @@
+"""Table 3: 2bcgskew improvements for go and gcc across sizes.
+
+Paper Table 3 reports the percentage MISPs/KI improvement of Static_95
+and Static_Acc over plain 2bcgskew at 2-32 Kbytes for go and gcc.  The
+shape: improvements are largest at small sizes and shrink (go even turns
+negative) as the predictor grows, while gcc -- the program with the most
+branches and the most aliasing -- keeps benefiting at every size.
+"""
+
+from __future__ import annotations
+
+from repro.core.metrics import improvement
+from repro.experiments.common import KIB, ExperimentContext
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["run", "SIZES", "PROGRAMS_STUDIED"]
+
+SIZES = (2 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB)
+PROGRAMS_STUDIED = ("go", "gcc")
+
+
+def run(ctx: ExperimentContext) -> ExperimentReport:
+    """Regenerate Table 3."""
+    report = ExperimentReport(
+        experiment_id="table3",
+        title="2bcgskew: improvements with static prediction for go & gcc "
+              "(paper Table 3)",
+    )
+    table = report.add_table(
+        "MISPs/KI improvement over plain 2bcgskew",
+        ["size"]
+        + [f"{p}: {s}" for p in PROGRAMS_STUDIED for s in ("static_95", "static_acc")],
+    )
+    data: dict[str, dict[str, list[float]]] = {
+        p: {"static_95": [], "static_acc": []} for p in PROGRAMS_STUDIED
+    }
+    for size in SIZES:
+        row: list[object] = [f"{size // KIB} Kbytes"]
+        for program in PROGRAMS_STUDIED:
+            base = ctx.run(program, "2bcgskew", size, scheme="none")
+            for scheme in ("static_95", "static_acc"):
+                combined = ctx.run(program, "2bcgskew", size, scheme=scheme)
+                gain = improvement(base, combined)
+                data[program][scheme].append(gain)
+                row.append(f"{gain * 100:+.1f}%")
+        table.rows.append(row)
+    report.data.update(data)
+    report.notes.append(
+        "Shape checks: gains shrink as 2bcgskew grows; Static_Acc beats "
+        "Static_95; gcc's gains exceed go's and persist at large sizes "
+        "(paper: gcc +13-14% at 2KB falling to +2-4% at 32KB; go turning "
+        "negative by 32KB)."
+    )
+    return report

@@ -1,0 +1,65 @@
+"""Table 4: shifting statically predicted outcomes into global history.
+
+Paper: "For predictors that use a global history of branch outcomes for
+indexing, shifting or not shifting outcomes of statically predicted
+branches will change aliasing.  So we experimented with optionally
+shifting those outcomes in the global history register."  Table 4 tabulates
+percentage improvements for 2bcgskew at 32 and 64 Kbytes, for both static
+schemes, with and without shifting.
+
+Shape: not every program benefits from shifting, but whenever a static
+scheme *degrades* the predictor, shifting rescues it -- the statically
+predicted branches' outcomes were carrying correlation information the
+dynamic side needed (the paper's contribution #1).
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import ShiftPolicy
+from repro.core.metrics import improvement
+from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
+from repro.experiments.report import ExperimentReport
+
+__all__ = ["run", "SIZES"]
+
+SIZES = (32 * KIB, 64 * KIB)
+
+
+def run(ctx: ExperimentContext) -> ExperimentReport:
+    """Regenerate Table 4."""
+    report = ExperimentReport(
+        experiment_id="table4",
+        title="2bcgskew: effect of shifting history for statically "
+              "predicted branches (paper Table 4)",
+    )
+    table = report.add_table(
+        "MISPs/KI improvement over plain 2bcgskew",
+        ["program", "size (bytes)", "static_95", "static_95 shift",
+         "static_acc", "static_acc shift"],
+    )
+    data: dict[tuple[str, int], dict[str, float]] = {}
+    for program in PROGRAMS:
+        for size in SIZES:
+            base = ctx.run(program, "2bcgskew", size, scheme="none")
+            cell: dict[str, float] = {}
+            row: list[object] = [program, size]
+            for scheme in ("static_95", "static_acc"):
+                for shift in (ShiftPolicy.NO_SHIFT, ShiftPolicy.SHIFT):
+                    result = ctx.run(
+                        program, "2bcgskew", size,
+                        scheme=scheme, shift_policy=shift,
+                    )
+                    gain = improvement(base, result)
+                    key = scheme + ("+shift" if shift is ShiftPolicy.SHIFT else "")
+                    cell[key] = gain
+                    row.append(f"{gain * 100:+.1f}%")
+            table.rows.append(row)
+            data[(program, size)] = cell
+    report.data["improvements"] = data
+    report.notes.append(
+        "Shape checks: shifting rescues the cases where a static scheme "
+        "degrades MISP/KI (paper: ijpeg Static_Acc -1.4% -> +5.8% with "
+        "shift); go and gcc improve with shift under both schemes even at "
+        "64 Kbytes."
+    )
+    return report

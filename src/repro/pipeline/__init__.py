@@ -1,0 +1,21 @@
+"""A trace-driven processor front-end model.
+
+The paper's opening argument: "Correct branch predictions avoid pipeline
+stalls, but an incorrect prediction degrades performance because the
+processor has wasted time and resources evaluating wrong path
+instructions.  As processor pipelines get increasingly deeper this
+performance degradation is becoming increasingly significant."
+
+:mod:`repro.pipeline.frontend` turns that argument into numbers: a
+first-order, trace-driven fetch-engine model that charges fetch cycles,
+taken-branch fetch bubbles, and misprediction redirect penalties while a
+real predictor (any :class:`~repro.predictors.base.BranchPredictor`,
+including a :class:`~repro.core.combined.CombinedPredictor`) makes the
+predictions.  It reports IPC and a cycle breakdown, separating the cost
+the paper's scheme attacks (redirects) from the costs it cannot touch
+(fetch and taken bubbles).
+"""
+
+from repro.pipeline.frontend import FrontEndSimulator, PipelineResult
+
+__all__ = ["FrontEndSimulator", "PipelineResult"]

@@ -1,0 +1,58 @@
+"""Dynamic branch predictors.
+
+This subpackage implements the five dynamic prediction schemes the paper
+simulates, plus related-work baselines used by the ablation benchmarks:
+
+* :mod:`repro.predictors.bimodal` -- the classic Smith bimodal predictor
+  (a PC-indexed table of 2-bit saturating counters);
+* :mod:`repro.predictors.ghist` -- "ghist" (GAg): a table indexed purely
+  by the global branch-outcome history register;
+* :mod:`repro.predictors.gshare` -- McFarling's gshare (PC XOR history);
+* :mod:`repro.predictors.bimode` -- the bi-mode hybrid (choice bimodal
+  steering two gshare direction tables, partial update);
+* :mod:`repro.predictors.gskew` -- the 2bcgskew hybrid (bimodal +
+  e-gskew majority vote + meta chooser, partial update);
+* :mod:`repro.predictors.agree` -- the Sprangle et al. agree predictor
+  (related work, used as an ablation baseline);
+* :mod:`repro.predictors.alwaystaken` -- trivial static baselines.
+
+Shared infrastructure lives in :mod:`~repro.predictors.counters`
+(saturating counter tables), :mod:`~repro.predictors.history` (the global
+history register), :mod:`~repro.predictors.indexing` (index hashes and
+the e-gskew skewing functions), :mod:`~repro.predictors.collisions`
+(the paper's tag-based collision instrumentation) and
+:mod:`~repro.predictors.sizing` (byte-budget decomposition and the
+predictor factory).
+"""
+
+from repro.predictors.agree import AgreePredictor
+from repro.predictors.alwaystaken import AlwaysTakenPredictor, StaticBiasPredictor
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.collisions import CollisionCounts, CollisionTracker
+from repro.predictors.ghist import GhistPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.gskew import TwoBcGskewPredictor
+from repro.predictors.local import LocalHistoryPredictor, TournamentPredictor
+from repro.predictors.yags import YagsPredictor
+from repro.predictors.sizing import PREDICTOR_NAMES, make_predictor
+
+__all__ = [
+    "BranchPredictor",
+    "BimodalPredictor",
+    "GhistPredictor",
+    "GsharePredictor",
+    "BiModePredictor",
+    "TwoBcGskewPredictor",
+    "AgreePredictor",
+    "YagsPredictor",
+    "LocalHistoryPredictor",
+    "TournamentPredictor",
+    "AlwaysTakenPredictor",
+    "StaticBiasPredictor",
+    "CollisionTracker",
+    "CollisionCounts",
+    "make_predictor",
+    "PREDICTOR_NAMES",
+]

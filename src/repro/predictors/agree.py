@@ -1,0 +1,142 @@
+"""The agree predictor (Sprangle, Chappell, Alsup & Patt, 1997).
+
+Section 3 of the paper describes this related-work mechanism: "They
+propose using a table accessed by branch addresses to store a 'bias bit'
+for each branch ... instead of using the most significant bit of the
+outcome of the simple predictor as the branch prediction they use it to
+decide whether to use the 'bias bit' as the prediction."
+
+The counters therefore learn *agreement with the bias bit* rather than
+direction.  If two aliasing branches both mostly agree with their
+(well-chosen) bias bits, they push the shared counter the same way and
+the collision turns constructive -- a purely dynamic answer to the same
+destructive-aliasing problem the paper attacks with static hints.  It is
+included here as the natural related-work baseline for the ablation
+benchmarks.
+
+The bias bit for a branch is set the first time the branch is seen
+(first-outcome heuristic, as in the original paper's hardware variant);
+:meth:`preset_bias` lets profile-guided callers install biases up front,
+modelling the compiler-set variant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterTable
+from repro.predictors.history import GlobalHistory
+from repro.utils.bits import ADDRESS_ALIGN_SHIFT, is_power_of_two, log2_exact
+
+__all__ = ["AgreePredictor"]
+
+
+class AgreePredictor(BranchPredictor):
+    """gshare-indexed agree counters + PC-indexed bias bits.
+
+    Table ids for collision instrumentation: 0 = agree counter table.
+    (The bias table is PC-indexed per branch and deliberately excluded:
+    collisions there are a capacity effect this study does not model.)
+    """
+
+    name = "agree"
+
+    def __init__(
+        self,
+        entries: int,
+        bias_entries: int | None = None,
+        history_length: int | None = None,
+        counter_bits: int = 2,
+    ):
+        if not is_power_of_two(entries):
+            raise ConfigurationError(
+                f"agree entries must be a power of two, got {entries}"
+            )
+        if bias_entries is None:
+            bias_entries = entries
+        if not is_power_of_two(bias_entries):
+            raise ConfigurationError(
+                f"agree bias entries must be a power of two, got {bias_entries}"
+            )
+        width = log2_exact(entries)
+        if history_length is None:
+            history_length = width
+        if not 1 <= history_length <= width:
+            raise ConfigurationError(
+                f"agree history must be in [1, {width}], got {history_length}"
+            )
+        self.table = CounterTable(entries, bits=counter_bits)
+        # Start counters at "weakly agree": agreement is the common case.
+        self.table.reset(self.table.threshold)
+        self.history = GlobalHistory(history_length)
+        # bias[i] in {-1 unset, 0 not-taken, 1 taken}
+        self.bias = [-1] * bias_entries
+        self._bias_mask = bias_entries - 1
+        self._mask = entries - 1
+        self._threshold = self.table.threshold
+        self._max_value = self.table.max_value
+        self._last_index = 0
+        self._last_bias_index = 0
+        self._last_agree_pred = False
+
+    def preset_bias(self, address: int, taken: bool) -> None:
+        """Install a (profile-derived) bias bit for a branch address."""
+        self.bias[(address >> ADDRESS_ALIGN_SHIFT) & self._bias_mask] = 1 if taken else 0
+
+    def predict(self, address: int) -> bool:
+        pc = address >> ADDRESS_ALIGN_SHIFT
+        index = (pc ^ self.history.value) & self._mask
+        bias_index = pc & self._bias_mask
+        self._last_index = index
+        self._last_bias_index = bias_index
+        agree = self.table.values[index] >= self._threshold
+        self._last_agree_pred = agree
+        bias = self.bias[bias_index]
+        if bias < 0:
+            # Bias not yet set: fall back to predicting taken (backward
+            # branches dominate), bias installs on the first update.
+            return agree
+        return bool(bias) == agree
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        bias_index = self._last_bias_index
+        bias = self.bias[bias_index]
+        if bias < 0:
+            # First encounter: the bias bit latches the first outcome.
+            self.bias[bias_index] = 1 if taken else 0
+            bias = 1 if taken else 0
+        agreed = bool(bias) == taken
+        values = self.table.values
+        index = self._last_index
+        value = values[index]
+        if agreed:
+            if value < self._max_value:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    def shift_history(self, taken: bool) -> None:
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    @property
+    def size_bytes(self) -> float:
+        # 2-bit agree counters plus 1 bias bit per bias entry.
+        return self.table.size_bytes + len(self.bias) / 8.0
+
+    def table_entry_counts(self) -> list[int]:
+        return [self.table.entries]
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return [(0, self._last_index)]
+
+    def reset(self) -> None:
+        self.table.reset(self.table.threshold)
+        self.history.reset()
+        for i in range(len(self.bias)):
+            self.bias[i] = -1
+        self._last_index = 0
+        self._last_bias_index = 0
+        self._last_agree_pred = False

@@ -1,0 +1,80 @@
+"""Trivial baseline predictors.
+
+Not part of the paper's evaluated set, but useful as floors in tests and
+examples: a predictor study without an always-taken baseline makes it
+easy to misread a broken harness as a good predictor.
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import HintBits
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["AlwaysTakenPredictor", "StaticBiasPredictor"]
+
+
+class AlwaysTakenPredictor(BranchPredictor):
+    """Predicts taken for every branch.  Zero hardware."""
+
+    name = "always-taken"
+
+    def predict(self, address: int) -> bool:
+        return True
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        pass
+
+    @property
+    def size_bytes(self) -> float:
+        return 0.0
+
+    def table_entry_counts(self) -> list[int]:
+        return []
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+class StaticBiasPredictor(BranchPredictor):
+    """Pure static prediction from a hint map; default direction otherwise.
+
+    Models the limit case of the paper's scheme where *every* branch is
+    statically predicted: the per-branch profile majority direction is
+    the prediction, fixed for the whole run.  Used as the upper bound on
+    what profile-only prediction can do (and, under cross-training, as a
+    demonstration of how badly it can break).
+    """
+
+    name = "static-bias"
+
+    def __init__(self, hints: dict[int, HintBits], default_taken: bool = True):
+        self.hints = dict(hints)
+        self.default_taken = default_taken
+
+    def predict(self, address: int) -> bool:
+        hint = self.hints.get(address)
+        if hint is not None and hint.use_static:
+            return hint.direction
+        return self.default_taken
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        pass
+
+    @property
+    def size_bytes(self) -> float:
+        return 0.0
+
+    def table_entry_counts(self) -> list[int]:
+        return []
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return f"<StaticBiasPredictor {len(self.hints)} hints>"

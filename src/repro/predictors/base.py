@@ -1,0 +1,85 @@
+"""The predictor protocol shared by every dynamic scheme.
+
+The simulation loop drives predictors through three methods:
+
+``predict(address) -> bool``
+    Compute the prediction for the branch at ``address``.  The predictor
+    caches whatever per-lookup state (table indices, component
+    predictions) its ``update`` needs.
+``update(address, taken, predicted)``
+    Train on the resolved outcome.  **Contract**: ``update`` is always
+    called immediately after ``predict`` for the same branch, with
+    ``predicted`` being the value ``predict`` returned.  This models the
+    fetch-time lookup / retire-time update of real hardware collapsed to
+    one branch in flight, and lets implementations reuse the cached
+    lookup state instead of recomputing indices.
+``shift_history(taken)``
+    Shift an outcome into the predictor's global history register
+    *without* touching any counters.  The combined static+dynamic
+    predictor calls this for statically predicted branches when the
+    "shift" policy of Table 4 is active.  Predictors with no history
+    register implement it as a no-op.
+
+For the collision instrumentation (Figures 1-6), predictors also expose
+``accessed()``: the list of ``(table_id, index)`` pairs touched by the
+most recent ``predict``, plus ``table_entry_counts()`` describing their
+tables so the tracker can allocate tag arrays.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = ["BranchPredictor"]
+
+
+class BranchPredictor(abc.ABC):
+    """Abstract base class for all dynamic branch predictors."""
+
+    #: Short scheme name ("bimodal", "gshare", ...); set by subclasses.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def predict(self, address: int) -> bool:
+        """Predict the branch at ``address`` (True = taken)."""
+
+    @abc.abstractmethod
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        """Train on the resolved outcome (see module docstring contract)."""
+
+    def shift_history(self, taken: bool) -> None:
+        """Shift an outcome into global history without training.
+
+        Default: no-op, correct for history-less predictors (bimodal,
+        agree, the static baselines).
+        """
+
+    @property
+    @abc.abstractmethod
+    def size_bytes(self) -> float:
+        """Total hardware budget of the predictor's tables, in bytes."""
+
+    @abc.abstractmethod
+    def table_entry_counts(self) -> list[int]:
+        """Entry counts of each counter table, in table-id order."""
+
+    @abc.abstractmethod
+    def accessed(self) -> list[tuple[int, int]]:
+        """``(table_id, index)`` pairs touched by the latest predict."""
+
+    def reset(self) -> None:
+        """Return the predictor to its power-on state.
+
+        Subclasses with extra state (history registers, cached lookups)
+        must extend this.  The default implementation raises so that a
+        forgotten override cannot silently reset only part of a
+        predictor.
+        """
+        raise NotImplementedError(f"{type(self).__name__} does not implement reset()")
+
+    def describe(self) -> str:
+        """One-line human-readable description."""
+        return f"{self.name} ({self.size_bytes:.0f} bytes)"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

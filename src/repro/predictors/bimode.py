@@ -1,0 +1,171 @@
+"""The bi-mode predictor (Lee, Chen & Mudge, 1997).
+
+Section 2 of the paper: "The 'bi-mode' predictor is a hybrid predictor
+with two gshare components.  The choice predictor is a classic bimodal
+predictor whose output is used to choose between the predictions of the
+two gshare predictions."
+
+Bi-mode fights destructive aliasing by *channelling branches with similar
+behaviour to the same direction table*: the bimodal choice predictor
+steers mostly-taken branches to one gshare bank and mostly-not-taken
+branches to the other, so counters within a bank tend to be pushed in the
+same direction and collisions become constructive.
+
+Update policy (partial update, as described in the paper):
+
+* only the **selected** direction bank is updated with the outcome;
+* the choice predictor is always updated with the outcome **except**
+  when its choice was opposite to the outcome and the selected direction
+  bank nevertheless predicted correctly (changing the choice then would
+  evict the branch from a bank that is serving it well).
+
+The paper's simulated version "always chose as many bits of global
+history as required by the gshare table", which this implementation
+mirrors by default.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterTable
+from repro.predictors.history import GlobalHistory
+from repro.utils.bits import ADDRESS_ALIGN_SHIFT, is_power_of_two, log2_exact
+
+__all__ = ["BiModePredictor"]
+
+
+class BiModePredictor(BranchPredictor):
+    """Choice bimodal + two gshare direction banks, partial update.
+
+    Table ids for collision instrumentation: 0 = not-taken direction
+    bank, 1 = taken direction bank, 2 = choice table.
+    """
+
+    name = "bimode"
+
+    def __init__(
+        self,
+        direction_entries: int,
+        choice_entries: int,
+        history_length: int | None = None,
+        counter_bits: int = 2,
+    ):
+        for label, entries in (
+            ("direction", direction_entries),
+            ("choice", choice_entries),
+        ):
+            if not is_power_of_two(entries):
+                raise ConfigurationError(
+                    f"bi-mode {label} entries must be a power of two, got {entries}"
+                )
+        direction_width = log2_exact(direction_entries)
+        if history_length is None:
+            history_length = direction_width
+        if not 1 <= history_length <= 2 * direction_width:
+            raise ConfigurationError(
+                f"bi-mode history must be in [1, {2 * direction_width}], "
+                f"got {history_length}"
+            )
+        # Bank 0 serves branches the choice predictor says are
+        # mostly-not-taken; bank 1 the mostly-taken ones.
+        self.direction_banks = (
+            CounterTable(direction_entries, bits=counter_bits),
+            CounterTable(direction_entries, bits=counter_bits),
+        )
+        self.choice = CounterTable(choice_entries, bits=counter_bits)
+        self.history = GlobalHistory(history_length)
+        self._direction_mask = direction_entries - 1
+        self._direction_width = direction_width
+        self._needs_fold = history_length > direction_width
+        self._choice_mask = choice_entries - 1
+        self._threshold = self.direction_banks[0].threshold
+        self._max_value = self.direction_banks[0].max_value
+        self._last_direction_index = 0
+        self._last_choice_index = 0
+        self._last_bank = 0
+        self._last_choice_taken = False
+        self._last_direction_pred = False
+
+    def predict(self, address: int) -> bool:
+        pc = address >> ADDRESS_ALIGN_SHIFT
+        history = self.history.value
+        if self._needs_fold:
+            history ^= history >> self._direction_width
+        direction_index = (pc ^ history) & self._direction_mask
+        choice_index = pc & self._choice_mask
+        choice_taken = self.choice.values[choice_index] >= self._threshold
+        bank = 1 if choice_taken else 0
+        direction_pred = (
+            self.direction_banks[bank].values[direction_index] >= self._threshold
+        )
+        self._last_direction_index = direction_index
+        self._last_choice_index = choice_index
+        self._last_bank = bank
+        self._last_choice_taken = choice_taken
+        self._last_direction_pred = direction_pred
+        return direction_pred
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        # Partial update: only the selected direction bank trains.
+        values = self.direction_banks[self._last_bank].values
+        index = self._last_direction_index
+        value = values[index]
+        if taken:
+            if value < self._max_value:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
+
+        # Choice trains on the outcome unless it disagreed with the
+        # outcome while the selected bank still predicted correctly.
+        choice_wrong = self._last_choice_taken != taken
+        direction_correct = self._last_direction_pred == taken
+        if not (choice_wrong and direction_correct):
+            choice_values = self.choice.values
+            choice_index = self._last_choice_index
+            value = choice_values[choice_index]
+            if taken:
+                if value < self._max_value:
+                    choice_values[choice_index] = value + 1
+            elif value > 0:
+                choice_values[choice_index] = value - 1
+
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    def shift_history(self, taken: bool) -> None:
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    @property
+    def size_bytes(self) -> float:
+        return (
+            self.direction_banks[0].size_bytes
+            + self.direction_banks[1].size_bytes
+            + self.choice.size_bytes
+        )
+
+    def table_entry_counts(self) -> list[int]:
+        return [
+            self.direction_banks[0].entries,
+            self.direction_banks[1].entries,
+            self.choice.entries,
+        ]
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return [
+            (self._last_bank, self._last_direction_index),
+            (2, self._last_choice_index),
+        ]
+
+    def reset(self) -> None:
+        self.direction_banks[0].reset()
+        self.direction_banks[1].reset()
+        self.choice.reset()
+        self.history.reset()
+        self._last_direction_index = 0
+        self._last_choice_index = 0
+        self._last_bank = 0
+        self._last_choice_taken = False
+        self._last_direction_pred = False

@@ -1,0 +1,113 @@
+"""Tag-based collision instrumentation (Figures 1-6 of the paper).
+
+Section 5: "The collisions were counted by maintaining a tag for each
+counter in the dynamic predictor.  The tag for a counter was used to
+store the address of the last branch using that counter.  When we looked
+up the table of counters ... if the address of the branch did not match
+the tag then we counted the event as a collision.  ...  When we found a
+collision, if the overall prediction was correct we considered the
+collision as constructive otherwise we considered it destructive."
+
+This is *simulation instrumentation*, not modelled hardware: the tag
+arrays exist only in the tracker.  The tracker observes any
+:class:`~repro.predictors.base.BranchPredictor` through its ``accessed()``
+hook, so the same code instruments a single-table gshare and a four-bank
+2bcgskew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.predictors.base import BranchPredictor
+
+__all__ = ["CollisionCounts", "CollisionTracker"]
+
+
+@dataclass(slots=True)
+class CollisionCounts:
+    """Aggregate collision statistics for one simulation run."""
+
+    lookups: int = 0
+    """Counter lookups observed (one per table per predicted branch)."""
+    collisions: int = 0
+    """Lookups whose tag held a different branch's address."""
+    constructive: int = 0
+    """Collisions on branches whose overall prediction was correct."""
+    destructive: int = 0
+    """Collisions on branches whose overall prediction was wrong."""
+
+    @property
+    def collision_rate(self) -> float:
+        """Collisions per lookup."""
+        if self.lookups == 0:
+            return 0.0
+        return self.collisions / self.lookups
+
+    @property
+    def destructive_fraction(self) -> float:
+        """Fraction of collisions classified destructive."""
+        if self.collisions == 0:
+            return 0.0
+        return self.destructive / self.collisions
+
+    def merge(self, other: "CollisionCounts") -> None:
+        """Accumulate another run's counts into this one."""
+        self.lookups += other.lookups
+        self.collisions += other.collisions
+        self.constructive += other.constructive
+        self.destructive += other.destructive
+
+
+class CollisionTracker:
+    """Per-counter last-user tags over a predictor's tables.
+
+    Usage by the simulator, per dynamically predicted branch::
+
+        n = tracker.observe_lookup(address)      # after predict()
+        tracker.classify(n, prediction_correct)  # after resolution
+    """
+
+    def __init__(self, predictor: BranchPredictor):
+        self.predictor = predictor
+        # -1 marks "never used"; first use of a counter is not a
+        # collision (there is no previous branch to collide with).
+        self.tags: list[list[int]] = [
+            [-1] * entries for entries in predictor.table_entry_counts()
+        ]
+        self.counts = CollisionCounts()
+
+    def observe_lookup(self, address: int) -> int:
+        """Record the predictor's latest lookup; return collisions seen.
+
+        Must be called after ``predictor.predict(address)`` and before
+        the corresponding ``update`` (updates may change accessed()).
+        """
+        collisions = 0
+        counts = self.counts
+        tags = self.tags
+        for table_id, index in self.predictor.accessed():
+            counts.lookups += 1
+            table_tags = tags[table_id]
+            previous = table_tags[index]
+            if previous >= 0 and previous != address:
+                collisions += 1
+            table_tags[index] = address
+        counts.collisions += collisions
+        return collisions
+
+    def classify(self, collisions: int, prediction_correct: bool) -> None:
+        """Attribute this branch's collisions as constructive/destructive."""
+        if collisions == 0:
+            return
+        if prediction_correct:
+            self.counts.constructive += collisions
+        else:
+            self.counts.destructive += collisions
+
+    def reset(self) -> None:
+        """Clear tags and counts."""
+        for table_tags in self.tags:
+            for i in range(len(table_tags)):
+                table_tags[i] = -1
+        self.counts = CollisionCounts()

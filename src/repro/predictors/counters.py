@@ -1,0 +1,118 @@
+"""Saturating up/down counter tables.
+
+Every dynamic predictor in the paper is built from tables of n-bit
+saturating counters (n = 2 throughout the paper).  A counter is
+incremented when its branch resolves taken, decremented when not taken,
+and saturates at both ends; the most significant bit is the prediction.
+
+Hot simulation loops in the predictor classes read and write
+:attr:`CounterTable.values` directly (a plain Python list) rather than
+going through the methods here -- CPython method-call overhead would
+dominate otherwise.  The methods exist for construction, tests, and
+non-hot callers, and define the semantics the inlined code must match.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.utils.bits import is_power_of_two
+
+__all__ = ["CounterTable", "WEAKLY_NOT_TAKEN", "WEAKLY_TAKEN"]
+
+WEAKLY_NOT_TAKEN = 1
+"""Conventional initial value for 2-bit counters (01 = weakly not taken)."""
+
+WEAKLY_TAKEN = 2
+"""The other conventional initial value (10 = weakly taken)."""
+
+
+class CounterTable:
+    """A power-of-two table of n-bit saturating counters.
+
+    Attributes
+    ----------
+    values:
+        The raw counter storage (list of ints in ``[0, 2**bits - 1]``).
+        Hot code may index this directly.
+    mask:
+        ``entries - 1``; AND-ing any index hash with this keeps it in
+        range.
+    threshold:
+        Counter values >= threshold predict taken (the MSB test).
+    max_value:
+        The saturation ceiling, ``2**bits - 1``.
+    """
+
+    __slots__ = ("entries", "bits", "values", "mask", "threshold", "max_value")
+
+    def __init__(self, entries: int, bits: int = 2, initial: int | None = None):
+        if not is_power_of_two(entries):
+            raise ConfigurationError(
+                f"counter table size must be a power of two, got {entries}"
+            )
+        if bits < 1:
+            raise ConfigurationError(f"counter width must be >= 1 bit, got {bits}")
+        self.entries = entries
+        self.bits = bits
+        self.max_value = (1 << bits) - 1
+        self.threshold = 1 << (bits - 1)
+        if initial is None:
+            initial = self.threshold - 1  # weakly not taken
+        if not 0 <= initial <= self.max_value:
+            raise ConfigurationError(
+                f"initial counter value {initial} out of range [0, {self.max_value}]"
+            )
+        self.values = [initial] * entries
+        self.mask = entries - 1
+
+    @property
+    def size_bits(self) -> int:
+        """Total storage in bits."""
+        return self.entries * self.bits
+
+    @property
+    def size_bytes(self) -> float:
+        """Total storage in bytes (may be fractional for odd widths)."""
+        return self.size_bits / 8.0
+
+    def predict(self, index: int) -> bool:
+        """The MSB of the counter at ``index`` (True = predict taken)."""
+        return self.values[index] >= self.threshold
+
+    def update(self, index: int, taken: bool) -> None:
+        """Saturating increment (taken) or decrement (not taken)."""
+        value = self.values[index]
+        if taken:
+            if value < self.max_value:
+                self.values[index] = value + 1
+        elif value > 0:
+            self.values[index] = value - 1
+
+    def strengthen(self, index: int, direction: bool) -> None:
+        """Push the counter toward ``direction`` (same as update)."""
+        self.update(index, direction)
+
+    def reset(self, initial: int | None = None) -> None:
+        """Reset every counter, defaulting to weakly-not-taken."""
+        if initial is None:
+            initial = self.threshold - 1
+        if not 0 <= initial <= self.max_value:
+            raise ConfigurationError(
+                f"initial counter value {initial} out of range [0, {self.max_value}]"
+            )
+        for i in range(self.entries):
+            self.values[i] = initial
+
+    def check_invariants(self) -> None:
+        """Assert all counters are in range (used by property tests)."""
+        for i, value in enumerate(self.values):
+            if not 0 <= value <= self.max_value:
+                raise AssertionError(
+                    f"counter {i} holds {value}, outside [0, {self.max_value}]"
+                )
+
+    def __len__(self) -> int:
+        return self.entries
+
+    def __repr__(self) -> str:
+        return f"CounterTable(entries={self.entries}, bits={self.bits})"

@@ -1,0 +1,108 @@
+"""The gshare predictor (McFarling, 1993).
+
+Section 2 of the paper: "The 'gshare' branch prediction scheme tries to
+capture the best of the 'bimodal' and the 'ghist' prediction schemes.
+The index for accessing the hardware table of counters is computed using
+both the address of the branch being predicted and the value of the
+'ghist' register."
+
+gshare is the base predictor for the paper's Figures 1-6 (size sweep with
+and without static prediction) and Figure 13 (cross-training).  The
+history length is a tunable: the paper notes "the 'best' value of history
+length varies with hardware table sizes and with programs"; the default
+here is the classic full-index-width history.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterTable
+from repro.predictors.history import GlobalHistory
+from repro.utils.bits import ADDRESS_ALIGN_SHIFT, is_power_of_two, log2_exact
+
+__all__ = ["GsharePredictor"]
+
+
+class GsharePredictor(BranchPredictor):
+    """PC-XOR-history indexed table of 2-bit saturating counters."""
+
+    name = "gshare"
+
+    def __init__(
+        self,
+        entries: int,
+        history_length: int | None = None,
+        counter_bits: int = 2,
+    ):
+        if not is_power_of_two(entries):
+            raise ConfigurationError(
+                f"gshare entries must be a power of two, got {entries}"
+            )
+        width = log2_exact(entries)
+        if history_length is None:
+            # The paper notes the best gshare history length "varies with
+            # hardware table sizes and with programs".  For the trace
+            # scales this reproduction runs, a short history wins the
+            # sweep (see benchmarks/test_ablations.py); 8 bits is the
+            # default best-length choice, capped by the index width.
+            history_length = min(width, 8)
+        if history_length < 1:
+            raise ConfigurationError(
+                f"gshare needs at least 1 history bit, got {history_length}"
+            )
+        if history_length > 2 * width:
+            raise ConfigurationError(
+                f"gshare history ({history_length}) longer than twice the index "
+                f"width ({width}) is not supported by the fast fold"
+            )
+        self.table = CounterTable(entries, bits=counter_bits)
+        self.history = GlobalHistory(history_length)
+        self._index_mask = entries - 1
+        self._width = width
+        self._needs_fold = history_length > width
+        self._threshold = self.table.threshold
+        self._max_value = self.table.max_value
+        self._last_index = 0
+
+    def _index(self, address: int) -> int:
+        history = self.history.value
+        if self._needs_fold:
+            history ^= history >> self._width
+        return ((address >> ADDRESS_ALIGN_SHIFT) ^ history) & self._index_mask
+
+    def predict(self, address: int) -> bool:
+        index = self._index(address)
+        self._last_index = index
+        return self.table.values[index] >= self._threshold
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        index = self._last_index
+        values = self.table.values
+        value = values[index]
+        if taken:
+            if value < self._max_value:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    def shift_history(self, taken: bool) -> None:
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    @property
+    def size_bytes(self) -> float:
+        return self.table.size_bytes
+
+    def table_entry_counts(self) -> list[int]:
+        return [self.table.entries]
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return [(0, self._last_index)]
+
+    def reset(self) -> None:
+        self.table.reset()
+        self.history.reset()
+        self._last_index = 0

@@ -1,0 +1,213 @@
+"""The 2bcgskew hybrid predictor (Seznec & Michaud).
+
+Section 2 of the paper: "The '2bcgskew' predictor is another hybrid
+predictor with two component predictors.  One of the component predictors
+is a bimodal predictor.  The other component, called 'c-gskew', is itself
+another hybrid predictor with a bimodal and two gshare components.  The
+same bimodal predictor is actually used both as a component of the final
+predictor and a sub-component of the other component predictor.  There is
+no choice predictor for the component hybrid predictor.  Instead, a
+majority vote is taken to choose among the three outcomes from the
+sub-component predictors.  The meta-predictor for the overall predictor
+is a gshare predictor that chooses between the outcome of the bimodal and
+the majority vote."
+
+Four equal banks of 2-bit counters: BIM (PC-indexed), G0 and G1
+(skew-indexed over PC and per-bank history lengths -- the "indexing
+functions ... chosen carefully to avoid/minimize destructive aliasing"),
+and META (gshare-indexed chooser).
+
+Partial update policy, straight from the paper's bullet list:
+
+* on a **bad** overall prediction, all three banks of the c-gskew
+  component (BIM, G0, G1) are updated with the outcome;
+* on a **correct** overall prediction, only the banks participating in
+  the correct prediction are updated (BIM alone when the meta chose the
+  bimodal side; the agreeing banks of the majority when it chose the
+  vote);
+* the meta-predictor is updated **only when the two components
+  disagree**, reinforced toward whichever component was right.
+
+The per-bank history lengths default to the "best lengths" shape Seznec
+reports (short history for G0, full index width for G1, intermediate for
+the meta) and are overridable; ``benchmarks/test_ablations.py`` sweeps
+them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterTable
+from repro.predictors.history import GlobalHistory
+from repro.utils.bits import ADDRESS_ALIGN_SHIFT, is_power_of_two, log2_exact
+from repro.predictors.indexing import skew_tables
+
+__all__ = ["TwoBcGskewPredictor"]
+
+_BIM, _G0, _G1, _META = range(4)
+
+
+class TwoBcGskewPredictor(BranchPredictor):
+    """Bimodal + e-gskew majority + gshare meta chooser.
+
+    Table ids for collision instrumentation: 0 = BIM, 1 = G0, 2 = G1,
+    3 = META.
+    """
+
+    name = "2bcgskew"
+
+    def __init__(
+        self,
+        bank_entries: int,
+        g0_history: int | None = None,
+        g1_history: int | None = None,
+        meta_history: int | None = None,
+        counter_bits: int = 2,
+    ):
+        if not is_power_of_two(bank_entries):
+            raise ConfigurationError(
+                f"2bcgskew bank entries must be a power of two, got {bank_entries}"
+            )
+        width = log2_exact(bank_entries)
+        if width < 2:
+            raise ConfigurationError(
+                f"2bcgskew banks need at least 4 entries, got {bank_entries}"
+            )
+        if g0_history is None:
+            g0_history = max(1, width // 2)
+        if g1_history is None:
+            g1_history = width
+        if meta_history is None:
+            meta_history = max(1, width // 2 + 1)
+        for label, h in (("g0", g0_history), ("g1", g1_history), ("meta", meta_history)):
+            if not 0 <= h <= width:
+                raise ConfigurationError(
+                    f"2bcgskew {label} history must be in [0, {width}], got {h}"
+                )
+        self.banks = tuple(CounterTable(bank_entries, bits=counter_bits) for _ in range(4))
+        # BIM starts weakly taken so the majority vote is not uniformly
+        # biased not-taken at power-on (Seznec initializes similarly).
+        self.banks[_BIM].reset(self.banks[_BIM].threshold)
+        # The longest bank history bounds the architectural register.
+        self.history = GlobalHistory(max(g0_history, g1_history, meta_history, 1))
+        self._width = width
+        self._mask = bank_entries - 1
+        self._g0_hist_mask = (1 << g0_history) - 1
+        self._g1_hist_mask = (1 << g1_history) - 1
+        self._meta_hist_mask = (1 << meta_history) - 1
+        self.g0_history = g0_history
+        self.g1_history = g1_history
+        self.meta_history = meta_history
+        tables = skew_tables(width)
+        self._h = tables.h
+        self._h_inv = tables.h_inv
+        self._threshold = self.banks[0].threshold
+        self._max_value = self.banks[0].max_value
+        # Cached lookup state (see BranchPredictor.update contract).
+        self._idx = [0, 0, 0, 0]
+        self._bim_pred = False
+        self._g0_pred = False
+        self._g1_pred = False
+        self._gskew_pred = False
+        self._meta_choice_gskew = False
+
+    def predict(self, address: int) -> bool:
+        pc = address >> ADDRESS_ALIGN_SHIFT
+        mask = self._mask
+        history = self.history.value
+        c1 = pc & mask
+        c2 = (pc >> self._width) & mask
+
+        bim_index = c1
+        g0_index = (self._h[c1] ^ self._h_inv[c2] ^ (history & self._g0_hist_mask)) & mask
+        g1_index = (
+            self._h_inv[c1] ^ c2 ^ self._h[history & self._g1_hist_mask]
+        ) & mask
+        meta_index = (pc ^ (history & self._meta_hist_mask)) & mask
+
+        threshold = self._threshold
+        banks = self.banks
+        bim_pred = banks[_BIM].values[bim_index] >= threshold
+        g0_pred = banks[_G0].values[g0_index] >= threshold
+        g1_pred = banks[_G1].values[g1_index] >= threshold
+        # Majority vote over (BIM, G0, G1).
+        gskew_pred = (bim_pred + g0_pred + g1_pred) >= 2
+        meta_choice_gskew = banks[_META].values[meta_index] >= threshold
+        final = gskew_pred if meta_choice_gskew else bim_pred
+
+        idx = self._idx
+        idx[0] = bim_index
+        idx[1] = g0_index
+        idx[2] = g1_index
+        idx[3] = meta_index
+        self._bim_pred = bim_pred
+        self._g0_pred = g0_pred
+        self._g1_pred = g1_pred
+        self._gskew_pred = gskew_pred
+        self._meta_choice_gskew = meta_choice_gskew
+        return final
+
+    def _train_bank(self, bank_id: int, taken: bool) -> None:
+        values = self.banks[bank_id].values
+        index = self._idx[bank_id]
+        value = values[index]
+        if taken:
+            if value < self._max_value:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        if predicted != taken:
+            # Bad overall prediction: train all three c-gskew banks.
+            self._train_bank(_BIM, taken)
+            self._train_bank(_G0, taken)
+            self._train_bank(_G1, taken)
+        elif self._meta_choice_gskew:
+            # Correct via the majority vote: strengthen only the banks
+            # that participated in (agreed with) the correct prediction.
+            if self._bim_pred == taken:
+                self._train_bank(_BIM, taken)
+            if self._g0_pred == taken:
+                self._train_bank(_G0, taken)
+            if self._g1_pred == taken:
+                self._train_bank(_G1, taken)
+        else:
+            # Correct via the bimodal side: strengthen the bimodal only.
+            self._train_bank(_BIM, taken)
+
+        # Meta trains only when the two components disagree, toward the
+        # component that was right.
+        if self._bim_pred != self._gskew_pred:
+            self._train_bank(_META, self._gskew_pred == taken)
+
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    def shift_history(self, taken: bool) -> None:
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    @property
+    def size_bytes(self) -> float:
+        return sum(bank.size_bytes for bank in self.banks)
+
+    def table_entry_counts(self) -> list[int]:
+        return [bank.entries for bank in self.banks]
+
+    def accessed(self) -> list[tuple[int, int]]:
+        idx = self._idx
+        return [(0, idx[0]), (1, idx[1]), (2, idx[2]), (3, idx[3])]
+
+    def reset(self) -> None:
+        for bank in self.banks:
+            bank.reset()
+        self.banks[_BIM].reset(self.banks[_BIM].threshold)
+        self.history.reset()
+        self._idx = [0, 0, 0, 0]
+        self._bim_pred = False
+        self._g0_pred = False
+        self._g1_pred = False
+        self._gskew_pred = False
+        self._meta_choice_gskew = False

@@ -1,0 +1,63 @@
+"""The global branch-outcome history register ("ghist" register).
+
+Section 2 of the paper: "The 'ghist' register maintains the 'global
+branch history'.  It simply is a record of the outcomes of past few
+branches in the running program."
+
+The register is a shift register: when a branch resolves, its outcome is
+shifted in at the low end.  Whether *statically predicted* branches shift
+their outcomes in is the knob studied in Table 4 of the paper; the
+register itself doesn't know about that policy -- the combined predictor
+decides when to call :meth:`GlobalHistory.shift`.
+
+Hot loops read/write :attr:`GlobalHistory.value` directly.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["GlobalHistory"]
+
+
+class GlobalHistory:
+    """A ``length``-bit global outcome shift register.
+
+    Attributes
+    ----------
+    value:
+        Current register contents; bit 0 is the most recent outcome.
+    mask:
+        ``2**length - 1``.
+    """
+
+    __slots__ = ("length", "mask", "value")
+
+    def __init__(self, length: int):
+        if length < 0:
+            raise ConfigurationError(f"history length must be >= 0, got {length}")
+        if length > 64:
+            raise ConfigurationError(
+                f"history length {length} exceeds the 64-bit register model"
+            )
+        self.length = length
+        self.mask = (1 << length) - 1
+        self.value = 0
+
+    def shift(self, taken: bool) -> None:
+        """Shift one resolved outcome into the register."""
+        self.value = ((self.value << 1) | taken) & self.mask
+
+    def reset(self) -> None:
+        """Clear the register (all not-taken)."""
+        self.value = 0
+
+    def bits(self) -> tuple[bool, ...]:
+        """The register contents as booleans, most recent first."""
+        return tuple(bool((self.value >> i) & 1) for i in range(self.length))
+
+    def __repr__(self) -> str:
+        if self.length == 0:
+            return "GlobalHistory(length=0)"
+        pattern = format(self.value, f"0{self.length}b")
+        return f"GlobalHistory(length={self.length}, value=0b{pattern})"

@@ -1,0 +1,246 @@
+"""Local-history (two-level, per-branch) predictors: PAg and the
+tournament predictor of the Alpha 21264.
+
+The paper's taxonomy (Section 2, citing Yeh & Patt) distinguishes
+predictors by whether they use the *global* outcome history ("ghist",
+gshare) or each branch's *own* history.  The paper evaluates only
+global-history schemes; these two local-history schemes are provided as
+extensions because
+
+* they complete the classic design space the paper situates itself in,
+  and
+* the tournament predictor is the shipped predictor of the Alpha 21264
+  -- the very processor family the paper's authors (Compaq Alpha
+  Development Group) were building -- making it the natural "what the
+  hardware actually did" baseline for ablations.
+
+``LocalHistoryPredictor`` (PAg): a PC-indexed table of per-branch history
+registers selects into a shared table of 2-bit counters (here a
+3-bit-counter pattern table, as in the 21264's local side when used
+standalone with 2 bits; width configurable).
+
+``TournamentPredictor`` (21264-style): a local side (per-branch history
+-> counter table), a global side (ghist -> counter table), and a
+ghist-indexed chooser trained only when the sides disagree.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterTable
+from repro.predictors.history import GlobalHistory
+from repro.utils.bits import ADDRESS_ALIGN_SHIFT, is_power_of_two, log2_exact
+
+__all__ = ["LocalHistoryPredictor", "TournamentPredictor"]
+
+
+class LocalHistoryPredictor(BranchPredictor):
+    """PAg: per-branch history registers indexing a shared counter table.
+
+    Table ids for collision instrumentation: 0 = pattern (counter)
+    table.  The history-register file is indexed per branch and excluded
+    from collision tags, mirroring how the paper's instrumentation tags
+    only counters.
+    """
+
+    name = "local"
+
+    def __init__(
+        self,
+        pattern_entries: int,
+        history_entries: int | None = None,
+        history_length: int | None = None,
+        counter_bits: int = 2,
+    ):
+        if not is_power_of_two(pattern_entries):
+            raise ConfigurationError(
+                f"pattern entries must be a power of two, got {pattern_entries}"
+            )
+        width = log2_exact(pattern_entries)
+        if history_length is None:
+            history_length = width
+        if not 1 <= history_length <= width:
+            raise ConfigurationError(
+                f"local history must be in [1, {width}], got {history_length}"
+            )
+        if history_entries is None:
+            history_entries = pattern_entries
+        if not is_power_of_two(history_entries):
+            raise ConfigurationError(
+                f"history entries must be a power of two, got {history_entries}"
+            )
+        self.table = CounterTable(pattern_entries, bits=counter_bits)
+        self.histories = [0] * history_entries
+        self.history_length = history_length
+        self._history_mask = (1 << history_length) - 1
+        self._history_index_mask = history_entries - 1
+        self._pattern_mask = pattern_entries - 1
+        self._threshold = self.table.threshold
+        self._max_value = self.table.max_value
+        self._last_pattern_index = 0
+        self._last_history_index = 0
+
+    def predict(self, address: int) -> bool:
+        history_index = (address >> ADDRESS_ALIGN_SHIFT) & self._history_index_mask
+        pattern_index = self.histories[history_index] & self._pattern_mask
+        self._last_history_index = history_index
+        self._last_pattern_index = pattern_index
+        return self.table.values[pattern_index] >= self._threshold
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        values = self.table.values
+        index = self._last_pattern_index
+        value = values[index]
+        if taken:
+            if value < self._max_value:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
+        history_index = self._last_history_index
+        self.histories[history_index] = (
+            (self.histories[history_index] << 1) | taken
+        ) & self._history_mask
+
+    @property
+    def size_bytes(self) -> float:
+        counter_bits = self.table.size_bits
+        history_bits = len(self.histories) * self.history_length
+        return (counter_bits + history_bits) / 8.0
+
+    def table_entry_counts(self) -> list[int]:
+        return [self.table.entries]
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return [(0, self._last_pattern_index)]
+
+    def reset(self) -> None:
+        self.table.reset()
+        for i in range(len(self.histories)):
+            self.histories[i] = 0
+        self._last_pattern_index = 0
+        self._last_history_index = 0
+
+
+class TournamentPredictor(BranchPredictor):
+    """Alpha-21264-style tournament: local side vs global side + chooser.
+
+    Table ids for collision instrumentation: 0 = local pattern table,
+    1 = global table, 2 = chooser.
+    """
+
+    name = "tournament"
+
+    def __init__(
+        self,
+        local_pattern_entries: int,
+        global_entries: int,
+        chooser_entries: int | None = None,
+        local_history_entries: int | None = None,
+        counter_bits: int = 2,
+    ):
+        if chooser_entries is None:
+            chooser_entries = global_entries
+        for label, entries in (
+            ("local pattern", local_pattern_entries),
+            ("global", global_entries),
+            ("chooser", chooser_entries),
+        ):
+            if not is_power_of_two(entries):
+                raise ConfigurationError(
+                    f"tournament {label} entries must be a power of two, "
+                    f"got {entries}"
+                )
+        self.local = LocalHistoryPredictor(
+            local_pattern_entries,
+            history_entries=local_history_entries,
+            counter_bits=counter_bits,
+        )
+        global_width = log2_exact(global_entries)
+        self.global_table = CounterTable(global_entries, bits=counter_bits)
+        self.chooser = CounterTable(chooser_entries, bits=counter_bits)
+        self.history = GlobalHistory(global_width)
+        self._global_mask = global_entries - 1
+        self._chooser_mask = chooser_entries - 1
+        self._threshold = self.global_table.threshold
+        self._max_value = self.global_table.max_value
+        self._last_global_index = 0
+        self._last_chooser_index = 0
+        self._last_local_pred = False
+        self._last_global_pred = False
+        self._last_chose_global = False
+
+    def predict(self, address: int) -> bool:
+        local_pred = self.local.predict(address)
+        history = self.history.value
+        global_index = history & self._global_mask
+        chooser_index = history & self._chooser_mask
+        global_pred = self.global_table.values[global_index] >= self._threshold
+        chose_global = self.chooser.values[chooser_index] >= self._threshold
+        self._last_global_index = global_index
+        self._last_chooser_index = chooser_index
+        self._last_local_pred = local_pred
+        self._last_global_pred = global_pred
+        self._last_chose_global = chose_global
+        return global_pred if chose_global else local_pred
+
+    def _train(self, table: CounterTable, index: int, taken: bool) -> None:
+        values = table.values
+        value = values[index]
+        if taken:
+            if value < self._max_value:
+                values[index] = value + 1
+        elif value > 0:
+            values[index] = value - 1
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        # Both sides always train (total update, as in the 21264).
+        self.local.update(address, taken, self._last_local_pred)
+        self._train(self.global_table, self._last_global_index, taken)
+        # The chooser trains only when the sides disagree, toward the
+        # side that was right.
+        if self._last_local_pred != self._last_global_pred:
+            self._train(
+                self.chooser,
+                self._last_chooser_index,
+                self._last_global_pred == taken,
+            )
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    def shift_history(self, taken: bool) -> None:
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    @property
+    def size_bytes(self) -> float:
+        return (
+            self.local.size_bytes
+            + self.global_table.size_bytes
+            + self.chooser.size_bytes
+        )
+
+    def table_entry_counts(self) -> list[int]:
+        return [
+            self.local.table.entries,
+            self.global_table.entries,
+            self.chooser.entries,
+        ]
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return [
+            (0, self.local._last_pattern_index),
+            (1, self._last_global_index),
+            (2, self._last_chooser_index),
+        ]
+
+    def reset(self) -> None:
+        self.local.reset()
+        self.global_table.reset()
+        self.chooser.reset()
+        self.history.reset()
+        self._last_global_index = 0
+        self._last_chooser_index = 0
+        self._last_local_pred = False
+        self._last_global_pred = False
+        self._last_chose_global = False

@@ -1,0 +1,182 @@
+"""Hardware-budget accounting and the predictor factory.
+
+The paper parameterizes every predictor by its total hardware budget in
+bytes ("a 16 Kbyte gshare"), with 2-bit counters throughout, so a budget
+of B bytes buys 4*B counters.  This module decomposes byte budgets into
+per-table entry counts for each scheme and exposes
+:func:`make_predictor`, the single constructor used by experiments,
+benchmarks, and the CLI:
+
+========== =============================================================
+scheme     budget decomposition (C = 4 * bytes counters)
+========== =============================================================
+bimodal    one table of C counters
+ghist      one table of C counters, history = log2(C)
+gshare     one table of C counters, history = log2(C)
+bimode     two direction banks of C/4 each + choice bank of C/2
+2bcgskew   four banks (BIM, G0, G1, META) of C/4 each
+agree      largest power-of-two E with 3*E bits <= budget
+           (E 2-bit agree counters + E bias bits)
+local      pattern table of C/4 counters + C/16 per-branch history
+           registers of log2(C/4) bits
+tournament local side (C/8 pattern + C/32 histories) + global C/4 +
+           chooser C/4
+yags       choice of C/2 + two tagged caches of C/16 entries each
+           (2-bit counter + 6-bit tag per entry)
+========== =============================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import SizingError
+from repro.predictors.agree import AgreePredictor
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.bimode import BiModePredictor
+from repro.predictors.ghist import GhistPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.gskew import TwoBcGskewPredictor
+from repro.predictors.local import LocalHistoryPredictor, TournamentPredictor
+from repro.predictors.yags import YagsPredictor
+from repro.utils.bits import is_power_of_two
+
+__all__ = ["make_predictor", "PREDICTOR_NAMES", "counters_for_budget"]
+
+PREDICTOR_NAMES = (
+    "bimodal", "ghist", "gshare", "bimode", "2bcgskew",
+    "agree", "yags", "local", "tournament",
+)
+"""The paper's five schemes plus ablation baselines: the agree predictor
+(Sprangle et al.), YAGS (Eden & Mudge), a PAg local-history predictor,
+and the Alpha 21264 tournament predictor."""
+
+KIB = 1024
+
+
+def counters_for_budget(size_bytes: int) -> int:
+    """Number of 2-bit counters a byte budget buys (C = 4 * bytes)."""
+    if size_bytes <= 0:
+        raise SizingError(f"predictor budget must be positive, got {size_bytes}")
+    return size_bytes * 4
+
+
+def _require_power_of_two(size_bytes: int, scheme: str, minimum: int) -> None:
+    if not is_power_of_two(size_bytes):
+        raise SizingError(
+            f"{scheme} budget must be a power of two bytes, got {size_bytes}"
+        )
+    if size_bytes < minimum:
+        raise SizingError(
+            f"{scheme} budget must be at least {minimum} bytes, got {size_bytes}"
+        )
+
+
+def _make_bimodal(size_bytes: int, **kwargs) -> BimodalPredictor:
+    _require_power_of_two(size_bytes, "bimodal", 1)
+    return BimodalPredictor(counters_for_budget(size_bytes), **kwargs)
+
+
+def _make_ghist(size_bytes: int, **kwargs) -> GhistPredictor:
+    _require_power_of_two(size_bytes, "ghist", 1)
+    return GhistPredictor(counters_for_budget(size_bytes), **kwargs)
+
+
+def _make_gshare(size_bytes: int, **kwargs) -> GsharePredictor:
+    _require_power_of_two(size_bytes, "gshare", 1)
+    return GsharePredictor(counters_for_budget(size_bytes), **kwargs)
+
+
+def _make_bimode(size_bytes: int, **kwargs) -> BiModePredictor:
+    _require_power_of_two(size_bytes, "bimode", 2)
+    counters = counters_for_budget(size_bytes)
+    return BiModePredictor(
+        direction_entries=counters // 4,
+        choice_entries=counters // 2,
+        **kwargs,
+    )
+
+
+def _make_2bcgskew(size_bytes: int, **kwargs) -> TwoBcGskewPredictor:
+    _require_power_of_two(size_bytes, "2bcgskew", 4)
+    counters = counters_for_budget(size_bytes)
+    return TwoBcGskewPredictor(bank_entries=counters // 4, **kwargs)
+
+
+def _make_agree(size_bytes: int, **kwargs) -> AgreePredictor:
+    _require_power_of_two(size_bytes, "agree", 1)
+    bits = size_bytes * 8
+    entries = 1
+    while entries * 2 * 3 <= bits:
+        entries *= 2
+    return AgreePredictor(entries, bias_entries=entries, **kwargs)
+
+
+def _make_yags(size_bytes: int, **kwargs) -> YagsPredictor:
+    _require_power_of_two(size_bytes, "yags", 8)
+    counters = counters_for_budget(size_bytes)
+    # Choice gets half the counter budget (C/2 entries = bytes/2).  Each
+    # tagged cache entry costs 2 + 6 = 8 bits, so two caches of C/16
+    # entries exactly fill the other half.
+    return YagsPredictor(
+        cache_entries=counters // 16,
+        choice_entries=counters // 2,
+        **kwargs,
+    )
+
+
+def _make_local(size_bytes: int, **kwargs) -> LocalHistoryPredictor:
+    _require_power_of_two(size_bytes, "local", 4)
+    counters = counters_for_budget(size_bytes)
+    # Pattern table C/4 entries (2 bits each) plus C/16 per-branch
+    # history registers of log2(C/4) bits fits comfortably in the budget
+    # at every size >= 4 bytes.
+    pattern = counters // 4
+    return LocalHistoryPredictor(
+        pattern,
+        history_entries=max(1, pattern // 4),
+        **kwargs,
+    )
+
+
+def _make_tournament(size_bytes: int, **kwargs) -> TournamentPredictor:
+    _require_power_of_two(size_bytes, "tournament", 16)
+    counters = counters_for_budget(size_bytes)
+    return TournamentPredictor(
+        local_pattern_entries=counters // 8,
+        global_entries=counters // 4,
+        chooser_entries=counters // 4,
+        local_history_entries=max(1, counters // 32),
+        **kwargs,
+    )
+
+
+_FACTORIES: dict[str, Callable[..., BranchPredictor]] = {
+    "bimodal": _make_bimodal,
+    "ghist": _make_ghist,
+    "gshare": _make_gshare,
+    "bimode": _make_bimode,
+    "2bcgskew": _make_2bcgskew,
+    "agree": _make_agree,
+    "yags": _make_yags,
+    "local": _make_local,
+    "tournament": _make_tournament,
+}
+
+
+def make_predictor(name: str, size_bytes: int, **kwargs) -> BranchPredictor:
+    """Build a predictor of the named scheme within a byte budget.
+
+    ``kwargs`` pass through to the scheme's constructor (history lengths,
+    counter widths); see the scheme modules for the accepted knobs.
+
+    >>> make_predictor("gshare", 16 * 1024).table.entries
+    65536
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        known = ", ".join(PREDICTOR_NAMES)
+        raise SizingError(f"unknown predictor {name!r}; known schemes: {known}") from None
+    return factory(size_bytes, **kwargs)

@@ -1,0 +1,195 @@
+"""The YAGS predictor (Eden & Mudge, 1998).
+
+YAGS ("Yet Another Global Scheme") completes the trio of purely dynamic
+anti-aliasing schemes contemporary with the paper: where bi-mode
+*channels* branches to same-direction banks and agree *re-encodes*
+counters relative to a bias bit, YAGS stores only the **exceptions**:
+
+* a PC-indexed bimodal **choice** table provides each branch's default
+  direction;
+* two small **tagged caches** hold the cases that deviate from the
+  default -- the T-cache holds taken-exceptions for branches whose
+  choice says not-taken, the NT-cache the reverse.  A branch consults
+  the cache opposite to its choice direction; on a tag hit the cache's
+  counter predicts, otherwise the choice does.
+
+Tags (a few low PC bits) are what remove destructive aliasing: a cache
+entry only speaks for the branch that allocated it.  The scheme is
+included as an ablation baseline alongside agree and bi-mode --
+the paper's static hints compete with exactly this class of hardware.
+
+Update policy (following Eden & Mudge):
+
+* on a cache hit, the hitting entry's counter trains on the outcome;
+* a new cache entry is allocated (tag overwritten, counter seeded toward
+  the outcome) when the choice direction mispredicts and no entry
+  existed;
+* the choice table trains as a bimodal except when its direction was
+  wrong but the cache corrected it (the bi-mode exception rule), which
+  keeps the default stable for branches served by their exception entry.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.predictors.base import BranchPredictor
+from repro.predictors.counters import CounterTable
+from repro.predictors.history import GlobalHistory
+from repro.utils.bits import ADDRESS_ALIGN_SHIFT, is_power_of_two, log2_exact
+
+__all__ = ["YagsPredictor"]
+
+
+class YagsPredictor(BranchPredictor):
+    """Choice bimodal + two tagged exception caches.
+
+    Table ids for collision instrumentation: 0 = NT-cache (exceptions of
+    taken-default branches), 1 = T-cache, 2 = choice.  Tag hits are by
+    construction never inter-branch collisions, so the tracker's tags
+    measure residual same-index different-tag traffic.
+    """
+
+    name = "yags"
+
+    def __init__(
+        self,
+        cache_entries: int,
+        choice_entries: int,
+        tag_bits: int = 6,
+        history_length: int | None = None,
+        counter_bits: int = 2,
+    ):
+        for label, entries in (("cache", cache_entries),
+                               ("choice", choice_entries)):
+            if not is_power_of_two(entries):
+                raise ConfigurationError(
+                    f"yags {label} entries must be a power of two, got {entries}"
+                )
+        if not 1 <= tag_bits <= 16:
+            raise ConfigurationError(
+                f"yags tag_bits must be in [1, 16], got {tag_bits}"
+            )
+        cache_width = log2_exact(cache_entries)
+        if history_length is None:
+            history_length = min(cache_width, 8)
+        if not 1 <= history_length <= cache_width:
+            raise ConfigurationError(
+                f"yags history must be in [1, {cache_width}], got "
+                f"{history_length}"
+            )
+        # Caches: [0] = NT-cache (consulted when choice says taken),
+        # [1] = T-cache (consulted when choice says not taken).
+        self.caches = (
+            CounterTable(cache_entries, bits=counter_bits),
+            CounterTable(cache_entries, bits=counter_bits),
+        )
+        # -1 marks an empty (never allocated) tag slot.
+        self.tags: tuple[list[int], list[int]] = (
+            [-1] * cache_entries, [-1] * cache_entries,
+        )
+        self.choice = CounterTable(choice_entries, bits=counter_bits)
+        self.history = GlobalHistory(history_length)
+        self.tag_bits = tag_bits
+        self._tag_mask = (1 << tag_bits) - 1
+        self._cache_mask = cache_entries - 1
+        self._choice_mask = choice_entries - 1
+        self._threshold = self.choice.threshold
+        self._max_value = self.choice.max_value
+        self._last_cache = 0
+        self._last_cache_index = 0
+        self._last_choice_index = 0
+        self._last_tag = 0
+        self._last_hit = False
+        self._last_choice_taken = False
+
+    def predict(self, address: int) -> bool:
+        pc = address >> ADDRESS_ALIGN_SHIFT
+        choice_index = pc & self._choice_mask
+        choice_taken = self.choice.values[choice_index] >= self._threshold
+        # Consult the cache holding exceptions to the chosen direction.
+        cache_id = 0 if choice_taken else 1
+        cache_index = (pc ^ self.history.value) & self._cache_mask
+        tag = pc & self._tag_mask
+        hit = self.tags[cache_id][cache_index] == tag
+        self._last_cache = cache_id
+        self._last_cache_index = cache_index
+        self._last_choice_index = choice_index
+        self._last_tag = tag
+        self._last_hit = hit
+        self._last_choice_taken = choice_taken
+        if hit:
+            return self.caches[cache_id].values[cache_index] >= self._threshold
+        return choice_taken
+
+    def update(self, address: int, taken: bool, predicted: bool) -> None:
+        cache_id = self._last_cache
+        cache_index = self._last_cache_index
+        if self._last_hit:
+            values = self.caches[cache_id].values
+            value = values[cache_index]
+            if taken:
+                if value < self._max_value:
+                    values[cache_index] = value + 1
+            elif value > 0:
+                values[cache_index] = value - 1
+        elif self._last_choice_taken != taken:
+            # The default direction failed and no exception entry existed:
+            # allocate one, seeded toward the observed outcome.
+            self.tags[cache_id][cache_index] = self._last_tag
+            self.caches[cache_id].values[cache_index] = (
+                self._threshold if taken else self._threshold - 1
+            )
+
+        # Choice trains as bimodal unless it was wrong but the cache
+        # corrected it.
+        choice_wrong = self._last_choice_taken != taken
+        cache_corrected = self._last_hit and predicted == taken
+        if not (choice_wrong and cache_corrected):
+            values = self.choice.values
+            index = self._last_choice_index
+            value = values[index]
+            if taken:
+                if value < self._max_value:
+                    values[index] = value + 1
+            elif value > 0:
+                values[index] = value - 1
+
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    def shift_history(self, taken: bool) -> None:
+        history = self.history
+        history.value = ((history.value << 1) | taken) & history.mask
+
+    @property
+    def size_bytes(self) -> float:
+        cache_bits = sum(
+            cache.size_bits + cache.entries * self.tag_bits
+            for cache in self.caches
+        )
+        return (cache_bits + self.choice.size_bits) / 8.0
+
+    def table_entry_counts(self) -> list[int]:
+        return [self.caches[0].entries, self.caches[1].entries,
+                self.choice.entries]
+
+    def accessed(self) -> list[tuple[int, int]]:
+        return [
+            (self._last_cache, self._last_cache_index),
+            (2, self._last_choice_index),
+        ]
+
+    def reset(self) -> None:
+        for cache in self.caches:
+            cache.reset()
+        for tag_list in self.tags:
+            for i in range(len(tag_list)):
+                tag_list[i] = -1
+        self.choice.reset()
+        self.history.reset()
+        self._last_cache = 0
+        self._last_cache_index = 0
+        self._last_choice_index = 0
+        self._last_tag = 0
+        self._last_hit = False
+        self._last_choice_taken = False

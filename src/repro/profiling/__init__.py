@@ -1,0 +1,39 @@
+"""Branch profiling: the data behind both static-selection schemes.
+
+The paper's methodology (Section 4) is two-phase.  Phase one profiles the
+program, producing for each static conditional branch:
+
+* its execution and taken counts (the **bias profile**, enough for the
+  ``Static_95`` scheme), and
+* optionally, the per-branch prediction accuracy of a *simulated dynamic
+  predictor* (needed by the ``Static_Acc`` scheme, which selects branches
+  whose bias exceeds the accuracy the dynamic predictor achieved on
+  them).
+
+This subpackage provides those profiles
+(:mod:`~repro.profiling.profile`, :mod:`~repro.profiling.accuracy`), a
+Spike-style profile database with merging and anomaly filtering
+(:mod:`~repro.profiling.database`), and the train-versus-ref behaviour
+drift analysis of Table 5 (:mod:`~repro.profiling.drift`).
+"""
+
+from repro.profiling.accuracy import AccuracyProfile, measure_accuracy
+from repro.profiling.collision_profile import (
+    CollisionProfile,
+    measure_collision_involvement,
+)
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.drift import DriftReport, analyze_drift
+from repro.profiling.profile import BranchProfile, ProgramProfile
+
+__all__ = [
+    "BranchProfile",
+    "ProgramProfile",
+    "AccuracyProfile",
+    "measure_accuracy",
+    "CollisionProfile",
+    "measure_collision_involvement",
+    "ProfileDatabase",
+    "DriftReport",
+    "analyze_drift",
+]

@@ -1,0 +1,155 @@
+"""A Spike-style profile database.
+
+Section 5.1 of the paper: "Spike maintains a database of profile data for
+every program.  As a program runs with different inputs in
+'instrumentation' mode, Spike collects execution profile for the program
+and updates the profile database. ... we can imagine that as the profile
+database is updated anomalies in branch biases can be removed.  For
+example the profile updating can filter out profile data about branches
+that change bias by, say, more than 5%."
+
+:class:`ProfileDatabase` implements exactly that flow: it accumulates
+per-input profiles per program, can produce a **merged** profile across
+inputs, and can produce a **stable-filtered** profile that drops branches
+whose taken-rate moved more than a threshold between recorded inputs --
+the mechanism Figure 13's fourth bar uses to rescue cross-training for
+perl and m88ksim.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from repro.errors import ProfileError
+from repro.profiling.profile import BranchProfile, ProgramProfile
+
+__all__ = ["ProfileDatabase"]
+
+
+class ProfileDatabase:
+    """Accumulated profiles for many programs and inputs."""
+
+    def __init__(self) -> None:
+        # program -> input -> ProgramProfile
+        self._profiles: dict[str, dict[str, ProgramProfile]] = {}
+
+    def record(self, profile: ProgramProfile) -> None:
+        """Add (or accumulate into) a program/input profile.
+
+        Recording two profiles for the same program and input merges
+        their counts, matching Spike accumulating repeated runs.
+        """
+        per_program = self._profiles.setdefault(profile.program_name, {})
+        existing = per_program.get(profile.input_name)
+        if existing is None:
+            per_program[profile.input_name] = profile
+        else:
+            merged = existing.merge(profile)
+            merged.input_name = profile.input_name
+            per_program[profile.input_name] = merged
+
+    def programs(self) -> list[str]:
+        """Program names present in the database."""
+        return sorted(self._profiles)
+
+    def inputs(self, program: str) -> list[str]:
+        """Input names recorded for a program."""
+        return sorted(self._require_program(program))
+
+    def get(self, program: str, input_name: str) -> ProgramProfile:
+        """The profile for one program/input; raises if absent."""
+        per_program = self._require_program(program)
+        try:
+            return per_program[input_name]
+        except KeyError:
+            known = ", ".join(sorted(per_program))
+            raise ProfileError(
+                f"no profile for input {input_name!r} of {program!r}; "
+                f"recorded inputs: {known}"
+            ) from None
+
+    def merged(self, program: str, inputs: Iterable[str] | None = None) -> ProgramProfile:
+        """Merge counts across the given inputs (default: all recorded)."""
+        per_program = self._require_program(program)
+        names = list(inputs) if inputs is not None else sorted(per_program)
+        if not names:
+            raise ProfileError(f"no inputs to merge for {program!r}")
+        result: ProgramProfile | None = None
+        for name in names:
+            profile = self.get(program, name)
+            result = profile if result is None else result.merge(profile)
+        assert result is not None
+        return result
+
+    def stable_filtered(
+        self,
+        program: str,
+        inputs: Iterable[str] | None = None,
+        max_taken_rate_change: float = 0.05,
+    ) -> ProgramProfile:
+        """Merged profile restricted to behaviour-stable branches.
+
+        A branch is *stable* when its taken-rate differs by at most
+        ``max_taken_rate_change`` between every pair of recorded inputs
+        that executed it.  Branches seen under only one input count as
+        stable (there is no evidence of change).  This is the paper's
+        ">5% bias change" anomaly filter.
+        """
+        if not 0.0 <= max_taken_rate_change <= 1.0:
+            raise ProfileError(
+                f"max_taken_rate_change must be in [0, 1], got "
+                f"{max_taken_rate_change}"
+            )
+        per_program = self._require_program(program)
+        names = list(inputs) if inputs is not None else sorted(per_program)
+        profiles = [self.get(program, name) for name in names]
+        merged = self.merged(program, names)
+
+        def stable(address: int, _profile: BranchProfile) -> bool:
+            rates = [
+                p[address].taken_rate for p in profiles if address in p
+            ]
+            return max(rates) - min(rates) <= max_taken_rate_change
+
+        result = merged.filtered(stable)
+        result.input_name = "+".join(names) + f"|stable<{max_taken_rate_change:g}"
+        return result
+
+    def _require_program(self, program: str) -> dict[str, ProgramProfile]:
+        try:
+            return self._profiles[program]
+        except KeyError:
+            known = ", ".join(sorted(self._profiles)) or "(none)"
+            raise ProfileError(
+                f"no profiles recorded for program {program!r}; known: {known}"
+            ) from None
+
+    # -- persistence ---------------------------------------------------
+
+    def save(self, directory: str) -> None:
+        """Write the database as one JSON file per program/input."""
+        os.makedirs(directory, exist_ok=True)
+        index = []
+        for program, per_input in sorted(self._profiles.items()):
+            for input_name, profile in sorted(per_input.items()):
+                filename = f"{program}.{input_name}.profile.json"
+                profile.save(os.path.join(directory, filename))
+                index.append(filename)
+        with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as f:
+            json.dump(index, f)
+
+    @classmethod
+    def load(cls, directory: str) -> "ProfileDatabase":
+        """Read a database written by :meth:`save`."""
+        index_path = os.path.join(directory, "index.json")
+        try:
+            with open(index_path, "r", encoding="utf-8") as f:
+                index = json.load(f)
+        except (OSError, ValueError) as exc:
+            raise ProfileError(f"cannot read profile database index: {exc}") from exc
+        database = cls()
+        for filename in index:
+            database.record(ProgramProfile.load(os.path.join(directory, filename)))
+        return database

@@ -1,0 +1,33 @@
+"""Static branch prediction: hint assignment and selection schemes.
+
+The paper's contribution is *which branches to predict statically* and
+how the static hints interact with a dynamic predictor.  This subpackage
+provides:
+
+* :mod:`repro.staticpred.hints` -- the hint database produced by the
+  selection phase (address -> hint bits, with persistence);
+* :mod:`repro.staticpred.selection` -- the selection schemes:
+  ``Static_95`` (bias above a cutoff), ``Static_Acc`` (bias above the
+  dynamic predictor's per-branch accuracy), and ``Static_Fac`` (the
+  single-iteration factor variant of Lindsay's scheme).
+"""
+
+from repro.staticpred.hints import HintAssignment
+from repro.staticpred.iterative import select_static_iterative
+from repro.staticpred.selection import (
+    select_static_95,
+    select_static_acc,
+    select_static_collision,
+    select_static_fac,
+    SELECTION_SCHEMES,
+)
+
+__all__ = [
+    "HintAssignment",
+    "select_static_95",
+    "select_static_acc",
+    "select_static_fac",
+    "select_static_collision",
+    "select_static_iterative",
+    "SELECTION_SCHEMES",
+]

@@ -1,0 +1,132 @@
+"""The static hint database.
+
+The paper runs in two phases: "The first phase was the selection phase
+where we decided which branches from our test programs will be predicted
+statically and what their static predictions should be.  We recorded the
+decision of this selection phase in a database.  The second phase was the
+actual simulation of a dynamic predictor that used static hints from the
+previously generated database."
+
+:class:`HintAssignment` is that database: a mapping from branch address
+to :class:`~repro.arch.isa.HintBits`, tagged with the scheme that
+produced it, JSON-persistable, and applicable to a
+:class:`~repro.arch.program.Program` (the Spike rewrite step).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterator, Mapping
+
+from repro.arch.isa import HintBits
+from repro.arch.program import Program
+from repro.errors import ProfileError
+
+__all__ = ["HintAssignment"]
+
+
+class HintAssignment:
+    """Static hints for one program, produced by one selection scheme."""
+
+    def __init__(
+        self,
+        program_name: str,
+        scheme: str,
+        hints: Mapping[int, HintBits] | None = None,
+    ):
+        self.program_name = program_name
+        self.scheme = scheme
+        self.hints: dict[int, HintBits] = dict(hints or {})
+
+    def __len__(self) -> int:
+        return len(self.hints)
+
+    def __contains__(self, address: int) -> bool:
+        return address in self.hints
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.hints)
+
+    def get(self, address: int) -> HintBits | None:
+        """Hints for an address, or None for dynamic-only branches."""
+        return self.hints.get(address)
+
+    def set(self, address: int, hint: HintBits) -> None:
+        """Install hints for one branch address."""
+        self.hints[address] = hint
+
+    def static_addresses(self) -> list[int]:
+        """Addresses marked for static prediction."""
+        return [a for a, h in self.hints.items() if h.use_static]
+
+    def static_count(self) -> int:
+        """Number of statically predicted branches."""
+        return sum(1 for h in self.hints.values() if h.use_static)
+
+    def lookup_table(self) -> dict[int, bool]:
+        """address -> static direction, for statically predicted branches.
+
+        This is the flat dict the hot simulation loop consults; building
+        it once keeps :class:`HintBits` objects out of the loop.
+        """
+        return {a: h.direction for a, h in self.hints.items() if h.use_static}
+
+    def apply_to(self, program: Program) -> int:
+        """Stamp the hints onto a program's branch sites (Spike rewrite).
+
+        Returns the number of sites rewritten.  Addresses in the
+        assignment that the program does not contain are ignored: a
+        profile can legitimately mention branches from a different build.
+        """
+        rewritten = 0
+        for site in program.sites:
+            hint = self.hints.get(site.address)
+            if hint is not None:
+                site.hints = hint
+                rewritten += 1
+        return rewritten
+
+    # -- persistence ---------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize to a JSON string."""
+        return json.dumps(
+            {
+                "program": self.program_name,
+                "scheme": self.scheme,
+                "hints": {
+                    format(address, "x"): hint.encode()
+                    for address, hint in self.hints.items()
+                },
+            }
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "HintAssignment":
+        """Inverse of :meth:`to_json`."""
+        try:
+            data = json.loads(text)
+            hints = {
+                int(address, 16): HintBits.decode(bits)
+                for address, bits in data["hints"].items()
+            }
+            return cls(data["program"], data["scheme"], hints)
+        except (KeyError, ValueError, TypeError) as exc:
+            raise ProfileError(f"malformed hint JSON: {exc}") from exc
+
+    def save(self, path: str) -> None:
+        """Write the assignment to a JSON file."""
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "HintAssignment":
+        """Read an assignment from a JSON file."""
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_json(stream.read())
+
+    def __repr__(self) -> str:
+        return (
+            f"<HintAssignment {self.program_name}/{self.scheme}: "
+            f"{self.static_count()} static of {len(self.hints)}>"
+        )

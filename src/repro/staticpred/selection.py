@@ -1,0 +1,205 @@
+"""Static-selection schemes: which branches get static hints.
+
+Section 4 of the paper targets two branch populations:
+
+1. **Easy branches** (``Static_95``): "any branch with a bias higher than
+   a pre-selected cut-off bias was selected for static prediction.  The
+   actual static prediction for the branch was set to the direction of
+   the bias."  Selecting them frees dynamic-table capacity.
+2. **Hard branches** (``Static_Acc``): "we selected those branches for
+   static prediction for which the biases of the branches were higher
+   than their prediction accuracies" under a simulated dynamic predictor
+   -- if the dynamic predictor does worse than the branch's bias, a fixed
+   majority-direction prediction cannot lose.
+
+``Static_Fac`` is our single-iteration reading of Lindsay's scheme (the
+paper: "One of the static selection schemes we studied (Static_Fac) is a
+simpler, single iteration, version of Lindsay's scheme"): like
+``Static_Acc`` but requiring the bias to beat the accuracy by a margin
+factor, trading fewer selections for higher confidence.
+
+Every selector takes a minimum execution count: branches observed only a
+handful of times have meaningless bias estimates, and a real executable
+optimizer would not burn a hint on them.
+"""
+
+from __future__ import annotations
+
+from repro.arch.isa import HintBits
+from repro.errors import SelectionError
+from repro.profiling.accuracy import AccuracyProfile
+from repro.profiling.collision_profile import CollisionProfile
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.hints import HintAssignment
+
+__all__ = [
+    "select_static_95",
+    "select_static_acc",
+    "select_static_fac",
+    "select_static_collision",
+    "SELECTION_SCHEMES",
+]
+
+DEFAULT_MIN_EXECUTIONS = 16
+"""Branches executed fewer times than this are never selected."""
+
+
+def select_static_95(
+    profile: ProgramProfile,
+    cutoff: float = 0.95,
+    min_executions: int = DEFAULT_MIN_EXECUTIONS,
+    shift_history: bool = False,
+) -> HintAssignment:
+    """Select highly biased branches (the paper's ``Static_95``).
+
+    Independent of any dynamic predictor, so a single assignment serves
+    every predictor in Figures 7-12.  ``cutoff`` is exclusive, matching
+    the paper's "bias greater than 95%".
+    """
+    if not 0.5 <= cutoff < 1.0:
+        raise SelectionError(f"cutoff must be in [0.5, 1), got {cutoff}")
+    scheme = f"static_{int(round(cutoff * 100))}"
+    assignment = HintAssignment(profile.program_name, scheme)
+    for address, branch in profile.items():
+        if branch.executions < min_executions:
+            continue
+        if branch.bias > cutoff:
+            assignment.set(
+                address,
+                HintBits.static(branch.majority_taken, shift_history=shift_history),
+            )
+    return assignment
+
+
+def select_static_acc(
+    profile: ProgramProfile,
+    accuracy: AccuracyProfile,
+    min_executions: int = DEFAULT_MIN_EXECUTIONS,
+    shift_history: bool = False,
+) -> HintAssignment:
+    """Select branches whose bias beats the dynamic predictor's accuracy
+    (the paper's ``Static_Acc``).
+
+    "The motivation being that by using the dominant biases of those
+    branches as static prediction hints final prediction accuracies for
+    those branches will never be worse."
+    """
+    return _select_by_accuracy(
+        profile, accuracy, factor=1.0, min_executions=min_executions,
+        scheme=f"static_acc({accuracy.predictor_name})",
+        shift_history=shift_history,
+    )
+
+
+def select_static_fac(
+    profile: ProgramProfile,
+    accuracy: AccuracyProfile,
+    factor: float = 1.05,
+    min_executions: int = DEFAULT_MIN_EXECUTIONS,
+    shift_history: bool = False,
+) -> HintAssignment:
+    """``Static_Fac``: bias must beat accuracy by a margin factor.
+
+    ``factor`` > 1 selects fewer, safer branches; exactly 1.0 degenerates
+    to ``Static_Acc``.
+    """
+    if factor < 1.0:
+        raise SelectionError(f"factor must be >= 1, got {factor}")
+    return _select_by_accuracy(
+        profile, accuracy, factor=factor, min_executions=min_executions,
+        scheme=f"static_fac({accuracy.predictor_name},{factor:g})",
+        shift_history=shift_history,
+    )
+
+
+def _select_by_accuracy(
+    profile: ProgramProfile,
+    accuracy: AccuracyProfile,
+    factor: float,
+    min_executions: int,
+    scheme: str,
+    shift_history: bool,
+) -> HintAssignment:
+    if accuracy.program_name != profile.program_name:
+        raise SelectionError(
+            f"accuracy profile is for {accuracy.program_name!r} but bias "
+            f"profile is for {profile.program_name!r}"
+        )
+    assignment = HintAssignment(profile.program_name, scheme)
+    for address, branch in profile.items():
+        if branch.executions < min_executions:
+            continue
+        record = accuracy.get(address)
+        if record is None:
+            # The dynamic predictor was never measured on this branch
+            # (different run lengths); without evidence it is hard to
+            # predict, leave it dynamic.
+            continue
+        if branch.bias > record.accuracy * factor:
+            assignment.set(
+                address,
+                HintBits.static(branch.majority_taken, shift_history=shift_history),
+            )
+    return assignment
+
+
+def select_static_collision(
+    profile: ProgramProfile,
+    collisions: CollisionProfile,
+    min_bias: float = 0.90,
+    min_destructive_rate: float = 0.01,
+    min_executions: int = DEFAULT_MIN_EXECUTIONS,
+    shift_history: bool = False,
+) -> HintAssignment:
+    """Collision-aware selection -- the paper's flagged future-work idea.
+
+    "We want to predict only those branches statically that will boost
+    constructive collisions and reduce destructive collisions."  A branch
+    is selected when it is both
+
+    * heavily involved in destructive collisions (as victim or
+      aggressor, at least ``min_destructive_rate`` charges per
+      execution), so removing it from the tables relieves real aliasing
+      pain, and
+    * biased enough (``min_bias``) that a fixed majority-direction hint
+      is cheap.
+
+    Requires a :class:`~repro.profiling.collision_profile.CollisionProfile`
+    from a phase-one instrumented simulation of the same dynamic
+    predictor configuration.
+    """
+    if not 0.5 <= min_bias < 1.0:
+        raise SelectionError(f"min_bias must be in [0.5, 1), got {min_bias}")
+    if min_destructive_rate < 0.0:
+        raise SelectionError(
+            f"min_destructive_rate must be >= 0, got {min_destructive_rate}"
+        )
+    if collisions.program_name != profile.program_name:
+        raise SelectionError(
+            f"collision profile is for {collisions.program_name!r} but bias "
+            f"profile is for {profile.program_name!r}"
+        )
+    scheme = f"static_collision({collisions.predictor_name})"
+    assignment = HintAssignment(profile.program_name, scheme)
+    for address, branch in profile.items():
+        if branch.executions < min_executions:
+            continue
+        if branch.bias < min_bias:
+            continue
+        if collisions.destructive_rate_of(address) >= min_destructive_rate:
+            assignment.set(
+                address,
+                HintBits.static(branch.majority_taken, shift_history=shift_history),
+            )
+    return assignment
+
+
+SELECTION_SCHEMES = (
+    "none", "static_95", "static_acc", "static_fac",
+    "static_collision", "static_iter",
+)
+"""Scheme names used by experiments and the CLI ("none" = pure dynamic).
+
+``static_collision`` (the paper's future-work idea) and ``static_iter``
+(Lindsay's full iterative scheme, see
+:mod:`repro.staticpred.iterative`) are this library's extensions."""

@@ -1,0 +1,32 @@
+"""Toolchain models: Atom-style instrumentation and Spike-style rewriting.
+
+The paper's experiments were built on two Compaq tools; this subpackage
+models the roles they play in the methodology:
+
+* :mod:`repro.tools.atom` -- Atom, the binary instrumentation framework:
+  "On each conditional branch we call a procedure that performs branch
+  prediction using a pre-selected scheme and then updates misprediction
+  statistics."  Our model walks a trace and dispatches per-branch
+  analysis callbacks, letting several analyses (profiler, predictor
+  simulations) share one pass.
+* :mod:`repro.tools.profileme` -- ProfileMe, the sampling profiler the
+  paper names as the on-line alternative to Atom for per-branch accuracy
+  data: samples ~1 in N branches while the predictor runs normally.
+* :mod:`repro.tools.spike` -- Spike, the executable optimizer: maintains
+  the per-program profile database across runs and rewrites static hint
+  bits into the program based on it (including the merged/filtered
+  profiles of Section 5.1).
+"""
+
+from repro.tools.atom import AtomTool, BranchAnalysis, PredictorAnalysis, ProfileAnalysis
+from repro.tools.profileme import ProfileMeSampler
+from repro.tools.spike import SpikeOptimizer
+
+__all__ = [
+    "AtomTool",
+    "BranchAnalysis",
+    "ProfileAnalysis",
+    "PredictorAnalysis",
+    "ProfileMeSampler",
+    "SpikeOptimizer",
+]

@@ -1,0 +1,131 @@
+"""An Atom-style instrumentation framework.
+
+Atom instruments a binary so that analysis procedures run at chosen
+program points; the paper instruments every conditional branch.  Our
+model replays a :class:`~repro.workloads.trace.BranchTrace` through any
+number of registered :class:`BranchAnalysis` objects in one pass --
+exactly how the paper's phase one computes a bias profile *and* a
+dynamic predictor's per-branch accuracy from the same instrumented run.
+
+For peak simulation throughput the experiment code calls
+:func:`repro.core.simulator.simulate` directly (one analysis, inlined
+loop); this framework is the composable, multi-analysis front end.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.predictors.base import BranchPredictor
+from repro.profiling.accuracy import AccuracyProfile, BranchAccuracy
+from repro.profiling.profile import BranchProfile, ProgramProfile
+from repro.workloads.trace import BranchTrace
+
+__all__ = ["BranchAnalysis", "ProfileAnalysis", "PredictorAnalysis", "AtomTool"]
+
+
+class BranchAnalysis(abc.ABC):
+    """An analysis procedure invoked on every conditional branch."""
+
+    @abc.abstractmethod
+    def on_branch(self, address: int, taken: bool) -> None:
+        """Observe one executed conditional branch."""
+
+    def finish(self, trace: BranchTrace) -> None:
+        """Hook called once after the full trace has been replayed."""
+
+
+class ProfileAnalysis(BranchAnalysis):
+    """Collects a bias profile (execution/taken counts per branch)."""
+
+    def __init__(self) -> None:
+        self._counts: dict[int, list[int]] = {}
+        self.profile: ProgramProfile | None = None
+
+    def on_branch(self, address: int, taken: bool) -> None:
+        entry = self._counts.get(address)
+        if entry is None:
+            self._counts[address] = [1, 1 if taken else 0]
+        else:
+            entry[0] += 1
+            if taken:
+                entry[1] += 1
+
+    def finish(self, trace: BranchTrace) -> None:
+        self.profile = ProgramProfile(
+            trace.program_name,
+            trace.input_name,
+            {
+                address: BranchProfile(executions=c[0], taken=c[1])
+                for address, c in self._counts.items()
+            },
+        )
+
+
+class PredictorAnalysis(BranchAnalysis):
+    """Simulates a dynamic predictor, recording per-branch accuracy."""
+
+    def __init__(self, predictor: BranchPredictor):
+        self.predictor = predictor
+        self.mispredictions = 0
+        self._counts: dict[int, list[int]] = {}
+        self.accuracy: AccuracyProfile | None = None
+
+    def on_branch(self, address: int, taken: bool) -> None:
+        predicted = self.predictor.predict(address)
+        self.predictor.update(address, taken, predicted)
+        correct = predicted == taken
+        if not correct:
+            self.mispredictions += 1
+        entry = self._counts.get(address)
+        if entry is None:
+            self._counts[address] = [1, 1 if correct else 0]
+        else:
+            entry[0] += 1
+            if correct:
+                entry[1] += 1
+
+    def finish(self, trace: BranchTrace) -> None:
+        self.accuracy = AccuracyProfile(
+            trace.program_name,
+            trace.input_name,
+            self.predictor.name,
+            {
+                address: BranchAccuracy(executions=c[0], correct=c[1])
+                for address, c in self._counts.items()
+            },
+        )
+
+
+class AtomTool:
+    """Replays traces through registered analyses, one pass each run."""
+
+    def __init__(self) -> None:
+        self._analyses: list[BranchAnalysis] = []
+
+    def register(self, analysis: BranchAnalysis) -> BranchAnalysis:
+        """Attach an analysis; returns it for chaining."""
+        self._analyses.append(analysis)
+        return analysis
+
+    @property
+    def analyses(self) -> tuple[BranchAnalysis, ...]:
+        return tuple(self._analyses)
+
+    def run(self, trace: BranchTrace) -> None:
+        """Invoke every analysis on every branch of ``trace``."""
+        callbacks = [a.on_branch for a in self._analyses]
+        addresses = trace.addresses
+        outcomes = trace.outcomes
+        if len(callbacks) == 1:
+            callback = callbacks[0]
+            for i in range(len(addresses)):
+                callback(addresses[i], outcomes[i])
+        else:
+            for i in range(len(addresses)):
+                address = addresses[i]
+                taken = outcomes[i]
+                for callback in callbacks:
+                    callback(address, taken)
+        for analysis in self._analyses:
+            analysis.finish(trace)

@@ -1,0 +1,103 @@
+"""A Spike-style executable optimizer for static branch hints.
+
+Spike (Section 5.1) is the deployment vehicle the paper envisions:
+it accumulates a profile database across instrumented runs of a program
+and later rewrites the binary -- here, stamps hint bits onto
+:class:`~repro.arch.program.Program` branch sites -- based on that
+database.  Three optimization flavours match Figure 13's bars:
+
+* ``optimize(..., inputs=[one input])`` -- plain profile-guided hints
+  (self- or naively cross-trained depending on which input profiled);
+* ``optimize(..., inputs=[several])`` -- hints from the merged profile;
+* ``optimize(..., stable_only=True)`` -- hints from the merged profile
+  restricted to branches whose bias is stable across the recorded inputs
+  (the ">5% bias change" filter that rescues perl and m88ksim).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.arch.program import Program
+from repro.errors import SelectionError
+from repro.predictors.base import BranchPredictor
+from repro.profiling.accuracy import measure_accuracy
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.hints import HintAssignment
+from repro.staticpred.selection import select_static_95, select_static_acc
+from repro.workloads.trace import BranchTrace
+
+__all__ = ["SpikeOptimizer"]
+
+
+class SpikeOptimizer:
+    """Profile database plus hint rewriting."""
+
+    def __init__(self, database: ProfileDatabase | None = None):
+        self.database = database if database is not None else ProfileDatabase()
+
+    def instrument_run(self, trace: BranchTrace) -> ProgramProfile:
+        """Record one instrumented run into the database."""
+        profile = ProgramProfile.from_trace(trace)
+        self.database.record(profile)
+        return profile
+
+    def select_hints(
+        self,
+        program_name: str,
+        scheme: str = "static_95",
+        inputs: Iterable[str] | None = None,
+        stable_only: bool = False,
+        stability_threshold: float = 0.05,
+        cutoff: float = 0.95,
+        accuracy_trace: BranchTrace | None = None,
+        predictor_factory: Callable[[], BranchPredictor] | None = None,
+    ) -> HintAssignment:
+        """Build a hint assignment from the database.
+
+        ``stable_only`` applies the Section 5.1 anomaly filter before
+        selection.  ``static_acc`` additionally needs a trace and
+        predictor factory to measure per-branch dynamic accuracy.
+        """
+        if stable_only:
+            profile = self.database.stable_filtered(
+                program_name, inputs, max_taken_rate_change=stability_threshold
+            )
+        else:
+            profile = self.database.merged(program_name, inputs)
+
+        if scheme == "static_95":
+            return select_static_95(profile, cutoff=cutoff)
+        if scheme == "static_acc":
+            if accuracy_trace is None or predictor_factory is None:
+                raise SelectionError(
+                    "static_acc via Spike needs accuracy_trace and "
+                    "predictor_factory"
+                )
+            accuracy = measure_accuracy(accuracy_trace, predictor_factory())
+            return select_static_acc(profile, accuracy)
+        raise SelectionError(
+            f"SpikeOptimizer supports schemes static_95 and static_acc, "
+            f"got {scheme!r}"
+        )
+
+    def optimize(
+        self,
+        program: Program,
+        scheme: str = "static_95",
+        inputs: Iterable[str] | None = None,
+        stable_only: bool = False,
+        **kwargs,
+    ) -> HintAssignment:
+        """Rewrite ``program``'s hint bits from the database.
+
+        Returns the assignment that was applied (also stamped onto the
+        program's sites).
+        """
+        hints = self.select_hints(
+            program.name, scheme=scheme, inputs=inputs,
+            stable_only=stable_only, **kwargs,
+        )
+        hints.apply_to(program)
+        return hints

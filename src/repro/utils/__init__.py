@@ -1,0 +1,27 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The submodules here are deliberately dependency-free (standard library
+only) so every other layer of the library can import them without cycles:
+
+* :mod:`repro.utils.bits` -- bit masks, folding, and mixing used by
+  predictor index functions.
+* :mod:`repro.utils.rng` -- deterministic, named random streams so that a
+  single experiment seed reproduces every trace and selection decision.
+* :mod:`repro.utils.tables` -- plain-text table rendering for experiment
+  reports (the "tables" of the paper).
+* :mod:`repro.utils.charts` -- plain-text chart rendering for experiment
+  reports (the "figures" of the paper).
+"""
+
+from repro.utils.bits import bit_mask, fold_bits, is_power_of_two, log2_exact, mix64
+from repro.utils.rng import derive_rng, derive_seed
+
+__all__ = [
+    "bit_mask",
+    "fold_bits",
+    "is_power_of_two",
+    "log2_exact",
+    "mix64",
+    "derive_rng",
+    "derive_seed",
+]

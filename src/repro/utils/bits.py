@@ -1,0 +1,113 @@
+"""Bit-manipulation helpers used by predictor index functions.
+
+All dynamic predictors in this library index power-of-two counter tables
+with some hash of the branch address and the global history register.
+These helpers centralize the small amount of bit twiddling involved so the
+predictor modules can stay readable.
+
+Conventions
+-----------
+* Branch addresses are modelled as 64-bit values of 4-byte-aligned Alpha
+  instructions, so the two least-significant address bits carry no
+  information and index functions conventionally start from ``addr >> 2``.
+* "Width" always means a number of bits; a table with ``2**w`` entries is
+  indexed by a ``w``-bit value.
+"""
+
+from __future__ import annotations
+
+ADDRESS_ALIGN_SHIFT = 2
+"""Alpha instructions are 4-byte aligned; drop the two zero bits."""
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return whether ``value`` is a positive power of two.
+
+    >>> is_power_of_two(1), is_power_of_two(4096), is_power_of_two(0)
+    (True, True, False)
+    """
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``n`` such that ``2**n == value``.
+
+    Raises :class:`ValueError` when ``value`` is not a power of two; table
+    sizing code turns that into a :class:`repro.errors.SizingError` with
+    more context.
+    """
+    if not is_power_of_two(value):
+        raise ValueError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def bit_mask(width: int) -> int:
+    """Return a mask selecting the low ``width`` bits.
+
+    >>> bit_mask(3)
+    7
+    """
+    if width < 0:
+        raise ValueError(f"mask width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def fold_bits(value: int, width: int) -> int:
+    """Fold an arbitrarily long value down to ``width`` bits by XOR.
+
+    Successive ``width``-bit chunks of ``value`` are XOR-ed together.  This
+    is the standard way to use a global history register that is longer
+    than a table's index, and is also used to fold 64-bit addresses into
+    small table indices without discarding high-order bits entirely.
+
+    >>> fold_bits(0b101100, 3)  # 0b101 ^ 0b100
+    1
+    """
+    if width <= 0:
+        raise ValueError(f"fold width must be positive, got {width}")
+    mask = (1 << width) - 1
+    folded = 0
+    while value:
+        folded ^= value & mask
+        value >>= width
+    return folded
+
+
+def mix64(value: int) -> int:
+    """Mix the bits of a 64-bit value (SplitMix64 finalizer).
+
+    Used when generating synthetic branch addresses so that nearby branch
+    ids do not produce systematically adjacent table indices, which would
+    make aliasing artificially regular.
+    """
+    value &= 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 30)) * 0xBF58476D1CE4E5B9 & 0xFFFFFFFFFFFFFFFF
+    value = (value ^ (value >> 27)) * 0x94D049BB133111EB & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def reverse_bits(value: int, width: int) -> int:
+    """Reverse the low ``width`` bits of ``value``.
+
+    >>> reverse_bits(0b110, 3)
+    3
+    """
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def rotate_left(value: int, amount: int, width: int) -> int:
+    """Rotate the low ``width`` bits of ``value`` left by ``amount``.
+
+    >>> rotate_left(0b001, 1, 3)
+    2
+    """
+    if width <= 0:
+        raise ValueError(f"rotate width must be positive, got {width}")
+    amount %= width
+    mask = (1 << width) - 1
+    value &= mask
+    return ((value << amount) | (value >> (width - amount))) & mask

@@ -1,0 +1,119 @@
+"""Plain-text chart rendering for experiment reports.
+
+The paper's figures are line charts (MISP/KI and collision counts versus
+predictor size, Figures 1-6) and grouped bar charts (MISP/KI per predictor
+and static scheme, Figures 7-13).  This module renders both as monospace
+ASCII so the benchmark harness and CLI can regenerate every figure without
+a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["render_line_chart", "render_bar_chart"]
+
+
+def _scale(value: float, lo: float, hi: float, width: int) -> int:
+    """Map ``value`` in ``[lo, hi]`` to a column in ``[0, width - 1]``."""
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return max(0, min(width - 1, round(frac * (width - 1))))
+
+
+def render_line_chart(
+    x_labels: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str | None = None,
+    height: int = 12,
+    y_label: str = "",
+) -> str:
+    """Render one or more numeric series as an ASCII line chart.
+
+    Each series gets a distinct plotting glyph.  The x axis is categorical
+    (one column group per label) which matches how the paper's figures
+    treat predictor sizes (1K, 2K, ... 64K).
+    """
+    if not series:
+        raise ValueError("at least one series is required")
+    glyphs = "*o+x#@%&"
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(x_labels):
+            raise ValueError(
+                f"series {name!r} has {len(series[name])} points for "
+                f"{len(x_labels)} x labels"
+            )
+    values = [v for name in names for v in series[name]]
+    lo = min(values)
+    hi = max(values)
+    if hi == lo:
+        hi = lo + 1.0
+
+    col_width = max(max(len(str(x)) for x in x_labels) + 2, 6)
+    n_cols = len(x_labels)
+    grid = [[" "] * (n_cols * col_width) for _ in range(height)]
+    for s_idx, name in enumerate(names):
+        glyph = glyphs[s_idx % len(glyphs)]
+        for i, value in enumerate(series[name]):
+            row = height - 1 - _scale(value, lo, hi, height)
+            col = i * col_width + col_width // 2
+            grid[row][col] = glyph
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    axis_width = 10
+    for r, row in enumerate(grid):
+        if r == 0:
+            label = f"{hi:9.2f} "
+        elif r == height - 1:
+            label = f"{lo:9.2f} "
+        else:
+            label = " " * axis_width
+        lines.append(label + "|" + "".join(row).rstrip())
+    lines.append(" " * axis_width + "+" + "-" * (n_cols * col_width))
+    x_line = " " * (axis_width + 1)
+    for x in x_labels:
+        x_line += str(x).center(col_width)
+    lines.append(x_line.rstrip())
+    legend = "  ".join(
+        f"{glyphs[i % len(glyphs)]}={name}" for i, name in enumerate(names)
+    )
+    lines.append(" " * (axis_width + 1) + legend)
+    if y_label:
+        lines.append(" " * (axis_width + 1) + f"(y: {y_label})")
+    return "\n".join(lines)
+
+
+def render_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: str | None = None,
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render labelled values as a horizontal ASCII bar chart.
+
+    Negative values (e.g. a static scheme that *degrades* MISP/KI
+    improvement) are rendered with ``<`` bars to stay visually distinct.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not labels:
+        raise ValueError("at least one bar is required")
+    label_width = max(len(label) for label in labels)
+    magnitude = max(abs(v) for v in values) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    for label, value in zip(labels, values):
+        bar_len = round(abs(value) / magnitude * width)
+        bar = ("<" if value < 0 else "#") * bar_len
+        lines.append(
+            f"{label.ljust(label_width)} | {bar} " + value_format.format(value)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Deterministic, named random streams.
+
+Every source of randomness in the library -- synthetic branch addresses,
+behaviour-model draws, routine interleaving, train/ref drift -- derives
+its own :class:`random.Random` instance from a root seed plus a tuple of
+string/int names.  Two properties follow:
+
+1. **Reproducibility**: an experiment is fully determined by its root
+   seed.  Re-running any experiment with the same seed replays the exact
+   same branch trace and therefore the exact same misprediction counts.
+2. **Independence under extension**: adding a new consumer of randomness
+   (say, a new behaviour class) does not perturb the streams of existing
+   consumers, because each stream is keyed by name rather than by draw
+   order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+__all__ = ["derive_seed", "derive_rng"]
+
+
+def derive_seed(root: int, *names: object) -> int:
+    """Derive a 64-bit child seed from ``root`` and a path of names.
+
+    The derivation hashes the textual path, so it is stable across Python
+    versions and process invocations (unlike ``hash()``).
+
+    >>> derive_seed(1, "go", "train") == derive_seed(1, "go", "train")
+    True
+    >>> derive_seed(1, "go", "train") != derive_seed(1, "go", "ref")
+    True
+    """
+    text = repr((int(root),) + tuple(str(n) for n in names))
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def derive_rng(root: int, *names: object) -> random.Random:
+    """Return a fresh :class:`random.Random` for the named stream."""
+    return random.Random(derive_seed(root, *names))

@@ -1,0 +1,86 @@
+"""Plain-text table rendering for experiment reports.
+
+The paper reports most results as tables (Tables 1-5).  Experiment runners
+in :mod:`repro.experiments` return structured result objects; this module
+renders them as aligned monospace tables for the CLI, the benchmark
+harness, and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = ["render_table", "format_value", "format_percent", "format_float"]
+
+
+def format_float(value: float, digits: int = 2) -> str:
+    """Format a float with a fixed number of decimal digits."""
+    return f"{value:.{digits}f}"
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction in [0, 1] (or a signed ratio) as a percentage.
+
+    >>> format_percent(0.759)
+    '75.9%'
+    >>> format_percent(-0.014)
+    '-1.4%'
+    """
+    return f"{value * 100:.{digits}f}%"
+
+
+def format_value(value: object) -> str:
+    """Render an arbitrary cell value with sensible defaults."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format_float(value)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render rows as an aligned monospace table.
+
+    ``rows`` may contain any values; they are formatted with
+    :func:`format_value`.  The first column is left-aligned, remaining
+    columns right-aligned, matching the conventions of the paper's tables
+    (program name first, numbers after).
+
+    >>> print(render_table(["prog", "MISP/KI"], [["gcc", 12.5]]))
+    prog | MISP/KI
+    -----+--------
+    gcc  |   12.50
+    """
+    rendered_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def render_line(cells: Sequence[str]) -> str:
+        parts = []
+        for i, cell in enumerate(cells):
+            if i == 0:
+                parts.append(cell.ljust(widths[i]))
+            else:
+                parts.append(cell.rjust(widths[i]))
+        return " | ".join(parts).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_line(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_line(row) for row in rendered_rows)
+    return "\n".join(lines)

@@ -1,0 +1,44 @@
+"""Synthetic workloads standing in for the paper's SPECINT95 binaries.
+
+The paper drives its predictors with Atom-instrumented Alpha binaries of
+six SPECINT95 programs.  Those binaries (and their billion-instruction
+runs) are not reproducible here, so this subpackage generates *synthetic
+branch traces* whose statistical structure is calibrated to the paper's
+published per-program numbers:
+
+* Table 1 -- static conditional-branch counts and dynamic branch density
+  (CBRs/KI) for the ``train`` and ``ref`` inputs;
+* Table 2 -- the fraction of dynamic branch executions coming from highly
+  biased (bias > 95%) branches;
+* Table 5 -- how branch behaviour drifts between the ``train`` and ``ref``
+  inputs (majority-direction reversals, small and large bias changes).
+
+The pieces:
+
+* :mod:`repro.workloads.behaviors` -- per-branch outcome models (biased,
+  loop, pattern, history-correlated, noisy, phased);
+* :mod:`repro.workloads.generator` -- assembles a static
+  :class:`~repro.arch.program.Program`, behaviour instances, and a
+  routine-based execution engine that emits branch traces;
+* :mod:`repro.workloads.spec95` -- the six calibrated workload specs;
+* :mod:`repro.workloads.trace` -- the trace data structure and file I/O;
+* :mod:`repro.workloads.stats` -- trace characterization used by Table 1
+  and Table 2.
+"""
+
+from repro.workloads.generator import SyntheticWorkload, build_workload
+from repro.workloads.spec95 import (
+    SPEC95_PROGRAMS,
+    WorkloadSpec,
+    get_spec,
+)
+from repro.workloads.trace import BranchTrace
+
+__all__ = [
+    "SyntheticWorkload",
+    "build_workload",
+    "BranchTrace",
+    "WorkloadSpec",
+    "SPEC95_PROGRAMS",
+    "get_spec",
+]

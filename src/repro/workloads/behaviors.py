@@ -1,0 +1,532 @@
+"""Per-branch outcome models.
+
+Each static branch site in a synthetic workload owns one *behaviour*
+object that produces its sequence of taken/not-taken outcomes.  The
+behaviour classes model the branch populations the branch-prediction
+literature identifies, and each maps onto a capability of the predictors
+under study:
+
+``BiasedBehavior``
+    Bernoulli outcomes with a fixed taken probability.  High-bias
+    instances (p near 0 or 1) are the "easy" branches that bimodal
+    predictors and ``Static_95`` capture; p near 0.5 models data-dependent
+    branches that nothing predicts well.
+``LoopBehavior``
+    Taken ``trip - 1`` times, then not-taken (a loop back edge).  History
+    predictors with enough history learn the exit; bimodal mispredicts
+    the exit every iteration of the outer loop.
+``PatternBehavior``
+    A short repeating taken/not-taken pattern; perfectly learnable by
+    history predictors whose history covers the period.
+``CorrelatedBehavior``
+    Outcome is a boolean function (parity) of selected recent *global*
+    outcomes plus noise -- the "branch correlation" principle that ghist
+    and gshare exploit and bimodal cannot.
+``PhasedBehavior``
+    Bias switches between phases during a run, modelling branches whose
+    behaviour is input- or phase-dependent; these are what make
+    profile-guided static prediction risky (Section 5.1 of the paper).
+
+Behaviour instances are *stateful and per-site*: two sites never share a
+behaviour object.  They are created from picklable, declarative factory
+specs so workload definitions stay data-only.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+from dataclasses import dataclass
+from random import Random
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BranchBehavior",
+    "BiasedBehavior",
+    "MarkovBiasedBehavior",
+    "LoopBehavior",
+    "PatternBehavior",
+    "CorrelatedBehavior",
+    "PhasedBehavior",
+    "BehaviorFactory",
+    "BiasedFactory",
+    "LoopFactory",
+    "PatternFactory",
+    "CorrelatedFactory",
+    "PhasedFactory",
+]
+
+
+class BranchBehavior(abc.ABC):
+    """Produces one branch site's outcome stream.
+
+    ``outcome(history, rng)`` receives the current *global* outcome
+    history (low bit = most recent branch outcome in the whole program,
+    regardless of which site produced it) so correlated behaviours can
+    react to it, plus the workload's RNG stream.
+    """
+
+    __slots__ = ()
+
+    @abc.abstractmethod
+    def outcome(self, history: int, rng: Random) -> bool:
+        """Return the next outcome for this site (True = taken)."""
+
+    @abc.abstractmethod
+    def expected_bias(self) -> float:
+        """Long-run ``max(P(taken), P(not taken))`` for calibration/tests."""
+
+
+class BiasedBehavior(BranchBehavior):
+    """Independent Bernoulli outcomes with fixed taken probability."""
+
+    __slots__ = ("p_taken",)
+
+    def __init__(self, p_taken: float):
+        if not 0.0 <= p_taken <= 1.0:
+            raise ConfigurationError(f"p_taken must be in [0, 1], got {p_taken}")
+        self.p_taken = p_taken
+
+    def outcome(self, history: int, rng: Random) -> bool:
+        return rng.random() < self.p_taken
+
+    def expected_bias(self) -> float:
+        return max(self.p_taken, 1.0 - self.p_taken)
+
+    def __repr__(self) -> str:
+        return f"BiasedBehavior(p_taken={self.p_taken:.3f})"
+
+
+class MarkovBiasedBehavior(BranchBehavior):
+    """Bursty biased outcomes: a two-regime Markov chain.
+
+    Real "95% taken" branches are rarely independent coin flips -- the 5%
+    minority outcomes cluster (an error path fires for a while, a guard
+    trips on one phase of the data).  This behaviour emits its current
+    regime's direction and switches regimes with small probabilities
+    chosen so the stationary taken-rate equals ``p_taken`` and minority
+    runs average ``burst_length`` executions.
+
+    Burstiness matters for *other* branches too: a history window over
+    bursty predecessors shows a handful of distinct patterns (all-modal,
+    all-minority, one boundary) instead of ``2**k`` noise patterns, which
+    is what lets global-history predictors train within realistic trace
+    lengths -- the same reason they work on real hardware.
+    """
+
+    __slots__ = ("p_taken", "burst_length", "_majority", "_in_minority",
+                 "_enter_minority", "_leave_minority")
+
+    def __init__(self, p_taken: float, burst_length: float = 6.0):
+        if not 0.0 <= p_taken <= 1.0:
+            raise ConfigurationError(f"p_taken must be in [0, 1], got {p_taken}")
+        if burst_length < 1.0:
+            raise ConfigurationError(
+                f"burst_length must be >= 1, got {burst_length}"
+            )
+        self.p_taken = p_taken
+        self.burst_length = burst_length
+        self._majority = p_taken >= 0.5
+        minority_fraction = min(p_taken, 1.0 - p_taken)
+        leave = 1.0 / burst_length
+        if minority_fraction >= 1.0 - 1e-12:
+            enter = 1.0
+        else:
+            # Stationary minority occupancy = enter / (enter + leave).
+            enter = leave * minority_fraction / (1.0 - minority_fraction)
+        self._enter_minority = min(1.0, enter)
+        self._leave_minority = leave
+        self._in_minority = False
+
+    def outcome(self, history: int, rng: Random) -> bool:
+        if self._in_minority:
+            if rng.random() < self._leave_minority:
+                self._in_minority = False
+        elif rng.random() < self._enter_minority:
+            self._in_minority = True
+        return self._majority ^ self._in_minority
+
+    def expected_bias(self) -> float:
+        return max(self.p_taken, 1.0 - self.p_taken)
+
+    def __repr__(self) -> str:
+        return (
+            f"MarkovBiasedBehavior(p_taken={self.p_taken:.3f}, "
+            f"burst_length={self.burst_length:.1f})"
+        )
+
+
+class LoopBehavior(BranchBehavior):
+    """A loop back edge: taken ``trip - 1`` consecutive times, then not.
+
+    ``jitter`` > 0 resamples the trip count around the mean at each loop
+    entry (uniform in ``[trip - jitter, trip + jitter]``), which keeps the
+    exit point from being perfectly periodic -- long-history predictors
+    still do well, but not perfectly, matching real loop behaviour.
+    """
+
+    __slots__ = ("trip", "jitter", "_remaining")
+
+    def __init__(self, trip: int, jitter: int = 0):
+        if trip < 2:
+            raise ConfigurationError(f"loop trip count must be >= 2, got {trip}")
+        if jitter < 0 or jitter >= trip - 1:
+            raise ConfigurationError(
+                f"jitter must be in [0, trip - 2], got {jitter} for trip {trip}"
+            )
+        self.trip = trip
+        self.jitter = jitter
+        self._remaining = 0
+
+    def _sample_trip(self, rng: Random) -> int:
+        if self.jitter == 0:
+            return self.trip
+        return rng.randint(self.trip - self.jitter, self.trip + self.jitter)
+
+    def outcome(self, history: int, rng: Random) -> bool:
+        if self._remaining == 0:
+            self._remaining = self._sample_trip(rng)
+        self._remaining -= 1
+        # Last iteration of the trip falls through (not taken).
+        return self._remaining != 0
+
+    def expected_bias(self) -> float:
+        return (self.trip - 1) / self.trip
+
+    def __repr__(self) -> str:
+        return f"LoopBehavior(trip={self.trip}, jitter={self.jitter})"
+
+
+class PatternBehavior(BranchBehavior):
+    """A fixed repeating taken/not-taken pattern (e.g. T T N T T N)."""
+
+    __slots__ = ("pattern", "_position")
+
+    def __init__(self, pattern: tuple[bool, ...]):
+        if len(pattern) < 2:
+            raise ConfigurationError("pattern must have at least two outcomes")
+        if all(pattern) or not any(pattern):
+            raise ConfigurationError(
+                "a constant pattern should be a BiasedBehavior instead"
+            )
+        self.pattern = tuple(bool(b) for b in pattern)
+        self._position = 0
+
+    def outcome(self, history: int, rng: Random) -> bool:
+        value = self.pattern[self._position]
+        self._position = (self._position + 1) % len(self.pattern)
+        return value
+
+    def expected_bias(self) -> float:
+        taken = sum(self.pattern) / len(self.pattern)
+        return max(taken, 1.0 - taken)
+
+    def __repr__(self) -> str:
+        text = "".join("T" if b else "N" for b in self.pattern)
+        return f"PatternBehavior({text})"
+
+
+class CorrelatedBehavior(BranchBehavior):
+    """Outcome is the parity of selected recent global outcomes plus noise.
+
+    ``history_mask`` selects which of the last outcomes feed the parity
+    (bit 0 = most recent).  ``noise`` is the probability of flipping the
+    deterministic outcome; with noise 0 the branch is perfectly
+    predictable by a global-history predictor whose history covers the
+    mask, while its *bias* hovers near 50% so bimodal predictors are
+    helpless.  ``invert`` flips the function so populations of correlated
+    branches are not all identical.
+    """
+
+    __slots__ = ("history_mask", "noise", "invert")
+
+    def __init__(self, history_mask: int, noise: float = 0.0, invert: bool = False):
+        if history_mask <= 0:
+            raise ConfigurationError(
+                f"history_mask must select at least one bit, got {history_mask}"
+            )
+        if not 0.0 <= noise <= 0.5:
+            raise ConfigurationError(f"noise must be in [0, 0.5], got {noise}")
+        self.history_mask = history_mask
+        self.noise = noise
+        self.invert = invert
+
+    def outcome(self, history: int, rng: Random) -> bool:
+        parity = bin(history & self.history_mask).count("1") & 1
+        value = bool(parity) ^ self.invert
+        if self.noise and rng.random() < self.noise:
+            value = not value
+        return value
+
+    def expected_bias(self) -> float:
+        # Parity of (approximately independent) history bits is close to a
+        # fair coin marginally, so the long-run bias is near 0.5.
+        return 0.5
+
+    def __repr__(self) -> str:
+        return (
+            f"CorrelatedBehavior(mask={self.history_mask:#x}, "
+            f"noise={self.noise:.2f}, invert={self.invert})"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class Phase:
+    """One phase of a :class:`PhasedBehavior`: ``length`` executions at
+    taken-probability ``p_taken``."""
+
+    length: int
+    p_taken: float
+
+
+class PhasedBehavior(BranchBehavior):
+    """Bias switches between phases as the branch executes.
+
+    Cycles through its phases.  A branch that is 95% taken for 5000
+    executions and then 5% taken for the next 5000 has a *whole-run* bias
+    near 50% but is easy for any adaptive dynamic predictor -- exactly the
+    branch class where static prediction goes wrong.
+    """
+
+    __slots__ = ("phases", "_phase_index", "_remaining")
+
+    def __init__(self, phases: tuple[Phase, ...]):
+        if len(phases) < 2:
+            raise ConfigurationError("a phased behaviour needs at least two phases")
+        for phase in phases:
+            if phase.length <= 0:
+                raise ConfigurationError(f"phase length must be positive: {phase}")
+            if not 0.0 <= phase.p_taken <= 1.0:
+                raise ConfigurationError(f"phase p_taken must be in [0, 1]: {phase}")
+        self.phases = tuple(phases)
+        self._phase_index = 0
+        self._remaining = phases[0].length
+
+    def outcome(self, history: int, rng: Random) -> bool:
+        if self._remaining == 0:
+            self._phase_index = (self._phase_index + 1) % len(self.phases)
+            self._remaining = self.phases[self._phase_index].length
+        self._remaining -= 1
+        return rng.random() < self.phases[self._phase_index].p_taken
+
+    def expected_bias(self) -> float:
+        total = sum(p.length for p in self.phases)
+        p_taken = sum(p.length * p.p_taken for p in self.phases) / total
+        return max(p_taken, 1.0 - p_taken)
+
+    def __repr__(self) -> str:
+        return f"PhasedBehavior({len(self.phases)} phases)"
+
+
+# ---------------------------------------------------------------------------
+# Declarative factories
+# ---------------------------------------------------------------------------
+
+
+class BehaviorFactory(abc.ABC):
+    """Declarative spec that instantiates per-site behaviour objects.
+
+    Factories draw per-site parameters (e.g. the exact taken probability
+    within a band) from the workload RNG so a population of sites sharing
+    a factory is varied but reproducible.
+    """
+
+    @abc.abstractmethod
+    def instantiate(self, rng: Random) -> BranchBehavior:
+        """Create one site's behaviour."""
+
+    @abc.abstractmethod
+    def is_highly_biased(self, cutoff: float = 0.95) -> bool:
+        """Whether sites from this factory count as highly biased.
+
+        Used by calibration tests that check a workload's dynamic
+        highly-biased fraction against the paper's Table 2.
+        """
+
+
+@dataclass(frozen=True, slots=True)
+class BiasedFactory(BehaviorFactory):
+    """Biased branches with per-site bias drawn in [lo, hi].
+
+    ``taken_fraction`` controls what share of the sites are mostly-taken
+    versus mostly-not-taken (real programs skew toward taken branches).
+    ``burst_length`` selects the bursty Markov model
+    (:class:`MarkovBiasedBehavior`); ``None`` selects independent
+    Bernoulli draws (:class:`BiasedBehavior`), appropriate for genuinely
+    data-dependent branches whose minority outcomes do not cluster.
+    """
+
+    lo: float
+    hi: float
+    taken_fraction: float = 0.6
+    burst_length: float | None = None
+
+    def __post_init__(self) -> None:
+        if not 0.5 <= self.lo <= self.hi <= 1.0:
+            raise ConfigurationError(
+                f"bias band must satisfy 0.5 <= lo <= hi <= 1, got [{self.lo}, {self.hi}]"
+            )
+        if self.burst_length is not None and self.burst_length < 1.0:
+            raise ConfigurationError(
+                f"burst_length must be >= 1 or None, got {self.burst_length}"
+            )
+
+    def instantiate(self, rng: Random) -> BranchBehavior:
+        bias = rng.uniform(self.lo, self.hi)
+        if rng.random() >= self.taken_fraction:
+            bias = 1.0 - bias
+        if self.burst_length is None:
+            return BiasedBehavior(bias)
+        # Per-site burst length jitter keeps sites from sharing periods.
+        burst = max(1.0, self.burst_length * rng.uniform(0.6, 1.5))
+        return MarkovBiasedBehavior(bias, burst)
+
+    def is_highly_biased(self, cutoff: float = 0.95) -> bool:
+        midpoint = (self.lo + self.hi) / 2.0
+        return midpoint > cutoff
+
+
+@dataclass(frozen=True, slots=True)
+class LoopFactory(BehaviorFactory):
+    """Loop back edges with per-site mean trip count in [lo, hi]."""
+
+    lo: int
+    hi: int
+    jitter_fraction: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.lo <= self.hi:
+            raise ConfigurationError(
+                f"trip band must satisfy 2 <= lo <= hi, got [{self.lo}, {self.hi}]"
+            )
+
+    def instantiate(self, rng: Random) -> BranchBehavior:
+        trip = rng.randint(self.lo, self.hi)
+        jitter = min(max(0, int(trip * self.jitter_fraction)), trip - 2)
+        return LoopBehavior(trip, jitter)
+
+    def is_highly_biased(self, cutoff: float = 0.95) -> bool:
+        mean_trip = (self.lo + self.hi) / 2.0
+        return (mean_trip - 1.0) / mean_trip > cutoff
+
+
+@dataclass(frozen=True, slots=True)
+class PatternFactory(BehaviorFactory):
+    """Repeating patterns with per-site period in [lo, hi]."""
+
+    lo: int = 2
+    hi: int = 6
+
+    def __post_init__(self) -> None:
+        if not 2 <= self.lo <= self.hi:
+            raise ConfigurationError(
+                f"period band must satisfy 2 <= lo <= hi, got [{self.lo}, {self.hi}]"
+            )
+
+    def instantiate(self, rng: Random) -> BranchBehavior:
+        period = rng.randint(self.lo, self.hi)
+        # Draw random patterns until one is non-constant (constant
+        # patterns are rejected by PatternBehavior).
+        while True:
+            pattern = tuple(rng.random() < 0.5 for _ in range(period))
+            if any(pattern) and not all(pattern):
+                return PatternBehavior(pattern)
+
+    def is_highly_biased(self, cutoff: float = 0.95) -> bool:
+        # A non-constant pattern of period <= 20 can never exceed 95% bias.
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class CorrelatedFactory(BehaviorFactory):
+    """History-correlated branches.
+
+    Each site draws ``taps`` distinct history positions within the first
+    ``depth`` bits; the outcome is the (possibly inverted, possibly noisy)
+    parity of those positions.
+    """
+
+    depth: int = 8
+    taps: int = 2
+    noise_lo: float = 0.0
+    noise_hi: float = 0.10
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.taps <= self.depth:
+            raise ConfigurationError(
+                f"need 1 <= taps <= depth, got taps={self.taps} depth={self.depth}"
+            )
+        if not 0.0 <= self.noise_lo <= self.noise_hi <= 0.5:
+            raise ConfigurationError(
+                f"noise band must satisfy 0 <= lo <= hi <= 0.5, "
+                f"got [{self.noise_lo}, {self.noise_hi}]"
+            )
+
+    def instantiate(self, rng: Random) -> BranchBehavior:
+        positions = rng.sample(range(self.depth), self.taps)
+        mask = 0
+        for position in positions:
+            mask |= 1 << position
+        noise = rng.uniform(self.noise_lo, self.noise_hi)
+        return CorrelatedBehavior(mask, noise=noise, invert=rng.random() < 0.5)
+
+    def is_highly_biased(self, cutoff: float = 0.95) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class PhasedFactory(BehaviorFactory):
+    """Phase-changing branches: high bias within a phase, direction flips
+    between phases.
+
+    ``phase_length`` executions per phase; each site alternates between a
+    mostly-taken and a mostly-not-taken phase with within-phase bias drawn
+    in ``[bias_lo, bias_hi]``.
+    """
+
+    phase_length: int = 4000
+    bias_lo: float = 0.85
+    bias_hi: float = 0.98
+
+    def __post_init__(self) -> None:
+        if self.phase_length <= 0:
+            raise ConfigurationError(
+                f"phase_length must be positive, got {self.phase_length}"
+            )
+        if not 0.5 <= self.bias_lo <= self.bias_hi <= 1.0:
+            raise ConfigurationError(
+                f"bias band must satisfy 0.5 <= lo <= hi <= 1, "
+                f"got [{self.bias_lo}, {self.bias_hi}]"
+            )
+
+    def instantiate(self, rng: Random) -> BranchBehavior:
+        bias = rng.uniform(self.bias_lo, self.bias_hi)
+        # Jitter phase lengths so site phase changes are not synchronized.
+        length_a = max(1, int(self.phase_length * rng.uniform(0.7, 1.3)))
+        length_b = max(1, int(self.phase_length * rng.uniform(0.7, 1.3)))
+        return PhasedBehavior(
+            (Phase(length_a, bias), Phase(length_b, 1.0 - bias))
+        )
+
+    def is_highly_biased(self, cutoff: float = 0.95) -> bool:
+        # Whole-run bias is near 50% because the direction flips.
+        return False
+
+
+def geometric_gap(mean: float, rng: Random) -> int:
+    """Sample an instruction gap (branch included) with the given mean.
+
+    Used by the workload executor to hit a target CBRs/KI: if a program
+    executes one conditional branch every ``mean`` instructions, its
+    branch density is ``1000 / mean`` CBRs/KI.  The gap is at least 1 (the
+    branch itself).
+    """
+    if mean < 1.0:
+        raise ConfigurationError(f"mean instructions per branch must be >= 1, got {mean}")
+    if mean == 1.0:
+        return 1
+    u = rng.random()
+    # Exponential with mean (mean - 1) for the non-branch instructions;
+    # the + 0.5 makes the rounded value's expectation match the mean.
+    return 1 + int(-(mean - 1.0) * math.log(1.0 - u) + 0.5)

@@ -1,0 +1,569 @@
+"""Synthetic program construction and trace generation.
+
+A :class:`SyntheticWorkload` couples a static
+:class:`~repro.arch.program.Program` with per-site behaviour plans and a
+routine-based execution engine.  The model:
+
+* Sites are partitioned into **routines** (short fixed sequences of
+  branch sites, standing in for the branch footprint of a procedure),
+  and routines compose into **paths** (call-chain stand-ins).  Executing
+  the workload repeatedly picks a path from a Zipf-weighted distribution
+  -- real programs spend most of their time in a small hot set -- runs
+  it end to end, and tends to re-run the same path several times in a
+  row (temporal locality).  Loop-behaviour sites re-execute (with
+  optional body sites) while taken.  Together these give branches the
+  repeatable global-history contexts that history predictors exploit on
+  real code.
+* Each site's outcome comes from its behaviour model
+  (:mod:`repro.workloads.behaviors`), which may read the running global
+  outcome history (correlated branches).
+* The instruction gap between branches is sampled to hit the workload's
+  target CBRs/KI (branch density, Table 1 of the paper).
+
+``train`` versus ``ref`` inputs share the same static program and routine
+structure; they differ in branch density, execution seed, optional
+routine coverage (the ``train`` input may never reach some routines), and
+per-site **behaviour drift** (Section 5.1 / Table 5 of the paper).
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from random import Random
+from typing import Sequence
+
+from repro.arch.program import Program
+from repro.errors import ConfigurationError, WorkloadError
+from repro.utils.rng import derive_rng, derive_seed
+from repro.workloads.behaviors import (
+    BehaviorFactory,
+    BiasedBehavior,
+    BranchBehavior,
+    CorrelatedBehavior,
+    LoopBehavior,
+    MarkovBiasedBehavior,
+    PatternBehavior,
+    PhasedBehavior,
+)
+from repro.workloads.trace import BranchTrace
+
+__all__ = [
+    "DriftKind",
+    "SitePlan",
+    "Routine",
+    "SyntheticWorkload",
+    "build_workload",
+]
+
+_HISTORY_MASK = (1 << 64) - 1
+
+TRAIN = "train"
+REF = "ref"
+VALID_INPUTS = (TRAIN, REF)
+
+
+# ---------------------------------------------------------------------------
+# Behaviour drift (train -> ref input change)
+# ---------------------------------------------------------------------------
+
+
+class DriftKind:
+    """How one site's behaviour changes from the train to the ref input.
+
+    String constants rather than an Enum: they appear in hot per-site
+    dispatch and in workload spec literals.
+    """
+
+    NONE = "none"
+    JITTER = "jitter"    # bias change < 5%
+    SHIFT = "shift"      # bias change in roughly [20%, 45%], same majority
+    REVERSE = "reverse"  # majority direction flips (bias change > 50%)
+
+    ALL = (NONE, JITTER, SHIFT, REVERSE)
+
+
+def apply_drift(behavior: BranchBehavior, kind: str, rng: Random) -> BranchBehavior:
+    """Return the ref-input variant of a train-input behaviour.
+
+    The transformation is type-aware: Bernoulli branches move their taken
+    probability, loops change trip counts, patterns/correlations invert.
+    Unknown combinations fall back to leaving the behaviour unchanged,
+    which only weakens drift (never corrupts a trace).
+    """
+    if kind == DriftKind.NONE:
+        return behavior
+
+    if isinstance(behavior, (BiasedBehavior, MarkovBiasedBehavior)):
+        p = behavior.p_taken
+        if kind == DriftKind.JITTER:
+            delta = rng.uniform(-0.04, 0.04)
+            new_p = min(1.0, max(0.0, p + delta))
+        elif kind == DriftKind.SHIFT:
+            magnitude = rng.uniform(0.20, 0.45)
+            if p >= 0.5:
+                new_p = max(0.5, p - magnitude)
+            else:
+                new_p = min(0.5, p + magnitude)
+        else:  # REVERSE
+            new_p = 1.0 - p
+        if isinstance(behavior, MarkovBiasedBehavior):
+            return MarkovBiasedBehavior(new_p, behavior.burst_length)
+        return BiasedBehavior(new_p)
+
+    if isinstance(behavior, LoopBehavior):
+        if kind == DriftKind.JITTER:
+            trip = max(2, behavior.trip + rng.choice((-1, 1)))
+            return LoopBehavior(trip, min(behavior.jitter, trip - 2))
+        if kind == DriftKind.SHIFT:
+            trip = max(2, behavior.trip // 4 + 1)
+            return LoopBehavior(trip, min(behavior.jitter, trip - 2))
+        if kind == DriftKind.REVERSE:
+            # A loop that stops looping: model as a mostly-not-taken branch.
+            return BiasedBehavior(1.0 - behavior.expected_bias())
+
+    if isinstance(behavior, PatternBehavior):
+        if kind in (DriftKind.SHIFT, DriftKind.REVERSE):
+            return PatternBehavior(tuple(not b for b in behavior.pattern))
+        return behavior
+
+    if isinstance(behavior, CorrelatedBehavior):
+        if kind in (DriftKind.SHIFT, DriftKind.REVERSE):
+            return CorrelatedBehavior(
+                behavior.history_mask, noise=behavior.noise, invert=not behavior.invert
+            )
+        return behavior
+
+    if isinstance(behavior, PhasedBehavior):
+        return behavior
+
+    return behavior
+
+
+@dataclass(frozen=True, slots=True)
+class SitePlan:
+    """Recipe for one site's behaviour on both inputs.
+
+    ``factory`` plus ``behavior_seed`` determine the train behaviour;
+    ``drift_kind`` plus ``drift_seed`` determine how it mutates for the
+    ref input.  Keeping the plan declarative lets every :meth:`execute`
+    call build fresh (stateless-at-start) behaviour instances.
+    """
+
+    factory: BehaviorFactory
+    behavior_seed: int
+    drift_kind: str
+    drift_seed: int
+
+    def build(self, input_name: str) -> BranchBehavior:
+        """Instantiate this site's behaviour for the given input."""
+        behavior = self.factory.instantiate(Random(self.behavior_seed))
+        if input_name == REF:
+            behavior = apply_drift(behavior, self.drift_kind, Random(self.drift_seed))
+        return behavior
+
+
+@dataclass(frozen=True, slots=True)
+class Routine:
+    """A fixed sequence of branch-site executions.
+
+    ``items`` entries are either ``(PLAIN, site_index)`` or
+    ``(LOOP, site_index, body)`` where ``body`` is a tuple of site indices
+    re-executed on every taken iteration of the loop branch.
+    """
+
+    PLAIN = 0
+    LOOP = 1
+
+    items: tuple[tuple, ...]
+
+    def site_indices(self) -> list[int]:
+        """All sites mentioned by this routine (loop bodies included)."""
+        sites: list[int] = []
+        for item in self.items:
+            sites.append(item[1])
+            if item[0] == Routine.LOOP:
+                sites.extend(item[2])
+        return sites
+
+
+class SyntheticWorkload:
+    """A runnable synthetic program for one benchmark and input.
+
+    Instances are cheap to keep around; :meth:`execute` builds fresh
+    behaviour state per run so repeated executions with the same run seed
+    are bit-identical.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        input_name: str,
+        program: Program,
+        site_plans: Sequence[SitePlan],
+        routines: Sequence[Routine],
+        paths: Sequence[tuple[int, ...]],
+        path_weights: Sequence[float],
+        mean_instructions_per_branch: float,
+        root_seed: int,
+        path_repeat_mean: float = 5.0,
+    ):
+        if input_name not in VALID_INPUTS:
+            raise ConfigurationError(
+                f"input_name must be one of {VALID_INPUTS}, got {input_name!r}"
+            )
+        if len(site_plans) != len(program):
+            raise ConfigurationError(
+                f"{len(site_plans)} site plans for {len(program)} sites"
+            )
+        if len(paths) != len(path_weights):
+            raise ConfigurationError("paths and weights must align")
+        if mean_instructions_per_branch < 1.0:
+            raise ConfigurationError(
+                "mean instructions per branch must be >= 1, got "
+                f"{mean_instructions_per_branch}"
+            )
+        self.name = name
+        self.input_name = input_name
+        self.program = program
+        self.site_plans = list(site_plans)
+        self.routines = list(routines)
+        self.paths = [tuple(path) for path in paths]
+        self.mean_instructions_per_branch = mean_instructions_per_branch
+        self.root_seed = root_seed
+        if path_repeat_mean < 1.0:
+            raise ConfigurationError(
+                f"path_repeat_mean must be >= 1, got {path_repeat_mean}"
+            )
+        self.path_repeat_mean = path_repeat_mean
+
+        # Flatten each active path's routines into one item tuple so the
+        # execution loop runs straight through a path with no per-routine
+        # dispatch.
+        active = [(path, w) for path, w in zip(self.paths, path_weights) if w > 0.0]
+        if not active:
+            raise ConfigurationError("workload has no path with positive weight")
+        self._active_paths = [
+            tuple(item for routine_id in path for item in routines[routine_id].items)
+            for path, _ in active
+        ]
+        cumulative: list[float] = []
+        total = 0.0
+        for _, weight in active:
+            total += weight
+            cumulative.append(total)
+        self._cumulative_weights = cumulative
+        self._total_weight = total
+
+    def build_behaviors(self) -> list[BranchBehavior]:
+        """Instantiate fresh behaviour objects for every site."""
+        return [plan.build(self.input_name) for plan in self.site_plans]
+
+    def execute(self, n_branches: int, run_seed: int = 0) -> BranchTrace:
+        """Run the workload until ``n_branches`` branches have executed.
+
+        The returned trace is fully determined by the workload identity
+        and ``run_seed``.
+        """
+        if n_branches <= 0:
+            raise WorkloadError(f"n_branches must be positive, got {n_branches}")
+        rng = derive_rng(self.root_seed, self.name, self.input_name, "exec", run_seed)
+        rand = rng.random
+        log = math.log
+        behaviors = self.build_behaviors()
+        addresses = self.program.addresses
+
+        site_indices: list[int] = []
+        out_addresses: list[int] = []
+        outcomes: list[bool] = []
+        gaps: list[int] = []
+        append_site = site_indices.append
+        append_addr = out_addresses.append
+        append_outcome = outcomes.append
+        append_gap = gaps.append
+
+        mean_extra = self.mean_instructions_per_branch - 1.0
+        history = 0
+        count = 0
+        cumulative = self._cumulative_weights
+        total_weight = self._total_weight
+        paths = self._active_paths
+        plain = Routine.PLAIN
+
+        # Temporal locality: a picked path repeats a geometric number of
+        # times (real programs re-run the same hot call chain in bursts),
+        # which keeps path-entry history contexts repeatable.
+        repeat_continue = 1.0 - 1.0 / self.path_repeat_mean
+        repeats_left = 0
+        items: tuple = ()
+        while count < n_branches:
+            if repeats_left > 0 and rand() < repeat_continue:
+                repeats_left -= 1
+            else:
+                items = paths[bisect_right(cumulative, rand() * total_weight)]
+                repeats_left = 12  # cap on consecutive repeats
+            for item in items:
+                site = item[1]
+                if item[0] == plain:
+                    taken = behaviors[site].outcome(history, rng)
+                    history = ((history << 1) | taken) & _HISTORY_MASK
+                    append_site(site)
+                    append_addr(addresses[site])
+                    append_outcome(taken)
+                    if mean_extra > 0.0:
+                        append_gap(1 + int(-mean_extra * log(1.0 - rand()) + 0.5))
+                    else:
+                        append_gap(1)
+                    count += 1
+                    if count >= n_branches:
+                        break
+                else:
+                    body = item[2]
+                    while True:
+                        taken = behaviors[site].outcome(history, rng)
+                        history = ((history << 1) | taken) & _HISTORY_MASK
+                        append_site(site)
+                        append_addr(addresses[site])
+                        append_outcome(taken)
+                        if mean_extra > 0.0:
+                            append_gap(1 + int(-mean_extra * log(1.0 - rand()) + 0.5))
+                        else:
+                            append_gap(1)
+                        count += 1
+                        if count >= n_branches or not taken:
+                            break
+                        for body_site in body:
+                            b_taken = behaviors[body_site].outcome(history, rng)
+                            history = ((history << 1) | b_taken) & _HISTORY_MASK
+                            append_site(body_site)
+                            append_addr(addresses[body_site])
+                            append_outcome(b_taken)
+                            if mean_extra > 0.0:
+                                append_gap(1 + int(-mean_extra * log(1.0 - rand()) + 0.5))
+                            else:
+                                append_gap(1)
+                            count += 1
+                            if count >= n_branches:
+                                break
+                        if count >= n_branches:
+                            break
+                    if count >= n_branches:
+                        break
+
+        return BranchTrace(
+            program_name=self.name,
+            input_name=self.input_name,
+            site_indices=site_indices,
+            addresses=out_addresses,
+            outcomes=outcomes,
+            gaps=gaps,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Workload construction from a spec
+# ---------------------------------------------------------------------------
+
+
+def _build_routines(
+    n_sites: int,
+    size_lo: int,
+    size_hi: int,
+    loop_sites: set[int],
+    rng: Random,
+) -> list[Routine]:
+    """Partition sites into routines, wrapping loop sites as loop items."""
+    routines: list[Routine] = []
+    start = 0
+    while start < n_sites:
+        size = min(rng.randint(size_lo, size_hi), n_sites - start)
+        members = list(range(start, start + size))
+        items: list[tuple] = []
+        i = 0
+        while i < len(members):
+            site = members[i]
+            if site in loop_sites:
+                # Give the loop up to two following non-loop sites as body.
+                body: list[int] = []
+                j = i + 1
+                while j < len(members) and len(body) < 2 and members[j] not in loop_sites:
+                    body.append(members[j])
+                    j += 1
+                items.append((Routine.LOOP, site, tuple(body)))
+                i = j
+            else:
+                items.append((Routine.PLAIN, site))
+                i += 1
+        routines.append(Routine(items=tuple(items)))
+        start += size
+    return routines
+
+
+def _zipf_weights(n: int, exponent: float, rng: Random) -> list[float]:
+    """Zipf-like weights assigned in random rank order."""
+    ranks = list(range(1, n + 1))
+    rng.shuffle(ranks)
+    return [1.0 / (rank ** exponent) for rank in ranks]
+
+
+def _build_paths(
+    n_routines: int,
+    rng: Random,
+    length_lo: int = 3,
+    length_hi: int = 8,
+    shared_extras: int = 2,
+) -> list[tuple[int, ...]]:
+    """Compose routines into execution paths (call-chain stand-ins).
+
+    Real control flow is repetitive: the same chain of procedures runs
+    again and again, which is what gives global-history predictors their
+    repeatable contexts.  Each path is a fixed sequence of routines; the
+    executor runs one whole path per pick, so a branch's history is
+    dominated by the (deterministic) branches that precede it on its own
+    path rather than by unrelated routines.
+
+    Every routine appears in exactly one *base* path (coverage), and each
+    path additionally ends with a few globally shared routines drawn from
+    a small pool -- the "utility procedures called from everywhere" that
+    give the same branch multiple calling contexts.
+    """
+    order = list(range(n_routines))
+    rng.shuffle(order)
+    # A small pool of shared routines modelling common utility code.
+    shared_pool = order[: max(1, n_routines // 50)]
+    paths: list[tuple[int, ...]] = []
+    start = 0
+    while start < n_routines:
+        length = min(rng.randint(length_lo, length_hi), n_routines - start)
+        members = order[start : start + length]
+        for _ in range(shared_extras):
+            members.append(rng.choice(shared_pool))
+        paths.append(tuple(members))
+        start += length
+    return paths
+
+
+def build_workload(
+    spec,
+    input_name: str,
+    root_seed: int = 0,
+    site_scale: float | None = None,
+) -> SyntheticWorkload:
+    """Construct the workload for one benchmark spec and input.
+
+    The static program, routine structure, path weights, per-site
+    behaviour factories and drift kinds depend only on ``(spec,
+    root_seed, site_scale)``; the input selects branch density, behaviour
+    drift application, and (for ``train``) path coverage.  See
+    :class:`repro.workloads.spec95.WorkloadSpec` for the spec fields.
+
+    ``site_scale`` overrides the global ``REPRO_SITE_SCALE`` environment
+    scaling of static branch counts; experiments pass an explicit scale
+    so their results do not depend on ambient environment state.
+    """
+    if input_name not in VALID_INPUTS:
+        raise ConfigurationError(
+            f"input_name must be one of {VALID_INPUTS}, got {input_name!r}"
+        )
+    n_sites = spec.site_count(site_scale)
+    program = Program.synthesize(
+        spec.name, n_sites, seed=_stable_seed(root_seed, spec.name, "program")
+    )
+
+    mix_rng = derive_rng(root_seed, spec.name, "mix")
+    factories: list[BehaviorFactory] = []
+    cumulative: list[float] = []
+    total = 0.0
+    for factory, fraction in spec.mix:
+        total += fraction
+        factories.append(factory)
+        cumulative.append(total)
+    if not math.isclose(total, 1.0, abs_tol=1e-6):
+        raise ConfigurationError(
+            f"behaviour mix fractions for {spec.name!r} sum to {total}, expected 1"
+        )
+
+    site_factories = [
+        factories[min(bisect_right(cumulative, mix_rng.random() * total), len(factories) - 1)]
+        for _ in range(n_sites)
+    ]
+
+    loop_sites = {
+        i
+        for i, factory in enumerate(site_factories)
+        if type(factory).__name__ == "LoopFactory"
+    }
+
+    routine_rng = derive_rng(root_seed, spec.name, "routines")
+    routines = _build_routines(
+        n_sites, spec.routine_size_lo, spec.routine_size_hi, loop_sites, routine_rng
+    )
+    paths = _build_paths(len(routines), routine_rng)
+    weights = _zipf_weights(len(paths), spec.zipf_exponent, routine_rng)
+
+    # Hot paths: top fraction by weight, used to steer drift for
+    # programs whose frequently executed branches change behaviour.
+    order = sorted(range(len(paths)), key=lambda i: weights[i], reverse=True)
+    hot_path_ids = set(order[: max(1, len(order) // 20)])
+    hot_sites: set[int] = set()
+    for path_id in hot_path_ids:
+        for routine_id in paths[path_id]:
+            hot_sites.update(routines[routine_id].site_indices())
+
+    drift_rng = derive_rng(root_seed, spec.name, "drift")
+    site_plans: list[SitePlan] = []
+    drift = spec.drift
+    for i, factory in enumerate(site_factories):
+        reverse_p = drift.reverse_fraction
+        shift_p = drift.shift_fraction
+        if drift.hot_drift and i in hot_sites:
+            reverse_p += drift.hot_reverse_boost
+            shift_p += drift.hot_shift_boost
+        roll = drift_rng.random()
+        if roll < reverse_p:
+            kind = DriftKind.REVERSE
+        elif roll < reverse_p + shift_p:
+            kind = DriftKind.SHIFT
+        elif roll < reverse_p + shift_p + drift.jitter_fraction:
+            kind = DriftKind.JITTER
+        else:
+            kind = DriftKind.NONE
+        site_plans.append(
+            SitePlan(
+                factory=factory,
+                behavior_seed=_stable_seed(root_seed, spec.name, "beh", i),
+                drift_kind=kind,
+                drift_seed=_stable_seed(root_seed, spec.name, "drift", i),
+            )
+        )
+
+    path_weights = list(weights)
+    if input_name == TRAIN and spec.train_coverage < 1.0:
+        # The train input never reaches some (mostly cold) paths: zero
+        # out the weight of a random subset, excluding the hot set so the
+        # train run still exercises the program's core.
+        coverage_rng = derive_rng(root_seed, spec.name, "coverage")
+        for i in range(len(path_weights)):
+            if i in hot_path_ids:
+                continue
+            if coverage_rng.random() > spec.train_coverage:
+                path_weights[i] = 0.0
+
+    mean_gap = 1000.0 / spec.cbrs_per_ki[input_name]
+    return SyntheticWorkload(
+        name=spec.name,
+        input_name=input_name,
+        program=program,
+        site_plans=site_plans,
+        routines=routines,
+        paths=paths,
+        path_weights=path_weights,
+        mean_instructions_per_branch=mean_gap,
+        root_seed=root_seed,
+    )
+
+
+def _stable_seed(root: int, *names: object) -> int:
+    """Alias kept short because seed derivation appears in hot spec loops."""
+    return derive_seed(root, *names)

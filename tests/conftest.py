@@ -1,0 +1,46 @@
+"""Shared fixtures: small, fast workloads and traces.
+
+Tests use tiny trace lengths and site scales so the whole suite runs in
+seconds; experiment *shape* checks (which need realistic sizes) live in
+the benchmark harness, not here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import ExperimentContext
+from repro.workloads.generator import build_workload
+from repro.workloads.spec95 import get_spec
+from repro.workloads.trace import BranchTrace
+
+TEST_SEED = 7
+
+
+@pytest.fixture(scope="session")
+def gcc_workload():
+    """A small gcc workload (ref input)."""
+    return build_workload(get_spec("gcc"), "ref", root_seed=TEST_SEED,
+                          site_scale=0.02)
+
+
+@pytest.fixture(scope="session")
+def gcc_trace(gcc_workload) -> BranchTrace:
+    """A small gcc trace (~20k branches)."""
+    return gcc_workload.execute(20_000, run_seed=1)
+
+
+@pytest.fixture(scope="session")
+def m88ksim_traces():
+    """Small m88ksim train and ref traces (for drift/cross-training tests)."""
+    train = build_workload(get_spec("m88ksim"), "train", root_seed=TEST_SEED,
+                           site_scale=0.05).execute(20_000, run_seed=1)
+    ref = build_workload(get_spec("m88ksim"), "ref", root_seed=TEST_SEED,
+                         site_scale=0.05).execute(20_000, run_seed=1)
+    return train, ref
+
+
+@pytest.fixture()
+def tiny_ctx() -> ExperimentContext:
+    """An experiment context small enough for per-test experiment runs."""
+    return ExperimentContext(trace_length=4_000, site_scale=0.02, seed=TEST_SEED)

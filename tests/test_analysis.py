@@ -1,0 +1,171 @@
+"""Tests for the analysis layer: classification, interference, cost."""
+
+import pytest
+
+from repro.analysis.classification import BiasClass, classify_branches
+from repro.analysis.cost import PipelineCostModel
+from repro.analysis.interference import analyze_interference
+from repro.core.metrics import SimulationResult
+from repro.errors import ConfigurationError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.profiling.accuracy import AccuracyProfile, BranchAccuracy
+from repro.profiling.profile import BranchProfile, ProgramProfile
+from repro.workloads.trace import BranchTrace
+
+
+def make_trace(records, program="demo"):
+    trace = BranchTrace(program_name=program, input_name="ref")
+    for address, taken in records:
+        trace.site_indices.append(0)
+        trace.addresses.append(address)
+        trace.outcomes.append(taken)
+        trace.gaps.append(1)
+    return trace
+
+
+class TestBiasClass:
+    @pytest.mark.parametrize("rate,expected", [
+        (0.0, BiasClass.MOSTLY_NOT_TAKEN),
+        (0.05, BiasClass.MOSTLY_NOT_TAKEN),
+        (0.10, BiasClass.NOT_TAKEN),
+        (0.30, BiasClass.WEAKLY_NOT_TAKEN),
+        (0.50, BiasClass.WEAKLY_NOT_TAKEN),
+        (0.60, BiasClass.WEAKLY_TAKEN),
+        (0.80, BiasClass.TAKEN),
+        (0.95, BiasClass.MOSTLY_TAKEN),
+        (1.0, BiasClass.MOSTLY_TAKEN),
+    ])
+    def test_band_edges(self, rate, expected):
+        assert BiasClass.of(rate) is expected
+
+    def test_highly_biased_tails_only(self):
+        highly = {c for c in BiasClass if c.highly_biased}
+        assert highly == {BiasClass.MOSTLY_TAKEN, BiasClass.MOSTLY_NOT_TAKEN}
+
+
+class TestClassifyBranches:
+    def _profile(self):
+        return ProgramProfile("demo", "ref", {
+            0x1000: BranchProfile(100, 99),   # mostly taken
+            0x1004: BranchProfile(50, 1),     # mostly not taken
+            0x1008: BranchProfile(200, 120),  # weakly taken
+        })
+
+    def test_counts_per_class(self):
+        breakdown = classify_branches(self._profile())
+        assert breakdown.stats(BiasClass.MOSTLY_TAKEN).static_branches == 1
+        assert breakdown.stats(BiasClass.MOSTLY_NOT_TAKEN).static_branches == 1
+        assert breakdown.stats(BiasClass.WEAKLY_TAKEN).static_branches == 1
+        assert breakdown.total_executions == 350
+
+    def test_dynamic_fractions(self):
+        breakdown = classify_branches(self._profile())
+        assert breakdown.dynamic_fraction(BiasClass.MOSTLY_TAKEN) == pytest.approx(100 / 350)
+        assert breakdown.highly_biased_dynamic_fraction() == pytest.approx(150 / 350)
+
+    def test_accuracy_folded_in(self):
+        accuracy = AccuracyProfile("demo", "ref", "gshare", {
+            0x1000: BranchAccuracy(100, 90),
+            0x1008: BranchAccuracy(200, 100),
+        })
+        breakdown = classify_branches(self._profile(), accuracy)
+        assert breakdown.stats(BiasClass.MOSTLY_TAKEN).predictor_accuracy == pytest.approx(0.9)
+        assert breakdown.stats(BiasClass.WEAKLY_TAKEN).predictor_accuracy == pytest.approx(0.5)
+        # Unmeasured class reports 0.
+        assert breakdown.stats(BiasClass.MOSTLY_NOT_TAKEN).predictor_accuracy == 0.0
+
+    def test_rows_cover_all_classes(self):
+        rows = classify_branches(self._profile()).rows()
+        assert len(rows) == len(BiasClass)
+
+    def test_real_workload_matches_stats_module(self, gcc_trace):
+        from repro.workloads.stats import dynamic_highly_biased_fraction
+
+        profile = ProgramProfile.from_trace(gcc_trace)
+        breakdown = classify_branches(profile)
+        # Classification's >=95% bucket vs stats' >95% cutoff: close.
+        assert breakdown.highly_biased_dynamic_fraction() == pytest.approx(
+            dynamic_highly_biased_fraction(gcc_trace), abs=0.1
+        )
+
+
+class TestAnalyzeInterference:
+    def test_destructive_pair_identified(self):
+        colliding = 0x1000 + 4 * 4
+        trace = make_trace([(0x1000, True), (colliding, False)] * 100)
+        analysis = analyze_interference(trace, BimodalPredictor(4))
+        assert analysis.total_destructive > 0
+        top = analysis.top_destructive_pairs(2)
+        top_pairs = {pair for pair, _ in top}
+        assert (0x1000, colliding) in top_pairs
+        assert (colliding, 0x1000) in top_pairs
+
+    def test_no_aliasing_no_pairs(self):
+        trace = make_trace([(0x1000, True), (0x1004, False)] * 50)
+        analysis = analyze_interference(trace, BimodalPredictor(1024))
+        assert analysis.total_collisions == 0
+        assert analysis.pairs == {}
+        assert analysis.destructive_fraction == 0.0
+
+    def test_concentration(self):
+        colliding = 0x1000 + 4 * 4
+        trace = make_trace([(0x1000, True), (colliding, False)] * 100)
+        analysis = analyze_interference(trace, BimodalPredictor(4))
+        # All destruction comes from one pair of branches (two ordered
+        # pairs); half of it from one.
+        assert analysis.concentration(0.5) <= 2
+
+    def test_concentration_rejects_bad_fraction(self):
+        trace = make_trace([(0x1000, True)])
+        analysis = analyze_interference(trace, BimodalPredictor(4))
+        with pytest.raises(ValueError):
+            analysis.concentration(0.0)
+
+    def test_destructive_dominates_on_hostile_workload(self, gcc_trace):
+        # Young et al.: collisions are more often destructive than
+        # constructive -- at minimum, a tiny table on gcc produces a
+        # substantial destructive share.
+        analysis = analyze_interference(gcc_trace, BimodalPredictor(64))
+        assert analysis.total_collisions > 0
+        assert analysis.destructive_fraction > 0.2
+
+
+class TestPipelineCostModel:
+    def _result(self, misp, instructions=10_000):
+        return SimulationResult(
+            program_name="p", input_name="ref", predictor_name="x",
+            scheme="none", size_bytes=1024, branches=1000,
+            instructions=instructions, mispredictions=misp,
+        )
+
+    def test_cpi(self):
+        model = PipelineCostModel(base_cpi=1.0, misprediction_penalty=10.0)
+        result = self._result(100)  # 10 MISP/KI
+        assert model.cpi(result) == pytest.approx(1.0 + 10 * 10 / 1000)
+
+    def test_cycles(self):
+        model = PipelineCostModel(base_cpi=1.0, misprediction_penalty=10.0)
+        result = self._result(100)
+        assert model.cycles(result) == pytest.approx(1.1 * 10_000)
+
+    def test_speedup_direction(self):
+        model = PipelineCostModel()
+        worse = self._result(200)
+        better = self._result(100)
+        assert model.speedup(worse, better) > 1.0
+        assert model.speedup(better, worse) < 1.0
+
+    def test_overhead(self):
+        model = PipelineCostModel(base_cpi=1.0, misprediction_penalty=10.0)
+        result = self._result(100)
+        assert model.mispredict_overhead(result) == pytest.approx(0.1 / 1.1)
+
+    def test_zero_penalty(self):
+        model = PipelineCostModel(misprediction_penalty=0.0)
+        assert model.cpi(self._result(500)) == model.base_cpi
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ConfigurationError):
+            PipelineCostModel(base_cpi=0.0)
+        with pytest.raises(ConfigurationError):
+            PipelineCostModel(misprediction_penalty=-1.0)

@@ -1,0 +1,102 @@
+"""Tests for the architecture substrate (ISA hints, programs)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.arch.isa import INSTRUCTION_BYTES, HintBits, ShiftPolicy
+from repro.arch.program import BranchSite, Program
+from repro.errors import ConfigurationError
+
+
+class TestHintBits:
+    def test_dynamic_defaults(self):
+        hint = HintBits.dynamic()
+        assert not hint.use_static
+        assert not hint.direction
+        assert not hint.shift_history
+
+    def test_static_constructor(self):
+        hint = HintBits.static(True, shift_history=True)
+        assert hint.use_static and hint.direction and hint.shift_history
+
+    def test_encode_decode_roundtrip_all(self):
+        for bits in range(8):
+            assert HintBits.decode(bits).encode() == bits
+
+    @given(st.booleans(), st.booleans(), st.booleans())
+    def test_roundtrip_property(self, use, direction, shift):
+        hint = HintBits(use_static=use, direction=direction, shift_history=shift)
+        assert HintBits.decode(hint.encode()) == hint
+
+    def test_frozen(self):
+        hint = HintBits.dynamic()
+        with pytest.raises(AttributeError):
+            hint.use_static = True
+
+    def test_shift_policy_values(self):
+        assert ShiftPolicy.NO_SHIFT.value == "no_shift"
+        assert ShiftPolicy.SHIFT.value == "shift"
+        assert ShiftPolicy.PER_BRANCH.value == "per_branch"
+
+
+class TestBranchSite:
+    def test_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            BranchSite(index=0, address=0x1001)
+
+    def test_aligned_ok(self):
+        site = BranchSite(index=3, address=0x1000, name="b3")
+        assert site.address % INSTRUCTION_BYTES == 0
+        assert not site.hints.use_static
+
+
+class TestProgram:
+    def test_synthesize_counts(self):
+        program = Program.synthesize("demo", 100, seed=1)
+        assert len(program) == 100
+        assert len(program.addresses) == 100
+
+    def test_addresses_unique_and_aligned(self):
+        program = Program.synthesize("demo", 500, seed=2)
+        addresses = program.addresses
+        assert len(set(addresses)) == len(addresses)
+        assert all(a % INSTRUCTION_BYTES == 0 for a in addresses)
+
+    def test_deterministic_by_seed(self):
+        a = Program.synthesize("demo", 50, seed=3)
+        b = Program.synthesize("demo", 50, seed=3)
+        assert a.addresses == b.addresses
+
+    def test_different_seed_different_addresses(self):
+        a = Program.synthesize("demo", 50, seed=3)
+        b = Program.synthesize("demo", 50, seed=4)
+        assert a.addresses != b.addresses
+
+    def test_site_by_address(self):
+        program = Program.synthesize("demo", 10, seed=5)
+        site = program.sites[4]
+        assert program.site_by_address(site.address) is site
+
+    def test_rejects_zero_sites(self):
+        with pytest.raises(ConfigurationError):
+            Program.synthesize("demo", 0)
+
+    def test_rejects_duplicate_addresses(self):
+        sites = [
+            BranchSite(index=0, address=0x1000),
+            BranchSite(index=1, address=0x1000),
+        ]
+        with pytest.raises(ConfigurationError):
+            Program("demo", sites)
+
+    def test_hint_stamping_and_clearing(self):
+        program = Program.synthesize("demo", 10, seed=6)
+        program.sites[0].hints = HintBits.static(True)
+        program.sites[1].hints = HintBits.static(False)
+        assert program.count_static_hints() == 2
+        program.clear_hints()
+        assert program.count_static_hints() == 0
+
+    def test_iteration_order(self):
+        program = Program.synthesize("demo", 10, seed=7)
+        assert [s.index for s in program] == list(range(10))

@@ -1,0 +1,268 @@
+"""Tests for branch behaviour models and their factories."""
+
+import math
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.workloads.behaviors import (
+    BehaviorFactory,
+    BiasedBehavior,
+    BiasedFactory,
+    CorrelatedBehavior,
+    CorrelatedFactory,
+    LoopBehavior,
+    LoopFactory,
+    MarkovBiasedBehavior,
+    PatternBehavior,
+    PatternFactory,
+    Phase,
+    PhasedBehavior,
+    PhasedFactory,
+    geometric_gap,
+)
+
+
+def run_behavior(behavior, n, seed=0, history=0):
+    rng = Random(seed)
+    return [behavior.outcome(history, rng) for _ in range(n)]
+
+
+class TestBiasedBehavior:
+    def test_observed_rate_converges(self):
+        outcomes = run_behavior(BiasedBehavior(0.8), 20_000)
+        assert abs(sum(outcomes) / len(outcomes) - 0.8) < 0.02
+
+    def test_extremes(self):
+        assert all(run_behavior(BiasedBehavior(1.0), 100))
+        assert not any(run_behavior(BiasedBehavior(0.0), 100))
+
+    def test_expected_bias_symmetric(self):
+        assert BiasedBehavior(0.2).expected_bias() == pytest.approx(0.8)
+        assert BiasedBehavior(0.8).expected_bias() == pytest.approx(0.8)
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            BiasedBehavior(1.5)
+
+
+class TestMarkovBiasedBehavior:
+    def test_stationary_rate_matches(self):
+        behavior = MarkovBiasedBehavior(0.9, burst_length=8.0)
+        outcomes = run_behavior(behavior, 100_000)
+        assert abs(sum(outcomes) / len(outcomes) - 0.9) < 0.02
+
+    def test_minority_outcomes_cluster(self):
+        # Runs of the minority direction should average near burst_length,
+        # far above the iid expectation of ~1/(1-m) ~= 1.05.
+        behavior = MarkovBiasedBehavior(0.95, burst_length=10.0)
+        outcomes = run_behavior(behavior, 200_000)
+        runs = []
+        current = 0
+        for taken in outcomes:
+            if not taken:
+                current += 1
+            elif current:
+                runs.append(current)
+                current = 0
+        assert runs, "expected some minority runs"
+        mean_run = sum(runs) / len(runs)
+        assert mean_run > 4.0
+
+    def test_not_taken_majority(self):
+        behavior = MarkovBiasedBehavior(0.1, burst_length=5.0)
+        outcomes = run_behavior(behavior, 50_000)
+        assert abs(sum(outcomes) / len(outcomes) - 0.1) < 0.02
+
+    def test_rejects_short_burst(self):
+        with pytest.raises(ConfigurationError):
+            MarkovBiasedBehavior(0.9, burst_length=0.5)
+
+    @given(st.floats(min_value=0.0, max_value=1.0),
+           st.floats(min_value=1.0, max_value=50.0))
+    @settings(max_examples=30, deadline=None)
+    def test_stationary_property(self, p, burst):
+        behavior = MarkovBiasedBehavior(p, burst)
+        outcomes = run_behavior(behavior, 30_000, seed=3)
+        assert abs(sum(outcomes) / len(outcomes) - p) < 0.08
+
+
+class TestLoopBehavior:
+    def test_fixed_trip_pattern(self):
+        behavior = LoopBehavior(4)
+        outcomes = run_behavior(behavior, 12)
+        assert outcomes == [True, True, True, False] * 3
+
+    def test_expected_bias(self):
+        assert LoopBehavior(10).expected_bias() == pytest.approx(0.9)
+
+    def test_jitter_bounded(self):
+        behavior = LoopBehavior(10, jitter=3)
+        outcomes = run_behavior(behavior, 5_000)
+        runs = []
+        current = 0
+        for taken in outcomes:
+            if taken:
+                current += 1
+            else:
+                runs.append(current + 1)
+                current = 0
+        assert runs
+        assert all(7 <= run <= 13 for run in runs)
+
+    def test_rejects_tiny_trip(self):
+        with pytest.raises(ConfigurationError):
+            LoopBehavior(1)
+
+    def test_rejects_excess_jitter(self):
+        with pytest.raises(ConfigurationError):
+            LoopBehavior(4, jitter=3)
+
+
+class TestPatternBehavior:
+    def test_cycles(self):
+        behavior = PatternBehavior((True, True, False))
+        assert run_behavior(behavior, 6) == [True, True, False, True, True, False]
+
+    def test_expected_bias(self):
+        assert PatternBehavior((True, False)).expected_bias() == pytest.approx(0.5)
+        assert PatternBehavior((True, True, False)).expected_bias() == pytest.approx(2 / 3)
+
+    def test_rejects_constant(self):
+        with pytest.raises(ConfigurationError):
+            PatternBehavior((True, True))
+
+    def test_rejects_short(self):
+        with pytest.raises(ConfigurationError):
+            PatternBehavior((True,))
+
+
+class TestCorrelatedBehavior:
+    def test_pure_parity_deterministic(self):
+        behavior = CorrelatedBehavior(0b11, noise=0.0)
+        rng = Random(0)
+        assert behavior.outcome(0b00, rng) is False
+        assert behavior.outcome(0b01, rng) is True
+        assert behavior.outcome(0b10, rng) is True
+        assert behavior.outcome(0b11, rng) is False
+
+    def test_invert(self):
+        plain = CorrelatedBehavior(0b1, noise=0.0, invert=False)
+        inverted = CorrelatedBehavior(0b1, noise=0.0, invert=True)
+        rng = Random(0)
+        for history in range(4):
+            assert plain.outcome(history, rng) != inverted.outcome(history, rng)
+
+    def test_noise_rate(self):
+        behavior = CorrelatedBehavior(0b1, noise=0.25)
+        rng = Random(1)
+        flips = sum(
+            behavior.outcome(0b0, rng) is not False for _ in range(20_000)
+        )
+        assert abs(flips / 20_000 - 0.25) < 0.02
+
+    def test_rejects_empty_mask(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedBehavior(0)
+
+    def test_rejects_big_noise(self):
+        with pytest.raises(ConfigurationError):
+            CorrelatedBehavior(1, noise=0.6)
+
+
+class TestPhasedBehavior:
+    def test_alternates_direction(self):
+        behavior = PhasedBehavior((Phase(100, 1.0), Phase(100, 0.0)))
+        outcomes = run_behavior(behavior, 400)
+        assert all(outcomes[:100])
+        assert not any(outcomes[100:200])
+        assert all(outcomes[200:300])
+
+    def test_expected_bias_weighted(self):
+        behavior = PhasedBehavior((Phase(100, 1.0), Phase(100, 0.0)))
+        assert behavior.expected_bias() == pytest.approx(0.5)
+
+    def test_rejects_single_phase(self):
+        with pytest.raises(ConfigurationError):
+            PhasedBehavior((Phase(10, 0.5),))
+
+    def test_rejects_zero_length(self):
+        with pytest.raises(ConfigurationError):
+            PhasedBehavior((Phase(0, 0.5), Phase(10, 0.5)))
+
+
+class TestFactories:
+    @pytest.mark.parametrize("factory", [
+        BiasedFactory(lo=0.97, hi=0.999, burst_length=6.0),
+        BiasedFactory(lo=0.5, hi=0.6),
+        LoopFactory(lo=3, hi=9),
+        PatternFactory(lo=2, hi=4),
+        CorrelatedFactory(depth=8, taps=2),
+        PhasedFactory(),
+    ])
+    def test_instantiate_deterministic(self, factory):
+        a = factory.instantiate(Random(11))
+        b = factory.instantiate(Random(11))
+        assert repr(a) == repr(b)
+
+    def test_biased_factory_band(self):
+        factory = BiasedFactory(lo=0.9, hi=0.95)
+        for i in range(50):
+            behavior = factory.instantiate(Random(i))
+            assert 0.9 <= behavior.expected_bias() <= 0.95
+
+    def test_biased_factory_burst_dispatch(self):
+        iid = BiasedFactory(lo=0.9, hi=0.95).instantiate(Random(0))
+        bursty = BiasedFactory(lo=0.9, hi=0.95, burst_length=8.0).instantiate(Random(0))
+        assert isinstance(iid, BiasedBehavior)
+        assert isinstance(bursty, MarkovBiasedBehavior)
+
+    def test_high_bias_flag(self):
+        assert BiasedFactory(lo=0.97, hi=0.999).is_highly_biased()
+        assert not BiasedFactory(lo=0.5, hi=0.7).is_highly_biased()
+        assert LoopFactory(lo=24, hi=96).is_highly_biased()
+        assert not LoopFactory(lo=3, hi=9).is_highly_biased()
+        assert not PatternFactory().is_highly_biased()
+        assert not CorrelatedFactory().is_highly_biased()
+        assert not PhasedFactory().is_highly_biased()
+
+    def test_correlated_factory_taps_within_depth(self):
+        factory = CorrelatedFactory(depth=6, taps=3)
+        for i in range(20):
+            behavior = factory.instantiate(Random(i))
+            assert behavior.history_mask < (1 << 6)
+            assert bin(behavior.history_mask).count("1") == 3
+
+    def test_loop_factory_band(self):
+        factory = LoopFactory(lo=5, hi=7)
+        for i in range(20):
+            behavior = factory.instantiate(Random(i))
+            assert 5 <= behavior.trip <= 7
+
+    def test_invalid_bands_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BiasedFactory(lo=0.4, hi=0.6)
+        with pytest.raises(ConfigurationError):
+            LoopFactory(lo=1, hi=5)
+        with pytest.raises(ConfigurationError):
+            PatternFactory(lo=1, hi=3)
+        with pytest.raises(ConfigurationError):
+            CorrelatedFactory(depth=2, taps=5)
+
+
+class TestGeometricGap:
+    def test_minimum_one(self):
+        rng = Random(0)
+        assert all(geometric_gap(1.0, rng) == 1 for _ in range(100))
+
+    def test_mean_approximates_target(self):
+        rng = Random(1)
+        for target in (4.0, 9.0, 16.0):
+            samples = [geometric_gap(target, rng) for _ in range(50_000)]
+            assert abs(sum(samples) / len(samples) - target) < target * 0.05
+
+    def test_rejects_below_one(self):
+        with pytest.raises(ConfigurationError):
+            geometric_gap(0.5, Random(0))

@@ -1,0 +1,139 @@
+"""Unit and property tests for repro.utils.bits."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bits import (
+    bit_mask,
+    fold_bits,
+    is_power_of_two,
+    log2_exact,
+    mix64,
+    reverse_bits,
+    rotate_left,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_powers(self):
+        for exponent in range(0, 40):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers(self):
+        for value in (0, -1, -4, 3, 5, 6, 7, 9, 100, 1023):
+            assert not is_power_of_two(value)
+
+
+class TestLog2Exact:
+    def test_round_trip(self):
+        for exponent in range(0, 30):
+            assert log2_exact(1 << exponent) == exponent
+
+    def test_rejects_non_power(self):
+        with pytest.raises(ValueError):
+            log2_exact(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            log2_exact(0)
+
+
+class TestBitMask:
+    def test_values(self):
+        assert bit_mask(0) == 0
+        assert bit_mask(1) == 1
+        assert bit_mask(8) == 0xFF
+        assert bit_mask(16) == 0xFFFF
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bit_mask(-1)
+
+    @given(st.integers(min_value=0, max_value=64))
+    def test_mask_width(self, width):
+        assert bit_mask(width).bit_length() == width
+
+
+class TestFoldBits:
+    def test_short_value_unchanged(self):
+        assert fold_bits(0b101, 4) == 0b101
+
+    def test_folds_two_chunks(self):
+        assert fold_bits(0b101100, 3) == 0b101 ^ 0b100
+
+    def test_folds_three_chunks(self):
+        assert fold_bits(0b111000111, 3) == 0b111 ^ 0b000 ^ 0b111
+
+    def test_zero(self):
+        assert fold_bits(0, 5) == 0
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            fold_bits(3, 0)
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1),
+           st.integers(min_value=1, max_value=20))
+    def test_result_in_range(self, value, width):
+        assert 0 <= fold_bits(value, width) < (1 << width)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1),
+           st.integers(min_value=1, max_value=20))
+    def test_xor_linearity(self, value, width):
+        # fold(a ^ b) == fold(a) ^ fold(b): folding is GF(2)-linear.
+        other = 0b1011011 & ((1 << width) - 1)
+        assert fold_bits(value ^ other, width) == (
+            fold_bits(value, width) ^ fold_bits(other, width)
+        )
+
+
+class TestMix64:
+    def test_deterministic(self):
+        assert mix64(12345) == mix64(12345)
+
+    def test_spreads_nearby_inputs(self):
+        outputs = {mix64(i) for i in range(1000)}
+        assert len(outputs) == 1000
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_range(self, value):
+        assert 0 <= mix64(value) < 2**64
+
+    def test_truncates_to_64_bits(self):
+        assert mix64(2**64 + 5) == mix64(5)
+
+
+class TestReverseBits:
+    def test_simple(self):
+        assert reverse_bits(0b110, 3) == 0b011
+
+    def test_palindrome(self):
+        assert reverse_bits(0b101, 3) == 0b101
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=1, max_value=16))
+    def test_involution(self, value, width):
+        value &= (1 << width) - 1
+        assert reverse_bits(reverse_bits(value, width), width) == value
+
+
+class TestRotateLeft:
+    def test_simple(self):
+        assert rotate_left(0b001, 1, 3) == 0b010
+
+    def test_wraps(self):
+        assert rotate_left(0b100, 1, 3) == 0b001
+
+    def test_full_rotation_identity(self):
+        assert rotate_left(0b1011, 4, 4) == 0b1011
+
+    def test_rejects_bad_width(self):
+        with pytest.raises(ValueError):
+            rotate_left(1, 1, 0)
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1),
+           st.integers(min_value=0, max_value=24),
+           st.integers(min_value=1, max_value=12))
+    def test_preserves_popcount(self, value, amount, width):
+        value &= (1 << width) - 1
+        rotated = rotate_left(value, amount, width)
+        assert bin(rotated).count("1") == bin(value).count("1")

@@ -1,0 +1,105 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def small_env(monkeypatch):
+    """Keep CLI-run simulations tiny."""
+    monkeypatch.setenv("REPRO_TRACE_LENGTH", "3000")
+    monkeypatch.setenv("REPRO_EXPERIMENT_SITE_SCALE", "0.02")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(
+            ["run", "--program", "gcc", "--predictor", "gshare",
+             "--size", "1024", "--scheme", "static_95", "--shift"]
+        )
+        assert args.program == "gcc"
+        assert args.shift is True
+
+    def test_rejects_unknown_predictor(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "--program", "gcc", "--predictor", "tage",
+                 "--size", "1024"]
+            )
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["experiment", "table9"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gcc" in out and "2bcgskew" in out and "table3" in out
+
+    def test_run(self, capsys):
+        status = main(["run", "--program", "compress", "--predictor",
+                       "bimodal", "--size", "1024"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "MISP/KI" in out
+
+    def test_run_with_scheme_and_collisions(self, capsys):
+        status = main(["run", "--program", "compress", "--predictor",
+                       "gshare", "--size", "1024", "--scheme", "static_95",
+                       "--collisions"])
+        assert status == 0
+        out = capsys.readouterr().out
+        assert "collisions" in out
+
+    def test_run_bad_size_reports_error(self, capsys):
+        status = main(["run", "--program", "compress", "--predictor",
+                       "gshare", "--size", "1000"])
+        assert status == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_experiment(self, capsys):
+        assert main(["experiment", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "gcc" in out
+
+    def test_trace_roundtrip(self, tmp_path, capsys):
+        path = str(tmp_path / "out.trace")
+        status = main(["trace", "--program", "compress", "--length", "500",
+                       "--out", path])
+        assert status == 0
+        from repro.workloads.trace import BranchTrace
+
+        assert len(BranchTrace.load(path)) == 500
+
+    def test_profile_output(self, tmp_path):
+        path = str(tmp_path / "p.json")
+        assert main(["profile", "--program", "compress", "--out", path]) == 0
+        from repro.profiling.profile import ProgramProfile
+
+        profile = ProgramProfile.load(path)
+        assert len(profile) > 0
+
+    def test_classify(self, capsys):
+        assert main(["classify", "--program", "compress"]) == 0
+        out = capsys.readouterr().out
+        assert "mostly-taken" in out
+        assert "highly biased" in out
+
+    def test_classify_with_predictor(self, capsys):
+        assert main(["classify", "--program", "compress", "--predictor",
+                     "bimodal", "--size", "1024"]) == 0
+        out = capsys.readouterr().out
+        assert "accuracy: bimodal" in out
+
+    def test_interference(self, capsys):
+        assert main(["interference", "--program", "compress", "--predictor",
+                     "gshare", "--size", "512", "--top", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "collisions" in out

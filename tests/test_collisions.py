@@ -1,0 +1,96 @@
+"""Tests for the tag-based collision instrumentation."""
+
+import pytest
+
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.collisions import CollisionCounts, CollisionTracker
+from repro.predictors.gskew import TwoBcGskewPredictor
+
+
+class TestCollisionCounts:
+    def test_rates(self):
+        counts = CollisionCounts(lookups=100, collisions=10,
+                                 constructive=4, destructive=6)
+        assert counts.collision_rate == pytest.approx(0.1)
+        assert counts.destructive_fraction == pytest.approx(0.6)
+
+    def test_empty_rates(self):
+        counts = CollisionCounts()
+        assert counts.collision_rate == 0.0
+        assert counts.destructive_fraction == 0.0
+
+    def test_merge(self):
+        a = CollisionCounts(lookups=10, collisions=2, constructive=1,
+                            destructive=1)
+        b = CollisionCounts(lookups=5, collisions=1, constructive=0,
+                            destructive=1)
+        a.merge(b)
+        assert a.lookups == 15
+        assert a.collisions == 3
+        assert a.destructive == 2
+
+
+class TestCollisionTracker:
+    def test_first_use_is_not_collision(self):
+        predictor = BimodalPredictor(4)
+        tracker = CollisionTracker(predictor)
+        predictor.predict(0x1000)
+        assert tracker.observe_lookup(0x1000) == 0
+        assert tracker.counts.collisions == 0
+        assert tracker.counts.lookups == 1
+
+    def test_same_branch_repeat_is_not_collision(self):
+        predictor = BimodalPredictor(4)
+        tracker = CollisionTracker(predictor)
+        for _ in range(5):
+            predictor.predict(0x1000)
+            tracker.observe_lookup(0x1000)
+        assert tracker.counts.collisions == 0
+
+    def test_aliasing_counts_collisions(self):
+        predictor = BimodalPredictor(4)
+        tracker = CollisionTracker(predictor)
+        colliding = 0x1000 + 4 * 4  # same index mod 4 entries
+        predictor.predict(0x1000)
+        tracker.observe_lookup(0x1000)
+        predictor.predict(colliding)
+        assert tracker.observe_lookup(colliding) == 1
+        # And back again: the tag now holds the other branch.
+        predictor.predict(0x1000)
+        assert tracker.observe_lookup(0x1000) == 1
+        assert tracker.counts.collisions == 2
+
+    def test_non_aliasing_branches_no_collision(self):
+        predictor = BimodalPredictor(1024)
+        tracker = CollisionTracker(predictor)
+        for address in (0x1000, 0x1004, 0x1008):
+            predictor.predict(address)
+            tracker.observe_lookup(address)
+        assert tracker.counts.collisions == 0
+
+    def test_classification(self):
+        predictor = BimodalPredictor(4)
+        tracker = CollisionTracker(predictor)
+        tracker.classify(2, prediction_correct=True)
+        tracker.classify(1, prediction_correct=False)
+        tracker.classify(0, prediction_correct=False)
+        assert tracker.counts.constructive == 2
+        assert tracker.counts.destructive == 1
+
+    def test_multi_table_predictor_lookups(self):
+        predictor = TwoBcGskewPredictor(bank_entries=64)
+        tracker = CollisionTracker(predictor)
+        predictor.predict(0x1000)
+        tracker.observe_lookup(0x1000)
+        # Four banks -> four lookups per branch.
+        assert tracker.counts.lookups == 4
+
+    def test_reset(self):
+        predictor = BimodalPredictor(4)
+        tracker = CollisionTracker(predictor)
+        predictor.predict(0x1000)
+        tracker.observe_lookup(0x1000)
+        tracker.reset()
+        assert tracker.counts.lookups == 0
+        predictor.predict(0x1000)
+        assert tracker.observe_lookup(0x1000) == 0  # tags cleared

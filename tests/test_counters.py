@@ -1,0 +1,112 @@
+"""Tests for saturating counter tables."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.predictors.counters import CounterTable
+
+
+class TestConstruction:
+    def test_defaults_weakly_not_taken(self):
+        table = CounterTable(8)
+        assert table.values == [1] * 8
+        assert table.threshold == 2
+        assert table.max_value == 3
+
+    def test_custom_initial(self):
+        table = CounterTable(4, initial=3)
+        assert table.values == [3, 3, 3, 3]
+
+    def test_size_accounting(self):
+        table = CounterTable(4096, bits=2)
+        assert table.size_bits == 8192
+        assert table.size_bytes == 1024.0
+
+    def test_three_bit_counters(self):
+        table = CounterTable(4, bits=3)
+        assert table.max_value == 7
+        assert table.threshold == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            CounterTable(12)
+
+    def test_rejects_zero_bits(self):
+        with pytest.raises(ConfigurationError):
+            CounterTable(4, bits=0)
+
+    def test_rejects_out_of_range_initial(self):
+        with pytest.raises(ConfigurationError):
+            CounterTable(4, initial=9)
+
+
+class TestUpdate:
+    def test_increments_on_taken(self):
+        table = CounterTable(4)
+        table.update(0, True)
+        assert table.values[0] == 2
+
+    def test_decrements_on_not_taken(self):
+        table = CounterTable(4)
+        table.update(0, False)
+        assert table.values[0] == 0
+
+    def test_saturates_high(self):
+        table = CounterTable(4)
+        for _ in range(10):
+            table.update(0, True)
+        assert table.values[0] == 3
+
+    def test_saturates_low(self):
+        table = CounterTable(4)
+        for _ in range(10):
+            table.update(0, False)
+        assert table.values[0] == 0
+
+    def test_predict_threshold(self):
+        table = CounterTable(4)
+        assert not table.predict(0)  # 1 < 2
+        table.update(0, True)
+        assert table.predict(0)  # 2 >= 2
+
+    def test_hysteresis(self):
+        # A saturated counter survives one opposite outcome.
+        table = CounterTable(4)
+        table.update(0, True)
+        table.update(0, True)  # value 3
+        table.update(0, False)  # value 2
+        assert table.predict(0)
+
+    def test_reset(self):
+        table = CounterTable(4)
+        table.update(0, True)
+        table.reset()
+        assert table.values == [1] * 4
+
+    def test_reset_custom(self):
+        table = CounterTable(4)
+        table.reset(2)
+        assert table.values == [2] * 4
+
+    def test_reset_rejects_bad_value(self):
+        with pytest.raises(ConfigurationError):
+            CounterTable(4).reset(5)
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=15),
+                              st.booleans()), max_size=300))
+    @settings(max_examples=100, deadline=None)
+    def test_counters_stay_in_range(self, updates):
+        table = CounterTable(16)
+        for index, taken in updates:
+            table.update(index, taken)
+        table.check_invariants()
+
+    @given(st.integers(min_value=1, max_value=4))
+    def test_check_invariants_catches_corruption(self, bits):
+        table = CounterTable(4, bits=bits)
+        table.values[2] = table.max_value + 1
+        with pytest.raises(AssertionError):
+            table.check_invariants()

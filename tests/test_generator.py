@@ -1,0 +1,215 @@
+"""Tests for synthetic workload construction and execution."""
+
+from random import Random
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.behaviors import (
+    BiasedBehavior,
+    CorrelatedBehavior,
+    LoopBehavior,
+    MarkovBiasedBehavior,
+    PatternBehavior,
+)
+from repro.workloads.generator import (
+    DriftKind,
+    Routine,
+    SyntheticWorkload,
+    apply_drift,
+    build_workload,
+)
+from repro.workloads.spec95 import get_spec
+from repro.workloads.stats import characterize
+
+
+class TestApplyDrift:
+    def test_none_identity(self):
+        behavior = BiasedBehavior(0.9)
+        assert apply_drift(behavior, DriftKind.NONE, Random(0)) is behavior
+
+    def test_reverse_biased(self):
+        behavior = apply_drift(BiasedBehavior(0.9), DriftKind.REVERSE, Random(0))
+        assert behavior.p_taken == pytest.approx(0.1)
+
+    def test_reverse_markov_keeps_burst(self):
+        original = MarkovBiasedBehavior(0.9, burst_length=7.0)
+        drifted = apply_drift(original, DriftKind.REVERSE, Random(0))
+        assert isinstance(drifted, MarkovBiasedBehavior)
+        assert drifted.p_taken == pytest.approx(0.1)
+        assert drifted.burst_length == 7.0
+
+    def test_jitter_small(self):
+        for seed in range(20):
+            drifted = apply_drift(BiasedBehavior(0.8), DriftKind.JITTER, Random(seed))
+            assert abs(drifted.p_taken - 0.8) <= 0.04 + 1e-9
+
+    def test_shift_keeps_majority(self):
+        for seed in range(20):
+            drifted = apply_drift(BiasedBehavior(0.97), DriftKind.SHIFT, Random(seed))
+            assert 0.5 <= drifted.p_taken < 0.97
+
+    def test_reverse_loop_becomes_biased(self):
+        drifted = apply_drift(LoopBehavior(10), DriftKind.REVERSE, Random(0))
+        assert isinstance(drifted, BiasedBehavior)
+        assert drifted.p_taken == pytest.approx(0.1)
+
+    def test_pattern_inverts(self):
+        original = PatternBehavior((True, True, False))
+        drifted = apply_drift(original, DriftKind.REVERSE, Random(0))
+        assert drifted.pattern == (False, False, True)
+
+    def test_correlated_inverts(self):
+        original = CorrelatedBehavior(0b11, invert=False)
+        drifted = apply_drift(original, DriftKind.SHIFT, Random(0))
+        assert drifted.invert is True
+
+
+class TestBuildWorkload:
+    def test_site_count_scaled(self):
+        workload = build_workload(get_spec("compress"), "ref",
+                                  root_seed=1, site_scale=0.1)
+        assert len(workload.program) == int(2238 * 0.1)
+
+    def test_program_identical_across_inputs(self):
+        train = build_workload(get_spec("compress"), "train",
+                               root_seed=1, site_scale=0.05)
+        ref = build_workload(get_spec("compress"), "ref",
+                             root_seed=1, site_scale=0.05)
+        assert train.program.addresses == ref.program.addresses
+
+    def test_rejects_unknown_input(self):
+        with pytest.raises(ConfigurationError):
+            build_workload(get_spec("compress"), "test", root_seed=1)
+
+    def test_every_routine_reachable_via_paths(self):
+        workload = build_workload(get_spec("compress"), "ref",
+                                  root_seed=1, site_scale=0.1)
+        in_paths = {r for path in workload.paths for r in path}
+        assert in_paths == set(range(len(workload.routines)))
+
+    def test_train_coverage_drops_paths(self):
+        # perl's spec has train_coverage=0.70 -- the train workload must
+        # have strictly fewer active paths than ref.
+        train = build_workload(get_spec("perl"), "train",
+                               root_seed=1, site_scale=0.05)
+        ref = build_workload(get_spec("perl"), "ref",
+                             root_seed=1, site_scale=0.05)
+        assert len(train._active_paths) < len(ref._active_paths)
+
+
+class TestExecute:
+    def test_exact_length(self, gcc_workload):
+        trace = gcc_workload.execute(1_234, run_seed=0)
+        assert len(trace) == 1_234
+
+    def test_deterministic(self, gcc_workload):
+        a = gcc_workload.execute(2_000, run_seed=5)
+        b = gcc_workload.execute(2_000, run_seed=5)
+        assert a.outcomes == b.outcomes
+        assert a.addresses == b.addresses
+        assert a.gaps == b.gaps
+
+    def test_run_seed_varies_trace(self, gcc_workload):
+        a = gcc_workload.execute(2_000, run_seed=5)
+        b = gcc_workload.execute(2_000, run_seed=6)
+        assert a.outcomes != b.outcomes
+
+    def test_trace_is_valid(self, gcc_workload):
+        gcc_workload.execute(3_000, run_seed=1).validate()
+
+    def test_cbrs_per_ki_near_target(self, gcc_workload):
+        trace = gcc_workload.execute(30_000, run_seed=2)
+        target = get_spec("gcc").cbrs_per_ki["ref"]
+        assert abs(trace.cbrs_per_ki() - target) / target < 0.05
+
+    def test_rejects_nonpositive_length(self, gcc_workload):
+        with pytest.raises(WorkloadError):
+            gcc_workload.execute(0)
+
+    def test_addresses_match_program(self, gcc_workload):
+        trace = gcc_workload.execute(1_000, run_seed=3)
+        addresses = gcc_workload.program.addresses
+        for site, address in zip(trace.site_indices, trace.addresses):
+            assert addresses[site] == address
+
+    def test_loop_sites_produce_runs(self):
+        # ijpeg is loop-heavy; its trace must contain consecutive repeats
+        # of the same site (loop iterations).
+        workload = build_workload(get_spec("ijpeg"), "ref",
+                                  root_seed=1, site_scale=0.05)
+        trace = workload.execute(10_000, run_seed=1)
+        repeats = sum(
+            1
+            for i in range(1, len(trace))
+            if trace.site_indices[i] == trace.site_indices[i - 1]
+        )
+        assert repeats > 50
+
+    def test_drift_changes_ref_behavior(self, m88ksim_traces):
+        train, ref = m88ksim_traces
+        # m88ksim's spec reverses some hot branches between inputs: there
+        # must exist common branches whose majority direction differs.
+        from repro.profiling.profile import ProgramProfile
+
+        train_profile = ProgramProfile.from_trace(train)
+        ref_profile = ProgramProfile.from_trace(ref)
+        flipped = 0
+        for address, ref_branch in ref_profile.items():
+            train_branch = train_profile.get(address)
+            if train_branch is None:
+                continue
+            if (train_branch.executions >= 5 and ref_branch.executions >= 5
+                    and train_branch.majority_taken != ref_branch.majority_taken):
+                flipped += 1
+        assert flipped > 0
+
+
+class TestRoutine:
+    def test_site_indices_includes_loop_body(self):
+        routine = Routine(items=((Routine.PLAIN, 1), (Routine.LOOP, 2, (3, 4))))
+        assert routine.site_indices() == [1, 2, 3, 4]
+
+
+class TestSyntheticWorkloadValidation:
+    def test_rejects_mismatched_plans(self, gcc_workload):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(
+                name="x",
+                input_name="ref",
+                program=gcc_workload.program,
+                site_plans=gcc_workload.site_plans[:-1],
+                routines=gcc_workload.routines,
+                paths=gcc_workload.paths,
+                path_weights=[1.0] * len(gcc_workload.paths),
+                mean_instructions_per_branch=8.0,
+                root_seed=0,
+            )
+
+    def test_rejects_no_active_paths(self, gcc_workload):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(
+                name="x",
+                input_name="ref",
+                program=gcc_workload.program,
+                site_plans=gcc_workload.site_plans,
+                routines=gcc_workload.routines,
+                paths=gcc_workload.paths,
+                path_weights=[0.0] * len(gcc_workload.paths),
+                mean_instructions_per_branch=8.0,
+                root_seed=0,
+            )
+
+    def test_rejects_bad_gap_mean(self, gcc_workload):
+        with pytest.raises(ConfigurationError):
+            SyntheticWorkload(
+                name="x",
+                input_name="ref",
+                program=gcc_workload.program,
+                site_plans=gcc_workload.site_plans,
+                routines=gcc_workload.routines,
+                paths=gcc_workload.paths,
+                path_weights=[1.0] * len(gcc_workload.paths),
+                mean_instructions_per_branch=0.5,
+                root_seed=0,
+            )

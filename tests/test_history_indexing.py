@@ -1,0 +1,148 @@
+"""Tests for the global history register and index functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.predictors.history import GlobalHistory
+from repro.predictors.indexing import (
+    SkewTables,
+    fold_history,
+    gshare_index,
+    pc_index,
+    skew_h,
+    skew_h_inv,
+    skew_tables,
+)
+
+
+class TestGlobalHistory:
+    def test_shift_sequence(self):
+        history = GlobalHistory(4)
+        for taken in (True, False, True, True):
+            history.shift(taken)
+        assert history.value == 0b1011
+
+    def test_mask_truncates(self):
+        history = GlobalHistory(3)
+        for _ in range(10):
+            history.shift(True)
+        assert history.value == 0b111
+
+    def test_zero_length(self):
+        history = GlobalHistory(0)
+        history.shift(True)
+        assert history.value == 0
+
+    def test_bits_order(self):
+        history = GlobalHistory(3)
+        history.shift(True)
+        history.shift(False)
+        # Most recent outcome is bit 0.
+        assert history.bits() == (False, True, False)
+
+    def test_reset(self):
+        history = GlobalHistory(4)
+        history.shift(True)
+        history.reset()
+        assert history.value == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            GlobalHistory(-1)
+
+    def test_rejects_over_64(self):
+        with pytest.raises(ConfigurationError):
+            GlobalHistory(65)
+
+
+class TestPcIndex:
+    def test_drops_alignment_bits(self):
+        assert pc_index(0x1000, 8) == pc_index(0x1000, 8)
+        assert pc_index(0x1004, 8) == ((0x1004 >> 2) & 0xFF)
+
+    def test_in_range(self):
+        for address in range(0, 4096, 4):
+            assert 0 <= pc_index(address, 5) < 32
+
+
+class TestFoldHistory:
+    def test_truncation_when_short(self):
+        assert fold_history(0b101101, 4, 8) == 0b1101
+
+    def test_fold_when_long(self):
+        value = fold_history(0b11110000, 8, 4)
+        assert value == (0b1111 ^ 0b0000)
+
+    @given(st.integers(min_value=0, max_value=2**20 - 1),
+           st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=12))
+    def test_in_range(self, history, history_length, width):
+        assert 0 <= fold_history(history, history_length, width) < (1 << width)
+
+
+class TestGshareIndex:
+    def test_differs_by_history(self):
+        a = gshare_index(0x1000, 0b0000, 4, 8)
+        b = gshare_index(0x1000, 0b1111, 4, 8)
+        assert a != b
+
+    def test_differs_by_address(self):
+        a = gshare_index(0x1000, 0b1010, 4, 8)
+        b = gshare_index(0x1004, 0b1010, 4, 8)
+        assert a != b
+
+    @given(st.integers(min_value=0, max_value=2**30).map(lambda a: a * 4),
+           st.integers(min_value=0, max_value=2**16 - 1))
+    def test_in_range(self, address, history):
+        assert 0 <= gshare_index(address, history, 12, 12) < 4096
+
+
+class TestSkewFunctions:
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8, 10, 12])
+    def test_h_is_permutation(self, width):
+        values = {skew_h(v, width) for v in range(1 << width)}
+        assert len(values) == 1 << width
+
+    @pytest.mark.parametrize("width", [1, 2, 3, 5, 8, 10, 12])
+    def test_h_inv_inverts(self, width):
+        for value in range(1 << width):
+            assert skew_h_inv(skew_h(value, width), width) == value
+            assert skew_h(skew_h_inv(value, width), width) == value
+
+    def test_h_differs_from_identity(self):
+        width = 8
+        same = sum(skew_h(v, width) == v for v in range(1 << width))
+        assert same < (1 << width) // 4
+
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            skew_h(1, 0)
+
+    @given(st.integers(min_value=2, max_value=14),
+           st.integers(min_value=0, max_value=2**14 - 1),
+           st.integers(min_value=0, max_value=2**14 - 1))
+    @settings(max_examples=100, deadline=None)
+    def test_h_linear_over_gf2(self, width, a, b):
+        mask = (1 << width) - 1
+        a &= mask
+        b &= mask
+        assert skew_h(a ^ b, width) == skew_h(a, width) ^ skew_h(b, width)
+
+
+class TestSkewTables:
+    def test_tables_match_functions(self):
+        tables = SkewTables(6)
+        for value in range(64):
+            assert tables.h[value] == skew_h(value, 6)
+            assert tables.h_inv[value] == skew_h_inv(value, 6)
+
+    def test_check_bijective_passes(self):
+        SkewTables(7).check_bijective()
+
+    def test_cached_instance_shared(self):
+        assert skew_tables(9) is skew_tables(9)
+
+    def test_rejects_huge_width(self):
+        with pytest.raises(ConfigurationError):
+            SkewTables(24)

@@ -1,0 +1,123 @@
+"""End-to-end integration tests over realistic (but small) workloads.
+
+These exercise the full paper pipeline -- workload generation, profiling,
+selection, combined simulation -- and assert the *mechanisms* hold at
+small scale.  Quantitative shape checks against the paper's numbers run
+in the benchmark harness on full-size traces.
+"""
+
+import pytest
+
+from repro.arch.isa import ShiftPolicy
+from repro.core.simulator import run_combined, run_selection_phase, simulate
+from repro.predictors.sizing import make_predictor
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.selection import select_static_95
+from repro.workloads.generator import build_workload
+from repro.workloads.spec95 import get_spec
+
+
+@pytest.fixture(scope="module")
+def gcc_medium():
+    workload = build_workload(get_spec("gcc"), "ref", root_seed=3,
+                              site_scale=0.05)
+    return workload.execute(60_000, run_seed=1)
+
+
+class TestStaticPredictionMechanism:
+    def test_static_acc_improves_small_gshare(self, gcc_medium):
+        base = simulate(gcc_medium, make_predictor("gshare", 1024))
+        hints = run_selection_phase(
+            gcc_medium, "static_acc",
+            predictor_factory=lambda: make_predictor("gshare", 1024),
+        )
+        combined = run_combined(gcc_medium, make_predictor("gshare", 1024),
+                                hints)
+        assert combined.mispredictions < base.mispredictions
+
+    def test_static_95_barely_moves_bimodal(self, gcc_medium):
+        # The paper's negative result: bimodal and Static_95 target the
+        # same branches, so the combination changes little.
+        base = simulate(gcc_medium, make_predictor("bimodal", 8192))
+        hints = run_selection_phase(gcc_medium, "static_95")
+        combined = run_combined(gcc_medium, make_predictor("bimodal", 8192),
+                                hints)
+        relative_change = abs(
+            combined.mispredictions - base.mispredictions
+        ) / base.mispredictions
+        assert relative_change < 0.15
+
+    def test_static_95_helps_ghist(self, gcc_medium):
+        base = simulate(gcc_medium, make_predictor("ghist", 1024))
+        hints = run_selection_phase(gcc_medium, "static_95")
+        combined = run_combined(gcc_medium, make_predictor("ghist", 1024),
+                                hints)
+        assert combined.mispredictions < base.mispredictions
+
+    def test_static_fraction_reasonable(self, gcc_medium):
+        hints = run_selection_phase(gcc_medium, "static_95")
+        combined = run_combined(gcc_medium, make_predictor("gshare", 1024),
+                                hints)
+        # gcc is ~half highly-biased dynamically.
+        assert 0.25 < combined.static_fraction < 0.8
+
+    def test_collisions_drop_with_static(self, gcc_medium):
+        base = simulate(gcc_medium, make_predictor("gshare", 1024),
+                        track_collisions=True)
+        hints = run_selection_phase(gcc_medium, "static_95")
+        combined = run_combined(gcc_medium, make_predictor("gshare", 1024),
+                                hints, track_collisions=True)
+        assert combined.collisions.lookups < base.collisions.lookups
+        assert combined.collisions.collisions < base.collisions.collisions
+
+
+class TestDeterminism:
+    def test_full_pipeline_deterministic(self):
+        def pipeline():
+            workload = build_workload(get_spec("perl"), "ref", root_seed=11,
+                                      site_scale=0.03)
+            trace = workload.execute(10_000, run_seed=2)
+            hints = run_selection_phase(trace, "static_95")
+            result = run_combined(trace, make_predictor("gshare", 2048),
+                                  hints, shift_policy=ShiftPolicy.SHIFT)
+            return result.mispredictions, result.static_branches
+
+        assert pipeline() == pipeline()
+
+
+class TestCrossTraining:
+    def test_cross_trained_hints_weaker_than_self_trained(self):
+        # m88ksim's hot branches reverse between inputs, so train-profiled
+        # hints must do worse on ref than ref-profiled hints.
+        train_workload = build_workload(get_spec("m88ksim"), "train",
+                                        root_seed=5, site_scale=0.1)
+        ref_workload = build_workload(get_spec("m88ksim"), "ref",
+                                      root_seed=5, site_scale=0.1)
+        train_trace = train_workload.execute(40_000, run_seed=1)
+        ref_trace = ref_workload.execute(40_000, run_seed=1)
+
+        self_hints = select_static_95(ProgramProfile.from_trace(ref_trace))
+        naive_hints = select_static_95(ProgramProfile.from_trace(train_trace))
+
+        self_result = run_combined(
+            ref_trace, make_predictor("gshare", 4096), self_hints
+        )
+        naive_result = run_combined(
+            ref_trace, make_predictor("gshare", 4096), naive_hints
+        )
+        assert naive_result.mispredictions > self_result.mispredictions
+
+    def test_wrong_direction_hints_hurt(self, gcc_medium):
+        # Adversarial check: invert every selected direction and confirm
+        # the combined predictor degrades badly -- hint bits really drive
+        # predictions.
+        from repro.arch.isa import HintBits
+
+        hints = run_selection_phase(gcc_medium, "static_95")
+        inverted = run_selection_phase(gcc_medium, "none")
+        for address in hints.static_addresses():
+            direction = hints.get(address).direction
+            inverted.set(address, HintBits.static(not direction))
+        good = run_combined(gcc_medium, make_predictor("gshare", 4096), hints)
+        bad = run_combined(gcc_medium, make_predictor("gshare", 4096), inverted)
+        assert bad.mispredictions > good.mispredictions * 2

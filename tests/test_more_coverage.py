@@ -1,0 +1,149 @@
+"""Additional coverage: error paths, edge configurations, and cross-layer
+consistency checks that the per-module suites do not reach."""
+
+import pytest
+
+from repro.arch.isa import ShiftPolicy
+from repro.core.combined import CombinedPredictor
+from repro.core.simulator import simulate
+from repro.errors import (
+    ConfigurationError,
+    ExperimentError,
+    ProfileError,
+    ReproError,
+    SelectionError,
+    SizingError,
+    TraceFormatError,
+    WorkloadError,
+)
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.staticpred.hints import HintAssignment
+from repro.workloads.trace import BranchTrace
+
+
+class TestErrorHierarchy:
+    @pytest.mark.parametrize("error", [
+        ConfigurationError, SizingError, WorkloadError, TraceFormatError,
+        ProfileError, SelectionError, ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, error):
+        assert issubclass(error, ReproError)
+
+    def test_sizing_is_configuration(self):
+        assert issubclass(SizingError, ConfigurationError)
+
+
+class TestCombinedPredictorEdges:
+    def test_rejects_bad_shift_policy(self):
+        with pytest.raises(ConfigurationError):
+            CombinedPredictor(BimodalPredictor(16),
+                              HintAssignment("p", "none"),
+                              shift_policy="shift")
+
+    def test_name_encodes_configuration(self):
+        from repro.arch.isa import HintBits
+
+        hints = HintAssignment("p", "static_95")
+        hints.set(0x1000, HintBits.static(True))
+        plain = CombinedPredictor(GsharePredictor(64), hints)
+        shifted = CombinedPredictor(GsharePredictor(64), hints,
+                                    shift_policy=ShiftPolicy.SHIFT)
+        assert plain.name == "gshare+static_95"
+        assert "shift" in shifted.name
+
+    def test_empty_hints_static_count_zero(self):
+        combined = CombinedPredictor(BimodalPredictor(16),
+                                     HintAssignment("p", "none"))
+        assert combined.static_count() == 0
+
+
+class TestSimulateEdgeCases:
+    def test_empty_trace(self):
+        trace = BranchTrace(program_name="p", input_name="ref")
+        result = simulate(trace, BimodalPredictor(16))
+        assert result.branches == 0
+        assert result.misp_per_ki == 0.0
+        assert result.accuracy == 0.0
+
+    def test_single_branch(self):
+        trace = BranchTrace(program_name="p", input_name="ref",
+                            site_indices=[0], addresses=[0x1000],
+                            outcomes=[True], gaps=[4])
+        result = simulate(trace, BimodalPredictor(16))
+        assert result.branches == 1
+        assert result.instructions == 4
+
+
+class TestWorkloadSeedSeparation:
+    def test_different_programs_different_traces(self, tiny_ctx):
+        a = tiny_ctx.trace("compress")
+        b = tiny_ctx.trace("ijpeg")
+        assert a.addresses != b.addresses
+
+    def test_seed_changes_everything(self):
+        from repro.experiments.common import ExperimentContext
+
+        a = ExperimentContext(trace_length=2000, site_scale=0.02, seed=1)
+        b = ExperimentContext(trace_length=2000, site_scale=0.02, seed=2)
+        assert (a.trace("compress").outcomes != b.trace("compress").outcomes)
+
+    def test_same_seed_same_results(self):
+        from repro.experiments.common import ExperimentContext
+
+        a = ExperimentContext(trace_length=2000, site_scale=0.02, seed=9)
+        b = ExperimentContext(trace_length=2000, site_scale=0.02, seed=9)
+        result_a = a.run("compress", "gshare", 512, scheme="static_95")
+        result_b = b.run("compress", "gshare", 512, scheme="static_95")
+        assert result_a.mispredictions == result_b.mispredictions
+
+
+class TestEnvKnobs:
+    def test_trace_length_env(self, monkeypatch):
+        from repro.experiments.common import default_trace_length
+
+        monkeypatch.setenv("REPRO_TRACE_LENGTH", "1234")
+        assert default_trace_length() == 1234
+
+    def test_site_scale_env(self, monkeypatch):
+        from repro.experiments.common import default_site_scale
+
+        monkeypatch.setenv("REPRO_EXPERIMENT_SITE_SCALE", "0.5")
+        assert default_site_scale() == 0.5
+
+    def test_bad_env_raises(self, monkeypatch):
+        from repro.experiments.common import default_trace_length
+
+        monkeypatch.setenv("REPRO_TRACE_LENGTH", "lots")
+        with pytest.raises(ExperimentError):
+            default_trace_length()
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_predictor_names_buildable(self):
+        from repro import PREDICTOR_NAMES, make_predictor
+
+        for name in PREDICTOR_NAMES:
+            predictor = make_predictor(name, 4096)
+            predicted = predictor.predict(0x1000)
+            predictor.update(0x1000, True, predicted)
+
+
+class TestReportRendering:
+    def test_experiment_report_renders_all_experiments_list(self):
+        from repro.experiments.registry import EXPERIMENT_IDS
+
+        # 5 tables + 13 figures + 2 grouped + 5 ablation entries +
+        # summary + pipeline-impact + classification.
+        assert len(EXPERIMENT_IDS) == 28

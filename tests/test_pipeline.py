@@ -1,0 +1,126 @@
+"""Tests for the front-end pipeline model."""
+
+import pytest
+
+from repro.core.combined import CombinedPredictor
+from repro.core.simulator import run_selection_phase, simulate
+from repro.errors import ConfigurationError
+from repro.pipeline.frontend import FrontEndSimulator
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.workloads.trace import BranchTrace
+
+
+def make_trace(records, program="demo"):
+    trace = BranchTrace(program_name=program, input_name="ref")
+    for address, taken, gap in records:
+        trace.site_indices.append(0)
+        trace.addresses.append(address)
+        trace.outcomes.append(taken)
+        trace.gaps.append(gap)
+    return trace
+
+
+class TestCycleAccounting:
+    def test_fetch_cycles_ceiling(self):
+        # gaps 4 and 5 at width 4 -> 1 + 2 fetch cycles.
+        trace = make_trace([(0x1000, False, 4), (0x1004, False, 5)])
+        sim = FrontEndSimulator(fetch_width=4, redirect_penalty=0,
+                                taken_bubble=0)
+        result = sim.run(trace, BimodalPredictor(16))
+        assert result.fetch_cycles == 3
+
+    def test_redirect_penalty_charged_per_misprediction(self):
+        # All-taken branch from weakly-not-taken counters: exactly one
+        # misprediction for bimodal.
+        trace = make_trace([(0x1000, True, 1)] * 10)
+        sim = FrontEndSimulator(fetch_width=1, redirect_penalty=9,
+                                taken_bubble=0)
+        result = sim.run(trace, BimodalPredictor(16))
+        assert result.mispredictions == 1
+        assert result.redirect_cycles == 9
+
+    def test_taken_bubble_only_on_correct_taken(self):
+        trace = make_trace([(0x1000, True, 1)] * 10)
+        sim = FrontEndSimulator(fetch_width=1, redirect_penalty=0,
+                                taken_bubble=2)
+        result = sim.run(trace, BimodalPredictor(16))
+        # 1 misprediction, 9 correct-taken -> 18 bubble cycles.
+        assert result.taken_bubble_cycles == 18
+
+    def test_totals_and_ipc(self):
+        trace = make_trace([(0x1000, True, 4)] * 10)
+        sim = FrontEndSimulator(fetch_width=4, redirect_penalty=5,
+                                taken_bubble=1)
+        result = sim.run(trace, BimodalPredictor(16))
+        assert result.instructions == 40
+        assert result.cycles == (result.fetch_cycles
+                                 + result.taken_bubble_cycles
+                                 + result.redirect_cycles)
+        assert result.ipc == pytest.approx(40 / result.cycles)
+        assert result.cpi == pytest.approx(result.cycles / 40)
+
+    def test_misp_per_ki_matches_simulate(self, gcc_trace):
+        sim = FrontEndSimulator()
+        pipeline = sim.run(gcc_trace, GsharePredictor(1024))
+        reference = simulate(gcc_trace, GsharePredictor(1024))
+        assert pipeline.mispredictions == reference.mispredictions
+        assert pipeline.misp_per_ki == pytest.approx(reference.misp_per_ki)
+
+    def test_empty_trace(self):
+        result = FrontEndSimulator().run(
+            BranchTrace(program_name="p", input_name="ref"),
+            BimodalPredictor(16),
+        )
+        assert result.cycles == 0
+        assert result.ipc == 0.0
+
+
+class TestConfiguration:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ConfigurationError):
+            FrontEndSimulator(fetch_width=0)
+
+    def test_rejects_negative_penalty(self):
+        with pytest.raises(ConfigurationError):
+            FrontEndSimulator(redirect_penalty=-1)
+
+    def test_rejects_negative_bubble(self):
+        with pytest.raises(ConfigurationError):
+            FrontEndSimulator(taken_bubble=-1)
+
+
+class TestSpeedup:
+    def test_better_predictor_higher_ipc(self, gcc_trace):
+        sim = FrontEndSimulator()
+        tiny = sim.run(gcc_trace, GsharePredictor(64))
+        large = sim.run(gcc_trace, GsharePredictor(8192))
+        assert large.ipc > tiny.ipc
+
+    def test_static_hints_help_ipc(self, gcc_trace):
+        sim = FrontEndSimulator()
+        factory = lambda: GsharePredictor(1024)
+        hints = run_selection_phase(gcc_trace, "static_acc",
+                                    predictor_factory=factory)
+        speedup = sim.speedup(
+            gcc_trace, factory(), CombinedPredictor(factory(), hints)
+        )
+        assert speedup > 1.0
+
+    def test_deeper_pipeline_amplifies_static_benefit(self, gcc_trace):
+        # The paper's motivation: deeper pipelines make mispredictions
+        # more costly, so the same MISP/KI improvement buys more IPC.
+        factory = lambda: GsharePredictor(1024)
+        hints = run_selection_phase(gcc_trace, "static_acc",
+                                    predictor_factory=factory)
+        shallow = FrontEndSimulator(redirect_penalty=3).speedup(
+            gcc_trace, factory(), CombinedPredictor(factory(), hints)
+        )
+        deep = FrontEndSimulator(redirect_penalty=20).speedup(
+            gcc_trace, factory(), CombinedPredictor(factory(), hints)
+        )
+        assert deep > shallow
+
+    def test_redirect_overhead_fraction(self, gcc_trace):
+        result = FrontEndSimulator().run(gcc_trace, GsharePredictor(1024))
+        assert 0.0 < result.redirect_overhead < 1.0

@@ -1,0 +1,96 @@
+"""Tests for the ProfileMe sampling profiler."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.predictors.gshare import GsharePredictor
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.selection import select_static_95, select_static_acc
+from repro.tools.profileme import ProfileMeSampler
+
+
+class TestSampling:
+    def test_full_sampling_matches_instrumentation(self, gcc_trace):
+        sampler = ProfileMeSampler(period=1)
+        bias, accuracy = sampler.profile(gcc_trace, GsharePredictor(1024))
+        full = ProgramProfile.from_trace(gcc_trace)
+        assert len(bias) == len(full)
+        for address, branch in full.items():
+            assert bias[address].executions == branch.executions
+            assert bias[address].taken == branch.taken
+
+    def test_sample_volume_near_expected(self, gcc_trace):
+        period = 10
+        sampler = ProfileMeSampler(period=period, seed=3)
+        bias, _ = sampler.profile(gcc_trace, GsharePredictor(1024))
+        samples = bias.total_executions
+        expected = len(gcc_trace) / period
+        assert expected * 0.8 < samples < expected * 1.2
+
+    def test_deterministic_by_seed(self, gcc_trace):
+        a, _ = ProfileMeSampler(10, seed=5).profile(gcc_trace,
+                                                    GsharePredictor(1024))
+        b, _ = ProfileMeSampler(10, seed=5).profile(gcc_trace,
+                                                    GsharePredictor(1024))
+        assert a.branches.keys() == b.branches.keys()
+        c, _ = ProfileMeSampler(10, seed=6).profile(gcc_trace,
+                                                    GsharePredictor(1024))
+        assert a.total_executions != c.total_executions or (
+            a.branches != c.branches
+        )
+
+    def test_sampled_bias_tracks_true_bias_for_hot_branches(self, gcc_trace):
+        sampler = ProfileMeSampler(period=8, seed=1)
+        bias, _ = sampler.profile(gcc_trace, GsharePredictor(1024))
+        full = ProgramProfile.from_trace(gcc_trace)
+        checked = 0
+        for address, sampled in bias.items():
+            if sampled.executions < 20:
+                continue
+            checked += 1
+            assert abs(sampled.taken_rate - full[address].taken_rate) < 0.2
+        assert checked >= 3
+
+    def test_input_name_records_period(self, gcc_trace):
+        bias, accuracy = ProfileMeSampler(4).profile(gcc_trace,
+                                                     GsharePredictor(256))
+        assert "sampled/4" in bias.input_name
+        assert accuracy.input_name == bias.input_name
+
+    def test_rejects_bad_period(self):
+        with pytest.raises(ProfileError):
+            ProfileMeSampler(period=0)
+
+
+class TestSelectionFromSamples:
+    def test_static_95_from_samples_close_to_full(self, gcc_trace):
+        # Selection from moderately sampled profiles should substantially
+        # overlap full-profile selection on the hot branches.
+        sampler = ProfileMeSampler(period=4, seed=2)
+        sampled_bias, _ = sampler.profile(gcc_trace, GsharePredictor(1024))
+        full_hints = select_static_95(ProgramProfile.from_trace(gcc_trace))
+        sampled_hints = select_static_95(sampled_bias)
+        full_set = set(full_hints.static_addresses())
+        sampled_set = set(sampled_hints.static_addresses())
+        assert sampled_set, "sampling selected nothing"
+        overlap = len(full_set & sampled_set) / len(sampled_set)
+        assert overlap > 0.8
+
+    def test_static_acc_works_on_sampled_profiles(self, gcc_trace):
+        sampler = ProfileMeSampler(period=4, seed=2)
+        bias, accuracy = sampler.profile(gcc_trace, GsharePredictor(1024))
+        hints = select_static_acc(bias, accuracy)
+        assert hints.static_count() > 0
+
+    def test_sparser_sampling_selects_fewer(self, gcc_trace):
+        # With min_executions fixed, sparser samples qualify fewer
+        # branches -- selection degrades gracefully, never explodes.
+        dense_bias, _ = ProfileMeSampler(2, seed=1).profile(
+            gcc_trace, GsharePredictor(1024)
+        )
+        sparse_bias, _ = ProfileMeSampler(32, seed=1).profile(
+            gcc_trace, GsharePredictor(1024)
+        )
+        dense = select_static_95(dense_bias, min_executions=8)
+        sparse = select_static_95(sparse_bias, min_executions=8)
+        assert sparse.static_count() < dense.static_count()

@@ -1,0 +1,240 @@
+"""Tests for bias profiles, accuracy profiles, the database, and drift."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.profiling.accuracy import BranchAccuracy, measure_accuracy
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.drift import analyze_drift
+from repro.profiling.profile import BranchProfile, ProgramProfile
+from repro.workloads.trace import BranchTrace
+
+
+def make_trace(records, program="demo", input_name="ref"):
+    trace = BranchTrace(program_name=program, input_name=input_name)
+    for address, taken in records:
+        trace.site_indices.append(0)
+        trace.addresses.append(address)
+        trace.outcomes.append(taken)
+        trace.gaps.append(1)
+    return trace
+
+
+class TestBranchProfile:
+    def test_counts_and_bias(self):
+        profile = BranchProfile(executions=10, taken=9)
+        assert profile.taken_rate == pytest.approx(0.9)
+        assert profile.bias == pytest.approx(0.9)
+        assert profile.majority_taken
+
+    def test_not_taken_bias(self):
+        profile = BranchProfile(executions=10, taken=1)
+        assert profile.bias == pytest.approx(0.9)
+        assert not profile.majority_taken
+
+    def test_record(self):
+        profile = BranchProfile()
+        profile.record(True)
+        profile.record(False)
+        assert profile.executions == 2
+        assert profile.taken == 1
+
+    def test_merged_with(self):
+        merged = BranchProfile(10, 8).merged_with(BranchProfile(5, 1))
+        assert merged.executions == 15
+        assert merged.taken == 9
+
+    def test_rejects_inconsistent(self):
+        with pytest.raises(ProfileError):
+            BranchProfile(executions=2, taken=5)
+
+
+class TestProgramProfile:
+    def test_from_trace(self):
+        trace = make_trace([(0x1000, True), (0x1000, True), (0x1000, False),
+                            (0x1004, False)])
+        profile = ProgramProfile.from_trace(trace)
+        assert len(profile) == 2
+        assert profile[0x1000].executions == 3
+        assert profile[0x1000].taken == 2
+        assert profile[0x1004].majority_taken is False
+        assert profile.total_executions == 4
+
+    def test_merge_accumulates(self):
+        a = ProgramProfile.from_trace(make_trace([(0x1000, True)] * 3))
+        b = ProgramProfile.from_trace(
+            make_trace([(0x1000, False)] * 2 + [(0x1004, True)],
+                       input_name="train")
+        )
+        merged = a.merge(b)
+        assert merged[0x1000].executions == 5
+        assert merged[0x1000].taken == 3
+        assert 0x1004 in merged
+        assert "+" in merged.input_name
+
+    def test_merge_rejects_other_program(self):
+        a = ProgramProfile("p1", "ref")
+        b = ProgramProfile("p2", "ref")
+        with pytest.raises(ProfileError):
+            a.merge(b)
+
+    def test_filtered(self):
+        profile = ProgramProfile.from_trace(
+            make_trace([(0x1000, True)] * 5 + [(0x1004, True)])
+        )
+        hot = profile.filtered(lambda a, p: p.executions >= 5)
+        assert 0x1000 in hot and 0x1004 not in hot
+
+    def test_json_roundtrip(self):
+        profile = ProgramProfile.from_trace(
+            make_trace([(0x1000, True), (0x1004, False)])
+        )
+        loaded = ProgramProfile.from_json(profile.to_json())
+        assert loaded.program_name == profile.program_name
+        assert loaded[0x1000].executions == 1
+        assert loaded[0x1004].taken == 0
+
+    def test_file_roundtrip(self, tmp_path):
+        profile = ProgramProfile.from_trace(make_trace([(0x1000, True)]))
+        path = str(tmp_path / "p.json")
+        profile.save(path)
+        assert ProgramProfile.load(path)[0x1000].taken == 1
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ProfileError):
+            ProgramProfile.from_json("{}")
+
+
+class TestMeasureAccuracy:
+    def test_per_branch_counts(self):
+        trace = make_trace([(0x1000, True)] * 10)
+        accuracy = measure_accuracy(trace, BimodalPredictor(64))
+        record = accuracy.get(0x1000)
+        assert record.executions == 10
+        # Weakly-not-taken start: 1 miss, then correct.
+        assert record.correct == 9
+
+    def test_overall_matches_weighted(self):
+        trace = make_trace([(0x1000, True)] * 10 + [(0x1004, False)] * 10)
+        accuracy = measure_accuracy(trace, BimodalPredictor(64))
+        total = sum(r.executions for r in accuracy.branches.values())
+        correct = sum(r.correct for r in accuracy.branches.values())
+        assert accuracy.overall_accuracy == pytest.approx(correct / total)
+
+    def test_unseen_branch_accuracy_zero(self):
+        trace = make_trace([(0x1000, True)])
+        accuracy = measure_accuracy(trace, BimodalPredictor(64))
+        assert accuracy.accuracy_of(0x9999 * 4) == 0.0
+
+    def test_json_roundtrip(self):
+        trace = make_trace([(0x1000, True)] * 4)
+        accuracy = measure_accuracy(trace, BimodalPredictor(64))
+        from repro.profiling.accuracy import AccuracyProfile
+
+        loaded = AccuracyProfile.from_json(accuracy.to_json())
+        assert loaded.predictor_name == "bimodal"
+        assert loaded.get(0x1000).executions == 4
+
+    def test_inconsistent_record_rejected(self):
+        with pytest.raises(ProfileError):
+            BranchAccuracy(executions=1, correct=2)
+
+
+class TestProfileDatabase:
+    def _database(self):
+        database = ProfileDatabase()
+        database.record(ProgramProfile.from_trace(
+            make_trace([(0x1000, True)] * 10 + [(0x1004, True)] * 10,
+                       input_name="train")
+        ))
+        # In ref, 0x1000 keeps its bias; 0x1004 reverses.
+        database.record(ProgramProfile.from_trace(
+            make_trace([(0x1000, True)] * 10 + [(0x1004, False)] * 10,
+                       input_name="ref")
+        ))
+        return database
+
+    def test_programs_and_inputs(self):
+        database = self._database()
+        assert database.programs() == ["demo"]
+        assert database.inputs("demo") == ["ref", "train"]
+
+    def test_get_missing_raises(self):
+        database = self._database()
+        with pytest.raises(ProfileError):
+            database.get("demo", "test")
+        with pytest.raises(ProfileError):
+            database.get("nosuch", "ref")
+
+    def test_record_same_input_accumulates(self):
+        database = self._database()
+        database.record(ProgramProfile.from_trace(
+            make_trace([(0x1000, True)] * 5, input_name="ref")
+        ))
+        assert database.get("demo", "ref")[0x1000].executions == 15
+
+    def test_merged(self):
+        merged = self._database().merged("demo")
+        assert merged[0x1000].executions == 20
+        assert merged[0x1004].executions == 20
+        assert merged[0x1004].taken == 10
+
+    def test_stable_filtered_drops_reversing_branch(self):
+        stable = self._database().stable_filtered("demo")
+        assert 0x1000 in stable
+        assert 0x1004 not in stable
+
+    def test_stable_filtered_threshold(self):
+        # With a huge threshold nothing is dropped.
+        stable = self._database().stable_filtered(
+            "demo", max_taken_rate_change=1.0
+        )
+        assert 0x1004 in stable
+
+    def test_save_load_roundtrip(self, tmp_path):
+        database = self._database()
+        database.save(str(tmp_path / "db"))
+        loaded = ProfileDatabase.load(str(tmp_path / "db"))
+        assert loaded.get("demo", "ref")[0x1004].taken == 0
+
+    def test_load_missing_raises(self, tmp_path):
+        with pytest.raises(ProfileError):
+            ProfileDatabase.load(str(tmp_path / "nope"))
+
+
+class TestAnalyzeDrift:
+    def test_synthetic_drift_stats(self):
+        train = ProgramProfile("demo", "train", {
+            0x1000: BranchProfile(100, 95),   # stays
+            0x1004: BranchProfile(100, 90),   # reverses
+            0x1008: BranchProfile(100, 50),   # only in train
+        })
+        ref = ProgramProfile("demo", "ref", {
+            0x1000: BranchProfile(200, 192),  # bias change ~1% -> small
+            0x1004: BranchProfile(100, 10),   # majority change, change 0.8
+            0x100C: BranchProfile(50, 25),    # only in ref
+        })
+        drift = analyze_drift(train, ref)
+        assert drift.ref_branches == 3
+        assert drift.common_branches == 2
+        assert drift.coverage_static == pytest.approx(2 / 3)
+        assert drift.coverage_dynamic == pytest.approx(300 / 350)
+        assert drift.majority_change_static == pytest.approx(1 / 2)
+        assert drift.small_change_static == pytest.approx(1 / 2)
+        assert drift.large_change_static == pytest.approx(1 / 2)
+        assert drift.majority_change_dynamic == pytest.approx(100 / 300)
+
+    def test_empty_ref(self):
+        drift = analyze_drift(ProgramProfile("d", "train"),
+                              ProgramProfile("d", "ref"))
+        assert drift.coverage_static == 0.0
+        assert drift.common_branches == 0
+
+    def test_real_workload_drift(self, m88ksim_traces):
+        train, ref = m88ksim_traces
+        drift = analyze_drift(
+            ProgramProfile.from_trace(train), ProgramProfile.from_trace(ref)
+        )
+        assert 0.0 < drift.coverage_static <= 1.0
+        assert drift.small_change_static > drift.large_change_static

@@ -1,0 +1,176 @@
+"""Hypothesis property tests over the core invariants.
+
+These complement the per-module property tests with cross-cutting
+invariants: predictors never corrupt their counters on arbitrary branch
+streams, the combined predictor's static side is exactly the profile
+majority, and simulation accounting always balances.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.isa import HintBits, ShiftPolicy
+from repro.core.combined import CombinedPredictor
+from repro.core.simulator import simulate
+from repro.predictors.sizing import make_predictor
+from repro.profiling.profile import ProgramProfile
+from repro.staticpred.hints import HintAssignment
+from repro.staticpred.selection import select_static_95
+from repro.workloads.trace import BranchTrace
+
+# Streams of (address, taken): addresses word-aligned within a small
+# window so aliasing actually happens.
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=255).map(lambda i: 0x1000 + i * 4),
+        st.booleans(),
+    ),
+    min_size=1,
+    max_size=400,
+)
+
+predictor_names = st.sampled_from(
+    ["bimodal", "ghist", "gshare", "bimode", "2bcgskew", "agree"]
+)
+
+
+def trace_from(pairs):
+    trace = BranchTrace(program_name="prop", input_name="ref")
+    for address, taken in pairs:
+        trace.site_indices.append((address - 0x1000) // 4)
+        trace.addresses.append(address)
+        trace.outcomes.append(taken)
+        trace.gaps.append(3)
+    return trace
+
+
+@given(predictor_names, streams)
+@settings(max_examples=60, deadline=None)
+def test_counters_never_corrupt(name, pairs):
+    predictor = make_predictor(name, 256)
+    for address, taken in pairs:
+        predicted = predictor.predict(address)
+        assert isinstance(predicted, bool)
+        predictor.update(address, taken, predicted)
+    # Every table's counters must still be in range.
+    tables = getattr(predictor, "banks", None)
+    if tables is None:
+        tables = getattr(predictor, "direction_banks", None)
+        if tables is not None:
+            tables = list(tables) + [predictor.choice]
+        else:
+            tables = [predictor.table]
+    for table in tables:
+        table.check_invariants()
+
+
+@given(predictor_names, streams)
+@settings(max_examples=40, deadline=None)
+def test_simulation_accounting_balances(name, pairs):
+    trace = trace_from(pairs)
+    result = simulate(trace, make_predictor(name, 256))
+    assert 0 <= result.mispredictions <= result.branches
+    assert result.branches == len(pairs)
+    assert result.instructions == 3 * len(pairs)
+    assert 0.0 <= result.accuracy <= 1.0
+
+
+@given(streams)
+@settings(max_examples=40, deadline=None)
+def test_static_hints_predict_profile_majority(pairs):
+    trace = trace_from(pairs)
+    profile = ProgramProfile.from_trace(trace)
+    hints = select_static_95(profile, min_executions=1)
+    for address in hints.static_addresses():
+        assert hints.get(address).direction == profile[address].majority_taken
+
+
+@given(streams)
+@settings(max_examples=40, deadline=None)
+def test_combined_static_counts_match_hint_coverage(pairs):
+    trace = trace_from(pairs)
+    hints = HintAssignment("prop", "all-static")
+    for address in set(trace.addresses):
+        hints.set(address, HintBits.static(True))
+    combined = CombinedPredictor(make_predictor("gshare", 256), hints)
+    result = simulate(trace, combined, scheme="all-static")
+    # Every branch was static, and mispredictions equal not-taken count.
+    assert result.static_branches == len(pairs)
+    assert result.mispredictions == sum(1 for _, taken in pairs if not taken)
+
+
+@given(streams, st.sampled_from(list(ShiftPolicy)))
+@settings(max_examples=40, deadline=None)
+def test_combined_dynamic_only_is_identical_to_bare(pairs, policy):
+    # With zero static hints, the combined predictor must behave exactly
+    # like the bare dynamic predictor under every shift policy.
+    trace = trace_from(pairs)
+    bare = simulate(trace, make_predictor("gshare", 256))
+    combined = CombinedPredictor(
+        make_predictor("gshare", 256),
+        HintAssignment("prop", "none"),
+        shift_policy=policy,
+    )
+    wrapped = simulate(trace, combined)
+    assert wrapped.mispredictions == bare.mispredictions
+
+
+@given(streams)
+@settings(max_examples=30, deadline=None)
+def test_profile_merge_is_commutative_in_counts(pairs):
+    half = len(pairs) // 2
+    a = ProgramProfile.from_trace(trace_from(pairs[:half] or pairs))
+    b = ProgramProfile.from_trace(trace_from(pairs[half:] or pairs))
+    ab = a.merge(b)
+    ba = b.merge(a)
+    assert set(ab.branches) == set(ba.branches)
+    for address in ab:
+        assert ab[address].executions == ba[address].executions
+        assert ab[address].taken == ba[address].taken
+
+
+@given(streams)
+@settings(max_examples=30, deadline=None)
+def test_pipeline_cycles_decompose(pairs):
+    # The front-end model's cycle components always sum to the total and
+    # the misprediction count matches a plain simulation of the same
+    # predictor configuration.
+    from repro.pipeline.frontend import FrontEndSimulator
+
+    trace = trace_from(pairs)
+    frontend = FrontEndSimulator(fetch_width=4, redirect_penalty=7,
+                                 taken_bubble=1)
+    result = frontend.run(trace, make_predictor("gshare", 256))
+    reference = simulate(trace, make_predictor("gshare", 256))
+    assert result.mispredictions == reference.mispredictions
+    assert result.cycles == (result.fetch_cycles
+                             + result.taken_bubble_cycles
+                             + result.redirect_cycles)
+    assert result.redirect_cycles == 7 * result.mispredictions
+    # Fetch can never beat the width bound.
+    assert result.fetch_cycles * 4 >= result.instructions
+
+
+@given(streams, st.floats(min_value=0.5, max_value=0.99))
+@settings(max_examples=30, deadline=None)
+def test_static_95_cutoff_monotone(pairs, cutoff):
+    # Raising the cutoff never selects more branches.
+    trace = trace_from(pairs)
+    profile = ProgramProfile.from_trace(trace)
+    loose = select_static_95(profile, cutoff=cutoff, min_executions=1)
+    strict = select_static_95(profile, cutoff=min(0.99, cutoff + 0.005),
+                              min_executions=1)
+    assert set(strict.static_addresses()) <= set(loose.static_addresses())
+
+
+@given(streams)
+@settings(max_examples=30, deadline=None)
+def test_classification_partitions_profile(pairs):
+    # Every profiled branch lands in exactly one class; execution totals
+    # are preserved.
+    from repro.analysis.classification import classify_branches
+
+    trace = trace_from(pairs)
+    profile = ProgramProfile.from_trace(trace)
+    breakdown = classify_branches(profile)
+    assert breakdown.total_executions == profile.total_executions
+    assert sum(s.static_branches for s in breakdown.classes.values()) == len(profile)

@@ -1,0 +1,40 @@
+"""Tests for deterministic named RNG streams."""
+
+from repro.utils.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "go", "train") == derive_seed(1, "go", "train")
+
+    def test_depends_on_root(self):
+        assert derive_seed(1, "go") != derive_seed(2, "go")
+
+    def test_depends_on_names(self):
+        assert derive_seed(1, "go", "train") != derive_seed(1, "go", "ref")
+
+    def test_depends_on_name_order(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_int_names_supported(self):
+        assert derive_seed(1, "beh", 5) != derive_seed(1, "beh", 6)
+
+    def test_64_bit_range(self):
+        for i in range(50):
+            assert 0 <= derive_seed(0, i) < 2**64
+
+    def test_no_trivial_collisions(self):
+        seeds = {derive_seed(42, "site", i) for i in range(10_000)}
+        assert len(seeds) == 10_000
+
+
+class TestDeriveRng:
+    def test_same_stream_same_draws(self):
+        a = derive_rng(9, "x")
+        b = derive_rng(9, "x")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_streams_differ(self):
+        a = derive_rng(9, "x")
+        b = derive_rng(9, "y")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]

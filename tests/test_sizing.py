@@ -1,0 +1,77 @@
+"""Tests for byte-budget decomposition and the predictor factory."""
+
+import pytest
+
+from repro.errors import SizingError
+from repro.predictors.sizing import (
+    PREDICTOR_NAMES,
+    counters_for_budget,
+    make_predictor,
+)
+
+
+class TestCountersForBudget:
+    def test_four_counters_per_byte(self):
+        assert counters_for_budget(1024) == 4096
+
+    def test_rejects_zero(self):
+        with pytest.raises(SizingError):
+            counters_for_budget(0)
+
+
+class TestMakePredictor:
+    @pytest.mark.parametrize("name", PREDICTOR_NAMES)
+    def test_all_schemes_buildable(self, name):
+        predictor = make_predictor(name, 4096)
+        assert predictor.size_bytes > 0
+
+    @pytest.mark.parametrize("name", PREDICTOR_NAMES)
+    @pytest.mark.parametrize("budget", [1024, 4096, 32768])
+    def test_size_within_budget(self, name, budget):
+        predictor = make_predictor(name, budget)
+        assert predictor.size_bytes <= budget + 1e-9
+
+    @pytest.mark.parametrize("name", ["bimodal", "ghist", "gshare",
+                                      "bimode", "2bcgskew"])
+    def test_exact_budget_for_counter_only_schemes(self, name):
+        # The paper's five schemes spend the whole budget on counters.
+        predictor = make_predictor(name, 8192)
+        assert predictor.size_bytes == pytest.approx(8192)
+
+    def test_bimodal_entries(self):
+        assert make_predictor("bimodal", 2048).table.entries == 8192
+
+    def test_gshare_entries(self):
+        assert make_predictor("gshare", 16 * 1024).table.entries == 65536
+
+    def test_bimode_decomposition(self):
+        predictor = make_predictor("bimode", 2048)
+        counters = 2048 * 4
+        assert predictor.direction_banks[0].entries == counters // 4
+        assert predictor.direction_banks[1].entries == counters // 4
+        assert predictor.choice.entries == counters // 2
+
+    def test_2bcgskew_equal_banks(self):
+        predictor = make_predictor("2bcgskew", 8192)
+        assert [b.entries for b in predictor.banks] == [8192] * 4
+
+    def test_agree_within_budget(self):
+        predictor = make_predictor("agree", 1024)
+        # 2-bit counters + 1-bit bias entries must fit in 8192 bits.
+        assert predictor.size_bytes <= 1024
+
+    def test_kwargs_forwarded(self):
+        predictor = make_predictor("gshare", 1024, history_length=5)
+        assert predictor.history.length == 5
+
+    def test_rejects_unknown_scheme(self):
+        with pytest.raises(SizingError):
+            make_predictor("tage", 1024)
+
+    def test_rejects_non_power_of_two_budget(self):
+        with pytest.raises(SizingError):
+            make_predictor("gshare", 1000)
+
+    def test_rejects_tiny_hybrid_budget(self):
+        with pytest.raises(SizingError):
+            make_predictor("2bcgskew", 2)

@@ -1,0 +1,136 @@
+"""Tests for the calibrated SPECINT95 workload specifications."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.spec95 import (
+    DriftSpec,
+    PROGRAM_ORDER,
+    SPEC95_PROGRAMS,
+    WorkloadSpec,
+    get_spec,
+)
+
+
+class TestSpecsWellFormed:
+    def test_all_six_programs(self):
+        assert set(SPEC95_PROGRAMS) == {"go", "gcc", "perl", "m88ksim",
+                                        "compress", "ijpeg"}
+        assert tuple(PROGRAM_ORDER) == ("go", "gcc", "perl", "m88ksim",
+                                        "compress", "ijpeg")
+
+    @pytest.mark.parametrize("name", PROGRAM_ORDER)
+    def test_mix_sums_to_one(self, name):
+        spec = get_spec(name)
+        assert math.isclose(sum(f for _, f in spec.mix), 1.0, abs_tol=1e-9)
+
+    @pytest.mark.parametrize("name", PROGRAM_ORDER)
+    def test_paper_static_counts(self, name):
+        paper = {"go": 7777, "gcc": 38852, "perl": 9569,
+                 "m88ksim": 5365, "compress": 2238, "ijpeg": 5290}
+        assert get_spec(name).static_branches == paper[name]
+
+    @pytest.mark.parametrize("name", PROGRAM_ORDER)
+    def test_paper_cbrs_per_ki(self, name):
+        paper_ref = {"go": 117, "gcc": 156, "perl": 122,
+                     "m88ksim": 115, "compress": 123, "ijpeg": 61}
+        assert get_spec(name).cbrs_per_ki["ref"] == paper_ref[name]
+
+    def test_highly_biased_ordering_matches_paper(self):
+        # Paper Table 2 order: go << compress/ijpeg/gcc < perl < m88ksim.
+        fractions = {
+            name: get_spec(name).paper_highly_biased for name in PROGRAM_ORDER
+        }
+        assert fractions["go"] < fractions["compress"]
+        assert fractions["perl"] > fractions["gcc"]
+        assert fractions["m88ksim"] == max(fractions.values())
+
+    def test_get_spec_unknown(self):
+        with pytest.raises(WorkloadError):
+            get_spec("vortex")
+
+
+class TestSiteCount:
+    def test_explicit_scale(self):
+        assert get_spec("gcc").site_count(0.5) == 38852 // 2
+
+    def test_scale_floor(self):
+        assert get_spec("compress").site_count(0.0001) == 16
+
+    def test_rejects_negative_scale(self):
+        with pytest.raises(ConfigurationError):
+            get_spec("gcc").site_count(-1.0)
+
+    def test_env_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SITE_SCALE", "0.5")
+        assert get_spec("gcc").site_count() == 38852 // 2
+
+    def test_env_scale_invalid(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SITE_SCALE", "banana")
+        with pytest.raises(WorkloadError):
+            get_spec("gcc").site_count()
+
+
+class TestDriftSpec:
+    def test_rejects_oversum(self):
+        with pytest.raises(ConfigurationError):
+            DriftSpec(reverse_fraction=0.5, shift_fraction=0.4,
+                      jitter_fraction=0.3)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            DriftSpec(reverse_fraction=-0.1)
+
+    def test_perl_and_m88ksim_have_hot_drift(self):
+        # The Figure 13 failure mode requires hot-branch drift on exactly
+        # these two programs.
+        assert get_spec("perl").drift.hot_drift
+        assert get_spec("m88ksim").drift.hot_drift
+        assert not get_spec("gcc").drift.hot_drift
+
+    def test_perl_lowest_train_coverage(self):
+        coverages = {name: get_spec(name).train_coverage for name in PROGRAM_ORDER}
+        assert min(coverages, key=coverages.get) == "perl"
+
+
+class TestWorkloadSpecValidation:
+    def _base_kwargs(self):
+        spec = get_spec("compress")
+        return dict(
+            name="x",
+            static_branches=100,
+            static_instructions=1000,
+            cbrs_per_ki={"train": 100.0, "ref": 100.0},
+            mix=spec.mix,
+        )
+
+    def test_rejects_missing_input(self):
+        kwargs = self._base_kwargs()
+        kwargs["cbrs_per_ki"] = {"train": 100.0}
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+    def test_rejects_silly_density(self):
+        kwargs = self._base_kwargs()
+        kwargs["cbrs_per_ki"] = {"train": 100.0, "ref": 2000.0}
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+    def test_rejects_zero_branches(self):
+        kwargs = self._base_kwargs()
+        kwargs["static_branches"] = 0
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+    def test_rejects_bad_coverage(self):
+        kwargs = self._base_kwargs()
+        kwargs["train_coverage"] = 0.0
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec(**kwargs)
+
+    def test_highly_biased_mix_fraction(self):
+        spec = get_spec("m88ksim")
+        fraction = spec.highly_biased_mix_fraction()
+        assert 0.7 < fraction < 1.0

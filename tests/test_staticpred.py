@@ -1,0 +1,175 @@
+"""Tests for hint assignments and the static selection schemes."""
+
+import pytest
+
+from repro.arch.isa import HintBits
+from repro.arch.program import Program
+from repro.errors import ProfileError, SelectionError
+from repro.profiling.accuracy import AccuracyProfile, BranchAccuracy
+from repro.profiling.profile import BranchProfile, ProgramProfile
+from repro.staticpred.hints import HintAssignment
+from repro.staticpred.selection import (
+    select_static_95,
+    select_static_acc,
+    select_static_fac,
+)
+
+
+def profile_of(branches):
+    return ProgramProfile("demo", "ref", branches)
+
+
+def accuracy_of(branches, predictor="gshare"):
+    return AccuracyProfile("demo", "ref", predictor, branches)
+
+
+class TestHintAssignment:
+    def test_set_get(self):
+        hints = HintAssignment("demo", "static_95")
+        hints.set(0x1000, HintBits.static(True))
+        assert hints.get(0x1000).direction is True
+        assert hints.get(0x2000) is None
+        assert 0x1000 in hints
+        assert len(hints) == 1
+
+    def test_static_count_and_addresses(self):
+        hints = HintAssignment("demo", "s")
+        hints.set(0x1000, HintBits.static(True))
+        hints.set(0x2000, HintBits.dynamic())
+        assert hints.static_count() == 1
+        assert hints.static_addresses() == [0x1000]
+
+    def test_lookup_table_only_static(self):
+        hints = HintAssignment("demo", "s")
+        hints.set(0x1000, HintBits.static(False))
+        hints.set(0x2000, HintBits.dynamic())
+        assert hints.lookup_table() == {0x1000: False}
+
+    def test_apply_to_program(self):
+        program = Program.synthesize("demo", 10, seed=1)
+        hints = HintAssignment("demo", "s")
+        hints.set(program.sites[3].address, HintBits.static(True))
+        hints.set(0xDEAD_BEE0, HintBits.static(True))  # not in program
+        rewritten = hints.apply_to(program)
+        assert rewritten == 1
+        assert program.sites[3].hints.use_static
+
+    def test_json_roundtrip(self):
+        hints = HintAssignment("demo", "static_acc(gshare)")
+        hints.set(0x1000, HintBits.static(True, shift_history=True))
+        loaded = HintAssignment.from_json(hints.to_json())
+        assert loaded.scheme == "static_acc(gshare)"
+        assert loaded.get(0x1000).shift_history
+
+    def test_file_roundtrip(self, tmp_path):
+        hints = HintAssignment("demo", "s")
+        hints.set(0x1000, HintBits.static(False))
+        path = str(tmp_path / "hints.json")
+        hints.save(path)
+        assert HintAssignment.load(path).get(0x1000).direction is False
+
+    def test_rejects_malformed_json(self):
+        with pytest.raises(ProfileError):
+            HintAssignment.from_json("[1, 2]")
+
+
+class TestSelectStatic95:
+    def test_selects_above_cutoff(self):
+        profile = profile_of({
+            0x1000: BranchProfile(100, 98),   # bias 0.98 -> selected
+            0x1004: BranchProfile(100, 7),    # bias 0.93 -> not selected
+            0x1008: BranchProfile(100, 1),    # bias 0.99 -> selected, not-taken
+        })
+        hints = select_static_95(profile)
+        assert hints.static_count() == 2
+        assert hints.get(0x1000).direction is True
+        assert hints.get(0x1008).direction is False
+        assert hints.get(0x1004) is None
+
+    def test_cutoff_exclusive(self):
+        profile = profile_of({0x1000: BranchProfile(100, 95)})
+        assert select_static_95(profile, cutoff=0.95).static_count() == 0
+
+    def test_min_executions(self):
+        profile = profile_of({0x1000: BranchProfile(4, 4)})
+        assert select_static_95(profile).static_count() == 0
+        assert select_static_95(profile, min_executions=2).static_count() == 1
+
+    def test_lower_cutoff_selects_superset(self):
+        profile = profile_of({
+            addr: BranchProfile(100, taken)
+            for addr, taken in ((0x1000, 98), (0x1004, 93), (0x1008, 91))
+        })
+        strict = set(select_static_95(profile, cutoff=0.95).static_addresses())
+        loose = set(select_static_95(profile, cutoff=0.90).static_addresses())
+        assert strict <= loose
+        assert len(loose) > len(strict)
+
+    def test_scheme_name_includes_cutoff(self):
+        profile = profile_of({})
+        assert select_static_95(profile, cutoff=0.99).scheme == "static_99"
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(SelectionError):
+            select_static_95(profile_of({}), cutoff=1.0)
+
+    def test_shift_history_flag(self):
+        profile = profile_of({0x1000: BranchProfile(100, 99)})
+        hints = select_static_95(profile, shift_history=True)
+        assert hints.get(0x1000).shift_history
+
+
+class TestSelectStaticAcc:
+    def test_selects_bias_above_accuracy(self):
+        profile = profile_of({
+            0x1000: BranchProfile(100, 90),   # bias .9
+            0x1004: BranchProfile(100, 90),   # bias .9
+        })
+        accuracy = accuracy_of({
+            0x1000: BranchAccuracy(100, 80),  # acc .8 < bias -> select
+            0x1004: BranchAccuracy(100, 95),  # acc .95 > bias -> keep dynamic
+        })
+        hints = select_static_acc(profile, accuracy)
+        assert hints.static_addresses() == [0x1000]
+
+    def test_skips_unmeasured_branches(self):
+        profile = profile_of({0x1000: BranchProfile(100, 99)})
+        hints = select_static_acc(profile, accuracy_of({}))
+        assert hints.static_count() == 0
+
+    def test_rejects_program_mismatch(self):
+        profile = profile_of({})
+        accuracy = AccuracyProfile("other", "ref", "gshare", {})
+        with pytest.raises(SelectionError):
+            select_static_acc(profile, accuracy)
+
+    def test_scheme_names_predictor(self):
+        hints = select_static_acc(profile_of({}), accuracy_of({}, "2bcgskew"))
+        assert "2bcgskew" in hints.scheme
+
+
+class TestSelectStaticFac:
+    def test_factor_narrows_selection(self):
+        profile = profile_of({
+            0x1000: BranchProfile(100, 90),
+            0x1004: BranchProfile(100, 99),
+        })
+        accuracy = accuracy_of({
+            0x1000: BranchAccuracy(100, 88),  # bias/acc = 1.02
+            0x1004: BranchAccuracy(100, 80),  # bias/acc = 1.24
+        })
+        acc_hints = select_static_acc(profile, accuracy)
+        fac_hints = select_static_fac(profile, accuracy, factor=1.10)
+        assert set(fac_hints.static_addresses()) < set(acc_hints.static_addresses())
+        assert fac_hints.static_addresses() == [0x1004]
+
+    def test_factor_one_equals_acc(self):
+        profile = profile_of({0x1000: BranchProfile(100, 90)})
+        accuracy = accuracy_of({0x1000: BranchAccuracy(100, 80)})
+        acc = select_static_acc(profile, accuracy)
+        fac = select_static_fac(profile, accuracy, factor=1.0)
+        assert acc.static_addresses() == fac.static_addresses()
+
+    def test_rejects_small_factor(self):
+        with pytest.raises(SelectionError):
+            select_static_fac(profile_of({}), accuracy_of({}), factor=0.9)

@@ -1,0 +1,113 @@
+"""Tests for the text table and chart renderers."""
+
+import pytest
+
+from repro.utils.charts import render_bar_chart, render_line_chart
+from repro.utils.tables import (
+    format_float,
+    format_percent,
+    format_value,
+    render_table,
+)
+
+
+class TestFormatters:
+    def test_format_float(self):
+        assert format_float(3.14159) == "3.14"
+        assert format_float(3.14159, digits=4) == "3.1416"
+
+    def test_format_percent(self):
+        assert format_percent(0.759) == "75.9%"
+        assert format_percent(-0.014) == "-1.4%"
+        assert format_percent(1.0) == "100.0%"
+
+    def test_format_value_none(self):
+        assert format_value(None) == "-"
+
+    def test_format_value_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_format_value_float(self):
+        assert format_value(2.5) == "2.50"
+
+    def test_format_value_str(self):
+        assert format_value("abc") == "abc"
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["prog", "MISP/KI"], [["gcc", 12.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("prog")
+        assert lines[2].startswith("gcc")
+        assert lines[2].rstrip().endswith("12.50")
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "=" * len("My Table")
+
+    def test_column_width_grows_with_data(self):
+        text = render_table(["x", "y"], [["averyverylongvalue", 1]])
+        separator_line = text.splitlines()[1]
+        assert len(separator_line) > len("averyverylongvalue")
+
+    def test_ragged_rows_rejected(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self):
+        text = render_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestLineChart:
+    def test_contains_series_glyphs_and_legend(self):
+        chart = render_line_chart(
+            ["1K", "2K"], {"none": [5.0, 3.0], "static": [4.0, 2.0]}
+        )
+        assert "*=none" in chart
+        assert "o=static" in chart
+
+    def test_axis_labels_show_extremes(self):
+        chart = render_line_chart(["a", "b"], {"s": [1.0, 9.0]})
+        assert "9.00" in chart
+        assert "1.00" in chart
+
+    def test_constant_series_ok(self):
+        chart = render_line_chart(["a", "b"], {"s": [2.0, 2.0]})
+        assert "*" in chart
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_line_chart(["a"], {})
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            render_line_chart(["a", "b"], {"s": [1.0]})
+
+
+class TestBarChart:
+    def test_bars_scale(self):
+        chart = render_bar_chart(["small", "large"], [1.0, 10.0], width=20)
+        lines = chart.splitlines()
+        assert lines[0].count("#") < lines[1].count("#")
+        assert lines[1].count("#") == 20
+
+    def test_negative_values_distinct(self):
+        chart = render_bar_chart(["down"], [-0.5])
+        assert "<" in chart
+        assert "#" not in chart.splitlines()[-1]
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            render_bar_chart([], [])
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            render_bar_chart(["a"], [1.0, 2.0])
+
+    def test_all_zero_values(self):
+        chart = render_bar_chart(["z"], [0.0])
+        assert "0.00" in chart

@@ -1,0 +1,122 @@
+"""Tests for the Atom instrumentation and Spike optimizer models."""
+
+import pytest
+
+from repro.errors import SelectionError
+from repro.predictors.bimodal import BimodalPredictor
+from repro.profiling.profile import ProgramProfile
+from repro.tools.atom import AtomTool, PredictorAnalysis, ProfileAnalysis
+from repro.tools.spike import SpikeOptimizer
+from repro.workloads.trace import BranchTrace
+
+
+def make_trace(records, program="demo", input_name="ref"):
+    trace = BranchTrace(program_name=program, input_name=input_name)
+    for address, taken in records:
+        trace.site_indices.append(0)
+        trace.addresses.append(address)
+        trace.outcomes.append(taken)
+        trace.gaps.append(1)
+    return trace
+
+
+class TestAtomTool:
+    def test_profile_analysis_matches_direct_profile(self, gcc_trace):
+        atom = AtomTool()
+        analysis = atom.register(ProfileAnalysis())
+        atom.run(gcc_trace)
+        direct = ProgramProfile.from_trace(gcc_trace)
+        assert len(analysis.profile) == len(direct)
+        for address, branch in direct.items():
+            observed = analysis.profile[address]
+            assert observed.executions == branch.executions
+            assert observed.taken == branch.taken
+
+    def test_predictor_analysis_matches_simulate(self, gcc_trace):
+        from repro.core.simulator import simulate
+
+        atom = AtomTool()
+        analysis = atom.register(PredictorAnalysis(BimodalPredictor(1024)))
+        atom.run(gcc_trace)
+        direct = simulate(gcc_trace, BimodalPredictor(1024))
+        assert analysis.mispredictions == direct.mispredictions
+
+    def test_multiple_analyses_one_pass(self):
+        trace = make_trace([(0x1000, True)] * 10 + [(0x1004, False)] * 10)
+        atom = AtomTool()
+        profile = atom.register(ProfileAnalysis())
+        predictor = atom.register(PredictorAnalysis(BimodalPredictor(64)))
+        atom.run(trace)
+        assert profile.profile[0x1000].executions == 10
+        assert predictor.accuracy.get(0x1004).executions == 10
+
+    def test_accuracy_profile_names_predictor(self):
+        trace = make_trace([(0x1000, True)])
+        atom = AtomTool()
+        analysis = atom.register(PredictorAnalysis(BimodalPredictor(64)))
+        atom.run(trace)
+        assert analysis.accuracy.predictor_name == "bimodal"
+
+
+class TestSpikeOptimizer:
+    def _trained_spike(self):
+        spike = SpikeOptimizer()
+        spike.instrument_run(make_trace(
+            [(0x1000, True)] * 40 + [(0x1004, True)] * 40,
+            input_name="train",
+        ))
+        # 0x1004 reverses in ref.
+        spike.instrument_run(make_trace(
+            [(0x1000, True)] * 40 + [(0x1004, False)] * 40,
+            input_name="ref",
+        ))
+        return spike
+
+    def test_instrument_run_records(self):
+        spike = self._trained_spike()
+        assert spike.database.inputs("demo") == ["ref", "train"]
+
+    def test_select_hints_merged(self):
+        spike = self._trained_spike()
+        hints = spike.select_hints("demo", scheme="static_95")
+        # 0x1000 stays 100% taken across both -> selected; 0x1004 merges
+        # to 50% -> not selected.
+        assert hints.static_addresses() == [0x1000]
+
+    def test_stable_only_filters_unstable(self):
+        spike = self._trained_spike()
+        hints = spike.select_hints("demo", scheme="static_95",
+                                   stable_only=True)
+        assert 0x1004 not in hints
+
+    def test_optimize_stamps_program(self):
+        from repro.arch.program import Program
+
+        spike = SpikeOptimizer()
+        program = Program.synthesize("demo", 4, seed=1)
+        hot = program.sites[0].address
+        spike.instrument_run(make_trace([(hot, True)] * 40,
+                                        input_name="train"))
+        hints = spike.optimize(program, scheme="static_95")
+        assert program.sites[0].hints.use_static
+        assert hints.static_count() == 1
+
+    def test_static_acc_requires_extras(self):
+        spike = self._trained_spike()
+        with pytest.raises(SelectionError):
+            spike.select_hints("demo", scheme="static_acc")
+
+    def test_static_acc_with_extras(self):
+        spike = self._trained_spike()
+        trace = make_trace([(0x1000, True)] * 40)
+        hints = spike.select_hints(
+            "demo", scheme="static_acc",
+            accuracy_trace=trace,
+            predictor_factory=lambda: BimodalPredictor(64),
+        )
+        assert isinstance(hints.static_count(), int)
+
+    def test_unknown_scheme(self):
+        spike = self._trained_spike()
+        with pytest.raises(SelectionError):
+            spike.select_hints("demo", scheme="static_magic")

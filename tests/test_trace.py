@@ -1,0 +1,162 @@
+"""Tests for the branch trace data structure and its file format."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TraceFormatError
+from repro.workloads.trace import BranchRecord, BranchTrace
+
+
+def make_trace(records):
+    trace = BranchTrace(program_name="demo", input_name="ref")
+    for site, address, taken, gap in records:
+        trace.site_indices.append(site)
+        trace.addresses.append(address)
+        trace.outcomes.append(taken)
+        trace.gaps.append(gap)
+    return trace
+
+
+SIMPLE = [(0, 0x1000, True, 5), (1, 0x1004, False, 3), (0, 0x1000, True, 7)]
+
+
+class TestBranchTrace:
+    def test_len_and_iteration(self):
+        trace = make_trace(SIMPLE)
+        assert len(trace) == 3
+        records = list(trace)
+        assert records[0] == BranchRecord(0, 0x1000, True, 5)
+        assert records[1].taken is False
+
+    def test_instruction_count(self):
+        assert make_trace(SIMPLE).instruction_count == 15
+
+    def test_cbrs_per_ki(self):
+        trace = make_trace(SIMPLE)
+        assert trace.cbrs_per_ki() == pytest.approx(1000 * 3 / 15)
+
+    def test_taken_rate(self):
+        assert make_trace(SIMPLE).taken_rate() == pytest.approx(2 / 3)
+
+    def test_sites_executed(self):
+        assert make_trace(SIMPLE).sites_executed() == {0, 1}
+
+    def test_empty_trace_rates(self):
+        trace = make_trace([])
+        assert trace.cbrs_per_ki() == 0.0
+        assert trace.taken_rate() == 0.0
+
+    def test_slice(self):
+        trace = make_trace(SIMPLE)
+        sub = trace.slice(1, 3)
+        assert len(sub) == 2
+        assert sub.addresses == [0x1004, 0x1000]
+        assert sub.program_name == "demo"
+
+    def test_validate_accepts_good(self):
+        make_trace(SIMPLE).validate()
+
+    def test_validate_rejects_ragged(self):
+        trace = make_trace(SIMPLE)
+        trace.gaps.pop()
+        with pytest.raises(TraceFormatError):
+            trace.validate()
+
+    def test_validate_rejects_zero_gap(self):
+        trace = make_trace([(0, 0x1000, True, 0)])
+        with pytest.raises(TraceFormatError):
+            trace.validate()
+
+    def test_validate_rejects_unaligned_address(self):
+        trace = make_trace([(0, 0x1001, True, 1)])
+        with pytest.raises(TraceFormatError):
+            trace.validate()
+
+
+class TestTraceFormat:
+    def test_roundtrip(self):
+        trace = make_trace(SIMPLE)
+        loaded = BranchTrace.loads(trace.dumps())
+        assert loaded.program_name == "demo"
+        assert loaded.input_name == "ref"
+        assert loaded.site_indices == trace.site_indices
+        assert loaded.addresses == trace.addresses
+        assert loaded.outcomes == trace.outcomes
+        assert loaded.gaps == trace.gaps
+
+    def test_file_roundtrip(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "t.trace")
+        trace.save(path)
+        assert BranchTrace.load(path).addresses == trace.addresses
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(TraceFormatError):
+            BranchTrace.loads("not a trace\n")
+
+    def test_rejects_bad_count(self):
+        text = "repro-trace v1\ndemo ref 5\n0 1000 1 1\n"
+        with pytest.raises(TraceFormatError):
+            BranchTrace.loads(text)
+
+    def test_rejects_bad_field_count(self):
+        text = "repro-trace v1\ndemo ref 1\n0 1000 1\n"
+        with pytest.raises(TraceFormatError):
+            BranchTrace.loads(text)
+
+    def test_rejects_non_numeric(self):
+        text = "repro-trace v1\ndemo ref 1\n0 zzzz 1 1\n"
+        with pytest.raises(TraceFormatError):
+            BranchTrace.loads(text)
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=2**40).map(lambda a: a * 4),
+            st.booleans(),
+            st.integers(min_value=1, max_value=100),
+        ),
+        max_size=50,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, records):
+        trace = make_trace(records)
+        loaded = BranchTrace.loads(trace.dumps())
+        assert loaded.site_indices == trace.site_indices
+        assert loaded.addresses == trace.addresses
+        assert loaded.outcomes == trace.outcomes
+        assert loaded.gaps == trace.gaps
+
+
+class TestNpzFormat:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "t.npz")
+        trace.save_npz(path)
+        loaded = BranchTrace.load_npz(path)
+        assert loaded.program_name == trace.program_name
+        assert loaded.input_name == trace.input_name
+        assert loaded.site_indices == trace.site_indices
+        assert loaded.addresses == trace.addresses
+        assert loaded.outcomes == trace.outcomes
+        assert loaded.gaps == trace.gaps
+
+    def test_matches_text_format(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        npz_path = str(tmp_path / "t.npz")
+        trace.save_npz(npz_path)
+        from_npz = BranchTrace.load_npz(npz_path)
+        from_text = BranchTrace.loads(trace.dumps())
+        assert from_npz.addresses == from_text.addresses
+        assert from_npz.outcomes == from_text.outcomes
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            BranchTrace.load_npz(str(tmp_path / "missing.npz"))
+
+    def test_real_workload_roundtrip(self, tmp_path, gcc_trace):
+        path = str(tmp_path / "gcc.npz")
+        gcc_trace.save_npz(path)
+        loaded = BranchTrace.load_npz(path)
+        assert loaded.addresses == gcc_trace.addresses
+        assert loaded.instruction_count == gcc_trace.instruction_count
