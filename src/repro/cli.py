@@ -11,16 +11,25 @@ Subcommands::
     repro profile --program gcc --input train --out gcc.profile.json
     repro classify --program gcc [--predictor gshare --size 8192]
     repro interference --program gcc --predictor gshare --size 2048
+    repro lint [--format json] [--select RULES] [paths]
 
 ``run`` performs the paper's full two-phase flow for a single
 configuration and prints the result line; ``experiment`` regenerates a
-whole table or figure.
+whole table or figure; ``lint`` statically checks the determinism and
+predictor invariants the results depend on (exit status 1 when any
+finding survives).
+
+Every subcommand reports library failures (:class:`ReproError`) and
+file-system errors as a one-line ``error: ...`` on stderr with exit
+status 1 — never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from typing import Callable
 
 from repro.arch.isa import ShiftPolicy
 from repro.errors import ReproError
@@ -121,6 +130,19 @@ def build_parser() -> argparse.ArgumentParser:
     interference.add_argument("--seed", type=int, default=None)
     interference.add_argument("--scale", type=float, default=None)
 
+    lint = sub.add_parser(
+        "lint",
+        help="statically check determinism and predictor invariants",
+    )
+    lint.add_argument("paths", nargs="*", metavar="PATH",
+                      help="files or directories to lint (default: the "
+                           "installed repro package)")
+    lint.add_argument("--format", choices=("text", "json"), default="text",
+                      dest="format_", metavar="{text,json}")
+    lint.add_argument("--select", default=None,
+                      help="comma-separated rule ids or prefixes "
+                           "(e.g. DET001 or DET,PRED)")
+
     return parser
 
 
@@ -133,10 +155,13 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
 
 
 def _cmd_list() -> int:
+    from repro.lint import rule_ids
+
     print("programs:   ", " ".join(PROGRAM_ORDER))
     print("predictors: ", " ".join(PREDICTOR_NAMES))
     print("schemes:    ", " ".join(SELECTION_SCHEMES))
     print("experiments:", " ".join(EXPERIMENT_IDS))
+    print("lint rules: ", " ".join(rule_ids()))
     return 0
 
 
@@ -233,29 +258,53 @@ def _cmd_interference(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    import repro
+    from repro.lint import render_json, render_text, run_lint, select_rules
+
+    rules = None
+    if args.select:
+        rules = select_rules(args.select.split(","))
+    paths = args.paths or [os.path.dirname(repro.__file__)]
+    findings = run_lint(paths, rules)
+    rendered = (render_json(findings) if args.format_ == "json"
+                else render_text(findings))
+    print(rendered)
+    return 1 if findings else 0
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
+    "list": lambda args: _cmd_list(),
+    "run": _cmd_run,
+    "experiment": _cmd_experiment,
+    "trace": _cmd_trace,
+    "profile": _cmd_profile,
+    "classify": _cmd_classify,
+    "interference": _cmd_interference,
+    "lint": _cmd_lint,
+}
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns a process exit status."""
+    """CLI entry point; returns a process exit status.
+
+    Library failures (any :class:`ReproError`) and file-system errors
+    surface as one clean ``error:`` line on stderr with exit status 1;
+    tracebacks are reserved for actual programming errors.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    handler = _COMMANDS.get(args.command)
+    if handler is None:
+        raise AssertionError(f"unhandled command {args.command!r}")
     try:
-        if args.command == "list":
-            return _cmd_list()
-        if args.command == "run":
-            return _cmd_run(args)
-        if args.command == "experiment":
-            return _cmd_experiment(args)
-        if args.command == "trace":
-            return _cmd_trace(args)
-        if args.command == "profile":
-            return _cmd_profile(args)
-        if args.command == "classify":
-            return _cmd_classify(args)
-        if args.command == "interference":
-            return _cmd_interference(args)
+        return handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    raise AssertionError(f"unhandled command {args.command!r}")
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

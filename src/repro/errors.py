@@ -49,3 +49,11 @@ class SelectionError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment was requested with an unknown id or bad parameters."""
+
+
+class LintError(ReproError):
+    """The static-analysis pass was misconfigured (bad path, bad rule id).
+
+    Note this is *not* raised for rule findings — those are data, and
+    the CLI turns their presence into a nonzero exit status.
+    """

@@ -27,7 +27,12 @@ from repro.experiments import (
 from repro.experiments.common import PROGRAMS, ExperimentContext, default_context
 from repro.experiments.report import ExperimentReport
 
-__all__ = ["EXPERIMENT_IDS", "get_experiment", "run_experiment"]
+__all__ = [
+    "EXPERIMENT_IDS",
+    "GROUPED_EXPERIMENT_IDS",
+    "get_experiment",
+    "run_experiment",
+]
 
 Runner = Callable[[ExperimentContext], ExperimentReport]
 
@@ -59,6 +64,16 @@ for _i, _program in enumerate(PROGRAMS):
     _RUNNERS[f"figure{_i + 7}"] = _program_figure(figures_schemes, _program)
 
 EXPERIMENT_IDS = tuple(sorted(_RUNNERS))
+
+GROUPED_EXPERIMENT_IDS = frozenset({
+    "figures1-6", "figures7-12", "ablations", "summary",
+})
+"""Ids that aggregate other experiments and persist no golden of their
+own: the per-program/per-ablation members under them each have a
+``benchmarks/results/<id>.txt`` golden, so a grouped golden would only
+duplicate bytes already regression-checked.  The ``repro lint`` REG001
+rule reads this set; adding a grouped id here is a declared contract,
+not a silent exemption."""
 
 
 def get_experiment(experiment_id: str) -> Runner:

@@ -1,0 +1,52 @@
+"""``repro.lint``: AST-based enforcement of the simulator's invariants.
+
+The reproduction's numbers are trustworthy only while a handful of
+codebase-wide conventions hold — all randomness derives from named
+seeded streams, no code reads clocks or OS entropy, every predictor
+honors the predict-then-update contract, the experiment registry and
+its golden files agree, and index masking goes through the checked
+:mod:`repro.utils.bits` helpers.  None of these fail loudly when
+violated; they corrupt MISP/KI numbers silently.  This package turns
+them into machine-checked rules that run before any simulation does::
+
+    repro lint                       # self-check the installed package
+    repro lint --format json src/    # CI / tooling output
+    repro lint --select DET,PRED001  # a subset of rules
+
+Deliberate exceptions are annotated in place::
+
+    t0 = time.perf_counter()  # repro: allow[DET002] -- measuring wall time
+
+Rules (see :mod:`repro.lint.rules` and DESIGN.md section 8):
+
+========  ============================================================
+DET001    randomness must flow through ``utils.rng.derive_rng``
+DET002    no wall clocks, OS entropy, or unordered-set iteration
+PRED001   ``BranchPredictor`` subclasses honor the base contract
+PRED002   predictor names, factories, classes, and CLI choices agree
+REG001    experiment ids, runners, and result goldens stay in lockstep
+BIT001    index masking goes through ``utils.bits``, not inline math
+LINT001   (engine) a linted file failed to parse
+========  ============================================================
+"""
+
+from repro.lint.engine import LintEngine, collect_files, run_lint
+from repro.lint.findings import Finding, Severity
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import RULES, all_rules, rule_ids, select_rules
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintEngine",
+    "SuppressionIndex",
+    "run_lint",
+    "collect_files",
+    "render_text",
+    "render_json",
+    "RULES",
+    "all_rules",
+    "rule_ids",
+    "select_rules",
+]

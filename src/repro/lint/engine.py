@@ -1,0 +1,164 @@
+"""File collection, parsing, rule dispatch, and suppression filtering.
+
+The engine is deliberately boring: collect ``.py`` files in sorted
+order (the lint output itself must be deterministic — rule DET002 cuts
+both ways), parse each once, hand the shared AST to every applicable
+file rule, run project rules whose anchor file is present, drop
+suppressed findings, and return the rest sorted.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.errors import LintError
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import (
+    SYNTAX_RULE_ID,
+    FileRule,
+    ProjectRule,
+    _RuleBase,
+    all_rules,
+)
+from repro.lint.suppressions import SuppressionIndex
+
+__all__ = ["FileContext", "ProjectContext", "LintEngine", "run_lint"]
+
+_SKIP_DIR_SUFFIXES = ("__pycache__", ".egg-info")
+
+
+class FileContext:
+    """One parsed module as seen by the rules."""
+
+    __slots__ = ("path", "display", "source", "tree", "suppressions")
+
+    def __init__(self, path: Path, display: str, source: str, tree: ast.AST):
+        self.path = path
+        self.display = display
+        self.source = source
+        self.tree = tree
+        self.suppressions = SuppressionIndex.from_source(source)
+
+    def matches(self, suffix: str) -> bool:
+        """Whether this file's posix path ends with ``suffix``."""
+        return self.path.as_posix().endswith(suffix)
+
+
+class ProjectContext:
+    """The whole linted file set, for cross-file rules."""
+
+    def __init__(self, files: Sequence[FileContext]):
+        self.files = list(files)
+
+    def find(self, suffix: str) -> FileContext | None:
+        """The first file whose path ends with ``suffix``, if any."""
+        for ctx in self.files:
+            if ctx.matches(suffix):
+                return ctx
+        return None
+
+    def glob(self, fragment: str) -> list[FileContext]:
+        """Every file whose posix path contains ``fragment``."""
+        return [ctx for ctx in self.files if fragment in ctx.path.as_posix()]
+
+
+def collect_files(paths: Iterable[str | os.PathLike]) -> list[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    collected: list[Path] = []
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            candidates = [path]
+        elif path.is_dir():
+            candidates = sorted(
+                p for p in path.rglob("*.py")
+                if not any(
+                    (part.startswith(".") and part not in (".", ".."))
+                    or part.endswith(_SKIP_DIR_SUFFIXES)
+                    for part in p.parent.parts
+                )
+            )
+        else:
+            raise LintError(f"lint path does not exist: {path}")
+        for candidate in candidates:
+            if candidate.suffix != ".py":
+                raise LintError(f"not a Python file: {candidate}")
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                collected.append(candidate)
+    return collected
+
+
+class LintEngine:
+    """Run a set of rules over a set of paths."""
+
+    def __init__(self, rules: Sequence[_RuleBase] | None = None):
+        self.rules = list(rules) if rules is not None else all_rules()
+
+    def run(self, paths: Iterable[str | os.PathLike]) -> list[Finding]:
+        """Lint ``paths`` and return unsuppressed findings, sorted."""
+        contexts: list[FileContext] = []
+        findings: list[Finding] = []
+        for path in collect_files(paths):
+            source = path.read_text(encoding="utf-8")
+            display = self._display(path)
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    path=display, line=exc.lineno or 1,
+                    col=(exc.offset or 1) - 1, rule=SYNTAX_RULE_ID,
+                    severity=Severity.ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                ))
+                continue
+            contexts.append(FileContext(path, display, source, tree))
+
+        file_rules = [r for r in self.rules if isinstance(r, FileRule)]
+        project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
+
+        suppression_by_display = {ctx.display: ctx.suppressions for ctx in contexts}
+        for ctx in contexts:
+            for rule in file_rules:
+                if rule.applies(ctx):
+                    findings.extend(rule.check(ctx))
+
+        project = ProjectContext(contexts)
+        for rule in project_rules:
+            anchor_ctx = project.find(rule.anchor) if rule.anchor else None
+            if anchor_ctx is not None:
+                findings.extend(rule.check_project(anchor_ctx, project))
+
+        kept = [
+            finding for finding in findings
+            if not self._suppressed(finding, suppression_by_display)
+        ]
+        return sorted(kept)
+
+    @staticmethod
+    def _display(path: Path) -> str:
+        """Path as reported in findings: relative to cwd when possible."""
+        try:
+            return os.path.relpath(path)
+        except ValueError:  # pragma: no cover - windows cross-drive only
+            return str(path)
+
+    @staticmethod
+    def _suppressed(
+        finding: Finding, indexes: dict[str, SuppressionIndex]
+    ) -> bool:
+        index = indexes.get(finding.path)
+        return index is not None and index.is_suppressed(finding.rule, finding.line)
+
+
+def run_lint(
+    paths: Iterable[str | os.PathLike],
+    rules: Sequence[_RuleBase] | None = None,
+) -> list[Finding]:
+    """Convenience wrapper: lint ``paths`` with ``rules`` (default: all)."""
+    return LintEngine(rules).run(paths)

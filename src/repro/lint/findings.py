@@ -1,0 +1,63 @@
+"""The :class:`Finding` record produced by every lint rule.
+
+A finding pins one invariant violation to a source location.  Findings
+are plain data: rules yield them, the engine filters suppressed ones,
+and the reporters render whatever survives.  Keeping the record dumb
+means new output formats (SARIF, GitHub annotations) only need a new
+reporter, not rule changes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+__all__ = ["Severity", "Finding"]
+
+
+class Severity(enum.Enum):
+    """How bad a violated invariant is for reproduction integrity.
+
+    ``ERROR`` findings mean results can silently diverge from the paper
+    (nondeterminism, broken predictor contracts).  ``WARNING`` findings
+    mean the code duplicates a checked helper and can drift out of sync
+    with it (hand-rolled bit masking).
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    The field order doubles as the sort order: findings group by file,
+    then read top to bottom, then by rule id for same-line hits.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity = dataclasses.field(compare=False)
+    message: str = dataclasses.field(compare=False)
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (schema checked by tests/test_lint.py)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """One-line human-readable form, ``path:line:col: RULE: message``."""
+        return (f"{self.path}:{self.line}:{self.col}: "
+                f"{self.rule} {self.severity.value}: {self.message}")

@@ -1,0 +1,52 @@
+"""Text and JSON renderings of a finding list.
+
+The JSON schema is versioned and flat so CI and editor integrations can
+consume it without knowing rule internals::
+
+    {
+      "version": 1,
+      "count": 2,
+      "rules": ["BIT001", "DET001", ...],
+      "findings": [
+        {"rule": "DET001", "severity": "error", "path": "...",
+         "line": 3, "col": 0, "message": "..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import rule_ids
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [finding.render() for finding in findings]
+    if findings:
+        errors = sum(1 for f in findings if f.severity.value == "error")
+        warnings = len(findings) - errors
+        lines.append(f"{len(findings)} finding(s): {errors} error(s), "
+                     f"{warnings} warning(s)")
+    else:
+        lines.append("clean: no lint findings")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (schema documented in the module docstring)."""
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "count": len(findings),
+        "rules": list(rule_ids()),
+        "findings": [finding.to_dict() for finding in findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)

@@ -1,0 +1,143 @@
+"""Rule base classes and the rule registry.
+
+Two rule shapes exist:
+
+:class:`FileRule`
+    Checks one parsed module at a time (an :class:`ast.AST` walk).  Most
+    invariants — banned calls, class contracts, hand-rolled bit masks —
+    are local to a file.
+:class:`ProjectRule`
+    Checks cross-file agreement (registry vs. golden files, factory
+    table vs. CLI choices).  A project rule names an ``anchor`` file
+    suffix; it runs once per lint invocation, and only when a file
+    matching the anchor is in the linted set, so linting an unrelated
+    tree never trips repository-contract rules.
+
+Rules self-register via :func:`register` at import time; the module
+imports at the bottom populate the registry.  ``--select`` works on ids
+or prefixes (``DET`` selects DET001 and DET002).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.errors import LintError
+from repro.lint.findings import Finding, Severity
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext, ProjectContext
+
+__all__ = [
+    "FileRule",
+    "ProjectRule",
+    "register",
+    "all_rules",
+    "select_rules",
+    "rule_ids",
+    "RULES",
+]
+
+SYNTAX_RULE_ID = "LINT001"
+"""Pseudo-rule id the engine reports for files that fail to parse."""
+
+
+class _RuleBase:
+    """Shared identity and finding-construction helpers."""
+
+    #: Unique id, e.g. ``DET001``; used in reports and suppressions.
+    rule_id: str = "RULE000"
+    severity: Severity = Severity.ERROR
+    #: One-line invariant statement shown by ``repro list`` and the docs.
+    summary: str = ""
+
+    def finding(self, ctx: "FileContext", node, message: str) -> Finding:
+        """Build a finding anchored at an AST node (or at line 1)."""
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.display, line=line, col=col,
+            rule=self.rule_id, severity=self.severity, message=message,
+        )
+
+
+class FileRule(_RuleBase):
+    """A rule evaluated independently on every linted module."""
+
+    def applies(self, ctx: "FileContext") -> bool:
+        """Whether this rule runs on ``ctx`` (override to exempt files)."""
+        return True
+
+    def check(self, ctx: "FileContext") -> typing.Iterator[Finding]:
+        """Yield findings for one parsed module."""
+        raise NotImplementedError
+
+
+class ProjectRule(_RuleBase):
+    """A rule evaluated once over the whole linted file set."""
+
+    #: Posix path suffix of the file whose presence enables the rule.
+    anchor: str = ""
+
+    def check_project(
+        self, anchor_ctx: "FileContext", project: "ProjectContext"
+    ) -> typing.Iterator[Finding]:
+        """Yield findings for the cross-file contract."""
+        raise NotImplementedError
+
+
+RULES: dict[str, _RuleBase] = {}
+"""Registered rule instances keyed by rule id (import-time populated)."""
+
+
+def register(rule):
+    """Register a rule (instance, or class — instantiated with defaults).
+
+    Returns its argument unchanged, so it works as a class decorator.
+    """
+    instance = rule() if isinstance(rule, type) else rule
+    if instance.rule_id in RULES:
+        raise LintError(f"duplicate lint rule id {instance.rule_id!r}")
+    RULES[instance.rule_id] = instance
+    return rule
+
+
+def all_rules() -> list[_RuleBase]:
+    """Every registered rule, in id order."""
+    return [RULES[rule_id] for rule_id in sorted(RULES)]
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Sorted registered rule ids (plus the engine's syntax pseudo-rule)."""
+    return tuple(sorted(set(RULES) | {SYNTAX_RULE_ID}))
+
+
+def select_rules(selectors: typing.Iterable[str]) -> list[_RuleBase]:
+    """Resolve ``--select`` tokens (exact ids or prefixes) to rules.
+
+    >>> [r.rule_id for r in select_rules(["DET"])]
+    ['DET001', 'DET002']
+    """
+    chosen: dict[str, _RuleBase] = {}
+    for raw in selectors:
+        token = raw.strip()
+        if not token:
+            continue
+        matches = {
+            rule_id: rule for rule_id, rule in RULES.items()
+            if rule_id == token or rule_id.startswith(token)
+        }
+        if not matches and token != SYNTAX_RULE_ID:
+            known = ", ".join(sorted(RULES))
+            raise LintError(
+                f"--select {token!r} matches no lint rule; known rules: {known}"
+            )
+        chosen.update(matches)
+    return [chosen[rule_id] for rule_id in sorted(chosen)]
+
+
+# Import the rule modules so their ``register`` calls populate RULES.
+from repro.lint.rules import bitops  # noqa: E402,F401  (registration import)
+from repro.lint.rules import determinism  # noqa: E402,F401
+from repro.lint.rules import experiments  # noqa: E402,F401
+from repro.lint.rules import predictors  # noqa: E402,F401

@@ -1,0 +1,98 @@
+"""BIT001: no hand-rolled power-of-two index masking.
+
+Predictor index math lives in :mod:`repro.utils.bits` (``bit_mask``,
+``fold_bits``) and :mod:`repro.predictors.indexing` for a reason: a
+hand-inlined ``x & (2**n - 1)`` or ``x % size`` duplicates the helper's
+semantics without its width validation, and the two copies drift — the
+classic outcome being an index function that silently drops high-order
+bits differently from every other predictor, which changes aliasing
+behaviour and therefore every collision number in the tables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileRule, register
+
+__all__ = ["HandRolledMaskRule"]
+
+BITS_MODULE_SUFFIX = "utils/bits.py"
+"""The one module allowed to spell masks out — it defines the helpers."""
+
+
+def _is_mask_literal(node: ast.AST) -> bool:
+    """Matches ``2**n - 1`` and ``(1 << n) - 1``."""
+    if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub)
+            and isinstance(node.right, ast.Constant)
+            and node.right.value == 1):
+        return False
+    left = node.left
+    if not isinstance(left, ast.BinOp):
+        return False
+    if isinstance(left.op, ast.Pow):
+        return isinstance(left.left, ast.Constant) and left.left.value == 2
+    if isinstance(left.op, ast.LShift):
+        return isinstance(left.left, ast.Constant) and left.left.value == 1
+    return False
+
+
+def _is_power_of_two_expr(node: ast.AST) -> bool:
+    """Matches ``2**n``, ``1 << n``, and power-of-two int literals >= 2."""
+    if isinstance(node, ast.Constant):
+        value = node.value
+        return (isinstance(value, int) and not isinstance(value, bool)
+                and value >= 2 and (value & (value - 1)) == 0)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Pow):
+            return isinstance(node.left, ast.Constant) and node.left.value == 2
+        if isinstance(node.op, ast.LShift):
+            return isinstance(node.left, ast.Constant) and node.left.value == 1
+    return False
+
+
+@register
+class HandRolledMaskRule(FileRule):
+    """BIT001: use ``utils.bits`` helpers instead of inline mask math.
+
+    Flags ``x & (2**n - 1)`` / ``x & ((1 << n) - 1)`` (use
+    ``bit_mask``) and ``x % <power-of-two>`` (a modulo spelled where an
+    index mask is meant; use ``& bit_mask(log2_exact(size))`` or a
+    ``CounterTable``'s precomputed ``mask``).
+    """
+
+    rule_id = "BIT001"
+    severity = Severity.WARNING
+    summary = "index masking goes through utils.bits, not inline bit math"
+
+    def applies(self, ctx) -> bool:
+        return not ctx.matches(BITS_MODULE_SUFFIX)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.BitAnd):
+                if _is_mask_literal(node.right) or _is_mask_literal(node.left):
+                    yield self.finding(
+                        ctx, node,
+                        "hand-rolled power-of-two mask; use "
+                        "repro.utils.bits.bit_mask(width) so width "
+                        "validation stays in one place",
+                    )
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.BitAnd):
+                if _is_mask_literal(node.value):
+                    yield self.finding(
+                        ctx, node,
+                        "hand-rolled power-of-two mask; use "
+                        "repro.utils.bits.bit_mask(width) so width "
+                        "validation stays in one place",
+                    )
+            elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+                if _is_power_of_two_expr(node.right):
+                    yield self.finding(
+                        ctx, node,
+                        "modulo by a power of two used as an index mask; "
+                        "use '& repro.utils.bits.bit_mask(width)' (or a "
+                        "table's precomputed .mask) instead",
+                    )

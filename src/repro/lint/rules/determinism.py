@@ -1,0 +1,209 @@
+"""DET001/DET002: every run must be a pure function of its seed.
+
+The reproduction's headline property — rerunning an experiment with the
+same root seed replays the exact same branch trace and misprediction
+counts — holds only while *all* randomness flows through the named
+streams of :mod:`repro.utils.rng` and nothing reads clocks or OS
+entropy.  A single stray ``random.random()`` or ``time.time()`` does not
+crash anything; it silently decouples MISP/KI numbers from the seed,
+which is the worst possible failure mode for a paper reproduction.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileRule, register
+
+__all__ = ["RandomStreamRule", "WallClockRule"]
+
+RNG_MODULE_SUFFIX = "utils/rng.py"
+"""The one module allowed to touch :mod:`random` directly."""
+
+
+def _dotted_name(node: ast.AST) -> str | None:
+    """Flatten a ``Name``/``Attribute`` chain to ``a.b.c`` (else None)."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+@register
+class RandomStreamRule(FileRule):
+    """DET001: all randomness must derive from ``derive_rng`` streams.
+
+    Direct ``random.Random()``, ``random.seed()``, or module-level
+    ``random.*`` draws bypass the named-stream derivation, so adding or
+    reordering any consumer of randomness would perturb every other
+    stream and change published numbers.  Importing :mod:`random` at all
+    is flagged: outside ``utils/rng.py`` there is no legitimate draw.
+    """
+
+    rule_id = "DET001"
+    severity = Severity.ERROR
+    summary = "randomness must flow through utils.rng.derive_rng"
+
+    def applies(self, ctx) -> bool:
+        return not ctx.matches(RNG_MODULE_SUFFIX)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.finding(
+                            ctx, node,
+                            "import of 'random' outside utils/rng.py; use "
+                            "repro.utils.rng.derive_rng for a named stream",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    # Importing the Random *type* for annotations is
+                    # harmless; instantiating it is what DET001 bans.
+                    names = [a.name for a in node.names if a.name != "Random"]
+                    if names:
+                        yield self.finding(
+                            ctx, node,
+                            f"'from random import {', '.join(names)}' outside "
+                            "utils/rng.py; use repro.utils.rng.derive_rng "
+                            "for a named stream",
+                        )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted_name(node.func)
+                if dotted is not None and dotted.startswith("random."):
+                    yield self.finding(
+                        ctx, node,
+                        f"direct call to {dotted}(); derive a seeded stream "
+                        "via repro.utils.rng.derive_rng instead",
+                    )
+                elif dotted == "Random":
+                    yield self.finding(
+                        ctx, node,
+                        "direct Random(...) construction; use "
+                        "repro.utils.rng.derive_rng (or rng_from_seed for "
+                        "an already-derived seed) so every stream stays "
+                        "named and independent",
+                    )
+
+
+#: ``module.attr`` call tails that read wall clocks or OS entropy.  The
+#: match is on the last two components of the dotted call, so both
+#: ``time.time()`` and ``datetime.datetime.now()`` are caught.
+_BANNED_CALL_TAILS: dict[tuple[str, str], str] = {
+    ("time", "time"): "wall clock",
+    ("time", "time_ns"): "wall clock",
+    ("time", "monotonic"): "clock",
+    ("time", "monotonic_ns"): "clock",
+    ("time", "perf_counter"): "clock",
+    ("time", "perf_counter_ns"): "clock",
+    ("time", "process_time"): "clock",
+    ("time", "process_time_ns"): "clock",
+    ("datetime", "now"): "wall clock",
+    ("datetime", "utcnow"): "wall clock",
+    ("datetime", "today"): "wall clock",
+    ("date", "today"): "wall clock",
+    ("os", "urandom"): "OS entropy",
+    ("os", "getrandom"): "OS entropy",
+    ("uuid", "uuid1"): "clock/MAC-derived id",
+    ("uuid", "uuid4"): "OS entropy",
+}
+
+#: ``from <module> import <name>`` pairs that smuggle the same calls in
+#: under bare names the call check above cannot see.
+_BANNED_IMPORTS: set[tuple[str, str]] = {
+    (module, name) for (module, name) in _BANNED_CALL_TAILS
+    if module in ("time", "os", "uuid")
+}
+
+
+@register
+class WallClockRule(FileRule):
+    """DET002: no wall-clock, OS-entropy, or set-order nondeterminism.
+
+    Clock reads and ``os.urandom`` make output depend on when/where a
+    run happens; iterating a set feeds hash-order (which varies across
+    processes for str keys under hash randomization) into whatever the
+    loop builds.  Either way two "identical" runs stop agreeing.
+    """
+
+    rule_id = "DET002"
+    severity = Severity.ERROR
+    summary = "no wall clocks, OS entropy, or unordered-set iteration"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import(ctx, node)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                yield from self._check_iteration(ctx, node.iter)
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp,
+                                   ast.GeneratorExp)):
+                for generator in node.generators:
+                    yield from self._check_iteration(ctx, generator.iter)
+
+    def _check_call(self, ctx, node: ast.Call) -> Iterator[Finding]:
+        dotted = _dotted_name(node.func)
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if parts[0] == "secrets":
+            yield self.finding(
+                ctx, node,
+                f"{dotted}() draws OS entropy; results would no longer be "
+                "a function of the root seed",
+            )
+            return
+        if len(parts) < 2:
+            return
+        tail = (parts[-2], parts[-1])
+        why = _BANNED_CALL_TAILS.get(tail)
+        if why is not None:
+            yield self.finding(
+                ctx, node,
+                f"{dotted}() reads {why}; output must depend only on the "
+                "root seed, not on when or where a run happens",
+            )
+
+    def _check_import(self, ctx, node: ast.ImportFrom) -> Iterator[Finding]:
+        if node.level != 0:
+            return
+        if node.module == "secrets":
+            yield self.finding(
+                ctx, node, "'secrets' draws OS entropy; use "
+                "repro.utils.rng.derive_rng for seeded randomness",
+            )
+            return
+        for alias in node.names:
+            if (node.module, alias.name) in _BANNED_IMPORTS:
+                yield self.finding(
+                    ctx, node,
+                    f"'from {node.module} import {alias.name}' imports a "
+                    "nondeterministic source; seeded runs must not read it",
+                )
+
+    def _check_iteration(self, ctx, iter_node: ast.AST) -> Iterator[Finding]:
+        if isinstance(iter_node, ast.Set):
+            yield self.finding(
+                ctx, iter_node,
+                "iterating a set literal: set order is arbitrary and feeds "
+                "nondeterminism into whatever this loop builds; use a tuple "
+                "or sorted(...)",
+            )
+        elif (isinstance(iter_node, ast.Call)
+                and isinstance(iter_node.func, ast.Name)
+                and iter_node.func.id in ("set", "frozenset")):
+            yield self.finding(
+                ctx, iter_node,
+                f"iterating {iter_node.func.id}(...) directly: hash order "
+                "varies across processes; wrap in sorted(...) to fix the "
+                "iteration order",
+            )

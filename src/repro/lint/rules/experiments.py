@@ -1,0 +1,133 @@
+"""REG001: experiment ids, runners, and golden files stay in lockstep.
+
+Every id in ``experiments/registry.EXPERIMENT_IDS`` is a promise: the
+CLI accepts it, a runner produces it, and ``benchmarks/results/`` holds
+the golden rendering the benchmark harness asserts shape claims
+against.  An id without a golden means a paper table silently stops
+being regression-checked; a golden without an id is a stale artifact
+that no longer corresponds to any runnable experiment.  Grouped ids
+(declared in ``registry.GROUPED_EXPERIMENT_IDS``) aggregate per-program
+experiments and persist no golden of their own.
+
+Because the registry builds its runner table programmatically (the
+per-program figure ids are generated in a loop), this rule resolves the
+id set by importing the module rather than by AST pattern-matching —
+but only when the linted ``registry.py`` is the very module that would
+be imported, so linting a fixture tree never reads the real registry.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterator, Sequence
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import ProjectRule, register
+
+__all__ = ["ExperimentGoldenRule"]
+
+GOLDEN_SUFFIX = ".txt"
+
+
+@register
+class ExperimentGoldenRule(ProjectRule):
+    """REG001: every experiment id has a runner and a golden, and back.
+
+    Constructor arguments exist so tests can aim the rule at synthetic
+    id sets and golden directories; the registered instance resolves
+    both from the linted registry module itself.
+    """
+
+    rule_id = "REG001"
+    severity = Severity.ERROR
+    summary = "experiment ids, runners, and benchmarks/results goldens agree"
+    anchor = "experiments/registry.py"
+
+    def __init__(
+        self,
+        experiment_ids: Sequence[str] | None = None,
+        grouped_ids: Sequence[str] | None = None,
+        runners: dict | None = None,
+        results_dir: Path | str | None = None,
+    ):
+        self._experiment_ids = experiment_ids
+        self._grouped_ids = grouped_ids
+        self._runners = runners
+        self._results_dir = Path(results_dir) if results_dir is not None else None
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        resolved = self._resolve(anchor_ctx)
+        if resolved is None:
+            return
+        ids, grouped, runners, results_dir = resolved
+
+        for experiment_id in ids:
+            runner = runners.get(experiment_id)
+            if not callable(runner):
+                yield self._at(anchor_ctx,
+                               f"experiment id {experiment_id!r} has no "
+                               "callable runner; 'repro experiment "
+                               f"{experiment_id}' would fail")
+        stray_grouped = sorted(set(grouped) - set(ids))
+        for experiment_id in stray_grouped:
+            yield self._at(anchor_ctx,
+                           f"GROUPED_EXPERIMENT_IDS entry {experiment_id!r} "
+                           "is not a registered experiment id")
+
+        if results_dir is None or not results_dir.is_dir():
+            # Installed without the benchmark tree (e.g. a wheel): the
+            # golden cross-check has nothing to compare against.
+            return
+        goldens = {
+            p.name[:-len(GOLDEN_SUFFIX)]
+            for p in results_dir.iterdir()
+            if p.name.endswith(GOLDEN_SUFFIX)
+        }
+        for experiment_id in ids:
+            if experiment_id in grouped:
+                continue
+            if experiment_id not in goldens:
+                yield self._at(anchor_ctx,
+                               f"experiment {experiment_id!r} has no golden "
+                               f"{experiment_id}{GOLDEN_SUFFIX} under "
+                               f"{results_dir}; its shape claims are no "
+                               "longer regression-checked")
+        for golden in sorted(goldens - set(ids)):
+            yield self._at(anchor_ctx,
+                           f"golden {golden}{GOLDEN_SUFFIX} under "
+                           f"{results_dir} matches no experiment id; it is "
+                           "stale and can drift from any runnable result")
+
+    # -- resolution ------------------------------------------------------
+
+    def _resolve(self, anchor_ctx):
+        """(ids, grouped, runners, results_dir) or None to skip."""
+        if self._experiment_ids is not None:
+            runners = self._runners
+            if runners is None:
+                runners = {i: lambda ctx: None for i in self._experiment_ids}
+            return (tuple(self._experiment_ids),
+                    frozenset(self._grouped_ids or ()),
+                    runners, self._results_dir)
+
+        from repro.experiments import registry
+
+        module_file = getattr(registry, "__file__", None)
+        if module_file is None:
+            return None
+        if Path(module_file).resolve() != anchor_ctx.path.resolve():
+            # Linting some other tree's registry.py: the imported ids
+            # would not describe it, so stay silent rather than wrong.
+            return None
+        results_dir = self._results_dir
+        if results_dir is None:
+            results_dir = (
+                anchor_ctx.path.resolve().parents[3] / "benchmarks" / "results"
+            )
+        grouped = frozenset(getattr(registry, "GROUPED_EXPERIMENT_IDS", ()))
+        return (registry.EXPERIMENT_IDS, grouped, dict(registry._RUNNERS),
+                results_dir)
+
+    def _at(self, ctx, message: str) -> Finding:
+        return Finding(path=ctx.display, line=1, col=0, rule=self.rule_id,
+                       severity=self.severity, message=message)

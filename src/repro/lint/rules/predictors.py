@@ -1,0 +1,283 @@
+"""PRED001/PRED002: the predictor contract and its registration table.
+
+The simulator (and the collision tracker riding on it) drives every
+predictor through the protocol documented in
+:mod:`repro.predictors.base`: ``predict`` then ``update`` with the
+predicted value passed back, plus ``size_bytes`` for budget accounting
+and a ``name`` for reports.  A subclass that renames an ``update``
+parameter or forgets an override does not fail loudly — Python happily
+dispatches to a mismatched method and the run produces MISP/KI numbers
+for a predictor that never trained correctly.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.rules import FileRule, ProjectRule, register
+
+__all__ = ["PredictorContractRule", "PredictorRegistrationRule"]
+
+BASE_CLASS = "BranchPredictor"
+
+#: Members every concrete subclass must define, and why.
+_REQUIRED_METHODS = ("predict", "update", "size_bytes")
+
+#: The exact positional signature of ``update`` (see base.py contract).
+_UPDATE_PARAMS = ("self", "address", "taken", "predicted")
+
+
+def _base_names(node: ast.ClassDef) -> set[str]:
+    """Unqualified base-class names of a class definition."""
+    names: set[str] = set()
+    for base in node.bases:
+        if isinstance(base, ast.Name):
+            names.add(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.add(base.attr)
+    return names
+
+
+def _class_level_name(node: ast.ClassDef) -> bool:
+    """Whether the class body assigns a ``name`` attribute."""
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == "name":
+                    return True
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == "name":
+                return True
+    return False
+
+
+def _instance_level_name(node: ast.ClassDef) -> bool:
+    """Whether any method assigns ``self.name`` (e.g. wrapper predictors)."""
+    for stmt in ast.walk(node):
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+            targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            for target in targets:
+                if (isinstance(target, ast.Attribute)
+                        and target.attr == "name"
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    return True
+    return False
+
+
+def _methods(node: ast.ClassDef) -> dict[str, ast.FunctionDef]:
+    return {
+        stmt.name: stmt for stmt in node.body
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register
+class PredictorContractRule(FileRule):
+    """PRED001: ``BranchPredictor`` subclasses honor the base contract.
+
+    Checks every class that directly bases ``BranchPredictor``: it must
+    define ``name`` (class-level or ``self.name`` in ``__init__``),
+    override ``predict``/``update``/``size_bytes``, and keep ``update``'s
+    signature exactly ``(self, address, taken, predicted)`` so the
+    simulator's positional call trains what ``predict`` looked up.
+    """
+
+    rule_id = "PRED001"
+    severity = Severity.ERROR
+    summary = "BranchPredictor subclasses define name/predict/update/size_bytes"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if BASE_CLASS not in _base_names(node):
+                continue
+            yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx, node: ast.ClassDef) -> Iterator[Finding]:
+        methods = _methods(node)
+        if not (_class_level_name(node) or _instance_level_name(node)):
+            yield self.finding(
+                ctx, node,
+                f"predictor {node.name} does not define 'name'; reports and "
+                "the collision tracker would label it 'abstract'",
+            )
+        for required in _REQUIRED_METHODS:
+            if required not in methods:
+                yield self.finding(
+                    ctx, node,
+                    f"predictor {node.name} does not override {required!r}; "
+                    "the simulator drives every predictor through it",
+                )
+        update = methods.get("update")
+        if update is not None:
+            params = tuple(
+                arg.arg for arg in update.args.posonlyargs + update.args.args
+            )
+            extras = update.args.vararg or update.args.kwarg
+            if params != _UPDATE_PARAMS or update.args.kwonlyargs or extras:
+                got = ", ".join(params)
+                yield self.finding(
+                    ctx, update,
+                    f"{node.name}.update({got}) does not match the base "
+                    f"contract update({', '.join(_UPDATE_PARAMS)}); the "
+                    "simulator calls it positionally with predict's result",
+                )
+
+
+def _string_tuple(node: ast.AST) -> list[tuple[str, int]] | None:
+    """(value, lineno) pairs of a tuple/list of string constants."""
+    if not isinstance(node, (ast.Tuple, ast.List)):
+        return None
+    out: list[tuple[str, int]] = []
+    for element in node.elts:
+        if not (isinstance(element, ast.Constant)
+                and isinstance(element.value, str)):
+            return None
+        out.append((element.value, element.lineno))
+    return out
+
+
+@register
+class PredictorRegistrationRule(ProjectRule):
+    """PRED002: names, factories, classes, and CLI choices agree.
+
+    ``PREDICTOR_NAMES`` is what the CLI offers, ``_FACTORIES`` is what
+    ``make_predictor`` can build, and each scheme class carries a
+    ``name`` string used in reports.  A name present in one place but
+    not the others is either a phantom predictor (CLI advertises it,
+    factory raises) or an unreachable one (factory exists, CLI hides
+    it) — both corrupt cross-scheme comparisons silently.
+    """
+
+    rule_id = "PRED002"
+    severity = Severity.ERROR
+    summary = "PREDICTOR_NAMES, _FACTORIES, class names, and CLI choices agree"
+    anchor = "predictors/sizing.py"
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        names = self._assigned_string_tuple(anchor_ctx.tree, "PREDICTOR_NAMES")
+        factory_keys = self._dict_string_keys(anchor_ctx.tree, "_FACTORIES")
+        if names is None:
+            yield self.finding(
+                anchor_ctx, anchor_ctx.tree,
+                "PREDICTOR_NAMES is not a literal tuple of strings; the "
+                "registration cross-check cannot see it",
+            )
+            return
+        name_set = {value for value, _ in names}
+        if factory_keys is not None:
+            key_set = {value for value, _ in factory_keys}
+            for value, lineno in names:
+                if value not in key_set:
+                    yield self._at(anchor_ctx, lineno,
+                                   f"predictor {value!r} is in PREDICTOR_NAMES "
+                                   "but has no _FACTORIES entry; the CLI "
+                                   "advertises a scheme make_predictor cannot "
+                                   "build")
+            for value, lineno in factory_keys:
+                if value not in name_set:
+                    yield self._at(anchor_ctx, lineno,
+                                   f"factory {value!r} is not in "
+                                   "PREDICTOR_NAMES; the scheme is "
+                                   "unreachable from the CLI and experiment "
+                                   "sweeps")
+        yield from self._check_class_names(anchor_ctx, project, names)
+        yield from self._check_cli(project)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _at(self, ctx, lineno: int, message: str) -> Finding:
+        return Finding(path=ctx.display, line=lineno, col=0,
+                       rule=self.rule_id, severity=self.severity,
+                       message=message)
+
+    @staticmethod
+    def _assigned_string_tuple(tree: ast.AST, target_name: str):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if isinstance(target, ast.Name) and target.id == target_name:
+                        return _string_tuple(node.value)
+        return None
+
+    @staticmethod
+    def _dict_string_keys(tree: ast.AST, target_name: str):
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if not (isinstance(target, ast.Name)
+                        and target.id == target_name):
+                    continue
+                value = node.value
+                if not isinstance(value, ast.Dict):
+                    return None
+                keys: list[tuple[str, int]] = []
+                for key in value.keys:
+                    if not (isinstance(key, ast.Constant)
+                            and isinstance(key.value, str)):
+                        return None
+                    keys.append((key.value, key.lineno))
+                return keys
+        return None
+
+    def _check_class_names(self, anchor_ctx, project, names) -> Iterator[Finding]:
+        """Every registered name must belong to some predictor class.
+
+        The scan covers class-level ``name = "..."`` strings of
+        ``BranchPredictor`` subclasses in the linted set.  Wrapper
+        predictors with computed instance names (and deliberate
+        zero-budget baselines like ``always-taken``) are not required to
+        be registered, so only the names → classes direction is checked.
+        """
+        class_names: set[str] = set()
+        for ctx in project.files:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.ClassDef):
+                    continue
+                if BASE_CLASS not in _base_names(node):
+                    continue
+                for stmt in node.body:
+                    if (isinstance(stmt, ast.Assign)
+                            and any(isinstance(t, ast.Name) and t.id == "name"
+                                    for t in stmt.targets)
+                            and isinstance(stmt.value, ast.Constant)
+                            and isinstance(stmt.value.value, str)):
+                        class_names.add(stmt.value.value)
+        if not class_names:
+            return  # Linted set has no predictor classes to cross-check.
+        for value, lineno in names:
+            if value not in class_names:
+                yield self._at(
+                    anchor_ctx, lineno,
+                    f"PREDICTOR_NAMES entry {value!r} matches no "
+                    "BranchPredictor subclass name; reports would "
+                    "mislabel the scheme",
+                )
+
+    def _check_cli(self, project) -> Iterator[Finding]:
+        """Every CLI ``--predictor`` must take choices=PREDICTOR_NAMES."""
+        cli_ctx = project.find("repro/cli.py") or project.find("cli.py")
+        if cli_ctx is None:
+            return
+        for node in ast.walk(cli_ctx.tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "add_argument"
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value == "--predictor"):
+                continue
+            choices = next((kw.value for kw in node.keywords
+                            if kw.arg == "choices"), None)
+            if not (isinstance(choices, ast.Name)
+                    and choices.id == "PREDICTOR_NAMES"):
+                yield self._at(
+                    cli_ctx, node.lineno,
+                    "--predictor must use choices=PREDICTOR_NAMES; a "
+                    "hand-written list drifts from the factory table",
+                )

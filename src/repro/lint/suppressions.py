@@ -1,0 +1,59 @@
+"""Inline suppressions: ``# repro: allow[RULE-ID] -- justification``.
+
+A suppression silences named rules for the statement it annotates.  Two
+placements are recognized:
+
+* trailing, on the offending line itself::
+
+      t0 = time.perf_counter()  # repro: allow[DET002] -- wall time is the payload
+
+* a standalone comment line directly above the offending line::
+
+      # repro: allow[DET002] -- wall time is the payload here
+      t0 = time.perf_counter()
+
+Several rules may share one marker (``allow[DET001,DET002]``).  The
+justification after ``--`` (or ``:``) is free text; by convention every
+suppression carries one, so a reader never has to reconstruct why an
+invariant was waived.
+"""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["SuppressionIndex"]
+
+_ALLOW_RE = re.compile(
+    r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]"
+    r"(?:\s*(?:--|:)\s*(?P<why>.*))?"
+)
+
+
+class SuppressionIndex:
+    """Per-file map from line number to the rule ids allowed there."""
+
+    def __init__(self, allowed: dict[int, set[str]]):
+        self._allowed = allowed
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Scan a module's source text for ``repro: allow`` markers."""
+        allowed: dict[int, set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _ALLOW_RE.search(text)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
+            allowed.setdefault(lineno, set()).update(rules)
+            if text.lstrip().startswith("#"):
+                # Standalone comment: it annotates the next line.
+                allowed.setdefault(lineno + 1, set()).update(rules)
+        return cls(allowed)
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """Whether ``rule`` is allowed at ``line``."""
+        return rule in self._allowed.get(line, ())
+
+    def __len__(self) -> int:
+        return len(self._allowed)

@@ -19,7 +19,7 @@ from __future__ import annotations
 import hashlib
 import random
 
-__all__ = ["derive_seed", "derive_rng"]
+__all__ = ["derive_seed", "derive_rng", "rng_from_seed"]
 
 
 def derive_seed(root: int, *names: object) -> int:
@@ -41,3 +41,16 @@ def derive_seed(root: int, *names: object) -> int:
 def derive_rng(root: int, *names: object) -> random.Random:
     """Return a fresh :class:`random.Random` for the named stream."""
     return random.Random(derive_seed(root, *names))
+
+
+def rng_from_seed(seed: int) -> random.Random:
+    """Return a :class:`random.Random` for an already-derived seed.
+
+    The second half of the named-stream mechanism: code that *stores* a
+    :func:`derive_seed` result (e.g. a declarative site plan that must
+    stay a frozen dataclass of ints) reconstructs its stream here
+    instead of instantiating ``random.Random`` directly, keeping this
+    module the single place randomness enters the library (enforced by
+    ``repro lint`` rule DET001).
+    """
+    return random.Random(seed)

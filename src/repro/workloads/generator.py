@@ -36,7 +36,7 @@ from typing import Sequence
 
 from repro.arch.program import Program
 from repro.errors import ConfigurationError, WorkloadError
-from repro.utils.rng import derive_rng, derive_seed
+from repro.utils.rng import derive_rng, derive_seed, rng_from_seed
 from repro.workloads.behaviors import (
     BehaviorFactory,
     BiasedBehavior,
@@ -158,9 +158,11 @@ class SitePlan:
 
     def build(self, input_name: str) -> BranchBehavior:
         """Instantiate this site's behaviour for the given input."""
-        behavior = self.factory.instantiate(Random(self.behavior_seed))
+        behavior = self.factory.instantiate(rng_from_seed(self.behavior_seed))
         if input_name == REF:
-            behavior = apply_drift(behavior, self.drift_kind, Random(self.drift_seed))
+            behavior = apply_drift(
+                behavior, self.drift_kind, rng_from_seed(self.drift_seed)
+            )
         return behavior
 
 

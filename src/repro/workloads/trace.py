@@ -109,6 +109,7 @@ class BranchTrace:
             if gap < 1:
                 raise TraceFormatError(f"record {i} has gap {gap} < 1")
         for i, address in enumerate(self.addresses):
+            # repro: allow[BIT001] -- alignment validation, not table indexing
             if address % 4 != 0:
                 raise TraceFormatError(
                     f"record {i} has unaligned address {address:#x}"

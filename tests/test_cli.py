@@ -42,6 +42,8 @@ class TestCommands:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "gcc" in out and "2bcgskew" in out and "table3" in out
+        # The lint battery is discoverable alongside the other registries.
+        assert "lint rules" in out and "DET001" in out and "REG001" in out
 
     def test_run(self, capsys):
         status = main(["run", "--program", "compress", "--predictor",
@@ -103,3 +105,66 @@ class TestCommands:
                      "gshare", "--size", "512", "--top", "3"]) == 0
         out = capsys.readouterr().out
         assert "collisions" in out
+
+
+class TestLintCommand:
+    def test_default_self_lint_is_clean(self, capsys):
+        assert main(["lint"]) == 0
+        assert "clean: no lint findings" in capsys.readouterr().out
+
+    def test_findings_mean_nonzero_exit(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n",
+                       encoding="utf-8")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out and "finding(s)" in out
+
+    def test_json_format(self, tmp_path, capsys):
+        import json
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("t = __import__\nimport time\ny = time.time()\n",
+                       encoding="utf-8")
+        assert main(["lint", "--format", "json", str(bad)]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "DET002"
+
+    def test_select_restricts_rules(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\ny = 5 % 4096\n", encoding="utf-8")
+        assert main(["lint", "--select", "BIT", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "BIT001" in out and "DET001" not in out
+
+
+class TestCleanErrors:
+    """Every failure mode exits 1 with one ``error:`` line, no traceback."""
+
+    def test_bad_experiment_parameters(self, capsys):
+        assert main(["experiment", "table1", "--length", "-5"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_trace_unwritable_output_path(self, capsys):
+        assert main(["trace", "--program", "compress", "--length", "100",
+                     "--out", "/nonexistent-dir/never/x.trace"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_profile_unwritable_output_path(self, capsys):
+        assert main(["profile", "--program", "compress",
+                     "--out", "/nonexistent-dir/never/p.json"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
+
+    def test_lint_unknown_selector(self, capsys):
+        assert main(["lint", "--select", "NOPE999"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "known rules" in err
+
+    def test_lint_missing_path(self, capsys):
+        assert main(["lint", "/nonexistent/lint/target"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "Traceback" not in err
