@@ -9,6 +9,12 @@ not absolute numbers.
 The experiment context is session-scoped: traces, profiles, and accuracy
 measurements are shared across benchmarks, like the paper's phase-one
 database feeding every phase-two measurement.
+
+Cell-based experiments additionally honor ``REPRO_JOBS`` (fan simulation
+cells out over worker processes) and ``REPRO_CACHE_DIR`` (reuse
+persisted results across benchmark sessions); both are bit-identical to
+a serial fresh run, so they accelerate the harness without perturbing
+the regenerated tables and figures.
 """
 
 from __future__ import annotations

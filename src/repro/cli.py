@@ -3,6 +3,7 @@
 Subcommands::
 
     repro list                         # programs, predictors, experiments
+    repro run table3 figure1 --jobs 4 [--no-cache] [--cache-dir DIR]
     repro run --program gcc --predictor gshare --size 8192 \
               [--scheme static_acc] [--shift] [--collisions] \
               [--length 200000] [--input ref] [--profile-input ref]
@@ -13,11 +14,16 @@ Subcommands::
     repro interference --program gcc --predictor gshare --size 2048
     repro lint [--format json] [--select RULES] [paths]
 
-``run`` performs the paper's full two-phase flow for a single
-configuration and prints the result line; ``experiment`` regenerates a
-whole table or figure; ``lint`` statically checks the determinism and
-predictor invariants the results depend on (exit status 1 when any
-finding survives).
+``run`` with experiment ids schedules their declared cells across
+``--jobs`` worker processes backed by a persistent result cache (warm
+re-runs simulate nothing) and prints each report plus a run summary:
+wall time, branches/s per worker, cache hit/miss counts.  ``run`` with
+``--program/--predictor/--size`` performs the paper's full two-phase
+flow for that single configuration and prints the result line.
+``experiment`` regenerates a whole table or figure serially (it also
+honors the ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment knobs);
+``lint`` statically checks the determinism and predictor invariants the
+results depend on (exit status 1 when any finding survives).
 
 Every subcommand reports library failures (:class:`ReproError`) and
 file-system errors as a one-line ``error: ...`` on stderr with exit
@@ -54,10 +60,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list programs, predictors, and experiments")
 
-    run = sub.add_parser("run", help="run one predictor configuration")
-    run.add_argument("--program", required=True, choices=PROGRAM_ORDER)
-    run.add_argument("--predictor", required=True, choices=PREDICTOR_NAMES)
-    run.add_argument("--size", type=int, required=True,
+    run = sub.add_parser(
+        "run",
+        help="run experiments in parallel, or one predictor configuration",
+    )
+    run.add_argument("experiments", nargs="*", metavar="EXPERIMENT",
+                     help="experiment ids to run through the parallel "
+                          "runner (omit to run a single --program/"
+                          "--predictor/--size configuration); unknown ids "
+                          "are rejected with the known list")
+    run.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (default: REPRO_JOBS or 1)")
+    run.add_argument("--no-cache", action="store_true",
+                     help="disable the persistent result cache")
+    run.add_argument("--cache-dir", default=None,
+                     help="result cache location (default: REPRO_CACHE_DIR "
+                          "or .repro-cache)")
+    run.add_argument("--program", default=None, choices=PROGRAM_ORDER)
+    run.add_argument("--predictor", default=None, choices=PREDICTOR_NAMES)
+    run.add_argument("--size", type=int, default=None,
                      help="hardware budget in bytes (power of two)")
     run.add_argument("--scheme", default="none", choices=SELECTION_SCHEMES)
     run.add_argument("--shift", action="store_true",
@@ -166,6 +187,15 @@ def _cmd_list() -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    if args.experiments:
+        return _cmd_run_experiments(args)
+    missing = [name for name in ("program", "predictor", "size")
+               if getattr(args, name) is None]
+    if missing:
+        raise ReproError(
+            "run needs either experiment ids or a full configuration "
+            f"(--{' --'.join(missing)} missing); see `repro list` for ids"
+        )
     ctx = _context(args)
     result = ctx.run(
         args.program,
@@ -179,6 +209,23 @@ def _cmd_run(args: argparse.Namespace) -> int:
         cutoff=args.cutoff,
     )
     print(result.describe())
+    return 0
+
+
+def _cmd_run_experiments(args: argparse.Namespace) -> int:
+    from repro.runner import ResultCache, default_cache_dir, default_jobs, run_experiments
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    reports, summary = run_experiments(
+        args.experiments, ctx=_context(args), jobs=jobs, cache=cache,
+    )
+    for experiment_id in args.experiments:
+        print(reports[experiment_id].render())
+        print()
+    print(summary.describe())
     return 0
 
 

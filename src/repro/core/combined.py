@@ -77,10 +77,25 @@ class CombinedPredictor(BranchPredictor):
         return direction
 
     def update(self, address: int, taken: bool, predicted: bool) -> None:
-        if not self._last_was_static:
+        """Train on a resolved branch.
+
+        Whether the branch is statically handled is re-resolved from the
+        hint table rather than from predict-time state: the hint set is
+        fixed for a run, so routing by address keeps ``update`` correct
+        even if a caller skips ``predict`` (speculative squash) or calls
+        ``update`` twice for one lookup.  The old behaviour -- trusting a
+        ``_last_was_static`` flag left behind by ``predict`` -- trained
+        the dynamic predictor on statically handled branches (or vice
+        versa) whenever the predict/update pairing broke.
+        """
+        direction = self._static_direction.get(address)
+        if direction is None:
             self.dynamic.update(address, taken, predicted)
             return
-        if predicted != taken:
+        # Static branches always predict their (run-constant) hint
+        # direction, so the misprediction check uses it directly rather
+        # than whatever stale value the caller passed back.
+        if direction != taken:
             self.static_mispredictions += 1
         policy = self.shift_policy
         if policy is ShiftPolicy.SHIFT:

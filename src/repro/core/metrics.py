@@ -10,8 +10,10 @@ was instrumented for them.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
+from repro.errors import ReproError
 from repro.predictors.collisions import CollisionCounts
 
 __all__ = ["SimulationResult", "improvement"]
@@ -45,9 +47,14 @@ class SimulationResult:
 
     @property
     def accuracy(self) -> float:
-        """Overall prediction accuracy."""
+        """Overall prediction accuracy.
+
+        An empty run (zero branches) has no mispredictions, so it is
+        vacuously 100% accurate -- not 0%, which would make an empty
+        trace look like a catastrophically bad predictor.
+        """
         if self.branches == 0:
-            return 0.0
+            return 1.0
         return 1.0 - self.mispredictions / self.branches
 
     @property
@@ -71,9 +78,13 @@ class SimulationResult:
 
     @property
     def static_accuracy(self) -> float:
-        """Accuracy over the statically predicted executions."""
+        """Accuracy over the statically predicted executions.
+
+        Vacuously 1.0 when no execution was handled statically (see
+        :attr:`accuracy` for the rationale).
+        """
         if self.static_branches == 0:
-            return 0.0
+            return 1.0
         return 1.0 - self.static_mispredictions / self.static_branches
 
     def describe(self) -> str:
@@ -94,6 +105,66 @@ class SimulationResult:
             )
         return " ".join(parts)
 
+    # -- persistence (the runner's on-disk result cache) -----------------
+
+    def to_dict(self) -> dict:
+        """JSON-safe dict representation; inverse of :meth:`from_dict`."""
+        data = {
+            "program_name": self.program_name,
+            "input_name": self.input_name,
+            "predictor_name": self.predictor_name,
+            "scheme": self.scheme,
+            "size_bytes": self.size_bytes,
+            "branches": self.branches,
+            "instructions": self.instructions,
+            "mispredictions": self.mispredictions,
+            "static_branches": self.static_branches,
+            "static_mispredictions": self.static_mispredictions,
+            "metadata": dict(self.metadata),
+        }
+        if self.collisions is not None:
+            data["collisions"] = {
+                "lookups": self.collisions.lookups,
+                "collisions": self.collisions.collisions,
+                "constructive": self.collisions.constructive,
+                "destructive": self.collisions.destructive,
+            }
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        Raises :class:`~repro.errors.ReproError` on malformed payloads so
+        a corrupt cache entry surfaces as a clean error, not a KeyError.
+        """
+        try:
+            collisions = None
+            raw = data.get("collisions")
+            if raw is not None:
+                collisions = CollisionCounts(
+                    lookups=int(raw["lookups"]),
+                    collisions=int(raw["collisions"]),
+                    constructive=int(raw["constructive"]),
+                    destructive=int(raw["destructive"]),
+                )
+            return cls(
+                program_name=data["program_name"],
+                input_name=data["input_name"],
+                predictor_name=data["predictor_name"],
+                scheme=data["scheme"],
+                size_bytes=data["size_bytes"],
+                branches=int(data["branches"]),
+                instructions=int(data["instructions"]),
+                mispredictions=int(data["mispredictions"]),
+                static_branches=int(data["static_branches"]),
+                static_mispredictions=int(data["static_mispredictions"]),
+                collisions=collisions,
+                metadata=dict(data.get("metadata", {})),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ReproError(f"malformed SimulationResult payload: {exc}") from exc
+
 
 def improvement(base: SimulationResult, improved: SimulationResult) -> float:
     """Fractional MISPs/KI improvement of ``improved`` over ``base``.
@@ -101,8 +172,15 @@ def improvement(base: SimulationResult, improved: SimulationResult) -> float:
     Positive = fewer mispredictions (better), matching the sign
     convention of the paper's Tables 3 and 4; a value of 0.14 is the
     paper's "14%".
+
+    A zero-misprediction baseline cannot be improved on fractionally:
+    against it, an equally perfect run reports 0.0 and a *worse* run
+    reports ``-math.inf`` -- a signed sentinel, so regressions against a
+    perfect baseline can no longer hide behind a silent 0.0.  Render
+    with :func:`repro.utils.tables.format_improvement`, which spells the
+    sentinel out.
     """
     base_misp = base.misp_per_ki
     if base_misp == 0.0:
-        return 0.0
+        return 0.0 if improved.misp_per_ki == 0.0 else -math.inf
     return (base_misp - improved.misp_per_ki) / base_misp

@@ -8,6 +8,7 @@ setups stay visible at the call site.
 
 from __future__ import annotations
 
+import functools
 from typing import Callable, Sequence
 
 from repro.arch.isa import ShiftPolicy
@@ -38,8 +39,10 @@ def run_configuration(
     trace for both.
     """
     kwargs = predictor_kwargs or {}
-    factory: Callable[[], BranchPredictor] = lambda: make_predictor(
-        predictor_name, size_bytes, **kwargs
+    # functools.partial rather than a lambda so a bound configuration
+    # stays picklable -- the parallel runner ships these across workers.
+    factory: Callable[[], BranchPredictor] = functools.partial(
+        make_predictor, predictor_name, size_bytes, **kwargs
     )
     if scheme == "none":
         return simulate(

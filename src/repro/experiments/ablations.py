@@ -24,18 +24,37 @@ Four studies the paper motivates but does not tabulate:
 
 from __future__ import annotations
 
-from repro.core.metrics import improvement
+from repro.core.metrics import SimulationResult, improvement
 from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
 from repro.experiments.report import ExperimentReport
+from repro.runner import Cell, execute_cells
+from repro.utils.tables import format_improvement
 
-__all__ = ["run_agree", "run_cutoff_sweep", "run_history_sweep", "run_selection_shootout", "run"]
+__all__ = ["run_agree", "run_cutoff_sweep", "run_history_sweep",
+           "run_selection_shootout", "run", "cells", "synthesize"]
 
 AGREE_SIZE = 8 * KIB
 CUTOFFS = (0.90, 0.95, 0.99)
 CUTOFF_PROGRAMS = ("gcc", "m88ksim")
+CUTOFF_SIZE = 8 * KIB
 HISTORY_LENGTHS = (2, 4, 6, 8, 10, 12, 13)
 HISTORY_PROGRAM = "gcc"
 HISTORY_SIZE = 8 * KIB
+SHOOTOUT_SIZE = 2 * KIB   # small predictor: aliasing-dominated regime
+SHOOTOUT_PROGRAMS = ("gcc", "go", "m88ksim")
+SHOOTOUT_SCHEMES = ("static_95", "static_acc", "static_collision",
+                    "static_iter")
+
+
+def cells_agree(ctx: ExperimentContext) -> list[Cell]:
+    """Ablation A cells: gshare/agree/bimode/yags + gshare+static_acc."""
+    out: list[Cell] = []
+    for program in PROGRAMS:
+        for name in ("gshare", "agree", "bimode", "yags"):
+            out.append(Cell.make(program, name, AGREE_SIZE))
+        out.append(Cell.make(program, "gshare", AGREE_SIZE,
+                             scheme="static_acc"))
+    return out
 
 
 def run_agree(ctx: ExperimentContext) -> ExperimentReport:
@@ -47,6 +66,13 @@ def run_agree(ctx: ExperimentContext) -> ExperimentReport:
     against the paper's software answer (gshare + Static_Acc hints), all
     at equal budgets.
     """
+    results = execute_cells(ctx, cells_agree(ctx))
+    return synthesize_agree(ctx, results)
+
+
+def synthesize_agree(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="ablation-agree",
         title="Hardware anti-aliasing (agree, bi-mode, YAGS) vs "
@@ -58,12 +84,13 @@ def run_agree(ctx: ExperimentContext) -> ExperimentReport:
          "gshare+static_acc", "best hardware", "static vs gshare"],
     )
     for program in PROGRAMS:
-        gshare = ctx.run(program, "gshare", AGREE_SIZE, scheme="none")
+        gshare = results[Cell.make(program, "gshare", AGREE_SIZE)]
         hardware = {
-            name: ctx.run(program, name, AGREE_SIZE, scheme="none")
+            name: results[Cell.make(program, name, AGREE_SIZE)]
             for name in ("agree", "bimode", "yags")
         }
-        static = ctx.run(program, "gshare", AGREE_SIZE, scheme="static_acc")
+        static = results[Cell.make(program, "gshare", AGREE_SIZE,
+                                   scheme="static_acc")]
         best_name = min(hardware, key=lambda n: hardware[n].misp_per_ki)
         table.rows.append(
             [
@@ -74,7 +101,7 @@ def run_agree(ctx: ExperimentContext) -> ExperimentReport:
                 round(hardware["yags"].misp_per_ki, 2),
                 round(static.misp_per_ki, 2),
                 best_name,
-                f"{improvement(gshare, static) * 100:+.1f}%",
+                format_improvement(improvement(gshare, static)),
             ]
         )
         report.data[program] = {
@@ -93,8 +120,26 @@ def run_agree(ctx: ExperimentContext) -> ExperimentReport:
     return report
 
 
+def cells_cutoff(ctx: ExperimentContext) -> list[Cell]:
+    """Ablation B cells: gshare 8KB at each bias cutoff."""
+    out: list[Cell] = []
+    for program in CUTOFF_PROGRAMS:
+        out.append(Cell.make(program, "gshare", CUTOFF_SIZE))
+        for cutoff in CUTOFFS:
+            out.append(Cell.make(program, "gshare", CUTOFF_SIZE,
+                                 scheme="static_95", cutoff=cutoff))
+    return out
+
+
 def run_cutoff_sweep(ctx: ExperimentContext) -> ExperimentReport:
     """Ablation B: Static_95 cutoff sweep."""
+    results = execute_cells(ctx, cells_cutoff(ctx))
+    return synthesize_cutoff(ctx, results)
+
+
+def synthesize_cutoff(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="ablation-cutoff",
         title="Static_95 bias-cutoff sweep",
@@ -105,23 +150,20 @@ def run_cutoff_sweep(ctx: ExperimentContext) -> ExperimentReport:
          "MISP/KI", "improvement"],
     )
     for program in CUTOFF_PROGRAMS:
-        base = ctx.run(program, "gshare", 8 * KIB, scheme="none")
+        base = results[Cell.make(program, "gshare", CUTOFF_SIZE)]
         report.data[program] = {}
         for cutoff in CUTOFFS:
-            result = ctx.run(
-                program, "gshare", 8 * KIB,
-                scheme="static_95", cutoff=cutoff,
-            )
-            hints = ctx.hints(program, "static_95", cutoff=cutoff)
+            result = results[Cell.make(program, "gshare", CUTOFF_SIZE,
+                                       scheme="static_95", cutoff=cutoff)]
             gain = improvement(base, result)
             table.rows.append(
                 [
                     program,
                     f"{cutoff:.0%}",
-                    hints.static_count(),
+                    result.metadata["static_hint_count"],
                     f"{result.static_fraction:.1%}",
                     round(result.misp_per_ki, 2),
-                    f"{gain * 100:+.1f}%",
+                    format_improvement(gain),
                 ]
             )
             report.data[program][cutoff] = gain
@@ -132,8 +174,22 @@ def run_cutoff_sweep(ctx: ExperimentContext) -> ExperimentReport:
     return report
 
 
+def cells_history(ctx: ExperimentContext) -> list[Cell]:
+    """Ablation C cells: gshare at each history length."""
+    return [Cell.make(HISTORY_PROGRAM, "gshare", HISTORY_SIZE,
+                      predictor_kwargs={"history_length": length})
+            for length in HISTORY_LENGTHS]
+
+
 def run_history_sweep(ctx: ExperimentContext) -> ExperimentReport:
     """Ablation C: gshare history-length sweep."""
+    results = execute_cells(ctx, cells_history(ctx))
+    return synthesize_history(ctx, results)
+
+
+def synthesize_history(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="ablation-history",
         title="gshare history-length sweep (paper Section 2 discussion)",
@@ -146,10 +202,10 @@ def run_history_sweep(ctx: ExperimentContext) -> ExperimentReport:
     best_length = None
     best_misp = float("inf")
     for length in HISTORY_LENGTHS:
-        result = ctx.run(
-            HISTORY_PROGRAM, "gshare", HISTORY_SIZE, scheme="none",
+        result = results[Cell.make(
+            HISTORY_PROGRAM, "gshare", HISTORY_SIZE,
             predictor_kwargs={"history_length": length},
-        )
+        )]
         table.rows.append(
             [length, round(result.misp_per_ki, 2), f"{result.accuracy:.1%}"]
         )
@@ -165,41 +221,57 @@ def run_history_sweep(ctx: ExperimentContext) -> ExperimentReport:
     return report
 
 
+def cells_shootout(ctx: ExperimentContext) -> list[Cell]:
+    """Ablation D cells: every selection scheme at the 2KB budget."""
+    out: list[Cell] = []
+    for program in SHOOTOUT_PROGRAMS:
+        out.append(Cell.make(program, "gshare", SHOOTOUT_SIZE))
+        for scheme in SHOOTOUT_SCHEMES:
+            out.append(Cell.make(program, "gshare", SHOOTOUT_SIZE,
+                                 scheme=scheme))
+    return out
+
+
 def run_selection_shootout(ctx: ExperimentContext) -> ExperimentReport:
     """Ablation D: the paper's schemes vs the library's extensions."""
+    results = execute_cells(ctx, cells_shootout(ctx))
+    return synthesize_shootout(ctx, results)
+
+
+def synthesize_shootout(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
     report = ExperimentReport(
         experiment_id="ablation-selection",
         title="Selection schemes: paper's vs extensions "
               "(collision-aware future work, iterative Lindsay)",
     )
-    size = 2 * KIB   # small predictor: aliasing-dominated regime
     table = report.add_table(
-        f"gshare {size // KIB}KB: improvement and hint cost per scheme",
+        f"gshare {SHOOTOUT_SIZE // KIB}KB: improvement and hint cost per scheme",
         ["program", "scheme", "improvement", "static fraction",
          "hints issued"],
     )
-    schemes = ("static_95", "static_acc", "static_collision", "static_iter")
-    for program in ("gcc", "go", "m88ksim"):
-        base = ctx.run(program, "gshare", size, scheme="none")
+    for program in SHOOTOUT_PROGRAMS:
+        base = results[Cell.make(program, "gshare", SHOOTOUT_SIZE)]
         report.data[program] = {}
-        for scheme in schemes:
-            result = ctx.run(program, "gshare", size, scheme=scheme)
-            hints = ctx.hints(program, scheme, predictor_name="gshare",
-                              size_bytes=size)
+        for scheme in SHOOTOUT_SCHEMES:
+            result = results[Cell.make(program, "gshare", SHOOTOUT_SIZE,
+                                       scheme=scheme)]
             gain = improvement(base, result)
+            hint_count = result.metadata["static_hint_count"]
             table.rows.append(
                 [
                     program,
                     scheme,
-                    f"{gain * 100:+.1f}%",
+                    format_improvement(gain),
                     f"{result.static_fraction:.1%}",
-                    hints.static_count(),
+                    hint_count,
                 ]
             )
             report.data[program][scheme] = {
                 "gain": gain,
                 "static_fraction": result.static_fraction,
-                "hints": hints.static_count(),
+                "hints": hint_count,
             }
     report.notes.append(
         "static_collision targets only branches implicated in destructive "
@@ -210,15 +282,33 @@ def run_selection_shootout(ctx: ExperimentContext) -> ExperimentReport:
     return report
 
 
+def cells(ctx: ExperimentContext) -> list[Cell]:
+    """Declared cell list for all four ablations."""
+    return (cells_agree(ctx) + cells_cutoff(ctx) + cells_history(ctx)
+            + cells_shootout(ctx))
+
+
 def run(ctx: ExperimentContext) -> ExperimentReport:
     """All four ablations in one combined report."""
+    results = execute_cells(ctx, cells(ctx))
+    return synthesize(ctx, results)
+
+
+def synthesize(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
+    """Build the combined ablations report from cell results."""
     combined = ExperimentReport(
         experiment_id="ablations",
         title="Ablation studies (agree baseline, cutoff sweep, history "
               "sweep, selection shootout)",
     )
-    for sub in (run_agree(ctx), run_cutoff_sweep(ctx), run_history_sweep(ctx),
-                run_selection_shootout(ctx)):
+    for sub in (
+        synthesize_agree(ctx, results),
+        synthesize_cutoff(ctx, results),
+        synthesize_history(ctx, results),
+        synthesize_shootout(ctx, results),
+    ):
         combined.tables.extend(sub.tables)
         combined.charts.extend(sub.charts)
         combined.notes.extend(sub.notes)

@@ -73,9 +73,25 @@ def _env_float(name: str, default: float) -> float:
         raise ExperimentError(f"{name} must be numeric, got {raw!r}") from exc
 
 
+def _env_int(name: str, default: int) -> int:
+    """An integer knob from the environment.
+
+    Scientific notation for an exact integer (``2e5``) is accepted, but a
+    fractional value (``200000.7``) is an error: silently truncating it
+    would run a different experiment than the one the user asked for.
+    """
+    value = _env_float(name, default)
+    if isinstance(value, float) and not value.is_integer():
+        raise ExperimentError(
+            f"{name} must be an integer, got {os.environ.get(name)!r} "
+            f"(would silently truncate to {int(value)})"
+        )
+    return int(value)
+
+
 def default_trace_length() -> int:
     """Measurement-trace length in branches."""
-    return int(_env_float("REPRO_TRACE_LENGTH", 200_000))
+    return _env_int("REPRO_TRACE_LENGTH", 200_000)
 
 
 def default_site_scale() -> float:
@@ -85,7 +101,7 @@ def default_site_scale() -> float:
 
 def default_seed() -> int:
     """Root seed for experiment workloads."""
-    return int(_env_float("REPRO_SEED", 42))
+    return _env_int("REPRO_SEED", 42)
 
 
 class ExperimentContext:
@@ -108,6 +124,17 @@ class ExperimentContext:
         self._accuracies: dict[tuple, AccuracyProfile] = {}
         self._collision_profiles: dict[tuple, CollisionProfile] = {}
         self._hints: dict[tuple, HintAssignment] = {}
+
+    def __reduce__(self):
+        """Pickle as the three defining knobs only.
+
+        Everything a context memoizes is a pure function of
+        ``(trace_length, site_scale, seed)``, so shipping a context to a
+        :mod:`repro.runner` worker process transfers a few numbers and
+        the worker rebuilds (and re-memoizes) traces on demand --
+        bit-identical to the parent's, by the determinism contract.
+        """
+        return (ExperimentContext, (self.trace_length, self.site_scale, self.seed))
 
     # -- workloads and traces -------------------------------------------
 

@@ -19,26 +19,52 @@ rescues them.
 Note on bar 4: the paper merges profiles across inputs and filters
 unstable branches -- deployment would only have per-input profiles, so
 this models "collect profiles from several runs, keep the stable part".
+The runner models it as the ``static_95_stable`` cell scheme.
 """
 
 from __future__ import annotations
 
-from repro.core.simulator import run_combined, simulate
+from repro.core.metrics import SimulationResult
 from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
 from repro.experiments.report import ExperimentReport
-from repro.predictors.sizing import make_predictor
-from repro.profiling.database import ProfileDatabase
-from repro.staticpred.selection import select_static_95
+from repro.runner import STABLE_SCHEME, Cell, execute_cells
 from repro.utils.charts import render_bar_chart
 
-__all__ = ["run", "GSHARE_SIZE"]
+__all__ = ["run", "cells", "synthesize", "GSHARE_SIZE"]
 
 GSHARE_SIZE = 16 * KIB
 BARS = ("none", "self", "cross-naive", "cross-filtered")
 
 
+def _bar_cell(program: str, bar: str) -> Cell:
+    """The cell behind one of the figure's four bars."""
+    if bar == "none":
+        return Cell.make(program, "gshare", GSHARE_SIZE)
+    if bar == "self":
+        return Cell.make(program, "gshare", GSHARE_SIZE, scheme="static_95")
+    if bar == "cross-naive":
+        return Cell.make(program, "gshare", GSHARE_SIZE, scheme="static_95",
+                         profile_input="train")
+    if bar == "cross-filtered":
+        return Cell.make(program, "gshare", GSHARE_SIZE, scheme=STABLE_SCHEME)
+    raise ValueError(f"unknown bar {bar!r}")
+
+
+def cells(ctx: ExperimentContext) -> list[Cell]:
+    """Declared cell list: four training modes per program."""
+    return [_bar_cell(program, bar) for program in PROGRAMS for bar in BARS]
+
+
 def run(ctx: ExperimentContext) -> ExperimentReport:
     """Regenerate Figure 13."""
+    results = execute_cells(ctx, cells(ctx))
+    return synthesize(ctx, results)
+
+
+def synthesize(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
+    """Build Figure 13 from cell results."""
     report = ExperimentReport(
         experiment_id="figure13",
         title="Cross-training and profile-based static prediction "
@@ -52,42 +78,16 @@ def run(ctx: ExperimentContext) -> ExperimentReport:
     chart_values: list[float] = []
     data: dict[str, dict[str, float]] = {}
     for program in PROGRAMS:
-        ref_trace = ctx.trace(program, "ref")
-
-        results: dict[str, float] = {}
-        base = simulate(ref_trace, make_predictor("gshare", GSHARE_SIZE),
-                        scheme="none")
-        results["none"] = base.misp_per_ki
-
-        # Bar 2: self-trained -- profile the measurement input itself.
-        self_hints = select_static_95(ctx.profile(program, "ref"))
-        results["self"] = run_combined(
-            ref_trace, make_predictor("gshare", GSHARE_SIZE), self_hints
-        ).misp_per_ki
-
-        # Bar 3: naive cross-training -- profile train, measure ref.
-        naive_hints = select_static_95(ctx.profile(program, "train"))
-        results["cross-naive"] = run_combined(
-            ref_trace, make_predictor("gshare", GSHARE_SIZE), naive_hints
-        ).misp_per_ki
-
-        # Bar 4: merged profile with the >5% bias-change filter.
-        database = ProfileDatabase()
-        database.record(ctx.profile(program, "train"))
-        database.record(ctx.profile(program, "ref"))
-        stable_profile = database.stable_filtered(program)
-        filtered_hints = select_static_95(stable_profile)
-        results["cross-filtered"] = run_combined(
-            ref_trace, make_predictor("gshare", GSHARE_SIZE), filtered_hints
-        ).misp_per_ki
-
+        bar_misp = {
+            bar: results[_bar_cell(program, bar)].misp_per_ki for bar in BARS
+        }
         table.rows.append(
-            [program] + [round(results[bar], 2) for bar in BARS]
+            [program] + [round(bar_misp[bar], 2) for bar in BARS]
         )
-        data[program] = results
+        data[program] = bar_misp
         for bar in BARS:
             chart_labels.append(f"{program}/{bar}")
-            chart_values.append(results[bar])
+            chart_values.append(bar_misp[bar])
 
     report.charts.append(
         render_bar_chart(

@@ -15,18 +15,50 @@ preserving the table-entries-per-static-branch ratio at each point.
 
 from __future__ import annotations
 
+from repro.core.metrics import SimulationResult, improvement
 from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
 from repro.experiments.report import ExperimentReport
+from repro.runner import Cell, execute_cells
 from repro.utils.charts import render_line_chart
+from repro.utils.tables import format_improvement
 
-__all__ = ["run", "run_program", "SIZES"]
+__all__ = ["run", "run_program", "cells", "cells_program",
+           "synthesize", "synthesize_program", "SIZES"]
 
 SIZES = (512, 1 * KIB, 2 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB)
+SCHEMES = ("none", "static_acc")
 FIGURE_NUMBER = {program: i + 1 for i, program in enumerate(PROGRAMS)}
+
+
+def _cell(program: str, size: int, scheme: str) -> Cell:
+    return Cell.make(program, "gshare", size, scheme=scheme,
+                     track_collisions=True)
+
+
+def cells_program(ctx: ExperimentContext, program: str) -> list[Cell]:
+    """Declared cell list for one program's figure."""
+    return [_cell(program, size, scheme)
+            for size in SIZES for scheme in SCHEMES]
+
+
+def cells(ctx: ExperimentContext) -> list[Cell]:
+    """Declared cell list for all six figures."""
+    return [cell for program in PROGRAMS
+            for cell in cells_program(ctx, program)]
 
 
 def run_program(ctx: ExperimentContext, program: str) -> ExperimentReport:
     """Regenerate one program's figure (gshare sweep + collisions)."""
+    results = execute_cells(ctx, cells_program(ctx, program))
+    return synthesize_program(ctx, program, results)
+
+
+def synthesize_program(
+    ctx: ExperimentContext,
+    program: str,
+    results: dict[Cell, SimulationResult],
+) -> ExperimentReport:
+    """Build one program's report from already-executed cell results."""
     figure = FIGURE_NUMBER.get(program, 0)
     report = ExperimentReport(
         experiment_id=f"figure{figure}",
@@ -50,20 +82,15 @@ def run_program(ctx: ExperimentContext, program: str) -> ExperimentReport:
     collisions_none: list[float] = []
     collisions_static: list[float] = []
     for size in SIZES:
-        base = ctx.run(program, "gshare", size, scheme="none",
-                       track_collisions=True)
-        static = ctx.run(program, "gshare", size, scheme="static_acc",
-                         track_collisions=True)
+        base = results[_cell(program, size, "none")]
+        static = results[_cell(program, size, "static_acc")]
         assert base.collisions is not None and static.collisions is not None
-        improvement = 0.0
-        if base.misp_per_ki:
-            improvement = (base.misp_per_ki - static.misp_per_ki) / base.misp_per_ki
         table.rows.append(
             [
                 size,
                 round(base.misp_per_ki, 2),
                 round(static.misp_per_ki, 2),
-                f"{improvement * 100:+.1f}%",
+                format_improvement(improvement(base, static)),
                 base.collisions.collisions,
                 static.collisions.collisions,
                 base.collisions.destructive,
@@ -107,12 +134,20 @@ def run_program(ctx: ExperimentContext, program: str) -> ExperimentReport:
 
 def run(ctx: ExperimentContext) -> ExperimentReport:
     """Regenerate all six figures (1-6) into one combined report."""
+    results = execute_cells(ctx, cells(ctx))
+    return synthesize(ctx, results)
+
+
+def synthesize(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
+    """Build the combined Figures 1-6 report from cell results."""
     combined = ExperimentReport(
         experiment_id="figures1-6",
         title="gshare size sweeps, all programs (paper Figures 1-6)",
     )
     for program in PROGRAMS:
-        report = run_program(ctx, program)
+        report = synthesize_program(ctx, program, results)
         combined.tables.extend(report.tables)
         combined.charts.extend(report.charts)
         combined.data[program] = report.data

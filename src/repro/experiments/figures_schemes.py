@@ -17,16 +17,36 @@ best matches the regime the figures discuss.
 
 from __future__ import annotations
 
+from repro.core.metrics import SimulationResult
 from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
 from repro.experiments.report import ExperimentReport
+from repro.runner import Cell, execute_cells
 from repro.utils.charts import render_bar_chart
 
-__all__ = ["run", "run_program", "PREDICTORS", "SCHEMES", "PREDICTOR_SIZE"]
+__all__ = ["run", "run_program", "cells", "cells_program",
+           "synthesize", "synthesize_program",
+           "PREDICTORS", "SCHEMES", "PREDICTOR_SIZE"]
 
 PREDICTORS = ("bimodal", "ghist", "gshare", "bimode", "2bcgskew")
 SCHEMES = ("none", "static_95", "static_acc")
 PREDICTOR_SIZE = 4 * KIB
 FIGURE_NUMBER = {program: i + 7 for i, program in enumerate(PROGRAMS)}
+
+
+def cells_program(
+    ctx: ExperimentContext,
+    program: str,
+    size_bytes: int = PREDICTOR_SIZE,
+) -> list[Cell]:
+    """Declared cell list for one program's figure."""
+    return [Cell.make(program, predictor, size_bytes, scheme=scheme)
+            for predictor in PREDICTORS for scheme in SCHEMES]
+
+
+def cells(ctx: ExperimentContext) -> list[Cell]:
+    """Declared cell list for all six figures."""
+    return [cell for program in PROGRAMS
+            for cell in cells_program(ctx, program)]
 
 
 def run_program(
@@ -35,6 +55,17 @@ def run_program(
     size_bytes: int = PREDICTOR_SIZE,
 ) -> ExperimentReport:
     """Regenerate one program's grouped-bar figure."""
+    results = execute_cells(ctx, cells_program(ctx, program, size_bytes))
+    return synthesize_program(ctx, program, results, size_bytes)
+
+
+def synthesize_program(
+    ctx: ExperimentContext,
+    program: str,
+    results: dict[Cell, SimulationResult],
+    size_bytes: int = PREDICTOR_SIZE,
+) -> ExperimentReport:
+    """Build one program's report from already-executed cell results."""
     figure = FIGURE_NUMBER.get(program, 0)
     report = ExperimentReport(
         experiment_id=f"figure{figure}",
@@ -53,7 +84,8 @@ def run_program(
         row: list[object] = [predictor]
         misp[predictor] = {}
         for scheme in SCHEMES:
-            result = ctx.run(program, predictor, size_bytes, scheme=scheme)
+            result = results[Cell.make(program, predictor, size_bytes,
+                                       scheme=scheme)]
             misp[predictor][scheme] = result.misp_per_ki
             row.append(round(result.misp_per_ki, 2))
             labels.append(f"{predictor}/{scheme}")
@@ -80,13 +112,21 @@ def run_program(
 
 def run(ctx: ExperimentContext) -> ExperimentReport:
     """Regenerate all six figures (7-12) into one combined report."""
+    results = execute_cells(ctx, cells(ctx))
+    return synthesize(ctx, results)
+
+
+def synthesize(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
+    """Build the combined Figures 7-12 report from cell results."""
     combined = ExperimentReport(
         experiment_id="figures7-12",
         title="Static schemes x dynamic predictors, all programs "
               "(paper Figures 7-12)",
     )
     for program in PROGRAMS:
-        report = run_program(ctx, program)
+        report = synthesize_program(ctx, program, results)
         combined.tables.extend(report.tables)
         combined.charts.extend(report.charts)
         combined.data[program] = report.data["misp"]

@@ -4,6 +4,14 @@ Ids follow the paper: ``table1`` .. ``table5``, ``figure1`` ..
 ``figure13`` (figures 1-6 are the per-program gshare sweeps, 7-12 the
 per-program scheme comparisons), plus the grouped ids ``figures1-6`` and
 ``figures7-12`` and the ``ablations`` extras.
+
+Simulation-shaped experiments additionally register a *cell provider*
+(their declared :class:`~repro.runner.cells.Cell` list) and a
+*synthesizer* (report construction from executed results); the parallel
+runner (``repro run``) uses those to merge, deduplicate, and schedule
+cells across every requested experiment at once.  Profiling-only
+experiments (``table1``, ``table5``) and aggregates over other runners
+(``summary``) have no cells and fall back to their serial runner.
 """
 
 from __future__ import annotations
@@ -30,15 +38,27 @@ from repro.experiments.report import ExperimentReport
 __all__ = [
     "EXPERIMENT_IDS",
     "GROUPED_EXPERIMENT_IDS",
+    "get_cells",
     "get_experiment",
     "run_experiment",
+    "synthesize",
 ]
 
 Runner = Callable[[ExperimentContext], ExperimentReport]
+CellProvider = Callable[[ExperimentContext], list]
+Synthesizer = Callable[[ExperimentContext, dict], ExperimentReport]
 
 
 def _program_figure(module, program: str) -> Runner:
     return lambda ctx: module.run_program(ctx, program)
+
+
+def _program_cells(module, program: str) -> CellProvider:
+    return lambda ctx: module.cells_program(ctx, program)
+
+
+def _program_synthesize(module, program: str) -> Synthesizer:
+    return lambda ctx, results: module.synthesize_program(ctx, program, results)
 
 
 _RUNNERS: dict[str, Runner] = {
@@ -59,9 +79,34 @@ _RUNNERS: dict[str, Runner] = {
     "classification": extras.run_classification,
     "summary": summary.run_all,
 }
+
+#: Cell provider + synthesizer per simulation-shaped experiment id.
+#: Ids absent here run through their serial runner only.
+_CELL_RUNNERS: dict[str, tuple[CellProvider, Synthesizer]] = {
+    "table2": (table2.cells, table2.synthesize),
+    "table3": (table3.cells, table3.synthesize),
+    "table4": (table4.cells, table4.synthesize),
+    "figures1-6": (figures_gshare.cells, figures_gshare.synthesize),
+    "figures7-12": (figures_schemes.cells, figures_schemes.synthesize),
+    "figure13": (figure13.cells, figure13.synthesize),
+    "ablations": (ablations.cells, ablations.synthesize),
+    "ablation-agree": (ablations.cells_agree, ablations.synthesize_agree),
+    "ablation-cutoff": (ablations.cells_cutoff, ablations.synthesize_cutoff),
+    "ablation-history": (ablations.cells_history, ablations.synthesize_history),
+    "ablation-selection": (ablations.cells_shootout, ablations.synthesize_shootout),
+}
+
 for _i, _program in enumerate(PROGRAMS):
     _RUNNERS[f"figure{_i + 1}"] = _program_figure(figures_gshare, _program)
     _RUNNERS[f"figure{_i + 7}"] = _program_figure(figures_schemes, _program)
+    _CELL_RUNNERS[f"figure{_i + 1}"] = (
+        _program_cells(figures_gshare, _program),
+        _program_synthesize(figures_gshare, _program),
+    )
+    _CELL_RUNNERS[f"figure{_i + 7}"] = (
+        _program_cells(figures_schemes, _program),
+        _program_synthesize(figures_schemes, _program),
+    )
 
 EXPERIMENT_IDS = tuple(sorted(_RUNNERS))
 
@@ -85,6 +130,29 @@ def get_experiment(experiment_id: str) -> Runner:
         raise ExperimentError(
             f"unknown experiment {experiment_id!r}; known ids: {known}"
         ) from None
+
+
+def get_cells(experiment_id: str) -> CellProvider | None:
+    """The cell provider for an id, or ``None`` if it is not cell-shaped.
+
+    Raises on unknown ids (same contract as :func:`get_experiment`).
+    """
+    get_experiment(experiment_id)  # id validation
+    entry = _CELL_RUNNERS.get(experiment_id)
+    return entry[0] if entry is not None else None
+
+
+def synthesize(
+    experiment_id: str, ctx: ExperimentContext, results: dict
+) -> ExperimentReport:
+    """Build an experiment's report from already-executed cell results."""
+    entry = _CELL_RUNNERS.get(experiment_id)
+    if entry is None:
+        raise ExperimentError(
+            f"experiment {experiment_id!r} declares no cells; "
+            "use run_experiment instead"
+        )
+    return entry[1](ctx, results)
 
 
 def run_experiment(

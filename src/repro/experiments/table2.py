@@ -12,20 +12,37 @@ different principles.
 
 from __future__ import annotations
 
+from repro.core.metrics import SimulationResult
 from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
 from repro.experiments.report import ExperimentReport
+from repro.runner import Cell, execute_cells
 from repro.utils.tables import format_percent
 from repro.workloads.spec95 import get_spec
 from repro.workloads.stats import dynamic_highly_biased_fraction
 
-__all__ = ["run", "PREDICTORS", "PREDICTOR_SIZE"]
+__all__ = ["run", "cells", "synthesize", "PREDICTORS", "PREDICTOR_SIZE"]
 
 PREDICTORS = ("bimodal", "ghist", "gshare", "bimode", "2bcgskew")
 PREDICTOR_SIZE = 8 * KIB
 
 
+def cells(ctx: ExperimentContext) -> list[Cell]:
+    """Declared cell list: every (program, predictor) at 8 Kbytes."""
+    return [Cell.make(program, predictor, PREDICTOR_SIZE)
+            for program in PROGRAMS for predictor in PREDICTORS]
+
+
 def run(ctx: ExperimentContext) -> ExperimentReport:
     """Regenerate Table 2 (ref input, 8 Kbyte predictors)."""
+    results = execute_cells(ctx, cells(ctx))
+    return synthesize(ctx, results)
+
+
+def synthesize(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
+    """Build Table 2 from cell results (bias fractions come from the
+    context's cached traces -- profiling, not simulation)."""
     report = ExperimentReport(
         experiment_id="table2",
         title="Highly biased branches and prediction accuracy (paper Table 2)",
@@ -48,7 +65,7 @@ def run(ctx: ExperimentContext) -> ExperimentReport:
         ]
         accuracies[program] = {}
         for predictor in PREDICTORS:
-            result = ctx.run(program, predictor, PREDICTOR_SIZE, scheme="none")
+            result = results[Cell.make(program, predictor, PREDICTOR_SIZE)]
             accuracies[program][predictor] = result.accuracy
             row.append(format_percent(result.accuracy))
         table.rows.append(row)

@@ -9,18 +9,37 @@ branches and the most aliasing -- keeps benefiting at every size.
 
 from __future__ import annotations
 
-from repro.core.metrics import improvement
+from repro.core.metrics import SimulationResult, improvement
 from repro.experiments.common import KIB, ExperimentContext
 from repro.experiments.report import ExperimentReport
+from repro.runner import Cell, execute_cells
+from repro.utils.tables import format_improvement
 
-__all__ = ["run", "SIZES", "PROGRAMS_STUDIED"]
+__all__ = ["run", "cells", "synthesize", "SIZES", "PROGRAMS_STUDIED"]
 
 SIZES = (2 * KIB, 4 * KIB, 8 * KIB, 16 * KIB, 32 * KIB)
 PROGRAMS_STUDIED = ("go", "gcc")
+SCHEMES = ("none", "static_95", "static_acc")
+
+
+def cells(ctx: ExperimentContext) -> list[Cell]:
+    """Declared cell list: 2bcgskew at every size x program x scheme."""
+    return [Cell.make(program, "2bcgskew", size, scheme=scheme)
+            for size in SIZES
+            for program in PROGRAMS_STUDIED
+            for scheme in SCHEMES]
 
 
 def run(ctx: ExperimentContext) -> ExperimentReport:
     """Regenerate Table 3."""
+    results = execute_cells(ctx, cells(ctx))
+    return synthesize(ctx, results)
+
+
+def synthesize(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
+    """Build Table 3 from cell results."""
     report = ExperimentReport(
         experiment_id="table3",
         title="2bcgskew: improvements with static prediction for go & gcc "
@@ -37,12 +56,13 @@ def run(ctx: ExperimentContext) -> ExperimentReport:
     for size in SIZES:
         row: list[object] = [f"{size // KIB} Kbytes"]
         for program in PROGRAMS_STUDIED:
-            base = ctx.run(program, "2bcgskew", size, scheme="none")
+            base = results[Cell.make(program, "2bcgskew", size)]
             for scheme in ("static_95", "static_acc"):
-                combined = ctx.run(program, "2bcgskew", size, scheme=scheme)
+                combined = results[Cell.make(program, "2bcgskew", size,
+                                             scheme=scheme)]
                 gain = improvement(base, combined)
                 data[program][scheme].append(gain)
-                row.append(f"{gain * 100:+.1f}%")
+                row.append(format_improvement(gain))
         table.rows.append(row)
     report.data.update(data)
     report.notes.append(

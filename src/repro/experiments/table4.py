@@ -16,17 +16,40 @@ dynamic side needed (the paper's contribution #1).
 from __future__ import annotations
 
 from repro.arch.isa import ShiftPolicy
-from repro.core.metrics import improvement
+from repro.core.metrics import SimulationResult, improvement
 from repro.experiments.common import KIB, PROGRAMS, ExperimentContext
 from repro.experiments.report import ExperimentReport
+from repro.runner import Cell, execute_cells
+from repro.utils.tables import format_improvement
 
-__all__ = ["run", "SIZES"]
+__all__ = ["run", "cells", "synthesize", "SIZES"]
 
 SIZES = (32 * KIB, 64 * KIB)
 
 
+def cells(ctx: ExperimentContext) -> list[Cell]:
+    """Declared cell list: baseline plus every scheme x shift variant."""
+    out: list[Cell] = []
+    for program in PROGRAMS:
+        for size in SIZES:
+            out.append(Cell.make(program, "2bcgskew", size))
+            for scheme in ("static_95", "static_acc"):
+                for shift in (ShiftPolicy.NO_SHIFT, ShiftPolicy.SHIFT):
+                    out.append(Cell.make(program, "2bcgskew", size,
+                                         scheme=scheme, shift_policy=shift))
+    return out
+
+
 def run(ctx: ExperimentContext) -> ExperimentReport:
     """Regenerate Table 4."""
+    results = execute_cells(ctx, cells(ctx))
+    return synthesize(ctx, results)
+
+
+def synthesize(
+    ctx: ExperimentContext, results: dict[Cell, SimulationResult]
+) -> ExperimentReport:
+    """Build Table 4 from cell results."""
     report = ExperimentReport(
         experiment_id="table4",
         title="2bcgskew: effect of shifting history for statically "
@@ -40,19 +63,18 @@ def run(ctx: ExperimentContext) -> ExperimentReport:
     data: dict[tuple[str, int], dict[str, float]] = {}
     for program in PROGRAMS:
         for size in SIZES:
-            base = ctx.run(program, "2bcgskew", size, scheme="none")
+            base = results[Cell.make(program, "2bcgskew", size)]
             cell: dict[str, float] = {}
             row: list[object] = [program, size]
             for scheme in ("static_95", "static_acc"):
                 for shift in (ShiftPolicy.NO_SHIFT, ShiftPolicy.SHIFT):
-                    result = ctx.run(
-                        program, "2bcgskew", size,
-                        scheme=scheme, shift_policy=shift,
-                    )
+                    result = results[Cell.make(program, "2bcgskew", size,
+                                               scheme=scheme,
+                                               shift_policy=shift)]
                     gain = improvement(base, result)
                     key = scheme + ("+shift" if shift is ShiftPolicy.SHIFT else "")
                     cell[key] = gain
-                    row.append(f"{gain * 100:+.1f}%")
+                    row.append(format_improvement(gain))
             table.rows.append(row)
             data[(program, size)] = cell
     report.data["improvements"] = data

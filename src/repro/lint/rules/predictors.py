@@ -1,4 +1,4 @@
-"""PRED001/PRED002: the predictor contract and its registration table.
+"""PRED001/PRED002/PRED003: predictor contract, registration, state.
 
 The simulator (and the collision tracker riding on it) drives every
 predictor through the protocol documented in
@@ -18,7 +18,11 @@ from typing import Iterator
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import FileRule, ProjectRule, register
 
-__all__ = ["PredictorContractRule", "PredictorRegistrationRule"]
+__all__ = [
+    "PredictorContractRule",
+    "PredictorHiddenStateRule",
+    "PredictorRegistrationRule",
+]
 
 BASE_CLASS = "BranchPredictor"
 
@@ -281,3 +285,130 @@ class PredictorRegistrationRule(ProjectRule):
                     "--predictor must use choices=PREDICTOR_NAMES; a "
                     "hand-written list drifts from the factory table",
                 )
+
+
+def _self_attr_assigns(fn: ast.FunctionDef) -> set[str]:
+    """Attributes plainly assigned as ``self.X = ...`` inside a method.
+
+    Augmented assignments (``self.hits += 1``) are deliberately ignored:
+    they bump counters that exist before the call, they do not *create*
+    lookup context for a later method to consume.
+    """
+    out: set[str] = set()
+    for node in ast.walk(fn):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+            continue
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            for attr in ast.walk(target):
+                if (isinstance(attr, ast.Attribute)
+                        and isinstance(attr.value, ast.Name)
+                        and attr.value.id == "self"):
+                    out.add(attr.attr)
+    return out
+
+
+def _self_attr_reads(fn: ast.FunctionDef) -> dict[str, int]:
+    """``self.X`` reads inside a method, mapped to their first line."""
+    out: dict[str, int] = {}
+    for node in ast.walk(fn):
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            out.setdefault(node.attr, node.lineno)
+        elif isinstance(node, ast.AugAssign):
+            # ``self.X += ...`` reads self.X before storing it.
+            target = node.target
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"):
+                out.setdefault(target.attr, target.lineno)
+    return out
+
+
+@register
+class PredictorHiddenStateRule(FileRule):
+    """PRED003: predict-time state consumed by ``update`` is declared.
+
+    Most table predictors remember *where predict looked* (an index, a
+    bank choice) in ``self`` attributes that ``update`` then consumes.
+    That coupling is correct only while every ``update`` immediately
+    follows its own ``predict`` — exactly the pairing that wrong-path
+    speculation, replayed commits, or a caller invoking ``update``
+    standalone silently break (the ``CombinedPredictor`` stale
+    ``_last_was_static`` bug was this shape).  The contract: a predictor
+    whose ``update`` reads attributes that ``predict`` assigns must
+    declare them in a class-level ``_PREDICT_STATE`` tuple, making the
+    dependency visible and keeping the declaration honest both ways
+    (undeclared reads and stale declarations are both findings).
+    """
+
+    rule_id = "PRED003"
+    severity = Severity.ERROR
+    summary = "update()'s predict-time state is declared in _PREDICT_STATE"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            if BASE_CLASS not in _base_names(node):
+                continue
+            yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx, node: ast.ClassDef) -> Iterator[Finding]:
+        methods = _methods(node)
+        predict = methods.get("predict")
+        update = methods.get("update")
+        declared = self._declared(node)
+        if predict is None or update is None:
+            return
+        assigned = _self_attr_assigns(predict)
+        reads = _self_attr_reads(update)
+        hidden = {attr: line for attr, line in reads.items()
+                  if attr in assigned}
+        declared_names = {value for value, _ in declared}
+        for attr, line in sorted(hidden.items(), key=lambda kv: kv[1]):
+            if attr not in declared_names:
+                yield Finding(
+                    path=ctx.display, line=line, col=0,
+                    rule=self.rule_id, severity=self.severity,
+                    message=(
+                        f"{node.name}.update reads {attr!r}, which "
+                        "predict() assigns, without declaring it in "
+                        "_PREDICT_STATE; the hidden coupling breaks "
+                        "whenever the predict/update pairing does "
+                        "(speculative squash, standalone update)"
+                    ),
+                )
+        for value, line in declared:
+            if value not in hidden:
+                yield Finding(
+                    path=ctx.display, line=line, col=0,
+                    rule=self.rule_id, severity=self.severity,
+                    message=(
+                        f"{node.name} declares {value!r} in _PREDICT_STATE "
+                        "but update() reads no predict()-assigned attribute "
+                        "of that name; stale declarations hide real "
+                        "dependencies — remove it"
+                    ),
+                )
+
+    @staticmethod
+    def _declared(node: ast.ClassDef) -> list[tuple[str, int]]:
+        """The class-level ``_PREDICT_STATE`` entries, with lines."""
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign):
+                targets = stmt.targets
+            elif isinstance(stmt, ast.AnnAssign):
+                targets = [stmt.target]
+            else:
+                continue
+            for target in targets:
+                if (isinstance(target, ast.Name)
+                        and target.id == "_PREDICT_STATE"):
+                    value = getattr(stmt, "value", None)
+                    if value is None:
+                        return []
+                    return _string_tuple(value) or []
+        return []

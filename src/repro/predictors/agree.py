@@ -40,6 +40,7 @@ class AgreePredictor(BranchPredictor):
     """
 
     name = "agree"
+    _PREDICT_STATE = ("_last_bias_index", "_last_index")
 
     def __init__(
         self,

@@ -12,7 +12,15 @@ The simulation loop drives predictors through three methods:
     ``predicted`` being the value ``predict`` returned.  This models the
     fetch-time lookup / retire-time update of real hardware collapsed to
     one branch in flight, and lets implementations reuse the cached
-    lookup state instead of recomputing indices.
+    lookup state instead of recomputing indices.  A predictor that does
+    cache lookup state this way must *declare* it: list every attribute
+    ``predict`` assigns and ``update`` reads in a class-level
+    ``_PREDICT_STATE`` tuple.  The ``repro lint`` PRED003 rule enforces
+    the declaration in both directions (undeclared reads and stale
+    entries), so the predictors that genuinely depend on the
+    predict-then-update pairing are enumerable rather than discovered
+    when a caller breaks the pairing (wrong-path squash, standalone
+    update).
 ``shift_history(taken)``
     Shift an outcome into the predictor's global history register
     *without* touching any counters.  The combined static+dynamic
@@ -38,6 +46,12 @@ class BranchPredictor(abc.ABC):
 
     #: Short scheme name ("bimodal", "gshare", ...); set by subclasses.
     name: str = "abstract"
+
+    #: Attributes assigned by ``predict`` and consumed by ``update``
+    #: (cached table indices, component predictions).  Subclasses that
+    #: rely on the predict-then-update pairing declare theirs; PRED003
+    #: keeps the declaration in sync with the code.
+    _PREDICT_STATE: tuple[str, ...] = ()
 
     @abc.abstractmethod
     def predict(self, address: int) -> bool:

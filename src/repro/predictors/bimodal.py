@@ -28,6 +28,7 @@ class BimodalPredictor(BranchPredictor):
     """PC-indexed table of 2-bit saturating counters."""
 
     name = "bimodal"
+    _PREDICT_STATE = ("_last_index",)
 
     def __init__(self, entries: int, counter_bits: int = 2):
         if not is_power_of_two(entries):

@@ -43,6 +43,9 @@ class BiModePredictor(BranchPredictor):
     """
 
     name = "bimode"
+    _PREDICT_STATE = ("_last_bank", "_last_choice_index",
+                      "_last_choice_taken", "_last_direction_index",
+                      "_last_direction_pred")
 
     def __init__(
         self,

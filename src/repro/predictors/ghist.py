@@ -28,6 +28,7 @@ class GhistPredictor(BranchPredictor):
     """History-indexed table of 2-bit saturating counters."""
 
     name = "ghist"
+    _PREDICT_STATE = ("_last_index",)
 
     def __init__(
         self,

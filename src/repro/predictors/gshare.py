@@ -28,6 +28,7 @@ class GsharePredictor(BranchPredictor):
     """PC-XOR-history indexed table of 2-bit saturating counters."""
 
     name = "gshare"
+    _PREDICT_STATE = ("_last_index",)
 
     def __init__(
         self,

@@ -56,6 +56,8 @@ class TwoBcGskewPredictor(BranchPredictor):
     """
 
     name = "2bcgskew"
+    _PREDICT_STATE = ("_bim_pred", "_g0_pred", "_g1_pred",
+                      "_gskew_pred", "_meta_choice_gskew")
 
     def __init__(
         self,

@@ -45,6 +45,7 @@ class LocalHistoryPredictor(BranchPredictor):
     """
 
     name = "local"
+    _PREDICT_STATE = ("_last_history_index", "_last_pattern_index")
 
     def __init__(
         self,
@@ -130,6 +131,8 @@ class TournamentPredictor(BranchPredictor):
     """
 
     name = "tournament"
+    _PREDICT_STATE = ("_last_chooser_index", "_last_global_index",
+                      "_last_global_pred", "_last_local_pred")
 
     def __init__(
         self,

@@ -50,6 +50,9 @@ class YagsPredictor(BranchPredictor):
     """
 
     name = "yags"
+    _PREDICT_STATE = ("_last_cache", "_last_cache_index",
+                      "_last_choice_index", "_last_choice_taken",
+                      "_last_hit", "_last_tag")
 
     def __init__(
         self,

@@ -1,0 +1,37 @@
+"""Parallel experiment runner with a persistent result cache.
+
+Every (program, predictor, size, scheme) cell of the paper's tables and
+figures is an independent simulation; this package schedules those cells
+across worker processes and memoizes their results on disk so re-runs
+are incremental:
+
+* :mod:`repro.runner.cells`  -- :class:`Cell` (the declared unit of
+  work) and :func:`execute_cell` (its pure executor);
+* :mod:`repro.runner.cache`  -- :class:`ResultCache`, content-addressed
+  by the full (seed, trace length, site scale, cell) identity;
+* :mod:`repro.runner.engine` -- :class:`CellExecutor` process pool and
+  the :class:`RunSummary` observability record;
+* :mod:`repro.runner.api`    -- :func:`execute_cells` (what experiment
+  modules call) and :func:`run_experiments` (what ``repro run`` calls).
+"""
+
+from repro.runner.api import default_jobs, execute_cells, run_experiments
+from repro.runner.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache_dir
+from repro.runner.cells import STABLE_SCHEME, Cell, execute_cell, resolve_hints
+from repro.runner.engine import CellExecutor, RunSummary, WorkerStats
+
+__all__ = [
+    "Cell",
+    "CellExecutor",
+    "CACHE_FORMAT_VERSION",
+    "ResultCache",
+    "RunSummary",
+    "STABLE_SCHEME",
+    "WorkerStats",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_cell",
+    "execute_cells",
+    "resolve_hints",
+    "run_experiments",
+]

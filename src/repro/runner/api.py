@@ -1,0 +1,109 @@
+"""Public runner API: experiment-level parallel execution.
+
+Two entry points:
+
+* :func:`execute_cells` -- what every cell-declaring experiment module
+  calls from its serial ``run()``; honors the ``REPRO_JOBS`` /
+  ``REPRO_CACHE_DIR`` environment knobs so ``repro experiment`` and the
+  benchmark harness parallelize transparently, with no caller changes.
+* :func:`run_experiments` -- the ``repro run`` engine: resolves each
+  experiment id's declared cells, merges and deduplicates them (ids
+  sharing configurations pay once), executes them through one
+  :class:`~repro.runner.engine.CellExecutor`, then synthesizes every
+  report from the shared results.  Experiments that declare no cells
+  (pure-profiling tables) fall back to their serial runner.
+
+The registry import is deferred into the function bodies: experiment
+modules import this module for :func:`execute_cells`, and the registry
+imports the experiment modules, so a module-level import here would be
+circular.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.metrics import SimulationResult
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentContext, _env_int
+from repro.experiments.report import ExperimentReport
+from repro.runner.cache import ResultCache
+from repro.runner.cells import Cell
+from repro.runner.engine import CellExecutor, RunSummary
+
+__all__ = ["execute_cells", "run_experiments", "default_jobs"]
+
+ENV_JOBS = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count used when the caller does not pass one (env knob)."""
+    jobs = _env_int(ENV_JOBS, 1)
+    if jobs < 1:
+        raise ExperimentError(f"{ENV_JOBS} must be >= 1, got {jobs}")
+    return jobs
+
+
+def execute_cells(
+    ctx: ExperimentContext,
+    cells: list[Cell],
+    jobs: int | None = None,
+    cache: ResultCache | None = None,
+) -> dict[Cell, SimulationResult]:
+    """Execute a cell list for one experiment.
+
+    With no arguments beyond (ctx, cells) this is the serial in-process
+    path the experiment runners have always had -- unless ``REPRO_JOBS``
+    (worker count) or ``REPRO_CACHE_DIR`` (persistent cache location)
+    are set, which upgrade every experiment run in the process, CLI and
+    benchmark harness included.
+    """
+    if jobs is None:
+        jobs = default_jobs()
+    if cache is None:
+        env_dir = os.environ.get("REPRO_CACHE_DIR")
+        if env_dir:
+            cache = ResultCache(env_dir)
+    executor = CellExecutor(ctx, jobs=jobs, cache=cache)
+    return executor.execute(cells)
+
+
+def run_experiments(
+    experiment_ids: list[str],
+    ctx: ExperimentContext | None = None,
+    jobs: int = 1,
+    cache: ResultCache | None = None,
+) -> tuple[dict[str, ExperimentReport], RunSummary]:
+    """Run experiments through the parallel runner; reports + summary.
+
+    Cells are collected from every requested id, deduplicated, and
+    executed once; each report is then synthesized from the shared
+    results.  Ids without declared cells run serially (their work is not
+    cell-shaped) and are excluded from the cell accounting.
+    """
+    from repro.experiments.registry import get_cells, get_experiment, synthesize
+
+    if not experiment_ids:
+        raise ExperimentError("no experiment ids given")
+    if ctx is None:
+        ctx = ExperimentContext()
+
+    cell_lists: dict[str, list[Cell] | None] = {}
+    merged: list[Cell] = []
+    for experiment_id in experiment_ids:
+        cells_fn = get_cells(experiment_id)  # raises on unknown ids
+        cells = cells_fn(ctx) if cells_fn is not None else None
+        cell_lists[experiment_id] = cells
+        if cells:
+            merged.extend(cells)
+
+    executor = CellExecutor(ctx, jobs=jobs, cache=cache)
+    results = executor.execute(merged) if merged else {}
+
+    reports: dict[str, ExperimentReport] = {}
+    for experiment_id in experiment_ids:
+        if cell_lists[experiment_id] is None:
+            reports[experiment_id] = get_experiment(experiment_id)(ctx)
+        else:
+            reports[experiment_id] = synthesize(experiment_id, ctx, results)
+    return reports, executor.summary

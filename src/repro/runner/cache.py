@@ -1,0 +1,146 @@
+"""Persistent on-disk result cache for experiment cells.
+
+Every cache entry is content-addressed: the key is the SHA-256 of the
+canonical JSON of the cell's complete identity -- root seed, trace
+length, site scale, program, measurement input, predictor, size, scheme,
+shift policy, and the selection kwargs (see
+:meth:`repro.runner.cells.Cell.key_fields`).  Changing *any* of those
+produces a different key, so a cache can never hand back a result for a
+different experiment; re-running an unchanged suite is pure hits.
+
+Two entry kinds share one directory tree:
+
+* ``result`` -- a serialized :class:`~repro.core.metrics.SimulationResult`
+  (the measurement phase);
+* ``hints`` -- a serialized :class:`~repro.staticpred.hints.HintAssignment`
+  (the selection phase), so concurrent workers share selection work
+  through the filesystem instead of through in-memory memoization that
+  cannot cross a process boundary.
+
+Entries are one JSON file each, written atomically (temp file +
+``os.replace``), fanned out by key prefix to keep directories small.
+A corrupt or truncated entry reads as a miss, never as an error.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.core.metrics import SimulationResult
+from repro.errors import ReproError
+from repro.staticpred.hints import HintAssignment
+
+__all__ = ["ResultCache", "default_cache_dir", "CACHE_FORMAT_VERSION"]
+
+CACHE_FORMAT_VERSION = 1
+"""Bumping this invalidates every existing entry (it feeds the key)."""
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+
+
+def default_cache_dir() -> str:
+    """The cache directory used when the CLI is not told otherwise."""
+    return os.environ.get(ENV_CACHE_DIR) or ".repro-cache"
+
+
+def _canonical_key(kind: str, fields: dict) -> str:
+    """SHA-256 hex digest of an entry's canonical identity."""
+    payload = {"version": CACHE_FORMAT_VERSION, "kind": kind, **fields}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Content-addressed store of simulation results and hint databases.
+
+    Hit/miss counters cover *results* only (the unit the run summary
+    reports); hint traffic is an internal sharing mechanism.
+    """
+
+    def __init__(self, root: str):
+        self.root = root
+        self.hits = 0
+        self.misses = 0
+
+    # -- storage ---------------------------------------------------------
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def _read(self, key: str) -> dict | None:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as stream:
+                return json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # A torn or corrupt entry is a miss; the rerun overwrites it.
+            return None
+
+    def _write(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        tmp = f"{path}.{os.getpid()}.tmp"
+        try:
+            with open(tmp, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
+            # Caching is an optimization; a full disk or permission
+            # hiccup must not kill the simulation that just succeeded.
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # -- results ---------------------------------------------------------
+
+    def result_key(self, ctx, cell) -> str:
+        """The content hash identifying one cell's measurement result."""
+        return _canonical_key("result", cell.key_fields(ctx))
+
+    def get_result(self, ctx, cell) -> SimulationResult | None:
+        """Stored result for a cell, or None (counts the hit/miss)."""
+        payload = self._read(self.result_key(ctx, cell))
+        if payload is None or "result" not in payload:
+            self.misses += 1
+            return None
+        try:
+            result = SimulationResult.from_dict(payload["result"])
+        except ReproError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return result
+
+    def put_result(self, ctx, cell, result: SimulationResult) -> None:
+        """Persist a cell's result (the key fields ride along for
+        debuggability -- ``cat`` an entry and see what produced it)."""
+        self._write(self.result_key(ctx, cell), {
+            "key": cell.key_fields(ctx),
+            "result": result.to_dict(),
+        })
+
+    # -- hint databases (selection phase) --------------------------------
+
+    def hint_key(self, ctx, cell) -> str:
+        """The content hash identifying one cell's selection result."""
+        return _canonical_key("hints", cell.hint_key_fields(ctx))
+
+    def get_hints(self, ctx, cell) -> HintAssignment | None:
+        payload = self._read(self.hint_key(ctx, cell))
+        if payload is None or "hints" not in payload:
+            return None
+        try:
+            return HintAssignment.from_json(payload["hints"])
+        except ReproError:
+            return None
+
+    def put_hints(self, ctx, cell, hints: HintAssignment) -> None:
+        self._write(self.hint_key(ctx, cell), {
+            "key": cell.hint_key_fields(ctx),
+            "hints": hints.to_json(),
+        })

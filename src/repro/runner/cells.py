@@ -1,0 +1,195 @@
+"""Experiment cells: the unit of work the parallel runner schedules.
+
+A :class:`Cell` is one ``run_configuration``-shaped simulation -- one
+(program, predictor, size, scheme, ...) point of a paper table or
+figure.  Experiment modules *declare* their cell lists (pure data, no
+simulation) and synthesize reports from the returned
+:class:`~repro.core.metrics.SimulationResult`\\ s; the runner decides how
+cells execute (inline, process pool, or straight out of the persistent
+cache).
+
+Cells are frozen, hashable, and picklable: the same object is the
+results-dict key in the parent, the work item shipped to a worker, and
+the input to the cache key hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.isa import ShiftPolicy
+from repro.core.metrics import SimulationResult
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentContext
+from repro.profiling.database import ProfileDatabase
+from repro.staticpred.hints import HintAssignment
+from repro.staticpred.selection import select_static_95
+
+__all__ = ["Cell", "STABLE_SCHEME", "execute_cell", "resolve_hints"]
+
+STABLE_SCHEME = "static_95_stable"
+"""Figure 13's bar 4: static_95 over the merged train+ref profile with
+unstable (>5% bias change) branches filtered out.  A cell-level scheme
+name because the selection input is a *derived* profile, not one of the
+raw profiling runs the standard schemes consume."""
+
+#: Schemes whose hint set depends on the simulated dynamic predictor
+#: (they run it over the profiling trace), so their cache keys must
+#: include the predictor configuration.
+_PREDICTOR_DEPENDENT_SCHEMES = frozenset(
+    {"static_acc", "static_fac", "static_collision", "static_iter"}
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One experiment cell: a full selection + measurement configuration.
+
+    ``predictor_kwargs`` is a sorted tuple of ``(name, value)`` pairs
+    rather than a dict so cells stay hashable; use :meth:`make` to build
+    one from keyword arguments.
+    """
+
+    program: str
+    predictor: str
+    size_bytes: int
+    scheme: str = "none"
+    shift_policy: ShiftPolicy = ShiftPolicy.NO_SHIFT
+    measure_input: str = "ref"
+    profile_input: str = "ref"
+    cutoff: float = 0.95
+    factor: float = 1.05
+    track_collisions: bool = False
+    predictor_kwargs: tuple[tuple[str, object], ...] = field(default=())
+
+    @classmethod
+    def make(cls, program: str, predictor: str, size_bytes: int,
+             predictor_kwargs: dict | None = None, **kwargs) -> "Cell":
+        """Build a cell, normalizing ``predictor_kwargs`` to sorted pairs."""
+        pairs = tuple(sorted((predictor_kwargs or {}).items()))
+        return cls(program, predictor, size_bytes,
+                   predictor_kwargs=pairs, **kwargs)
+
+    @property
+    def selection_is_predictor_dependent(self) -> bool:
+        """Whether the hint set depends on the dynamic configuration."""
+        return self.scheme in _PREDICTOR_DEPENDENT_SCHEMES
+
+    def key_fields(self, ctx: ExperimentContext) -> dict:
+        """The complete, ordered cache-key identity of this cell.
+
+        Everything a :class:`~repro.core.metrics.SimulationResult` is a
+        function of: the context's root seed, trace length, and site
+        scale, plus every cell field.  Any change to any entry must (and
+        does) produce a different cache key.
+        """
+        return {
+            "seed": ctx.seed,
+            "trace_length": ctx.trace_length,
+            "site_scale": ctx.site_scale,
+            "program": self.program,
+            "measure_input": self.measure_input,
+            "predictor": self.predictor,
+            "size_bytes": self.size_bytes,
+            "scheme": self.scheme,
+            "shift_policy": self.shift_policy.value,
+            "profile_input": self.profile_input,
+            "cutoff": self.cutoff,
+            "factor": self.factor,
+            "track_collisions": self.track_collisions,
+            "predictor_kwargs": list(self.predictor_kwargs),
+        }
+
+    def hint_key_fields(self, ctx: ExperimentContext) -> dict:
+        """Cache-key identity of this cell's *selection phase* only.
+
+        Bias-only schemes (``static_95``, the stable-filtered variant)
+        share one hint set across every predictor and size, so their key
+        deliberately omits the dynamic configuration -- that is what lets
+        a gshare cell reuse the selection a 2bcgskew cell already paid
+        for.
+        """
+        fields = {
+            "seed": ctx.seed,
+            "trace_length": ctx.trace_length,
+            "site_scale": ctx.site_scale,
+            "program": self.program,
+            "scheme": self.scheme,
+            "profile_input": self.profile_input,
+            "cutoff": self.cutoff,
+            "factor": self.factor,
+        }
+        if self.selection_is_predictor_dependent:
+            fields["predictor"] = self.predictor
+            fields["size_bytes"] = self.size_bytes
+            fields["predictor_kwargs"] = list(self.predictor_kwargs)
+        return fields
+
+
+def _stable_hints(ctx: ExperimentContext, cell: Cell) -> HintAssignment:
+    """Figure 13 bar 4: merge train+ref profiles, drop unstable branches."""
+    database = ProfileDatabase()
+    database.record(ctx.profile(cell.program, "train"))
+    database.record(ctx.profile(cell.program, "ref"))
+    return select_static_95(
+        database.stable_filtered(cell.program), cutoff=cell.cutoff
+    )
+
+
+def resolve_hints(ctx: ExperimentContext, cell: Cell, cache=None) -> HintAssignment | None:
+    """Run (or fetch) the selection phase for a cell.
+
+    With a :class:`~repro.runner.cache.ResultCache`, the hint database is
+    shared across worker processes: the first worker to need a selection
+    persists it and every later worker (or run) deserializes instead of
+    re-simulating the profiling pass.
+    """
+    if cell.scheme == "none":
+        return None
+    if cache is not None:
+        cached = cache.get_hints(ctx, cell)
+        if cached is not None:
+            return cached
+    if cell.scheme == STABLE_SCHEME:
+        hints = _stable_hints(ctx, cell)
+    else:
+        hints = ctx.hints(
+            cell.program, cell.scheme,
+            predictor_name=cell.predictor, size_bytes=cell.size_bytes,
+            profile_input=cell.profile_input, cutoff=cell.cutoff,
+            factor=cell.factor,
+            predictor_kwargs=dict(cell.predictor_kwargs) or None,
+        )
+    if cache is not None:
+        cache.put_hints(ctx, cell, hints)
+    return hints
+
+
+def execute_cell(ctx: ExperimentContext, cell: Cell, cache=None) -> SimulationResult:
+    """Execute one cell against a context; pure function of (ctx, cell).
+
+    The result's ``metadata`` records ``static_hint_count`` (how many
+    branch sites the selection phase marked static) so report synthesis
+    never has to re-run selection in the parent process.
+    """
+    if not isinstance(cell, Cell):
+        raise ExperimentError(f"expected a Cell, got {cell!r}")
+    kwargs = dict(cell.predictor_kwargs) or None
+    hints = resolve_hints(ctx, cell, cache=cache)
+    result = ctx.run(
+        cell.program,
+        cell.predictor,
+        cell.size_bytes,
+        scheme=cell.scheme,
+        shift_policy=cell.shift_policy,
+        measure_input=cell.measure_input,
+        profile_input=cell.profile_input,
+        track_collisions=cell.track_collisions,
+        cutoff=cell.cutoff,
+        factor=cell.factor,
+        predictor_kwargs=kwargs,
+        hints=hints,
+    )
+    if hints is not None:
+        result.metadata["static_hint_count"] = hints.static_count()
+    return result

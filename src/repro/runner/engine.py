@@ -1,0 +1,203 @@
+"""Process-pool execution engine for experiment cells.
+
+The parent process resolves cache hits up front, schedules only the
+missing cells across worker processes, writes the returned results back
+to the cache, and hands the caller a results dict in declared cell
+order.  Workers are long-lived: each builds one
+:class:`~repro.experiments.common.ExperimentContext` at startup (from
+the parent context's pickled knobs) and memoizes traces and profiles
+across every cell it executes, like the serial path does in the parent.
+
+Determinism: a cell's result is a pure function of (context knobs,
+cell); scheduling order, worker count, and cache state only change *who*
+computes a result, never its value.  Timing instrumentation is
+observability-only -- it is reported in the run summary and never enters
+a result, which is why the ``perf_counter`` reads below carry DET002
+suppressions instead of being design violations.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+
+from repro.core.metrics import SimulationResult
+from repro.errors import ExperimentError
+from repro.experiments.common import ExperimentContext
+from repro.runner.cache import ResultCache
+from repro.runner.cells import Cell, execute_cell
+
+__all__ = ["CellExecutor", "RunSummary", "WorkerStats"]
+
+
+@dataclass(slots=True)
+class WorkerStats:
+    """Throughput accounting for one worker (or the parent, serially)."""
+
+    label: str
+    cells: int = 0
+    branches: int = 0
+    seconds: float = 0.0
+
+    @property
+    def branches_per_second(self) -> float:
+        if self.seconds <= 0.0:
+            return 0.0
+        return self.branches / self.seconds
+
+
+@dataclass(slots=True)
+class RunSummary:
+    """Observability record for one runner invocation."""
+
+    jobs: int = 1
+    cells: int = 0
+    simulated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    branches_simulated: int = 0
+    workers: dict[str, WorkerStats] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        """Cache hits as a fraction of all cells this run touched."""
+        if self.cells == 0:
+            return 0.0
+        return self.cache_hits / self.cells
+
+    def record_execution(self, label: str, branches: int, seconds: float) -> None:
+        stats = self.workers.get(label)
+        if stats is None:
+            stats = self.workers[label] = WorkerStats(label=label)
+        stats.cells += 1
+        stats.branches += branches
+        stats.seconds += seconds
+        self.simulated += 1
+        self.branches_simulated += branches
+
+    def describe(self) -> str:
+        """Multi-line human summary for the CLI."""
+        lines = [
+            f"cells: {self.cells} "
+            f"({self.simulated} simulated, {self.cache_hits} cache hits, "
+            f"hit-rate {self.hit_rate:.1%})",
+            f"wall time: {self.wall_seconds:.2f}s with {self.jobs} job(s); "
+            f"{self.branches_simulated} branches simulated",
+        ]
+        for label in sorted(self.workers):
+            stats = self.workers[label]
+            lines.append(
+                f"  worker {label}: {stats.cells} cells, "
+                f"{stats.branches} branches, "
+                f"{stats.branches_per_second:,.0f} branches/s"
+            )
+        return "\n".join(lines)
+
+
+# -- worker side -----------------------------------------------------------
+
+_WORKER_CTX: ExperimentContext | None = None
+_WORKER_CACHE: ResultCache | None = None
+
+
+def _worker_init(ctx: ExperimentContext, cache_root: str | None) -> None:
+    """Pool initializer: one context (and cache handle) per worker."""
+    global _WORKER_CTX, _WORKER_CACHE
+    _WORKER_CTX = ctx
+    _WORKER_CACHE = ResultCache(cache_root) if cache_root else None
+
+
+def _worker_run(cell: Cell) -> tuple[Cell, dict, float, str]:
+    """Execute one cell in a worker; returns a picklable record."""
+    assert _WORKER_CTX is not None, "worker used before _worker_init"
+    start = time.perf_counter()  # repro: allow[DET002] -- observability only, never enters a result
+    result = execute_cell(_WORKER_CTX, cell, cache=_WORKER_CACHE)
+    elapsed = time.perf_counter() - start  # repro: allow[DET002] -- observability only
+    return cell, result.to_dict(), elapsed, f"pid-{os.getpid()}"
+
+
+# -- parent side -----------------------------------------------------------
+
+class CellExecutor:
+    """Schedules cells over a cache and (optionally) a process pool."""
+
+    def __init__(
+        self,
+        ctx: ExperimentContext,
+        jobs: int = 1,
+        cache: ResultCache | None = None,
+    ):
+        if jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.ctx = ctx
+        self.jobs = jobs
+        self.cache = cache
+        self.summary = RunSummary(jobs=jobs)
+
+    def execute(self, cells: list[Cell]) -> dict[Cell, SimulationResult]:
+        """Execute cells (deduplicated), returning ``{cell: result}``.
+
+        The returned dict is in first-declared cell order regardless of
+        which worker finished when, so downstream rendering is
+        order-deterministic.
+        """
+        start = time.perf_counter()  # repro: allow[DET002] -- observability only
+        ordered = list(dict.fromkeys(cells))
+        results: dict[Cell, SimulationResult] = {}
+        to_run: list[Cell] = []
+        for cell in ordered:
+            cached = self.cache.get_result(self.ctx, cell) if self.cache else None
+            if cached is not None:
+                results[cell] = cached
+            else:
+                to_run.append(cell)
+
+        if self.jobs == 1 or len(to_run) <= 1:
+            self._execute_serial(to_run, results)
+        else:
+            self._execute_parallel(to_run, results)
+
+        self.summary.cells += len(ordered)
+        if self.cache is not None:
+            self.summary.cache_hits = self.cache.hits
+            self.summary.cache_misses = self.cache.misses
+        self.summary.wall_seconds += (
+            time.perf_counter() - start  # repro: allow[DET002] -- observability only
+        )
+        return {cell: results[cell] for cell in ordered}
+
+    def _execute_serial(
+        self, to_run: list[Cell], results: dict[Cell, SimulationResult]
+    ) -> None:
+        for cell in to_run:
+            start = time.perf_counter()  # repro: allow[DET002] -- observability only
+            result = execute_cell(self.ctx, cell, cache=self.cache)
+            elapsed = time.perf_counter() - start  # repro: allow[DET002] -- observability only
+            if self.cache is not None:
+                self.cache.put_result(self.ctx, cell, result)
+            results[cell] = result
+            self.summary.record_execution("main", result.branches, elapsed)
+
+    def _execute_parallel(
+        self, to_run: list[Cell], results: dict[Cell, SimulationResult]
+    ) -> None:
+        cache_root = self.cache.root if self.cache is not None else None
+        workers = min(self.jobs, len(to_run))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(self.ctx, cache_root),
+        ) as pool:
+            pending = {pool.submit(_worker_run, cell) for cell in to_run}
+            while pending:
+                done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    cell, payload, elapsed, label = future.result()
+                    result = SimulationResult.from_dict(payload)
+                    if self.cache is not None:
+                        self.cache.put_result(self.ctx, cell, result)
+                    results[cell] = result
+                    self.summary.record_execution(label, result.branches, elapsed)

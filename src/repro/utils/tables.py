@@ -8,9 +8,16 @@ harness, and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Iterable, Sequence
 
-__all__ = ["render_table", "format_value", "format_percent", "format_float"]
+__all__ = [
+    "render_table",
+    "format_value",
+    "format_percent",
+    "format_float",
+    "format_improvement",
+]
 
 
 def format_float(value: float, digits: int = 2) -> str:
@@ -27,6 +34,22 @@ def format_percent(value: float, digits: int = 1) -> str:
     '-1.4%'
     """
     return f"{value * 100:.{digits}f}%"
+
+
+def format_improvement(gain: float, digits: int = 1) -> str:
+    """Format a signed improvement fraction as an explicit percentage.
+
+    Spells out the ``-inf`` sentinel :func:`repro.core.metrics.improvement`
+    returns when a run regresses against a zero-misprediction baseline.
+
+    >>> format_improvement(0.142)
+    '+14.2%'
+    >>> format_improvement(float("-inf"))
+    'worse (0-MISP base)'
+    """
+    if not math.isfinite(gain):
+        return "worse (0-MISP base)" if gain < 0 else "better (inf)"
+    return f"{gain * 100:+.{digits}f}%"
 
 
 def format_value(value: object) -> str:

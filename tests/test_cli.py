@@ -66,6 +66,35 @@ class TestCommands:
         assert status == 1
         assert "error" in capsys.readouterr().err
 
+    def test_run_experiments_with_cache(self, tmp_path, capsys):
+        argv = ["run", "table3", "--jobs", "2",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert "table3" in cold and "hit-rate 0.0%" in cold
+        # Warm re-run: identical report, zero simulations.
+        assert main(argv) == 0
+        warm = capsys.readouterr().out
+        assert "hit-rate 100.0%" in warm and "(0 simulated" in warm
+        assert (warm.split("cells:")[0].strip()
+                == cold.split("cells:")[0].strip())
+
+    def test_run_experiments_no_cache(self, capsys):
+        assert main(["run", "ablation-history", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "ablation-history" in out
+        assert "0 cache hits" in out
+
+    def test_run_without_ids_or_configuration_errors(self, capsys):
+        assert main(["run"]) == 1
+        err = capsys.readouterr().err
+        assert "error" in err and "--program" in err
+
+    def test_run_unknown_experiment_errors(self, capsys):
+        assert main(["run", "table9", "--no-cache"]) == 1
+        err = capsys.readouterr().err
+        assert "unknown experiment" in err
+
     def test_experiment(self, capsys):
         assert main(["experiment", "table1"]) == 0
         out = capsys.readouterr().out

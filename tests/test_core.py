@@ -1,5 +1,7 @@
 """Tests for the combined predictor, simulator, metrics, and sweeps."""
 
+import math
+
 import pytest
 
 from repro.arch.isa import HintBits, ShiftPolicy
@@ -95,6 +97,32 @@ class TestCombinedPredictor:
         assert combined.accessed() == []
         combined.predict(0x2000)
         assert combined.accessed() == dynamic.accessed()
+
+    def test_update_ignores_stale_predict_state(self):
+        # update() must resolve static-vs-dynamic from the updated
+        # address, not from whichever branch predict() saw last:
+        # interleaved predicts (wrong-path speculation, reordered
+        # commits) otherwise misroute the update.
+        dynamic = BimodalPredictor(64)
+        combined = CombinedPredictor(dynamic, hints_for([(0x1000, True)]))
+        before = list(dynamic.table.values)
+        combined.predict(0x2000)     # dynamic branch predicted last...
+        combined.update(0x1000, False, True)   # ...static branch updated
+        # The static branch's update must not train the dynamic table.
+        assert dynamic.table.values == before
+        assert combined.static_mispredictions == 1
+        combined.predict(0x1000)     # static branch predicted last...
+        combined.update(0x2000, True, True)    # ...dynamic branch updated
+        index = (0x2000 >> 2) & 63
+        assert dynamic.table.values[index] != before[index]
+
+    def test_update_without_predict_routes_by_hints(self):
+        dynamic = BimodalPredictor(64)
+        combined = CombinedPredictor(dynamic, hints_for([(0x1000, True)]))
+        combined.update(0x1000, False, True)
+        assert combined.static_mispredictions == 1
+        combined.update(0x1000, True, True)
+        assert combined.static_mispredictions == 1
 
     def test_size_is_dynamic_only(self):
         dynamic = BimodalPredictor(64)
@@ -239,9 +267,26 @@ class TestMetrics:
         assert improvement(base, worse) == pytest.approx(-0.25)
 
     def test_improvement_zero_base(self):
+        # A 0-MISP baseline cannot be improved upon: degradation must
+        # surface as -inf (a signed sentinel), never a neutral 0.0.
         base = SimulationResult("p", "ref", "x", "none", 1024, 100, 10_000, 0)
         other = SimulationResult("p", "ref", "x", "s", 1024, 100, 10_000, 5)
-        assert improvement(base, other) == 0.0
+        assert improvement(base, other) == -math.inf
+        same = SimulationResult("p", "ref", "x", "s", 1024, 100, 10_000, 0)
+        assert improvement(base, same) == 0.0
+
+    def test_accuracy_of_empty_run_is_perfect(self):
+        # Zero branches means zero mispredictions: vacuous success, not
+        # 0% accuracy (which call sites read as "predictor is broken").
+        empty = SimulationResult("p", "ref", "x", "none", 1024, 0, 0, 0)
+        assert empty.accuracy == 1.0
+        assert empty.static_accuracy == 1.0
+
+    def test_static_accuracy_with_no_static_branches(self):
+        result = SimulationResult("p", "ref", "x", "static_95", 1024,
+                                  100, 10_000, 10)
+        assert result.static_branches == 0
+        assert result.static_accuracy == 1.0
 
     def test_describe_mentions_key_fields(self):
         result = SimulationResult("gcc", "ref", "gshare", "static_95",

@@ -299,6 +299,126 @@ class TestPred002:
 
 
 # ---------------------------------------------------------------------------
+# PRED003: predict-time state consumed by update is declared
+
+
+PRED003_BODY = """
+    from repro.predictors.base import BranchPredictor
+
+    class CachingPredictor(BranchPredictor):
+        name = "caching"
+        {declaration}
+
+        def predict(self, address):
+            self._last_index = address & 7
+            return True
+
+        def update(self, address, taken, predicted):
+            index = self._last_index
+            self.table[index] = taken
+
+        @property
+        def size_bytes(self):
+            return 0.0
+
+        def table_entry_counts(self):
+            return []
+
+        def accessed(self):
+            return []
+"""
+
+
+class TestPred003:
+    def test_undeclared_predict_state_triggers(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path, PRED003_BODY.format(declaration="")
+        )
+        messages = [f.message for f in findings if f.rule == "PRED003"]
+        assert len(messages) == 1
+        assert "'_last_index'" in messages[0]
+        assert "_PREDICT_STATE" in messages[0]
+
+    def test_declared_predict_state_is_clean(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            PRED003_BODY.format(
+                declaration='_PREDICT_STATE = ("_last_index",)'
+            ),
+        )
+        assert "PRED003" not in rules_hit(findings)
+
+    def test_stale_declaration_triggers(self, tmp_path):
+        findings = lint_snippet(
+            tmp_path,
+            PRED003_BODY.format(
+                declaration='_PREDICT_STATE = ("_last_index", "_gone")'
+            ),
+        )
+        messages = [f.message for f in findings if f.rule == "PRED003"]
+        assert len(messages) == 1
+        assert "'_gone'" in messages[0]
+        assert "stale" in messages[0]
+
+    def test_counter_bumps_do_not_trigger(self, tmp_path):
+        # predict's `self.lookups += 1` and update's `self.misses += 1`
+        # are statistics, not cached lookup context.
+        findings = lint_snippet(tmp_path, """
+            from repro.predictors.base import BranchPredictor
+
+            class CountingPredictor(BranchPredictor):
+                name = "counting"
+
+                def predict(self, address):
+                    self.lookups += 1
+                    return True
+
+                def update(self, address, taken, predicted):
+                    if not taken:
+                        self.misses += 1
+
+                @property
+                def size_bytes(self):
+                    return 0.0
+
+                def table_entry_counts(self):
+                    return []
+
+                def accessed(self):
+                    return []
+        """)
+        assert "PRED003" not in rules_hit(findings)
+
+    def test_state_read_only_elsewhere_is_clean(self, tmp_path):
+        # predict-assigned state read by accessed() (not update) is the
+        # documented collision-tracker protocol, not hidden coupling.
+        findings = lint_snippet(tmp_path, """
+            from repro.predictors.base import BranchPredictor
+
+            class PeekPredictor(BranchPredictor):
+                name = "peek"
+
+                def predict(self, address):
+                    self._last_index = address & 7
+                    return True
+
+                def update(self, address, taken, predicted):
+                    pass
+
+                @property
+                def size_bytes(self):
+                    return 0.0
+
+                def table_entry_counts(self):
+                    return []
+
+                def accessed(self):
+                    return [(0, self._last_index)]
+        """)
+        assert "PRED003" not in rules_hit(findings)
+
+
+# ---------------------------------------------------------------------------
 # REG001: experiment registry vs. golden files
 
 
@@ -465,8 +585,8 @@ class TestEngineAndReport:
 
     def test_rule_ids_cover_the_documented_battery(self):
         assert set(rule_ids()) == {
-            "DET001", "DET002", "PRED001", "PRED002", "REG001", "BIT001",
-            "LINT001",
+            "DET001", "DET002", "PRED001", "PRED002", "PRED003", "REG001",
+            "BIT001", "LINT001",
         }
         assert all(RULES[r].summary for r in RULES)
 

@@ -64,7 +64,8 @@ class TestSimulateEdgeCases:
         result = simulate(trace, BimodalPredictor(16))
         assert result.branches == 0
         assert result.misp_per_ki == 0.0
-        assert result.accuracy == 0.0
+        # Vacuous success: zero branches, zero mispredictions.
+        assert result.accuracy == 1.0
 
     def test_single_branch(self):
         trace = BranchTrace(program_name="p", input_name="ref",
@@ -117,6 +118,28 @@ class TestEnvKnobs:
         monkeypatch.setenv("REPRO_TRACE_LENGTH", "lots")
         with pytest.raises(ExperimentError):
             default_trace_length()
+
+    def test_scientific_notation_integer_accepted(self, monkeypatch):
+        from repro.experiments.common import default_trace_length
+
+        monkeypatch.setenv("REPRO_TRACE_LENGTH", "2e5")
+        assert default_trace_length() == 200_000
+
+    def test_fractional_trace_length_rejected(self, monkeypatch):
+        # int(float("200000.7")) would silently run a different
+        # experiment than the one asked for; it must be an error.
+        from repro.experiments.common import default_trace_length
+
+        monkeypatch.setenv("REPRO_TRACE_LENGTH", "200000.7")
+        with pytest.raises(ExperimentError, match="truncate"):
+            default_trace_length()
+
+    def test_fractional_seed_rejected(self, monkeypatch):
+        from repro.experiments.common import default_seed
+
+        monkeypatch.setenv("REPRO_SEED", "1.5")
+        with pytest.raises(ExperimentError):
+            default_seed()
 
 
 class TestPublicApi:
