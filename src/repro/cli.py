@@ -12,7 +12,8 @@ Subcommands::
     repro profile --program gcc --input train --out gcc.profile.json
     repro classify --program gcc [--predictor gshare --size 8192]
     repro interference --program gcc --predictor gshare --size 2048
-    repro lint [--format json] [--select RULES] [paths]
+    repro lint [--format json|sarif] [--select RULES] [--changed] \
+               [--baseline [FILE]] [--update-baseline] [--cache [FILE]] [paths]
 
 ``run`` with experiment ids schedules their declared cells across
 ``--jobs`` worker processes backed by a persistent result cache (warm
@@ -22,8 +23,12 @@ wall time, branches/s per worker, cache hit/miss counts.  ``run`` with
 flow for that single configuration and prints the result line.
 ``experiment`` regenerates a whole table or figure serially (it also
 honors the ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment knobs);
-``lint`` statically checks the determinism and predictor invariants the
-results depend on (exit status 1 when any finding survives).
+``lint`` statically checks the determinism, predictor, and parallelism
+invariants the results depend on (exit status 1 when any finding
+survives); ``--baseline`` ratchets against accepted debt so only *new*
+findings fail, ``--changed`` narrows to git-modified files, ``--cache``
+reuses unchanged files' analysis, and ``--format sarif`` feeds GitHub
+code scanning.
 
 Every subcommand reports library failures (:class:`ReproError`) and
 file-system errors as a one-line ``error: ...`` on stderr with exit
@@ -158,11 +163,27 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("paths", nargs="*", metavar="PATH",
                       help="files or directories to lint (default: the "
                            "installed repro package)")
-    lint.add_argument("--format", choices=("text", "json"), default="text",
-                      dest="format_", metavar="{text,json}")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text", dest="format_",
+                      metavar="{text,json,sarif}")
     lint.add_argument("--select", default=None,
                       help="comma-separated rule ids or prefixes "
                            "(e.g. DET001 or DET,PRED)")
+    lint.add_argument("--baseline", nargs="?", const="", default=None,
+                      metavar="FILE",
+                      help="fail only on findings not in the baseline file "
+                           "(default file: .repro-lint-baseline.json)")
+    lint.add_argument("--update-baseline", action="store_true",
+                      help="rewrite the baseline file to exactly this "
+                           "run's findings and exit 0")
+    lint.add_argument("--changed", action="store_true",
+                      help="narrow the linted set to .py files git reports "
+                           "as modified, staged, or untracked")
+    lint.add_argument("--cache", nargs="?", const="", default=None,
+                      metavar="FILE", dest="lint_cache",
+                      help="reuse per-file analysis across runs via a "
+                           "content-hash cache (default file: "
+                           ".repro-lint-cache.json)")
 
     return parser
 
@@ -307,15 +328,52 @@ def _cmd_interference(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     import repro
-    from repro.lint import render_json, render_text, run_lint, select_rules
+    from repro.lint import (
+        DEFAULT_BASELINE_PATH,
+        DEFAULT_CACHE_PATH,
+        AnalysisCache,
+        Baseline,
+        LintEngine,
+        git_changed_paths,
+        render_json,
+        render_sarif,
+        render_text,
+        select_rules,
+    )
 
     rules = None
     if args.select:
         rules = select_rules(args.select.split(","))
-    paths = args.paths or [os.path.dirname(repro.__file__)]
-    findings = run_lint(paths, rules)
-    rendered = (render_json(findings) if args.format_ == "json"
-                else render_text(findings))
+    paths: list = args.paths or [os.path.dirname(repro.__file__)]
+    if args.changed:
+        paths = git_changed_paths(paths)
+
+    cache = None
+    if args.lint_cache is not None:
+        cache = AnalysisCache(args.lint_cache or DEFAULT_CACHE_PATH)
+    engine = LintEngine(rules, cache=cache)
+    findings = engine.run(paths)
+
+    if args.update_baseline:
+        baseline_path = args.baseline or DEFAULT_BASELINE_PATH
+        Baseline.from_findings(findings).save(baseline_path)
+        print(f"baseline {baseline_path}: accepted {len(findings)} finding(s)")
+        return 0
+
+    baselined = 0
+    if args.baseline is not None:
+        baseline = Baseline.load(args.baseline or DEFAULT_BASELINE_PATH)
+        findings, baselined = baseline.filter_new(findings)
+
+    executed = engine.executed_rule_ids
+    if args.format_ == "json":
+        rendered = render_json(findings, rules=executed)
+    elif args.format_ == "sarif":
+        rendered = render_sarif(findings, executed_rules=executed)
+    else:
+        rendered = render_text(findings)
+        if baselined:
+            rendered += f"\n({baselined} baselined finding(s) not shown)"
     print(rendered)
     return 1 if findings else 0
 

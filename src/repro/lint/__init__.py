@@ -4,14 +4,20 @@ The reproduction's numbers are trustworthy only while a handful of
 codebase-wide conventions hold — all randomness derives from named
 seeded streams, no code reads clocks or OS entropy, every predictor
 honors the predict-then-update contract, the experiment registry and
-its golden files agree, and index masking goes through the checked
-:mod:`repro.utils.bits` helpers.  None of these fail loudly when
-violated; they corrupt MISP/KI numbers silently.  This package turns
-them into machine-checked rules that run before any simulation does::
+its golden files agree, index masking goes through the checked
+:mod:`repro.utils.bits` helpers, and everything the parallel runner's
+workers can reach stays pure, picklable, and seeded only from declared
+experiment knobs.  None of these fail loudly when violated; they
+corrupt MISP/KI numbers silently.  This package turns them into
+machine-checked rules that run before any simulation does::
 
     repro lint                       # self-check the installed package
     repro lint --format json src/    # CI / tooling output
+    repro lint --format sarif src/   # GitHub code scanning upload
     repro lint --select DET,PRED001  # a subset of rules
+    repro lint --changed --cache     # pre-commit: only git-touched files
+    repro lint --baseline tests/     # fail only on NEW findings
+    repro lint --update-baseline t/  # accept the current findings
 
 Deliberate exceptions are annotated in place::
 
@@ -22,29 +28,57 @@ Rules (see :mod:`repro.lint.rules` and DESIGN.md section 8):
 ========  ============================================================
 DET001    randomness must flow through ``utils.rng.derive_rng``
 DET002    no wall clocks, OS entropy, or unordered-set iteration
+DET003    ``rng_from_seed`` seeds trace to experiment knobs or literals
 PRED001   ``BranchPredictor`` subclasses honor the base contract
 PRED002   predictor names, factories, classes, and CLI choices agree
 REG001    experiment ids, runners, and result goldens stay in lockstep
+EXP002    ``cells``/``synthesize`` pair up; Cell schemes are registered
+PAR001    worker-reachable code must not write module globals
+PAR002    no lambdas/closures/local classes cross the pickle boundary
 BIT001    index masking goes through ``utils.bits``, not inline math
 LINT001   (engine) a linted file failed to parse
 ========  ============================================================
+
+The cross-file rules (PAR001 in particular) run on a project-wide call
+graph built from the linted ASTs alone (:mod:`repro.lint.graph`) with a
+flow-approximate reaching-definitions walk for seed provenance
+(:mod:`repro.lint.dataflow`) — no module is ever imported to be linted.
 """
 
-from repro.lint.engine import LintEngine, collect_files, run_lint
+from repro.lint.baseline import BASELINE_VERSION, DEFAULT_BASELINE_PATH, Baseline
+from repro.lint.cache import (
+    CACHE_FORMAT_VERSION,
+    DEFAULT_CACHE_PATH,
+    AnalysisCache,
+    git_changed_paths,
+)
+from repro.lint.engine import EngineStats, LintEngine, collect_files, run_lint
 from repro.lint.findings import Finding, Severity
 from repro.lint.report import render_json, render_text
 from repro.lint.rules import RULES, all_rules, rule_ids, select_rules
+from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
 from repro.lint.suppressions import SuppressionIndex
 
 __all__ = [
     "Finding",
     "Severity",
     "LintEngine",
+    "EngineStats",
     "SuppressionIndex",
     "run_lint",
     "collect_files",
     "render_text",
     "render_json",
+    "render_sarif",
+    "SARIF_VERSION",
+    "SARIF_SCHEMA_URI",
+    "Baseline",
+    "BASELINE_VERSION",
+    "DEFAULT_BASELINE_PATH",
+    "AnalysisCache",
+    "CACHE_FORMAT_VERSION",
+    "DEFAULT_CACHE_PATH",
+    "git_changed_paths",
     "RULES",
     "all_rules",
     "rule_ids",

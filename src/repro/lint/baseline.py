@@ -1,0 +1,137 @@
+"""Baseline ratchet: fail only on findings newer than the accepted debt.
+
+A project-wide analyzer is only adoptable if turning a rule on does not
+require fixing every historical finding in one commit.  The ratchet
+records the *accepted* findings in ``.repro-lint-baseline.json``; a
+baselined run then exits non-zero only when a finding appears that is
+not in the file — debt can be paid down (shrinking the baseline via
+``--update-baseline``) but never silently grows.
+
+Findings are matched by **fingerprint** — ``(path, rule, message)``,
+deliberately excluding line and column — so editing an unrelated part
+of a file does not resurrect its baselined findings, while the same
+violation appearing a *second* time in the same file does fail (the
+baseline stores a count per fingerprint, and the run may use at most
+that many).
+
+The file is committed, human-readable, and sorted, so a baseline change
+is always a reviewable diff::
+
+    {
+      "version": 1,
+      "findings": [
+        {"path": "tests/x.py", "rule": "DET002", "count": 1,
+         "message": "time.time() reads wall clock; ..."},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import collections
+import json
+import os
+from pathlib import Path
+from typing import Sequence
+
+from repro.errors import LintError
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "DEFAULT_BASELINE_PATH", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_PATH = ".repro-lint-baseline.json"
+
+
+def _fingerprint(finding: Finding) -> tuple[str, str, str]:
+    return (finding.path.replace(os.sep, "/"), finding.rule, finding.message)
+
+
+class Baseline:
+    """Accepted findings, counted per (path, rule, message) fingerprint."""
+
+    def __init__(self, counts: dict[tuple[str, str, str], int] | None = None):
+        self.counts = dict(counts or {})
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        counts: dict[tuple[str, str, str], int] = collections.Counter(
+            _fingerprint(finding) for finding in findings
+        )
+        return cls(dict(counts))
+
+    @classmethod
+    def load(cls, path: str | os.PathLike) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Treating absence as empty makes ``--baseline`` safe to turn on
+        before the first ``--update-baseline`` has ever run: every
+        finding is "new" until some are explicitly accepted.
+        """
+        path = Path(path)
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"unreadable lint baseline {path}: {exc}") from exc
+        if not isinstance(payload, dict) or "findings" not in payload:
+            raise LintError(
+                f"lint baseline {path} has no 'findings' list; regenerate "
+                "it with 'repro lint --update-baseline'"
+            )
+        counts: dict[tuple[str, str, str], int] = {}
+        for entry in payload["findings"]:
+            try:
+                key = (str(entry["path"]), str(entry["rule"]),
+                       str(entry["message"]))
+                counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise LintError(
+                    f"malformed lint baseline entry in {path}: {entry!r}"
+                ) from exc
+        return cls(counts)
+
+    def save(self, path: str | os.PathLike) -> None:
+        """Write the baseline atomically, sorted for stable diffs."""
+        entries = [
+            {"path": key[0], "rule": key[1], "count": count,
+             "message": key[2]}
+            for key, count in sorted(self.counts.items())
+        ]
+        payload = {"version": BASELINE_VERSION, "findings": entries}
+        path = Path(path)
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        try:
+            tmp.write_text(json.dumps(payload, indent=2) + "\n",
+                           encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():  # pragma: no cover - only on a failed replace
+                tmp.unlink()
+
+    def filter_new(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int]:
+        """Split findings into (new, number baselined).
+
+        Findings are consumed against the baseline in sorted order (the
+        engine's output order), so which duplicates count as "new" when
+        a fingerprint appears more often than its baseline allows is
+        deterministic: the extras are the later occurrences.
+        """
+        remaining = dict(self.counts)
+        new: list[Finding] = []
+        baselined = 0
+        for finding in findings:
+            key = _fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        return new, baselined
+
+    def __len__(self) -> int:
+        return sum(self.counts.values())

@@ -1,0 +1,235 @@
+"""Intraprocedural reaching-definitions for value-provenance queries.
+
+Rule DET003 needs to answer "where did this value come from?" for the
+argument of a ``rng_from_seed`` call: a seed is legitimate when it
+traces back to a literal, a parameter, or a field of a carried object
+(``self.behavior_seed``, ``ctx.seed``), and poisonous when anything in
+its derivation read a clock, ``os.environ``, or the ``random`` module.
+
+:class:`ReachingDefinitions` collects every binding of every local name
+in one function (assignments, augmented and annotated assignments,
+walrus expressions, loop and ``with`` targets, tuple unpacking).  A
+query for a name at a use line returns the definitions whose line
+precedes the use — a lexical approximation of the classic dataflow fix
+point that is exact for the straight-line derivation chains seed code
+actually writes, and degrades to *all* bindings (a conservative
+superset) when a name is only bound later, e.g. bound in a loop body
+and used in its header.
+
+:func:`provenance_atoms` is the backward slice built on top: starting
+from an expression it walks names to their reaching definitions
+(recursively, cycle-safe), falls through to module-level assignments
+for globals, and yields the leaf :class:`Atom` records — literals,
+parameters, attribute loads, calls — that a provenance rule classifies.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+from typing import Iterator
+
+__all__ = ["Definition", "ReachingDefinitions", "Atom", "provenance_atoms"]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+@dataclasses.dataclass(frozen=True)
+class Definition:
+    """One binding of a local name.
+
+    ``value`` is the bound expression when the binding is a plain
+    assignment; loop/``with``/``except`` targets and tuple unpacking
+    bind a name to a value with no directly usable expression, so they
+    carry the *source* expression (the iterable, the context manager)
+    and set ``indirect`` — provenance then slices through the source.
+    Parameters have neither: they are trust boundaries.
+    """
+
+    name: str
+    line: int
+    value: ast.expr | None
+    indirect: bool = False
+    is_parameter: bool = False
+
+
+class ReachingDefinitions:
+    """All bindings of every local name in one function body."""
+
+    def __init__(self, fn: ast.AST):
+        self._defs: dict[str, list[Definition]] = {}
+        args = getattr(fn, "args", None)
+        if args is not None:
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs
+                        + ([args.vararg] if args.vararg else [])
+                        + ([args.kwarg] if args.kwarg else [])):
+                self._record(Definition(
+                    arg.arg, getattr(fn, "lineno", 0), None,
+                    is_parameter=True,
+                ))
+        body = getattr(fn, "body", None)
+        if isinstance(body, list):
+            for stmt in body:
+                self._collect(stmt)
+        elif body is not None:  # a Lambda body is a single expression
+            self._collect_expr(body)
+
+    def _record(self, definition: Definition) -> None:
+        self._defs.setdefault(definition.name, []).append(definition)
+
+    def _collect(self, node: ast.AST) -> None:
+        # Explicit worklist rather than ast.walk: walk() enqueues every
+        # descendant up front, so skipping a nested FunctionDef there
+        # would still visit its body under the wrong scope.
+        stack: list[ast.AST] = [node]
+        while stack:
+            child = stack.pop()
+            if isinstance(child, _FUNC_NODES):
+                continue  # nested scopes own their bindings
+            stack.extend(ast.iter_child_nodes(child))
+            if isinstance(child, ast.Assign):
+                for target in child.targets:
+                    self._bind_target(target, child.value)
+            elif isinstance(child, ast.AnnAssign) and child.value is not None:
+                self._bind_target(child.target, child.value)
+            elif isinstance(child, ast.AugAssign):
+                # ``x += e`` rebinds x from both its old value and e;
+                # recording e (indirect) keeps the taint flowing.
+                self._bind_target(child.target, child.value, indirect=True)
+            elif isinstance(child, ast.NamedExpr):
+                self._bind_target(child.target, child.value)
+            elif isinstance(child, (ast.For, ast.AsyncFor)):
+                self._bind_target(child.target, child.iter, indirect=True)
+            elif isinstance(child, (ast.With, ast.AsyncWith)):
+                for item in child.items:
+                    if item.optional_vars is not None:
+                        self._bind_target(item.optional_vars,
+                                          item.context_expr, indirect=True)
+            elif isinstance(child, ast.ExceptHandler) and child.name:
+                self._record(Definition(child.name, child.lineno, None,
+                                        indirect=True))
+
+    def _collect_expr(self, expr: ast.expr) -> None:
+        for child in ast.walk(expr):
+            if isinstance(child, ast.NamedExpr):
+                self._bind_target(child.target, child.value)
+
+    def _bind_target(self, target: ast.AST, value: ast.expr,
+                     indirect: bool = False) -> None:
+        if isinstance(target, ast.Name):
+            self._record(Definition(target.id, target.lineno, value,
+                                    indirect=indirect))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                # Unpacking loses which element came from where; bind
+                # each name to the whole right-hand side, indirectly.
+                self._bind_target(element, value, indirect=True)
+        elif isinstance(target, ast.Starred):
+            self._bind_target(target.value, value, indirect=True)
+
+    def definitions(self, name: str, before_line: int) -> list[Definition]:
+        """Bindings of ``name`` that may reach a use at ``before_line``."""
+        bindings = self._defs.get(name, [])
+        reaching = [d for d in bindings if d.line < before_line]
+        return reaching if reaching else list(bindings)
+
+    def is_local(self, name: str) -> bool:
+        return name in self._defs
+
+
+@dataclasses.dataclass(frozen=True)
+class Atom:
+    """One leaf of a backward provenance slice.
+
+    ``kind`` is one of ``"literal"``, ``"parameter"``, ``"attribute"``
+    (with ``text`` the dotted load, e.g. ``self.behavior_seed``),
+    ``"call"`` (with ``text`` the dotted callee, empty when dynamic),
+    ``"name"`` (an unresolvable global read), ``"subscript"`` (with
+    ``text`` the dotted base, e.g. ``os.environ``), or ``"opaque"``.
+    """
+
+    kind: str
+    text: str
+    node: ast.AST = dataclasses.field(compare=False)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def provenance_atoms(
+    expr: ast.expr,
+    defs: ReachingDefinitions,
+    module_assigns: dict[str, ast.expr] | None = None,
+    use_line: int | None = None,
+) -> Iterator[Atom]:
+    """Yield the leaf atoms of an expression's backward slice.
+
+    Walks the expression; every name is replaced by its reaching
+    definitions (module-level assignments serve as the fallback for
+    globals); calls yield a ``call`` atom *and* slice through their
+    arguments, so ``int(os.environ["SEED"])`` still surfaces the
+    ``os.environ`` subscript underneath the benign ``int`` wrapper.
+    """
+    module_assigns = module_assigns or {}
+    seen: set[int] = set()
+
+    def walk(node: ast.expr, line: int) -> Iterator[Atom]:
+        if id(node) in seen:
+            return
+        seen.add(id(node))
+        if isinstance(node, ast.Constant):
+            yield Atom("literal", repr(node.value), node)
+        elif isinstance(node, ast.Name):
+            if defs.is_local(node.id):
+                for definition in defs.definitions(node.id, line):
+                    if definition.is_parameter:
+                        yield Atom("parameter", node.id, node)
+                    elif definition.value is not None:
+                        yield from walk(definition.value, definition.line + 1)
+                    else:
+                        yield Atom("opaque", node.id, node)
+            elif node.id in module_assigns:
+                yield from walk(module_assigns[node.id], line)
+            else:
+                yield Atom("name", node.id, node)
+        elif isinstance(node, ast.Attribute):
+            dotted = _dotted(node)
+            yield Atom("attribute", dotted or node.attr, node)
+        elif isinstance(node, ast.Subscript):
+            dotted = _dotted(node.value)
+            yield Atom("subscript", dotted or "", node)
+            yield from walk(node.slice, line)
+        elif isinstance(node, ast.Call):
+            dotted = _dotted(node.func)
+            yield Atom("call", dotted or "", node)
+            for arg in node.args:
+                yield from walk(arg, line)
+            for keyword in node.keywords:
+                yield from walk(keyword.value, line)
+        elif isinstance(node, ast.BinOp):
+            yield from walk(node.left, line)
+            yield from walk(node.right, line)
+        elif isinstance(node, ast.UnaryOp):
+            yield from walk(node.operand, line)
+        elif isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                yield from walk(element, line)
+        elif isinstance(node, ast.IfExp):
+            yield from walk(node.body, line)
+            yield from walk(node.orelse, line)
+        elif isinstance(node, ast.BoolOp):
+            for value in node.values:
+                yield from walk(value, line)
+        else:
+            yield Atom("opaque", type(node).__name__, node)
+
+    yield from walk(expr, use_line if use_line is not None
+                    else getattr(expr, "lineno", 1))

@@ -5,16 +5,28 @@ order (the lint output itself must be deterministic — rule DET002 cuts
 both ways), parse each once, hand the shared AST to every applicable
 file rule, run project rules whose anchor file is present, drop
 suppressed findings, and return the rest sorted.
+
+When handed an :class:`~repro.lint.cache.AnalysisCache`, the engine
+short-circuits at two granularities.  If nothing changed at all (same
+file set, same bytes, same rules) the complete prior finding list
+replays without a single parse.  Otherwise, files whose content hash
+matches a cached entry reuse their per-file findings — they are still
+*parsed* when any project rule's anchor is in the set (cross-file rules
+need every tree), but their file rules are not re-run.  ``stats``
+records which path each file took so callers (and tests) can assert
+warm runs actually skipped work.
 """
 
 from __future__ import annotations
 
 import ast
 import os
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
 from repro.errors import LintError
+from repro.lint.cache import AnalysisCache, content_hash, rule_signature
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import (
     SYNTAX_RULE_ID,
@@ -25,7 +37,13 @@ from repro.lint.rules import (
 )
 from repro.lint.suppressions import SuppressionIndex
 
-__all__ = ["FileContext", "ProjectContext", "LintEngine", "run_lint"]
+__all__ = [
+    "FileContext",
+    "ProjectContext",
+    "LintEngine",
+    "EngineStats",
+    "run_lint",
+]
 
 _SKIP_DIR_SUFFIXES = ("__pycache__", ".egg-info")
 
@@ -94,51 +112,132 @@ def collect_files(paths: Iterable[str | os.PathLike]) -> list[Path]:
     return collected
 
 
+@dataclass
+class EngineStats:
+    """What one ``LintEngine.run`` actually did, for cache assertions."""
+
+    files: int = 0      # .py files in the linted set
+    parsed: int = 0     # files parsed to an AST this run
+    analyzed: int = 0   # files whose file rules actually executed
+    reused: int = 0     # files whose findings replayed from the cache
+    full_hit: bool = False  # entire run replayed from the full-set entry
+
+
 class LintEngine:
     """Run a set of rules over a set of paths."""
 
-    def __init__(self, rules: Sequence[_RuleBase] | None = None):
+    def __init__(
+        self,
+        rules: Sequence[_RuleBase] | None = None,
+        cache: AnalysisCache | None = None,
+    ):
         self.rules = list(rules) if rules is not None else all_rules()
+        self.cache = cache
+        self.stats = EngineStats()
+
+    @property
+    def executed_rule_ids(self) -> list[str]:
+        """Rule ids this engine evaluates, plus the parse pseudo-rule."""
+        return sorted({r.rule_id for r in self.rules} | {SYNTAX_RULE_ID})
 
     def run(self, paths: Iterable[str | os.PathLike]) -> list[Finding]:
         """Lint ``paths`` and return unsuppressed findings, sorted."""
+        entries = []
+        for path in collect_files(paths):
+            entries.append((path, self._display(path),
+                            path.read_text(encoding="utf-8")))
+        self.stats = EngineStats(files=len(entries))
+
+        signature = ""
+        if self.cache is not None:
+            signature = rule_signature(self.executed_rule_ids)
+            set_key = AnalysisCache.set_key(
+                [(display, content_hash(source))
+                 for _, display, source in entries],
+                signature,
+            )
+            full = self.cache.get_full(set_key)
+            if full is not None:
+                self.stats.full_hit = True
+                return full
+
+        file_rules = [r for r in self.rules if isinstance(r, FileRule)]
+        project_rules = [
+            r for r in self.rules
+            if isinstance(r, ProjectRule) and r.anchor and any(
+                path.as_posix().endswith(r.anchor) for path, _, _ in entries
+            )
+        ]
+        # Cross-file rules see the whole tree, so a per-file cache hit
+        # only skips *analysis*; the parse still happens when any
+        # project-rule anchor is present.
+        must_parse_all = bool(project_rules)
+
         contexts: list[FileContext] = []
         findings: list[Finding] = []
-        for path in collect_files(paths):
-            source = path.read_text(encoding="utf-8")
-            display = self._display(path)
+        suppression_by_display: dict[str, SuppressionIndex] = {}
+        for path, display, source in entries:
+            source_hash = ""
+            cached: list[Finding] | None = None
+            if self.cache is not None:
+                source_hash = content_hash(source)
+                cached = self.cache.get_file(display, source_hash, signature)
+            if cached is not None:
+                self.stats.reused += 1
+                findings.extend(cached)
+                if not must_parse_all:
+                    continue
             try:
                 tree = ast.parse(source, filename=str(path))
             except SyntaxError as exc:
-                findings.append(Finding(
-                    path=display, line=exc.lineno or 1,
-                    col=(exc.offset or 1) - 1, rule=SYNTAX_RULE_ID,
-                    severity=Severity.ERROR,
-                    message=f"file does not parse: {exc.msg}",
-                ))
+                if cached is None:
+                    finding = Finding(
+                        path=display, line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1, rule=SYNTAX_RULE_ID,
+                        severity=Severity.ERROR,
+                        message=f"file does not parse: {exc.msg}",
+                    )
+                    findings.append(finding)
+                    if self.cache is not None:
+                        self.cache.put_file(display, source_hash, signature,
+                                            [finding])
                 continue
-            contexts.append(FileContext(path, display, source, tree))
-
-        file_rules = [r for r in self.rules if isinstance(r, FileRule)]
-        project_rules = [r for r in self.rules if isinstance(r, ProjectRule)]
-
-        suppression_by_display = {ctx.display: ctx.suppressions for ctx in contexts}
-        for ctx in contexts:
-            for rule in file_rules:
-                if rule.applies(ctx):
-                    findings.extend(rule.check(ctx))
+            self.stats.parsed += 1
+            ctx = FileContext(path, display, source, tree)
+            contexts.append(ctx)
+            suppression_by_display[display] = ctx.suppressions
+            if cached is not None:
+                continue
+            self.stats.analyzed += 1
+            checked = [
+                finding
+                for rule in file_rules if rule.applies(ctx)
+                for finding in rule.check(ctx)
+            ]
+            kept = [
+                finding for finding in checked
+                if not ctx.suppressions.is_suppressed(finding.rule,
+                                                      finding.line)
+            ]
+            findings.extend(kept)
+            if self.cache is not None:
+                self.cache.put_file(display, source_hash, signature, kept)
 
         project = ProjectContext(contexts)
         for rule in project_rules:
-            anchor_ctx = project.find(rule.anchor) if rule.anchor else None
+            anchor_ctx = project.find(rule.anchor)
             if anchor_ctx is not None:
-                findings.extend(rule.check_project(anchor_ctx, project))
+                findings.extend(
+                    finding
+                    for finding in rule.check_project(anchor_ctx, project)
+                    if not self._suppressed(finding, suppression_by_display)
+                )
 
-        kept = [
-            finding for finding in findings
-            if not self._suppressed(finding, suppression_by_display)
-        ]
-        return sorted(kept)
+        result = sorted(findings)
+        if self.cache is not None:
+            self.cache.put_full(set_key, result)
+            self.cache.save()
+        return result
 
     @staticmethod
     def _display(path: Path) -> str:
@@ -159,6 +258,7 @@ class LintEngine:
 def run_lint(
     paths: Iterable[str | os.PathLike],
     rules: Sequence[_RuleBase] | None = None,
+    cache: AnalysisCache | None = None,
 ) -> list[Finding]:
     """Convenience wrapper: lint ``paths`` with ``rules`` (default: all)."""
-    return LintEngine(rules).run(paths)
+    return LintEngine(rules, cache=cache).run(paths)

@@ -41,12 +41,21 @@ def render_text(findings: Sequence[Finding]) -> str:
     return "\n".join(lines)
 
 
-def render_json(findings: Sequence[Finding]) -> str:
-    """Machine-readable report (schema documented in the module docstring)."""
+def render_json(
+    findings: Sequence[Finding],
+    rules: Sequence[str] | None = None,
+) -> str:
+    """Machine-readable report (schema documented in the module docstring).
+
+    ``rules`` is the rule-id set this run actually evaluated; consumers
+    treat an id's presence there as "this rule ran and found what is
+    listed", so a ``--select``-narrowed run must not advertise rules it
+    skipped.  ``None`` means the full registry ran.
+    """
     payload = {
         "version": JSON_SCHEMA_VERSION,
         "count": len(findings),
-        "rules": list(rule_ids()),
+        "rules": list(rules) if rules is not None else list(rule_ids()),
         "findings": [finding.to_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=False)

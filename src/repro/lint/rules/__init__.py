@@ -140,4 +140,5 @@ def select_rules(selectors: typing.Iterable[str]) -> list[_RuleBase]:
 from repro.lint.rules import bitops  # noqa: E402,F401  (registration import)
 from repro.lint.rules import determinism  # noqa: E402,F401
 from repro.lint.rules import experiments  # noqa: E402,F401
+from repro.lint.rules import parallelism  # noqa: E402,F401
 from repro.lint.rules import predictors  # noqa: E402,F401

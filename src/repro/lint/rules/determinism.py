@@ -1,4 +1,4 @@
-"""DET001/DET002: every run must be a pure function of its seed.
+"""DET001/DET002/DET003: every run must be a pure function of its seed.
 
 The reproduction's headline property — rerunning an experiment with the
 same root seed replays the exact same branch trace and misprediction
@@ -14,10 +14,11 @@ from __future__ import annotations
 import ast
 from typing import Iterator
 
+from repro.lint.dataflow import ReachingDefinitions, provenance_atoms
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import FileRule, register
 
-__all__ = ["RandomStreamRule", "WallClockRule"]
+__all__ = ["RandomStreamRule", "WallClockRule", "SeedProvenanceRule"]
 
 RNG_MODULE_SUFFIX = "utils/rng.py"
 """The one module allowed to touch :mod:`random` directly."""
@@ -207,3 +208,100 @@ class WallClockRule(FileRule):
                 "varies across processes; wrap in sorted(...) to fix the "
                 "iteration order",
             )
+
+
+#: Callee prefixes/names whose result (or any value derived from it)
+#: must never become a seed: clocks, OS entropy, environment state, and
+#: the module-level ``random`` streams DET001 already bans directly.
+_TAINTED_CALL_HEADS = ("time.", "datetime.", "random.", "uuid.", "secrets.")
+_TAINTED_CALL_EXACT = frozenset({
+    "os.getenv", "os.urandom", "os.getrandom", "os.getpid", "id",
+    "os.environ.get", "environ.get", "getenv", "urandom",
+})
+_TAINTED_SUBSCRIPT_BASES = frozenset({"os.environ", "environ"})
+
+
+@register
+class SeedProvenanceRule(FileRule):
+    """DET003: every ``rng_from_seed`` argument has seeded provenance.
+
+    ``rng_from_seed`` is DET001's escape hatch — it rebuilds a stream
+    from an *already-derived* seed, so it is exactly where a laundered
+    nondeterministic value would slip back into the simulation.  The
+    rule backward-slices the argument through the enclosing function's
+    reaching definitions (module-level constants included): a seed must
+    bottom out in literals, parameters, carried-object fields
+    (``self.behavior_seed``, ``ctx.seed``), or ``derive_seed`` results.
+    Any clock, ``os.environ``, ``os.getpid``, or ``random`` read in the
+    slice — however many arithmetic or ``int(...)`` wrappers deep — is
+    a finding.
+    """
+
+    rule_id = "DET003"
+    severity = Severity.ERROR
+    summary = "rng_from_seed arguments trace to fields/literals, never env"
+
+    def applies(self, ctx) -> bool:
+        return not ctx.matches(RNG_MODULE_SUFFIX)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        module_assigns = {
+            target.id: stmt.value
+            for stmt in ctx.tree.body if isinstance(stmt, ast.Assign)
+            for target in stmt.targets if isinstance(target, ast.Name)
+        }
+        yield from self._check_scope(ctx, ctx.tree, module_assigns)
+
+    def _check_scope(self, ctx, scope: ast.AST,
+                     module_assigns: dict) -> Iterator[Finding]:
+        defs = ReachingDefinitions(scope)
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop(0)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_scope(ctx, node, module_assigns)
+                continue  # the nested scope owns its bindings
+            if isinstance(node, ast.Call) and self._is_rng_from_seed(node):
+                yield from self._check_call(ctx, node, defs, module_assigns)
+            stack.extend(ast.iter_child_nodes(node))
+
+    @staticmethod
+    def _is_rng_from_seed(call: ast.Call) -> bool:
+        dotted = _dotted_name(call.func)
+        return dotted is not None and (
+            dotted == "rng_from_seed" or dotted.endswith(".rng_from_seed")
+        )
+
+    def _check_call(self, ctx, call: ast.Call, defs: ReachingDefinitions,
+                    module_assigns: dict) -> Iterator[Finding]:
+        if not call.args:
+            return
+        for atom in provenance_atoms(call.args[0], defs, module_assigns,
+                                     use_line=call.lineno):
+            why = self._taint(atom)
+            if why is not None:
+                yield self.finding(
+                    ctx, call,
+                    f"rng_from_seed argument derives from {why}; a seed "
+                    "must trace back to a Cell/ExperimentContext field, a "
+                    "parameter, or a literal so reruns replay bit-identical "
+                    "streams",
+                )
+                return  # one finding per call, on the first tainted atom
+
+    @staticmethod
+    def _taint(atom) -> str | None:
+        if atom.kind == "call":
+            dotted = atom.text
+            if (dotted in _TAINTED_CALL_EXACT
+                    or any(dotted.startswith(head) or f".{head}" in f".{dotted}"
+                           for head in _TAINTED_CALL_HEADS)):
+                return f"{dotted}()"
+        elif atom.kind == "subscript":
+            if (atom.text in _TAINTED_SUBSCRIPT_BASES
+                    or atom.text.endswith(".environ")):
+                return f"{atom.text}[...]"
+        elif atom.kind == "attribute":
+            if atom.text.endswith(".environ") or atom.text == "environ":
+                return atom.text
+        return None

@@ -1,4 +1,4 @@
-"""REG001: experiment ids, runners, and golden files stay in lockstep.
+"""REG001/EXP002: experiment ids, runners, cells, and goldens agree.
 
 Every id in ``experiments/registry.EXPERIMENT_IDS`` is a promise: the
 CLI accepts it, a runner produces it, and ``benchmarks/results/`` holds
@@ -18,13 +18,14 @@ be imported, so linting a fixture tree never reads the real registry.
 
 from __future__ import annotations
 
+import ast
 from pathlib import Path
 from typing import Iterator, Sequence
 
 from repro.lint.findings import Finding, Severity
 from repro.lint.rules import ProjectRule, register
 
-__all__ = ["ExperimentGoldenRule"]
+__all__ = ["ExperimentGoldenRule", "CellPairingRule"]
 
 GOLDEN_SUFFIX = ".txt"
 
@@ -131,3 +132,160 @@ class ExperimentGoldenRule(ProjectRule):
     def _at(self, ctx, message: str) -> Finding:
         return Finding(path=ctx.display, line=1, col=0, rule=self.rule_id,
                        severity=self.severity, message=message)
+
+
+def _top_level_functions(tree: ast.AST) -> dict[str, int]:
+    """Module-level function names mapped to their definition lines."""
+    return {
+        stmt.name: stmt.lineno
+        for stmt in (tree.body if isinstance(tree, ast.Module) else [])
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+@register
+class CellPairingRule(ProjectRule):
+    """EXP002: cell providers pair with synthesizers; schemes are known.
+
+    The parallel runner's contract is two-sided: an experiment that
+    declares ``cells`` (or ``cells_<variant>``) without the matching
+    ``synthesize`` (``synthesize_<variant>``) can be scheduled but never
+    reported, and a synthesizer without a provider is dead code that
+    drifts.  Separately, every literal ``scheme=`` in a ``Cell``
+    construction must be a registered selection scheme — a typo like
+    ``"static-95"`` would not fail until deep inside a worker process.
+
+    The scheme universe is read from the linted ASTs themselves
+    (``SELECTION_SCHEMES`` in ``staticpred/selection.py`` plus the
+    ``STABLE_SCHEME`` constant in ``runner/cells.py``), so fixture trees
+    carry their own universe and linting a partial tree skips the check.
+    """
+
+    rule_id = "EXP002"
+    severity = Severity.ERROR
+    summary = "cells/synthesize declarations pair up; Cell schemes are known"
+    anchor = "experiments/registry.py"
+
+    CELLS_PREFIX = "cells"
+    SYNTH_PREFIX = "synthesize"
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        for ctx in project.glob("experiments/"):
+            if ctx is anchor_ctx:
+                continue  # the registry *dispatches* cells/synthesize;
+                          # the pairing contract is on declaring modules
+            yield from self._check_pairing(ctx)
+        schemes = self._known_schemes(project)
+        if schemes is not None:
+            for ctx in project.files:
+                yield from self._check_schemes(ctx, schemes)
+
+    # -- provider/synthesizer pairing ------------------------------------
+
+    def _check_pairing(self, ctx) -> Iterator[Finding]:
+        functions = _top_level_functions(ctx.tree)
+        for name, lineno in sorted(functions.items(), key=lambda kv: kv[1]):
+            partner = self._partner(name)
+            if partner is None or partner in functions:
+                continue
+            if name.startswith(self.CELLS_PREFIX):
+                yield self._at_line(
+                    ctx, lineno,
+                    f"{name}() declares cells but {partner}() is missing; "
+                    "the runner could schedule this experiment's cells and "
+                    "then have no way to build its report",
+                )
+            else:
+                yield self._at_line(
+                    ctx, lineno,
+                    f"{name}() has no matching {partner}(); a synthesizer "
+                    "without a cell provider never receives results and "
+                    "silently drifts from the experiment it once rendered",
+                )
+
+    def _partner(self, name: str) -> str | None:
+        """``cells_x`` <-> ``synthesize_x`` (and the bare pair)."""
+        for prefix, other in ((self.CELLS_PREFIX, self.SYNTH_PREFIX),
+                              (self.SYNTH_PREFIX, self.CELLS_PREFIX)):
+            if name == prefix:
+                return other
+            if name.startswith(prefix + "_"):
+                return other + name[len(prefix):]
+        return None
+
+    # -- scheme literals -------------------------------------------------
+
+    def _known_schemes(self, project) -> frozenset[str] | None:
+        """The scheme universe, or None when the linted set lacks it."""
+        selection_ctx = project.find("staticpred/selection.py")
+        if selection_ctx is None:
+            return None
+        schemes = self._string_tuple_assign(
+            selection_ctx.tree, "SELECTION_SCHEMES"
+        )
+        if schemes is None:
+            return None
+        known = set(schemes)
+        cells_ctx = project.find("runner/cells.py")
+        if cells_ctx is not None:
+            for stmt in cells_ctx.tree.body:
+                if (isinstance(stmt, ast.Assign)
+                        and any(isinstance(t, ast.Name)
+                                and t.id.endswith("_SCHEME")
+                                for t in stmt.targets)
+                        and isinstance(stmt.value, ast.Constant)
+                        and isinstance(stmt.value.value, str)):
+                    known.add(stmt.value.value)
+        return frozenset(known)
+
+    def _check_schemes(self, ctx, schemes: frozenset[str]) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_cell_construction(node):
+                continue
+            for keyword in node.keywords:
+                if (keyword.arg == "scheme"
+                        and isinstance(keyword.value, ast.Constant)
+                        and isinstance(keyword.value.value, str)
+                        and keyword.value.value not in schemes):
+                    yield self._at_line(
+                        ctx, keyword.value.lineno,
+                        f"Cell scheme {keyword.value.value!r} is not in "
+                        "SELECTION_SCHEMES (or a declared *_SCHEME "
+                        "constant); the cell would fail selection inside "
+                        "a worker process",
+                    )
+
+    @staticmethod
+    def _is_cell_construction(call: ast.Call) -> bool:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return func.id == "Cell"
+        return (isinstance(func, ast.Attribute)
+                and func.attr == "make"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "Cell")
+
+    @staticmethod
+    def _string_tuple_assign(tree: ast.AST, name: str) -> list[str] | None:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    if not isinstance(node.value, (ast.Tuple, ast.List)):
+                        return None
+                    out = []
+                    for element in node.value.elts:
+                        if not (isinstance(element, ast.Constant)
+                                and isinstance(element.value, str)):
+                            return None
+                        out.append(element.value)
+                    return out
+        return None
+
+    def _at_line(self, ctx, lineno: int, message: str) -> Finding:
+        return Finding(path=ctx.display, line=lineno, col=0,
+                       rule=self.rule_id, severity=self.severity,
+                       message=message)

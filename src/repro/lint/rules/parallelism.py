@@ -1,0 +1,325 @@
+"""PAR001/PAR002: the process-pool runner's determinism contracts.
+
+The parallel runner's promise (DESIGN.md section 4) is that scheduling
+only changes *who* computes a result, never its value.  Two statically
+checkable properties carry that promise:
+
+* **Worker purity** — a worker executes ``_worker_init`` once and then
+  ``execute_cell`` per cell; if anything reachable from those entry
+  points assigns a module-level global, the *order* cells arrive at a
+  worker leaks into later results, and parallel stops being
+  bit-identical to serial.  The only sanctioned globals are the worker
+  state slots declared in ``runner/engine.py``'s ``_WORKER_GLOBALS``.
+* **Pickle safety** — cells and pool callables cross a process
+  boundary.  Lambdas, closures, and locally defined classes are not
+  picklable; embedding one in a :class:`~repro.runner.cells.Cell` field
+  or submitting one to the pool works under ``--jobs 1`` and explodes
+  (or worse, silently degrades to serial fallbacks) the first time a
+  run actually fans out.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import CallGraph, FunctionInfo
+from repro.lint.rules import FileRule, ProjectRule, register
+
+__all__ = ["WorkerPurityRule", "PickleSafetyRule"]
+
+ENGINE_SUFFIX = "runner/engine.py"
+CELLS_SUFFIX = "runner/cells.py"
+WORKER_GLOBALS_NAME = "_WORKER_GLOBALS"
+
+#: Bare names whose call creates a process pool (checked with any
+#: qualification prefix, e.g. ``concurrent.futures.ProcessPoolExecutor``).
+_POOL_TYPES = ("ProcessPoolExecutor", "Pool")
+
+#: Method names that ship a callable to pool workers; the callable is
+#: the first positional argument.
+_SUBMIT_METHODS = ("submit", "map", "apply", "apply_async", "map_async",
+                   "imap", "imap_unordered", "starmap")
+
+
+@register
+class WorkerPurityRule(ProjectRule):
+    """PAR001: nothing reachable from a worker assigns module globals.
+
+    Builds the project call graph, takes every function reachable from
+    ``execute_cell`` (``runner/cells.py``) and the ``_worker_*`` pool
+    entry points (``runner/engine.py``), and flags ``global``
+    declarations and subscript/attribute stores on module-level names —
+    unless the name is in the ``_WORKER_GLOBALS`` whitelist the engine
+    module declares.  Constructor arguments exist so tests can aim the
+    rule at synthetic root sets.
+    """
+
+    rule_id = "PAR001"
+    severity = Severity.ERROR
+    summary = "worker-reachable code never assigns undeclared module globals"
+    anchor = ENGINE_SUFFIX
+
+    def __init__(self, extra_roots: tuple[str, ...] = ()):
+        self._extra_roots = extra_roots
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        graph = CallGraph.build(project)
+        whitelist = self._worker_globals(anchor_ctx.tree)
+        roots = [
+            fn.qualname
+            for fn in graph.functions.values()
+            if (fn.ctx is anchor_ctx and fn.cls is None
+                and fn.name.startswith("_worker"))
+        ]
+        roots += [
+            fn.qualname
+            for fn in graph.functions_named("execute_cell", CELLS_SUFFIX)
+        ]
+        roots += list(self._extra_roots)
+        for fn in graph.reachable_from(roots):
+            yield from self._check_function(graph, fn, whitelist)
+
+    def _check_function(self, graph: CallGraph, fn: FunctionInfo,
+                        whitelist: frozenset[str]) -> Iterator[Finding]:
+        module = graph.table.modules.get(fn.module)
+        module_names = frozenset(module.assigns) if module is not None else frozenset()
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                offending = [n for n in node.names if n not in whitelist]
+                if offending:
+                    yield self.finding(
+                        fn.ctx, node,
+                        f"{fn.qualname} declares global "
+                        f"{', '.join(offending)} but is reachable from the "
+                        "worker entry points; module state mutated per cell "
+                        "makes results depend on scheduling order (declare "
+                        f"it in {WORKER_GLOBALS_NAME} only if it is "
+                        "worker-lifetime state)",
+                    )
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    yield from self._check_store(
+                        fn, target, module_names, whitelist
+                    )
+
+    def _check_store(self, fn: FunctionInfo, target: ast.AST,
+                     module_names: frozenset[str],
+                     whitelist: frozenset[str]) -> Iterator[Finding]:
+        """Flag ``MODULE_LEVEL[k] = v`` / ``MODULE_LEVEL.attr = v``."""
+        base = target
+        while isinstance(base, (ast.Subscript, ast.Attribute)):
+            base = base.value
+        if base is target:  # plain name store: local unless global-declared
+            return
+        if (isinstance(base, ast.Name) and base.id in module_names
+                and base.id not in whitelist and base.id != "self"):
+            yield self.finding(
+                fn.ctx, target,
+                f"{fn.qualname} mutates module-level {base.id!r} but is "
+                "reachable from the worker entry points; per-cell writes "
+                "to module state break the parallel==serial contract",
+            )
+
+    @staticmethod
+    def _worker_globals(tree: ast.AST) -> frozenset[str]:
+        """The anchor module's declared ``_WORKER_GLOBALS`` string tuple."""
+        for node in tree.body if isinstance(tree, ast.Module) else []:
+            if not isinstance(node, ast.Assign):
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Name)
+                        and target.id == WORKER_GLOBALS_NAME
+                        and isinstance(node.value, (ast.Tuple, ast.List))):
+                    return frozenset(
+                        element.value for element in node.value.elts
+                        if isinstance(element, ast.Constant)
+                        and isinstance(element.value, str)
+                    )
+        return frozenset()
+
+
+@register
+class PickleSafetyRule(FileRule):
+    """PAR002: nothing unpicklable reaches a Cell field or a pool call.
+
+    Per file: find names bound to the runner's ``Cell`` (via
+    ``from ...runner.cells import Cell`` or a module alias), then flag
+    lambda arguments, references to nested functions, and locally
+    defined classes in (a) ``Cell(...)``/``Cell.make(...)`` arguments
+    and (b) pool ``submit``/``map`` calls and ``ProcessPoolExecutor``
+    ``initializer=`` keywords.  Both are values that must survive
+    ``pickle`` to cross the worker process boundary.
+    """
+
+    rule_id = "PAR002"
+    severity = Severity.ERROR
+    summary = "Cell fields and pool-submitted callables stay picklable"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        cell_names = self._cell_names(ctx.tree)
+        pools = self._pool_names(ctx.tree)
+        yield from self._walk_scope(ctx, ctx.tree, {}, cell_names, pools)
+
+    def _walk_scope(self, ctx, scope: ast.AST, nested: dict[str, str],
+                    cell_names: set[str],
+                    pools: set[str]) -> Iterator[Finding]:
+        """Visit every call once, under its enclosing function's scope."""
+        for child in ast.iter_child_nodes(scope):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk_scope(
+                    ctx, child, self._nested_definitions(child), cell_names,
+                    pools | self._pool_names(child),
+                )
+                continue
+            if isinstance(child, ast.Call):
+                kind = self._call_kind(child, cell_names, pools)
+                if kind is not None:
+                    yield from self._check_values(ctx, child, kind, nested)
+            yield from self._walk_scope(ctx, child, nested, cell_names, pools)
+
+    # -- classification --------------------------------------------------
+
+    @staticmethod
+    def _cell_names(tree: ast.AST) -> set[str]:
+        """Local names bound to the runner's ``Cell`` class."""
+        names: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                module = node.module
+                if module.endswith("runner.cells") or module.endswith("runner"):
+                    for alias in node.names:
+                        if alias.name == "Cell":
+                            names.add(alias.asname or alias.name)
+        return names
+
+    def _call_kind(self, call: ast.Call, cell_names: set[str],
+                   pools: set[str]) -> str | None:
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in cell_names:
+                return "cell"
+            if func.id in _POOL_TYPES:
+                return "pool-ctor"
+        elif isinstance(func, ast.Attribute):
+            if (isinstance(func.value, ast.Name)
+                    and func.value.id in cell_names
+                    and func.attr == "make"):
+                return "cell"
+            if func.attr in _POOL_TYPES:
+                return "pool-ctor"
+            # Only a receiver actually bound to a pool constructor counts:
+            # ``.map`` alone is far too common (hypothesis strategies,
+            # pandas, plain iterables) to flag on the method name.
+            if func.attr in _SUBMIT_METHODS and self._is_pool(func.value,
+                                                              pools):
+                return "pool-submit"
+        return None
+
+    @staticmethod
+    def _is_pool(receiver: ast.expr, pools: set[str]) -> bool:
+        if isinstance(receiver, ast.Name):
+            return receiver.id in pools
+        # ProcessPoolExecutor(...).submit(...), without a binding
+        return (isinstance(receiver, ast.Call)
+                and ((isinstance(receiver.func, ast.Name)
+                      and receiver.func.id in _POOL_TYPES)
+                     or (isinstance(receiver.func, ast.Attribute)
+                         and receiver.func.attr in _POOL_TYPES)))
+
+    @staticmethod
+    def _pool_names(scope: ast.AST) -> set[str]:
+        """Names bound to pool constructors in ``scope``'s subtree.
+
+        Covers ``pool = ProcessPoolExecutor(...)`` and
+        ``with ProcessPoolExecutor(...) as pool:``; the walk is
+        deliberately over-inclusive (it does not stop at nested function
+        boundaries) because a name that *ever* holds a pool is worth
+        treating as one.
+        """
+
+        def is_ctor(node: ast.AST) -> bool:
+            if not isinstance(node, ast.Call):
+                return False
+            func = node.func
+            return ((isinstance(func, ast.Name) and func.id in _POOL_TYPES)
+                    or (isinstance(func, ast.Attribute)
+                        and func.attr in _POOL_TYPES))
+
+        names: set[str] = set()
+        for node in ast.walk(scope):
+            if isinstance(node, ast.Assign) and is_ctor(node.value):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    if (is_ctor(item.context_expr)
+                            and isinstance(item.optional_vars, ast.Name)):
+                        names.add(item.optional_vars.id)
+        return names
+
+    @staticmethod
+    def _nested_definitions(scope: ast.AST) -> dict[str, str]:
+        """Names of functions/classes defined inside a function scope."""
+        out: dict[str, str] = {}
+        for node in ast.walk(scope):
+            if node is scope:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                out[node.name] = "nested function"
+            elif isinstance(node, ast.ClassDef):
+                out[node.name] = "locally defined class"
+        return out
+
+    def _check_values(self, ctx, call: ast.Call, kind: str,
+                      nested: dict[str, str]) -> Iterator[Finding]:
+        if kind == "cell":
+            values = list(call.args) + [kw.value for kw in call.keywords]
+            where = "a Cell field"
+        elif kind == "pool-submit":
+            values = call.args[:1]
+            where = "a pool submission"
+        else:  # pool-ctor: the initializer crosses into every worker
+            values = [kw.value for kw in call.keywords
+                      if kw.arg == "initializer"]
+            where = "a pool initializer"
+        for value in values:
+            yield from self._check_value(ctx, value, where, nested)
+
+    def _check_value(self, ctx, value: ast.expr, where: str,
+                     nested: dict[str, str]) -> Iterator[Finding]:
+        if isinstance(value, ast.Lambda):
+            yield self.finding(
+                ctx, value,
+                f"lambda used as {where}; lambdas cannot be pickled "
+                "across the worker process boundary — use a module-level "
+                "function",
+            )
+            return
+        if isinstance(value, ast.Name) and value.id in nested:
+            yield self.finding(
+                ctx, value,
+                f"{nested[value.id]} {value.id!r} used as {where}; only "
+                "module-level definitions survive pickling to a worker",
+            )
+            return
+        if (isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and nested.get(value.func.id) == "locally defined class"):
+            yield self.finding(
+                ctx, value,
+                f"instance of locally defined class {value.func.id!r} used "
+                f"as {where}; pickle resolves classes by module path, which "
+                "a function-local class does not have",
+            )
+            return
+        # Containers can smuggle the same values in one level down.
+        if isinstance(value, (ast.Tuple, ast.List, ast.Dict)):
+            elements = (value.elts if not isinstance(value, ast.Dict)
+                        else [v for v in value.values if v is not None])
+            for element in elements:
+                yield from self._check_value(ctx, element, where, nested)

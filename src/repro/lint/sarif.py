@@ -1,0 +1,102 @@
+"""SARIF 2.1.0 rendering of a finding list.
+
+SARIF (Static Analysis Results Interchange Format, OASIS standard) is
+what GitHub code scanning, VS Code's SARIF viewer, and most analyzer
+dashboards ingest.  Emitting it makes ``repro lint`` findings show up
+as inline annotations on pull requests via
+``github/codeql-action/upload-sarif`` — no custom tooling.
+
+The document is one run of one tool.  Rule metadata (every registered
+rule plus the engine's parse pseudo-rule) goes in
+``tool.driver.rules``; each finding becomes a ``result`` whose
+``ruleIndex`` points back into that array, as the spec recommends so
+viewers can show rule help without string lookups.  Only the
+actually-executed rule set is advertised (same contract as the JSON
+reporter): a ``--select DET`` run must not claim PAR001 ran clean.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.rules import RULES, rule_ids
+
+__all__ = ["render_sarif", "SARIF_VERSION", "SARIF_SCHEMA_URI"]
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                    "master/Schemata/sarif-schema-2.1.0.json")
+
+TOOL_NAME = "repro-lint"
+TOOL_URI = "https://github.com/paper-repro/hpca2000-static-dynamic"
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    rule = RULES.get(rule_id)
+    if rule is None:  # the engine's parse pseudo-rule
+        summary, level = "a linted file failed to parse", "error"
+    else:
+        summary = rule.summary or rule_id
+        level = _LEVELS.get(rule.severity.value, "error")
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": level},
+    }
+
+
+def render_sarif(
+    findings: Sequence[Finding],
+    executed_rules: Sequence[str] | None = None,
+) -> str:
+    """Render findings as a SARIF 2.1.0 document (a JSON string).
+
+    ``executed_rules`` is the rule-id set this run actually evaluated;
+    ``None`` means the full registry (the engine default).
+    """
+    advertised = tuple(executed_rules) if executed_rules is not None else rule_ids()
+    descriptors = [_rule_descriptor(rule_id) for rule_id in advertised]
+    index_of = {rule_id: i for i, rule_id in enumerate(advertised)}
+
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _LEVELS.get(finding.severity.value, "error"),
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path.replace("\\", "/"),
+                    },
+                    "region": {
+                        "startLine": max(finding.line, 1),
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        if finding.rule in index_of:
+            result["ruleIndex"] = index_of[finding.rule]
+        results.append(result)
+
+    document = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": TOOL_NAME,
+                    "informationUri": TOOL_URI,
+                    "rules": descriptors,
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+    return json.dumps(document, indent=2)

@@ -3,24 +3,40 @@
 A suppression silences named rules for the statement it annotates.  Two
 placements are recognized:
 
-* trailing, on the offending line itself::
+* trailing, anywhere on the offending statement (including inside a
+  multi-line call's parentheses)::
 
       t0 = time.perf_counter()  # repro: allow[DET002] -- wall time is the payload
 
-* a standalone comment line directly above the offending line::
+* a standalone comment above the offending statement — blank lines and
+  further comments may sit in between, and several stacked markers all
+  annotate the same next statement::
 
       # repro: allow[DET002] -- wall time is the payload here
+
+      # unrelated note
       t0 = time.perf_counter()
 
 Several rules may share one marker (``allow[DET001,DET002]``).  The
 justification after ``--`` (or ``:``) is free text; by convention every
 suppression carries one, so a reader never has to reconstruct why an
 invariant was waived.
+
+The scan is token-based, not line-based: markers are only recognized in
+real ``COMMENT`` tokens, so the text ``# repro: allow[...]`` inside a
+string literal never suppresses anything.  A marker silences its whole
+*logical statement* — every physical line from the statement's first
+token to its closing ``NEWLINE`` — so a finding reported on any line of
+a multi-line call is covered by one marker.  Sources that do not
+tokenize (the engine reports those as LINT001 anyway) fall back to a
+plain line scan.
 """
 
 from __future__ import annotations
 
+import io
 import re
+import tokenize
 
 __all__ = ["SuppressionIndex"]
 
@@ -28,6 +44,17 @@ _ALLOW_RE = re.compile(
     r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]"
     r"(?:\s*(?:--|:)\s*(?P<why>.*))?"
 )
+
+_TRIVIA = frozenset({
+    tokenize.NL, tokenize.INDENT, tokenize.DEDENT, tokenize.ENDMARKER,
+})
+
+
+def _parse_rules(comment: str) -> set[str]:
+    match = _ALLOW_RE.search(comment)
+    if match is None:
+        return set()
+    return {r.strip() for r in match.group(1).split(",") if r.strip()}
 
 
 class SuppressionIndex:
@@ -39,15 +66,77 @@ class SuppressionIndex:
     @classmethod
     def from_source(cls, source: str) -> "SuppressionIndex":
         """Scan a module's source text for ``repro: allow`` markers."""
+        try:
+            markers, spans = cls._scan(source)
+        except (tokenize.TokenError, IndentationError, SyntaxError,
+                ValueError):
+            return cls._from_lines(source)
+        allowed: dict[int, set[str]] = {}
+        for marker_line, rules in markers:
+            span = cls._span_for(marker_line, spans)
+            lines = range(span[0], span[1] + 1) if span else (marker_line,)
+            for lineno in lines:
+                allowed.setdefault(lineno, set()).update(rules)
+        return cls(allowed)
+
+    @staticmethod
+    def _scan(source: str):
+        """(marker lines, statement spans) from the token stream.
+
+        A *span* is one logical statement as (first physical line, last
+        physical line); for compound statements that is the header up to
+        its colon — the body lines are their own statements.
+        """
+        markers: list[tuple[int, set[str]]] = []
+        spans: list[tuple[int, int]] = []
+        start: int | None = None
+        last_line = 0
+        for tok in tokenize.generate_tokens(io.StringIO(source).readline):
+            if tok.type == tokenize.COMMENT:
+                rules = _parse_rules(tok.string)
+                if rules:
+                    markers.append((tok.start[0], rules))
+                continue
+            if tok.type in _TRIVIA:
+                continue
+            if tok.type == tokenize.NEWLINE:
+                if start is not None:
+                    spans.append((start, max(tok.start[0], last_line)))
+                    start = None
+                continue
+            if start is None:
+                start = tok.start[0]
+            last_line = tok.end[0]
+        if start is not None:  # statement ran into EOF without a NEWLINE
+            spans.append((start, max(last_line, start)))
+        return markers, spans
+
+    @staticmethod
+    def _span_for(
+        marker_line: int, spans: list[tuple[int, int]]
+    ) -> tuple[int, int] | None:
+        """The statement a marker annotates.
+
+        A marker *inside* a statement (trailing comment, or a comment
+        line within its parentheses) annotates that statement; a marker
+        between statements annotates the next one.
+        """
+        for span in spans:
+            if span[0] <= marker_line <= span[1]:
+                return span
+        following = [span for span in spans if span[0] > marker_line]
+        return min(following) if following else None
+
+    @classmethod
+    def _from_lines(cls, source: str) -> "SuppressionIndex":
+        """Line-scan fallback for sources the tokenizer rejects."""
         allowed: dict[int, set[str]] = {}
         for lineno, text in enumerate(source.splitlines(), start=1):
-            match = _ALLOW_RE.search(text)
-            if match is None:
+            rules = _parse_rules(text)
+            if not rules:
                 continue
-            rules = {r.strip() for r in match.group(1).split(",") if r.strip()}
             allowed.setdefault(lineno, set()).update(rules)
             if text.lstrip().startswith("#"):
-                # Standalone comment: it annotates the next line.
                 allowed.setdefault(lineno + 1, set()).update(rules)
         return cls(allowed)
 

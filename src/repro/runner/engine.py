@@ -99,6 +99,20 @@ class RunSummary:
 
 # -- worker side -----------------------------------------------------------
 
+_WORKER_GLOBALS = ("_WORKER_CTX", "_WORKER_CACHE")
+"""Module globals a worker-reachable function may assign.
+
+This is the declared exception to the worker-purity contract (lint rule
+PAR001): the pool initializer stores each worker's context and cache
+handle once, at worker startup, before any cell executes.  Everything
+else reachable from ``execute_cell``/``_worker_run`` must stay free of
+module-state writes — per-cell global mutation would make results
+depend on which cells a worker happened to receive, breaking the
+parallel==serial bit-identity the experiments rely on.  Extending this
+tuple is a contract change, not a suppression: only worker-lifetime
+state that is written before the first cell belongs here.
+"""
+
 _WORKER_CTX: ExperimentContext | None = None
 _WORKER_CACHE: ResultCache | None = None
 

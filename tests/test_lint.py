@@ -561,6 +561,87 @@ class TestSuppressions:
         assert index.is_suppressed("B2", 3) and index.is_suppressed("C3", 3)
         assert not index.is_suppressed("A1", 3)
 
+    def test_standalone_marker_skips_blank_and_comment_lines(self):
+        index = SuppressionIndex.from_source(
+            "# repro: allow[A1] -- reaches past the gap\n"
+            "\n"
+            "# an unrelated comment\n"
+            "\n"
+            "x = 1\n"
+        )
+        assert index.is_suppressed("A1", 5)
+
+    def test_stacked_markers_annotate_the_same_statement(self):
+        index = SuppressionIndex.from_source(
+            "# repro: allow[A1] -- first\n"
+            "# repro: allow[B2] -- second\n"
+            "x = 1\n"
+        )
+        assert index.is_suppressed("A1", 3)
+        assert index.is_suppressed("B2", 3)
+
+    def test_marker_covers_the_whole_multiline_statement(self):
+        source = (
+            "x = compute(\n"
+            "    alpha,\n"
+            "    beta,\n"
+            ")  # repro: allow[A1] -- the call spans four lines\n"
+        )
+        index = SuppressionIndex.from_source(source)
+        for line in (1, 2, 3, 4):
+            assert index.is_suppressed("A1", line)
+        assert not index.is_suppressed("A1", 5)
+
+    def test_standalone_marker_before_multiline_statement(self):
+        source = (
+            "# repro: allow[A1] -- annotates the whole statement below\n"
+            "x = compute(\n"
+            "    alpha,\n"
+            ")\n"
+        )
+        index = SuppressionIndex.from_source(source)
+        for line in (2, 3, 4):
+            assert index.is_suppressed("A1", line)
+
+    def test_marker_inside_a_string_literal_is_inert(self):
+        index = SuppressionIndex.from_source(
+            'text = "# repro: allow[A1] -- not a comment"\n'
+            "y = 2\n"
+        )
+        assert len(index) == 0
+        assert not index.is_suppressed("A1", 1)
+        assert not index.is_suppressed("A1", 2)
+
+    def test_string_marker_does_not_suppress_findings(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+
+            def stamp():
+                note = "# repro: allow[DET002] -- inside a string"
+                return note, time.time()
+        """)
+        assert "DET002" in rules_hit(findings)
+
+    def test_trailing_marker_inside_parens_suppresses(self, tmp_path):
+        findings = lint_snippet(tmp_path, """
+            import time
+
+            def stamp():
+                return max(
+                    time.time(),  # repro: allow[DET002] -- wall time wanted
+                    0.0,
+                )
+        """)
+        assert "DET002" not in rules_hit(findings)
+
+    def test_unparseable_source_falls_back_to_line_scan(self):
+        index = SuppressionIndex.from_source(
+            "# repro: allow[A1] -- before broken code\n"
+            "def broken(:\n"
+        )
+        assert index.is_suppressed("A1", 1)
+        assert index.is_suppressed("A1", 2)
+
 
 # ---------------------------------------------------------------------------
 # Engine and reporters
@@ -576,7 +657,9 @@ class TestEngineAndReport:
             run_lint(["/nonexistent/lint/target"])
 
     def test_select_rules_by_prefix(self):
-        assert [r.rule_id for r in select_rules(["DET"])] == ["DET001", "DET002"]
+        assert [r.rule_id for r in select_rules(["DET"])] == [
+            "DET001", "DET002", "DET003",
+        ]
         assert [r.rule_id for r in select_rules(["PRED001"])] == ["PRED001"]
 
     def test_select_unknown_rule_raises(self):
@@ -585,8 +668,8 @@ class TestEngineAndReport:
 
     def test_rule_ids_cover_the_documented_battery(self):
         assert set(rule_ids()) == {
-            "DET001", "DET002", "PRED001", "PRED002", "PRED003", "REG001",
-            "BIT001", "LINT001",
+            "DET001", "DET002", "DET003", "PRED001", "PRED002", "PRED003",
+            "REG001", "EXP002", "PAR001", "PAR002", "BIT001", "LINT001",
         }
         assert all(RULES[r].summary for r in RULES)
 
@@ -618,6 +701,29 @@ class TestEngineAndReport:
         text = render_text(findings)
         assert "1 finding(s)" in text and "1 error(s)" in text
         assert render_text([]) == "clean: no lint findings"
+
+    def test_json_rules_reflect_a_selected_subset(self, tmp_path):
+        # A --select-narrowed run must not advertise rules it skipped:
+        # consumers read "rules" as "these ran and found what is listed".
+        rules = select_rules(["DET"])
+        engine = LintEngine(rules)
+        findings = engine.run([])
+        payload = json.loads(render_json(findings, rules=engine.executed_rule_ids))
+        assert payload["rules"] == ["DET001", "DET002", "DET003", "LINT001"]
+
+    def test_executed_rule_ids_always_include_the_parse_rule(self):
+        engine = LintEngine(select_rules(["BIT001"]))
+        assert engine.executed_rule_ids == ["BIT001", "LINT001"]
+
+    def test_findings_independent_of_path_argument_order(self, tmp_path):
+        tree = write_tree(tmp_path, {
+            "a/first.py": "import random\n",
+            "b/second.py": "import time\ntime.time()\n",
+        })
+        forward = run_lint([tree / "a", tree / "b"])
+        reverse = run_lint([tree / "b", tree / "a"])
+        assert forward == reverse
+        assert [f.rule for f in forward] == ["DET001", "DET002"]
 
 
 # ---------------------------------------------------------------------------

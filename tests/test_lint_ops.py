@@ -1,0 +1,309 @@
+"""Tests for the lint operational layer: baseline, SARIF, cache, --changed.
+
+These are the adoption mechanics around the rule battery — the ratchet
+that lets real findings be accepted as debt without going green on new
+ones, the SARIF rendering GitHub code scanning ingests, the
+content-hash analysis cache, and git-diff-scoped runs — plus their CLI
+wiring.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.errors import LintError
+from repro.lint import (
+    AnalysisCache,
+    Baseline,
+    Finding,
+    LintEngine,
+    Severity,
+    git_changed_paths,
+    render_sarif,
+    select_rules,
+)
+
+CLEAN = "def fine():\n    return 1\n"
+DIRTY = "import random\n"  # one DET001 finding
+
+
+def finding(path="mod.py", line=3, rule="DET001", message="boom") -> Finding:
+    return Finding(path=path, line=line, col=0, rule=rule,
+                   severity=Severity.ERROR, message=message)
+
+
+def write(tmp_path: Path, rel: str, source: str) -> Path:
+    target = tmp_path / rel
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(textwrap.dedent(source), encoding="utf-8")
+    return target
+
+
+# ---------------------------------------------------------------------------
+# Baseline ratchet
+
+
+class TestBaseline:
+    def test_round_trip_and_filtering(self, tmp_path):
+        accepted = [finding(line=3), finding(path="other.py", rule="BIT001")]
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings(accepted).save(path)
+
+        loaded = Baseline.load(path)
+        assert len(loaded) == 2
+        # Same fingerprint at a *different line* is still baselined:
+        # line numbers shift whenever unrelated code moves.
+        new, baselined = loaded.filter_new([finding(line=99)])
+        assert new == [] and baselined == 1
+
+    def test_new_findings_survive_the_filter(self, tmp_path):
+        baseline = Baseline.from_findings([finding()])
+        fresh = finding(message="a different defect")
+        new, baselined = baseline.filter_new([finding(), fresh])
+        assert new == [fresh] and baselined == 1
+
+    def test_duplicate_fingerprints_are_counted(self):
+        baseline = Baseline.from_findings([finding(line=1)])
+        # Two occurrences of a once-baselined fingerprint: the second is new.
+        new, baselined = baseline.filter_new([finding(line=1),
+                                              finding(line=2)])
+        assert baselined == 1
+        assert new == [finding(line=2)]
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        new, baselined = baseline.filter_new([finding()])
+        assert len(baseline) == 0 and baselined == 0 and len(new) == 1
+
+    def test_malformed_file_raises(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{\"nope\": true}", encoding="utf-8")
+        with pytest.raises(LintError):
+            Baseline.load(path)
+
+    def test_saved_file_is_sorted_and_versioned(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        Baseline.from_findings([finding(path="z.py"),
+                                finding(path="a.py")]).save(path)
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        assert payload["version"] == 1
+        assert [e["path"] for e in payload["findings"]] == ["a.py", "z.py"]
+
+
+# ---------------------------------------------------------------------------
+# SARIF rendering
+
+
+class TestSarif:
+    def test_document_structure(self):
+        document = json.loads(render_sarif([finding()]))
+        assert document["version"] == "2.1.0"
+        assert document["$schema"].endswith("sarif-schema-2.1.0.json")
+        (run,) = document["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert driver["informationUri"].startswith("https://")
+        assert run["columnKind"] == "utf16CodeUnits"
+        rule_entries = driver["rules"]
+        assert all({"id", "shortDescription", "defaultConfiguration"}
+                   <= set(entry) for entry in rule_entries)
+
+    def test_result_links_back_to_its_rule_descriptor(self):
+        document = json.loads(render_sarif([finding()]))
+        run = document["runs"][0]
+        (result,) = run["results"]
+        assert result["ruleId"] == "DET001"
+        descriptors = run["tool"]["driver"]["rules"]
+        assert descriptors[result["ruleIndex"]]["id"] == "DET001"
+        assert result["level"] == "error"
+        assert result["message"]["text"] == "boom"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == "mod.py"
+        assert location["region"]["startLine"] == 3
+        assert location["region"]["startColumn"] >= 1  # SARIF is 1-based
+
+    def test_only_executed_rules_are_advertised(self):
+        document = json.loads(render_sarif([], executed_rules=["DET001",
+                                                               "LINT001"]))
+        driver = document["runs"][0]["tool"]["driver"]
+        assert [entry["id"] for entry in driver["rules"]] == ["DET001",
+                                                              "LINT001"]
+
+    def test_warning_severity_maps_to_warning_level(self):
+        warning = Finding(path="m.py", line=1, col=0, rule="BIT001",
+                          severity=Severity.WARNING, message="mask")
+        document = json.loads(render_sarif([warning]))
+        assert document["runs"][0]["results"][0]["level"] == "warning"
+
+
+# ---------------------------------------------------------------------------
+# Analysis cache
+
+
+class TestAnalysisCache:
+    def test_fully_warm_run_parses_nothing(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+        write(tmp_path, "pkg/clean.py", CLEAN)
+        cache_path = tmp_path / "cache.json"
+
+        cold = LintEngine(cache=AnalysisCache(cache_path))
+        first = cold.run(["pkg"])
+        assert cold.stats.parsed == 2 and not cold.stats.full_hit
+
+        warm = LintEngine(cache=AnalysisCache(cache_path))
+        second = warm.run(["pkg"])
+        assert second == first
+        assert warm.stats.full_hit
+        assert warm.stats.parsed == 0 and warm.stats.analyzed == 0
+
+    def test_editing_one_file_reuses_the_others(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+        write(tmp_path, "pkg/clean.py", CLEAN)
+        cache_path = tmp_path / "cache.json"
+        LintEngine(cache=AnalysisCache(cache_path)).run(["pkg"])
+
+        write(tmp_path, "pkg/clean.py", CLEAN + "\n# touched\n")
+        engine = LintEngine(cache=AnalysisCache(cache_path))
+        findings = engine.run(["pkg"])
+        assert [f.rule for f in findings] == ["DET001"]
+        assert engine.stats.reused == 1   # dirty.py replayed
+        assert engine.stats.analyzed == 1  # clean.py re-analyzed
+        assert not engine.stats.full_hit
+
+    def test_rule_set_change_invalidates_entries(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+        cache_path = tmp_path / "cache.json"
+        LintEngine(cache=AnalysisCache(cache_path)).run(["pkg"])
+
+        narrowed = LintEngine(select_rules(["BIT001"]),
+                              cache=AnalysisCache(cache_path))
+        findings = narrowed.run(["pkg"])
+        # A BIT001-only run must not replay the full-battery DET001 hit.
+        assert findings == []
+        assert narrowed.stats.analyzed == 1 and narrowed.stats.reused == 0
+
+    def test_corrupt_cache_file_is_treated_as_empty(self, tmp_path,
+                                                    monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+        cache_path = tmp_path / "cache.json"
+        cache_path.write_text("not json at all", encoding="utf-8")
+        engine = LintEngine(cache=AnalysisCache(cache_path))
+        findings = engine.run(["pkg"])
+        assert [f.rule for f in findings] == ["DET001"]
+        assert engine.stats.analyzed == 1
+
+
+# ---------------------------------------------------------------------------
+# git --changed discovery
+
+
+def git(*args: str, cwd: Path) -> None:
+    subprocess.run(["git", *args], cwd=cwd, check=True,
+                   capture_output=True, text=True)
+
+
+@pytest.fixture
+def git_repo(tmp_path: Path) -> Path:
+    git("init", "-q", cwd=tmp_path)
+    git("config", "user.email", "lint@test", cwd=tmp_path)
+    git("config", "user.name", "lint tests", cwd=tmp_path)
+    write(tmp_path, "pkg/committed.py", CLEAN)
+    write(tmp_path, "pkg/modified.py", CLEAN)
+    git("add", "-A", cwd=tmp_path)
+    git("commit", "-q", "-m", "seed", cwd=tmp_path)
+    return tmp_path
+
+
+class TestGitChanged:
+    def test_modified_and_untracked_files_are_found(self, git_repo):
+        write(git_repo, "pkg/modified.py", DIRTY)
+        write(git_repo, "pkg/untracked.py", DIRTY)
+        write(git_repo, "pkg/notes.txt", "not python")
+        changed = git_changed_paths([git_repo / "pkg"], repo_root=git_repo)
+        assert [p.name for p in changed] == ["modified.py", "untracked.py"]
+
+    def test_clean_tree_yields_nothing(self, git_repo):
+        assert git_changed_paths([git_repo / "pkg"],
+                                 repo_root=git_repo) == []
+
+    def test_scope_filtering(self, git_repo):
+        write(git_repo, "pkg/modified.py", DIRTY)
+        write(git_repo, "elsewhere/stray.py", DIRTY)
+        changed = git_changed_paths([git_repo / "pkg"], repo_root=git_repo)
+        assert [p.name for p in changed] == ["modified.py"]
+
+    def test_outside_a_repo_raises(self, tmp_path):
+        lonely = tmp_path / "no-repo"
+        lonely.mkdir()
+        with pytest.raises(LintError):
+            git_changed_paths([lonely], repo_root=lonely)
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+
+
+class TestLintCli:
+    def run_cli(self, *argv: str) -> int:
+        return main(["lint", *argv])
+
+    def test_update_then_gate(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+
+        assert self.run_cli("pkg", "--update-baseline") == 0
+        capsys.readouterr()
+        # Gated run: the accepted finding no longer fails the build...
+        assert self.run_cli("pkg", "--baseline") == 0
+        out = capsys.readouterr().out
+        assert "1 baselined finding(s) not shown" in out
+
+        # ...but a new finding still does.
+        write(tmp_path, "pkg/worse.py", "import time\ntime.time()\n")
+        assert self.run_cli("pkg", "--baseline") == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out and "DET001" not in out
+
+    def test_sarif_format_flag(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+        assert self.run_cli("pkg", "--format", "sarif") == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["runs"][0]["results"][0]["ruleId"] == "DET001"
+
+    def test_json_rules_narrowed_by_select(self, tmp_path, monkeypatch,
+                                           capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/clean.py", CLEAN)
+        assert self.run_cli("pkg", "--select", "BIT001",
+                            "--format", "json") == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rules"] == ["BIT001", "LINT001"]
+
+    def test_cache_flag_round_trip(self, tmp_path, monkeypatch, capsys):
+        monkeypatch.chdir(tmp_path)
+        write(tmp_path, "pkg/dirty.py", DIRTY)
+        assert self.run_cli("pkg", "--cache") == 1
+        first = capsys.readouterr().out
+        assert Path(".repro-lint-cache.json").exists()
+        assert self.run_cli("pkg", "--cache") == 1
+        assert capsys.readouterr().out == first
+
+    def test_changed_flag_narrows_to_the_diff(self, git_repo, monkeypatch,
+                                              capsys):
+        monkeypatch.chdir(git_repo)
+        write(git_repo, "pkg/committed.py", DIRTY)  # now modified
+        assert self.run_cli("pkg", "--changed") == 1
+        out = capsys.readouterr().out
+        assert "committed.py" in out
+        assert "modified.py" not in out  # clean in git => not linted
