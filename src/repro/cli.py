@@ -184,6 +184,17 @@ def build_parser() -> argparse.ArgumentParser:
                       help="reuse per-file analysis across runs via a "
                            "content-hash cache (default file: "
                            ".repro-lint-cache.json)")
+    lint.add_argument("--explain", default=None, metavar="RULE_ID",
+                      help="print each matching rule's rationale and a "
+                           "minimal good/bad example (accepts ids, "
+                           "prefixes, or 'all'), then exit")
+    lint.add_argument("--strict-baseline", action="store_true",
+                      help="with --baseline: also fail when the baseline "
+                           "file contains entries that no longer fire "
+                           "(stale accepted debt)")
+    lint.add_argument("--stats", action="store_true",
+                      help="print engine statistics (files, parsed, "
+                           "reused, cache hits) to stderr")
 
     return parser
 
@@ -335,11 +346,28 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         Baseline,
         LintEngine,
         git_changed_paths,
+        render_explain,
         render_json,
         render_sarif,
         render_text,
         select_rules,
     )
+    from repro.lint.rules import SYNTAX_RULE_ID, all_rules
+
+    if args.explain is not None:
+        selectors = args.explain.split(",")
+        if args.explain.strip().lower() == "all":
+            chosen = all_rules()
+        else:
+            chosen = select_rules(selectors)
+        print(render_explain(chosen))
+        if any(s.strip() == SYNTAX_RULE_ID for s in selectors) \
+                or args.explain.strip().lower() == "all":
+            from repro.lint.report import _SYNTAX_RULE_EXPLANATION
+
+            print()
+            print(_SYNTAX_RULE_EXPLANATION)
+        return 0
 
     rules = None
     if args.select:
@@ -353,16 +381,32 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         cache = AnalysisCache(args.lint_cache or DEFAULT_CACHE_PATH)
     engine = LintEngine(rules, cache=cache)
     findings = engine.run(paths)
+    if args.stats:
+        stats = engine.stats
+        print(
+            f"lint stats: files={stats.files} parsed={stats.parsed} "
+            f"analyzed={stats.analyzed} reused={stats.reused} "
+            f"full_hit={str(stats.full_hit).lower()}",
+            file=sys.stderr,
+        )
 
     if args.update_baseline:
         baseline_path = args.baseline or DEFAULT_BASELINE_PATH
-        Baseline.from_findings(findings).save(baseline_path)
-        print(f"baseline {baseline_path}: accepted {len(findings)} finding(s)")
+        previous = Baseline.load(baseline_path)
+        pruned = len(previous.dead_entries(findings, engine.linted_displays))
+        updated = previous.updated(findings, engine.linted_displays)
+        updated.save(baseline_path)
+        print(f"baseline {baseline_path}: accepted {len(findings)} "
+              f"finding(s), pruned {pruned} stale fingerprint(s), "
+              f"{len(updated)} total accepted")
         return 0
 
     baselined = 0
+    dead: list = []
     if args.baseline is not None:
         baseline = Baseline.load(args.baseline or DEFAULT_BASELINE_PATH)
+        if args.strict_baseline:
+            dead = baseline.dead_entries(findings, engine.linted_displays)
         findings, baselined = baseline.filter_new(findings)
 
     executed = engine.executed_rule_ids
@@ -375,7 +419,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         if baselined:
             rendered += f"\n({baselined} baselined finding(s) not shown)"
     print(rendered)
-    return 1 if findings else 0
+    for path, rule, message, excess in dead:
+        print(f"stale baseline entry ({excess} unused): {path}: {rule} "
+              f"{message}", file=sys.stderr)
+    if dead:
+        print(f"{len(dead)} stale baseline fingerprint(s); run "
+              "'repro lint --update-baseline' to prune them",
+              file=sys.stderr)
+    return 1 if findings or dead else 0
 
 
 _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {

@@ -17,7 +17,10 @@ machine-checked rules that run before any simulation does::
     repro lint --select DET,PRED001  # a subset of rules
     repro lint --changed --cache     # pre-commit: only git-touched files
     repro lint --baseline tests/     # fail only on NEW findings
-    repro lint --update-baseline t/  # accept the current findings
+    repro lint --update-baseline t/  # accept current, prune stale debt
+    repro lint --strict-baseline ... # CI: also fail on stale debt
+    repro lint --explain WID002      # a rule's rationale + examples
+    repro lint --stats --cache src/  # cache effectiveness, to stderr
 
 Deliberate exceptions are annotated in place::
 
@@ -36,13 +39,22 @@ EXP002    ``cells``/``synthesize`` pair up; Cell schemes are registered
 PAR001    worker-reachable code must not write module globals
 PAR002    no lambdas/closures/local classes cross the pickle boundary
 BIT001    index masking goes through ``utils.bits``, not inline math
+WID001    table indices are provably within ``[0, table_size)``
+WID002    counter updates provably saturate at the declared width
+WID003    history shift-ins are masked to the declared width
+WID004    modulo by a provable power of two should be a mask
 LINT001   (engine) a linted file failed to parse
 ========  ============================================================
 
-The cross-file rules (PAR001 in particular) run on a project-wide call
-graph built from the linted ASTs alone (:mod:`repro.lint.graph`) with a
-flow-approximate reaching-definitions walk for seed provenance
-(:mod:`repro.lint.dataflow`) — no module is ever imported to be linted.
+The rules stack in three analysis layers.  Syntactic rules match
+shapes in one AST (DET001/DET002, BIT001, PRED/EXP/REG contracts);
+interprocedural dataflow rules walk the project call graph
+(:mod:`repro.lint.graph`) and reaching definitions
+(:mod:`repro.lint.dataflow`) for worker purity and seed provenance
+(PAR001, DET003); and the WID family abstractly interprets predictor
+classes over a symbolic interval domain (:mod:`repro.lint.intervals`,
+:mod:`repro.lint.rules.widths`) to *prove* bit-width contracts instead
+of pattern-matching them.  No module is ever imported to be linted.
 """
 
 from repro.lint.baseline import BASELINE_VERSION, DEFAULT_BASELINE_PATH, Baseline
@@ -54,7 +66,7 @@ from repro.lint.cache import (
 )
 from repro.lint.engine import EngineStats, LintEngine, collect_files, run_lint
 from repro.lint.findings import Finding, Severity
-from repro.lint.report import render_json, render_text
+from repro.lint.report import render_explain, render_json, render_text
 from repro.lint.rules import RULES, all_rules, rule_ids, select_rules
 from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
 from repro.lint.suppressions import SuppressionIndex
@@ -69,6 +81,7 @@ __all__ = [
     "collect_files",
     "render_text",
     "render_json",
+    "render_explain",
     "render_sarif",
     "SARIF_VERSION",
     "SARIF_SCHEMA_URI",

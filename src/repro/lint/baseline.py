@@ -14,6 +14,15 @@ violation appearing a *second* time in the same file does fail (the
 baseline stores a count per fingerprint, and the run may use at most
 that many).
 
+Updates are **scope-aware**: ``--update-baseline`` replaces the entries
+for the paths that were actually linted — adding new debt, refreshing
+counts, and *pruning* fingerprints that no longer fire — while leaving
+entries for files outside the linted set untouched, so updating from
+``tests/`` never discards the debt recorded for ``benchmarks/``.
+:meth:`Baseline.dead_entries` reports the would-be-pruned set, which
+``--strict-baseline`` (used in CI) turns into a failure: a committed
+baseline must not carry entries that no longer fire.
+
 The file is committed, human-readable, and sorted, so a baseline change
 is always a reviewable diff::
 
@@ -110,6 +119,43 @@ class Baseline:
         finally:
             if tmp.exists():  # pragma: no cover - only on a failed replace
                 tmp.unlink()
+
+    def updated(
+        self, findings: Sequence[Finding], linted_paths: Sequence[str]
+    ) -> "Baseline":
+        """The baseline after accepting this run's findings.
+
+        Entries for paths in ``linted_paths`` are replaced wholesale —
+        which prunes fingerprints that stopped firing — while entries
+        for paths outside the linted scope are carried over unchanged.
+        """
+        scope = {path.replace(os.sep, "/") for path in linted_paths}
+        counts = {key: count for key, count in self.counts.items()
+                  if key[0] not in scope}
+        counts.update(Baseline.from_findings(findings).counts)
+        return Baseline(counts)
+
+    def dead_entries(
+        self, findings: Sequence[Finding], linted_paths: Sequence[str]
+    ) -> list[tuple[str, str, str, int]]:
+        """Baselined fingerprints in scope that no current finding uses.
+
+        Returns ``(path, rule, message, excess)`` tuples sorted by key;
+        ``excess`` is how many accepted occurrences did not fire.  Only
+        paths actually linted this run are considered — debt recorded
+        for files outside the scope cannot be judged dead by a run that
+        never looked at them.
+        """
+        scope = {path.replace(os.sep, "/") for path in linted_paths}
+        live = collections.Counter(_fingerprint(f) for f in findings)
+        dead = []
+        for key, count in sorted(self.counts.items()):
+            if key[0] not in scope:
+                continue
+            excess = count - live.get(key, 0)
+            if excess > 0:
+                dead.append((key[0], key[1], key[2], excess))
+        return dead
 
     def filter_new(
         self, findings: Sequence[Finding]

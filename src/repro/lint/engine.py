@@ -134,6 +134,9 @@ class LintEngine:
         self.rules = list(rules) if rules is not None else all_rules()
         self.cache = cache
         self.stats = EngineStats()
+        #: Display paths of the most recent run's linted set — the
+        #: *scope* a baseline update is allowed to prune within.
+        self.linted_displays: list[str] = []
 
     @property
     def executed_rule_ids(self) -> list[str]:
@@ -147,6 +150,7 @@ class LintEngine:
             entries.append((path, self._display(path),
                             path.read_text(encoding="utf-8")))
         self.stats = EngineStats(files=len(entries))
+        self.linted_displays = [display for _, display, _ in entries]
 
         signature = ""
         if self.cache is not None:

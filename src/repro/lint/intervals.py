@@ -1,0 +1,579 @@
+"""Interval abstract domain with symbolic power-of-two bounds.
+
+The WID rule family (:mod:`repro.lint.rules.widths`) proves hardware
+bit-width contracts — "this index is in ``[0, table_size)``", "this
+counter stays within its declared width" — for predictors whose table
+sizes are *unknown* powers of two.  A plain integer-interval domain
+cannot express ``[0, entries - 1]`` when ``entries`` is a constructor
+parameter, so bounds here are symbolic:
+
+:class:`Pow2Sym`
+    An unknown power of two ``2**k`` with ``k >= min_exp``.  Two
+    occurrences of the same symbol denote the *same* runtime value, which
+    is what lets the checker conclude ``x & (entries - 1) < entries``.
+:class:`Bound`
+    ``off`` (a constant), or ``2**(k + shift) + off`` for a symbol.  The
+    ``shift`` generalization is what relates a counter's saturation
+    ceiling ``2**bits - 1`` to its taken-threshold ``2**(bits-1)``: both
+    are bounds over the same symbol, at shifts 0 and -1.
+:class:`Interval`
+    ``[lo, hi]`` over optional bounds (``None`` = unbounded), plus an
+    optional *token* identifying the exact runtime value the interval
+    describes.  Tokens are how ``(1 << n) - 1`` and ``bit_mask(n)``
+    computed from the same ``n`` unify to the same symbolic mask.
+
+Everything is deliberately a *may*-analysis over-approximation: every
+operation returns an interval containing all concretely reachable
+results (the property tests in ``tests/test_lint_widths.py`` randomize
+expression trees to check exactly this), and every comparison helper
+(:func:`bound_le`) answers "provable for **all** admissible symbol
+values", so a ``True`` from the checker is a proof and a ``False`` is
+only "could not prove".
+
+:func:`definition_range` is the bridge to the reaching-definitions
+infrastructure (:mod:`repro.lint.dataflow`): it evaluates an expression
+to an interval by chasing names through their definitions, which is how
+WID004 proves a modulo operand is a power of two without executing any
+code.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+
+from repro.lint.dataflow import ReachingDefinitions
+
+__all__ = [
+    "Pow2Sym",
+    "Bound",
+    "Interval",
+    "TOP",
+    "BOOL",
+    "bound_le",
+    "bound_add",
+    "bound_sub",
+    "bound_shl",
+    "binop",
+    "unop",
+    "iv_min",
+    "iv_max",
+    "definition_range",
+    "is_exact_pow2",
+]
+
+
+class Pow2Sym:
+    """An unknown power of two ``2**k`` with ``k >= min_exp``.
+
+    Identity is object identity: analyses intern symbols by a key of
+    their choosing so that two mentions of "the table size" compare
+    equal.  ``min_exp`` only ever grows (constructor postconditions like
+    ``CounterTable``'s ``bits >= 1`` raise it), which keeps every
+    previously proved ``<=`` valid.
+    """
+
+    __slots__ = ("key", "label", "min_exp")
+
+    def __init__(self, key: tuple, label: str, min_exp: int = 0):
+        self.key = key
+        self.label = label
+        self.min_exp = min_exp
+
+    def require_min_exp(self, exp: int) -> None:
+        self.min_exp = max(self.min_exp, exp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Pow2Sym {self.label} >=2**{self.min_exp}>"
+
+
+@dataclasses.dataclass(frozen=True)
+class Bound:
+    """``off``, or ``2**(k + shift) + off`` where ``2**k`` is ``sym``."""
+
+    off: int = 0
+    sym: Pow2Sym | None = None
+    shift: int = 0
+
+    @property
+    def is_const(self) -> bool:
+        return self.sym is None
+
+    def add_const(self, c: int) -> "Bound":
+        return Bound(self.off + c, self.sym, self.shift)
+
+    def render(self) -> str:
+        if self.sym is None:
+            return str(self.off)
+        base = self.sym.label
+        if self.shift > 0:
+            base = f"{base}*{1 << self.shift}"
+        elif self.shift < 0:
+            base = f"{base}/{1 << -self.shift}"
+        if self.off > 0:
+            return f"{base}+{self.off}"
+        if self.off < 0:
+            return f"{base}{self.off}"
+        return base
+
+    def value(self, exponents: dict | None = None) -> int:
+        """Concrete value under an exponent assignment (for tests)."""
+        if self.sym is None:
+            return self.off
+        k = (exponents or {})[self.sym.key]
+        exp = k + self.shift
+        if exp < 0:
+            raise ValueError(f"negative effective exponent {exp}")
+        return (1 << exp) + self.off
+
+
+ZERO = Bound(0)
+ONE = Bound(1)
+
+
+def bound_le(a: Bound, b: Bound) -> bool:
+    """Is ``a <= b`` provable for every admissible symbol value?"""
+    if a.sym is None and b.sym is None:
+        return a.off <= b.off
+    if a.sym is not None and b.sym is not None:
+        if a.sym is not b.sym:
+            return False
+        d = b.shift - a.shift
+        if d < 0:
+            return False
+        if d == 0:
+            return a.off <= b.off
+        # 2**(k+s) + a.off <= 2**(k+s+d) + b.off for all k >= min_exp
+        # iff a.off - b.off <= (2**d - 1) * 2**(k+s), minimized at
+        # k = min_exp.
+        diff = a.off - b.off
+        if diff <= 0:
+            return True
+        m = a.sym.min_exp + a.shift
+        if m < 0:
+            return False
+        return diff <= ((1 << d) - 1) * (1 << m)
+    if a.sym is None:
+        # const <= 2**(k + shift) + off, minimized at k = min_exp.
+        m = b.sym.min_exp + b.shift
+        if m >= 0:
+            return a.off <= (1 << m) + b.off
+        return a.off <= b.off  # 2**m > 0 even for fractional m
+    # symbolic <= const: the symbol is unbounded above.
+    return False
+
+
+def bound_add(a: Bound, b: Bound) -> Bound | None:
+    """``a + b`` when representable, else ``None`` (unbounded)."""
+    if a.sym is None:
+        return Bound(a.off + b.off, b.sym, b.shift)
+    if b.sym is None:
+        return Bound(a.off + b.off, a.sym, a.shift)
+    if a.sym is b.sym and a.shift == b.shift:
+        return Bound(a.off + b.off, a.sym, a.shift + 1)
+    return None
+
+
+def bound_sub(a: Bound, b: Bound) -> Bound | None:
+    """``a - b`` when representable, else ``None``."""
+    if b.sym is None:
+        return Bound(a.off - b.off, a.sym, a.shift)
+    if a.sym is b.sym:
+        if a.shift == b.shift:
+            return Bound(a.off - b.off)
+        if a.shift == b.shift + 1:
+            # 2**(m+1) - 2**m = 2**m
+            return Bound(a.off - b.off, a.sym, b.shift)
+    return None
+
+
+def bound_shl(a: Bound, c: int) -> Bound:
+    """``a << c`` for a constant shift ``c >= 0`` (exact)."""
+    return Bound(a.off << c, a.sym, a.shift + c)
+
+
+def _bound_min(a: Bound | None, b: Bound | None) -> Bound | None:
+    """A provable lower bound for ``min(a, b)`` (None = unbounded)."""
+    if a is None or b is None:
+        return None
+    if bound_le(a, b):
+        return a
+    if bound_le(b, a):
+        return b
+    return None
+
+
+def _bound_max(a: Bound | None, b: Bound | None) -> Bound | None:
+    """A provable upper bound for ``max(a, b)`` (None = unbounded)."""
+    if a is None or b is None:
+        return None
+    if bound_le(a, b):
+        return b
+    if bound_le(b, a):
+        return a
+    return None
+
+
+def _tighter_hi(a: Bound | None, b: Bound | None) -> Bound | None:
+    """Either valid upper bound, preferring the provably tighter one."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if bound_le(a, b) else b
+
+
+@dataclasses.dataclass(frozen=True)
+class Interval:
+    """``[lo, hi]`` over optional symbolic bounds.
+
+    ``token`` (when set) names the exact runtime value this interval
+    describes, so that independently evaluated expressions over the same
+    variable can unify; any arithmetic drops it.
+    """
+
+    lo: Bound | None = None
+    hi: Bound | None = None
+    token: tuple | None = None
+
+    @classmethod
+    def const(cls, c: int) -> "Interval":
+        b = Bound(int(c))
+        return cls(b, b)
+
+    @classmethod
+    def of_bound(cls, b: Bound) -> "Interval":
+        return cls(b, b)
+
+    @classmethod
+    def range(cls, lo: int | None, hi: int | None) -> "Interval":
+        return cls(None if lo is None else Bound(lo),
+                   None if hi is None else Bound(hi))
+
+    @property
+    def nonneg(self) -> bool:
+        return self.lo is not None and bound_le(ZERO, self.lo)
+
+    @property
+    def is_singleton(self) -> bool:
+        return self.lo is not None and self.lo == self.hi
+
+    def with_token(self, token: tuple | None) -> "Interval":
+        return dataclasses.replace(self, token=token)
+
+    def join(self, other: "Interval") -> "Interval":
+        token = self.token if self.token == other.token else None
+        return Interval(_bound_min(self.lo, other.lo),
+                        _bound_max(self.hi, other.hi), token)
+
+    def clamp_lo(self, bound: Bound) -> "Interval":
+        """Refine: the value is additionally known to be ``>= bound``."""
+        if self.lo is None or bound_le(self.lo, bound):
+            return dataclasses.replace(self, lo=bound)
+        return self
+
+    def clamp_hi(self, bound: Bound) -> "Interval":
+        """Refine: the value is additionally known to be ``<= bound``."""
+        if self.hi is None or bound_le(bound, self.hi):
+            return dataclasses.replace(self, hi=bound)
+        return self
+
+    def contains(self, value: int, exponents: dict | None = None) -> bool:
+        """Concrete membership test (used by the property tests)."""
+        if self.lo is not None and self.lo.value(exponents) > value:
+            return False
+        if self.hi is not None and self.hi.value(exponents) < value:
+            return False
+        return True
+
+    def render(self) -> str:
+        lo = "-inf" if self.lo is None else self.lo.render()
+        hi = "+inf" if self.hi is None else self.hi.render()
+        return f"[{lo}, {hi}]"
+
+
+TOP = Interval()
+BOOL = Interval.range(0, 1)
+
+
+def iv_min(a: Interval, b: Interval) -> Interval:
+    """Sound interval for ``min(a, b)``.
+
+    Either operand's upper bound is a valid upper bound for the min, so
+    the provably tighter one is kept even when the lower bounds are not
+    comparable.
+    """
+    return Interval(_bound_min(a.lo, b.lo), _tighter_hi(a.hi, b.hi))
+
+
+def iv_max(a: Interval, b: Interval) -> Interval:
+    """Sound interval for ``max(a, b)``.
+
+    Either operand's lower bound is a valid lower bound for the max, so
+    one is kept even when the two are not provably ordered.
+    """
+    lo = _bound_max(a.lo, b.lo)
+    if lo is None:
+        lo = a.lo if a.lo is not None else b.lo
+    return Interval(lo, _bound_max(a.hi, b.hi))
+
+
+def is_exact_pow2(iv: Interval) -> bool:
+    """Is the value provably an exact power of two?
+
+    Constants must be ``>= 2`` (flagging a modulo by 1 as "use a mask"
+    would suggest ``& 0``); a symbolic ``2**(k + shift)`` qualifies as
+    soon as the effective exponent is provably nonnegative.
+    """
+    if not iv.is_singleton:
+        return False
+    b = iv.lo
+    if b.sym is None:
+        return b.off >= 2 and (b.off & (b.off - 1)) == 0
+    return b.off == 0 and b.sym.min_exp + b.shift >= 0
+
+
+def _shift_amount(iv: Interval) -> int | None:
+    """The constant value of a provably safe shift amount, else None."""
+    if iv.is_singleton and iv.lo.is_const and iv.lo.off >= 0:
+        return iv.lo.off
+    return None
+
+
+def binop(op: str, a: Interval, b: Interval) -> Interval:
+    """Sound interval result of ``a <op> b`` for integer operands.
+
+    Unknown combinations degrade to :data:`TOP`; the shift and modulo
+    cases additionally degrade when the right operand could make the
+    concrete operation raise (negative shift, zero modulus), which keeps
+    the over-approximation claim vacuously true on those inputs.
+    """
+    if op == "+":
+        return Interval(
+            None if a.lo is None or b.lo is None else bound_add(a.lo, b.lo),
+            None if a.hi is None or b.hi is None else bound_add(a.hi, b.hi),
+        )
+    if op == "-":
+        return Interval(
+            None if a.lo is None or b.hi is None else bound_sub(a.lo, b.hi),
+            None if a.hi is None or b.lo is None else bound_sub(a.hi, b.lo),
+        )
+    if op == "&":
+        # AND with a provably nonnegative operand m lands in [0, m]
+        # whatever the other side holds (the sign bit of m is clear).
+        if a.nonneg and b.nonneg:
+            return Interval(ZERO, _tighter_hi(a.hi, b.hi))
+        if b.nonneg:
+            return Interval(ZERO, b.hi)
+        if a.nonneg:
+            return Interval(ZERO, a.hi)
+        return TOP
+    if op in ("|", "^"):
+        # For nonnegative x, y: x | y <= x + y and x ^ y <= x + y.
+        if a.nonneg and b.nonneg:
+            hi = None if a.hi is None or b.hi is None else bound_add(a.hi, b.hi)
+            return Interval(ZERO, hi)
+        return TOP
+    if op == "<<":
+        c = _shift_amount(b)
+        if c is not None:
+            return Interval(
+                None if a.lo is None else bound_shl(a.lo, c),
+                None if a.hi is None else bound_shl(a.hi, c),
+            )
+        if (a.is_singleton and a.lo.is_const and a.lo.off == 1
+                and b.lo is not None and b.lo.is_const and b.lo.off >= 0
+                and b.hi is not None and b.hi.is_const):
+            return Interval(Bound(1 << b.lo.off), Bound(1 << b.hi.off))
+        if a.nonneg and b.nonneg:
+            return Interval(ZERO, None)
+        return TOP
+    if op == ">>":
+        # x >> k <= x for x >= 0, k >= 0; keep the symbolic hi unshifted.
+        if a.nonneg and b.nonneg:
+            return Interval(ZERO, a.hi)
+        return TOP
+    if op == "%":
+        if b.lo is not None and bound_le(ONE, b.lo):
+            return Interval(ZERO,
+                            None if b.hi is None else b.hi.add_const(-1))
+        return TOP
+    if op == "*":
+        return _mul(a, b)
+    if op == "//":
+        return _floordiv(a, b)
+    return TOP
+
+
+def _scale(b: Bound | None, c: int) -> Bound | None:
+    """``b * c`` for a constant ``c > 0`` when representable."""
+    if b is None:
+        return None
+    if b.is_const:
+        return Bound(b.off * c)
+    if c & (c - 1) == 0:  # power of two: exact as a shift
+        return bound_shl(b, c.bit_length() - 1)
+    return None
+
+
+def _mul(a: Interval, b: Interval) -> Interval:
+    if b.is_singleton and b.lo.is_const:
+        a, b = b, a
+    if a.is_singleton and a.lo.is_const:
+        c = a.lo.off
+        if c == 0:
+            return Interval.const(0)
+        if c > 0:
+            return Interval(_scale(b.lo, c), _scale(b.hi, c))
+        # negative constant: only the fully constant case stays exact
+        lo = Bound(b.hi.off * c) if b.hi is not None and b.hi.is_const else None
+        hi = Bound(b.lo.off * c) if b.lo is not None and b.lo.is_const else None
+        return Interval(lo, hi)
+    if a.nonneg and b.nonneg:
+        return Interval(ZERO, None)
+    return TOP
+
+
+def _floordiv(a: Interval, b: Interval) -> Interval:
+    if b.is_singleton and b.lo.is_const and b.lo.off >= 1:
+        c = b.lo.off
+        lo = Bound(a.lo.off // c) if a.lo is not None and a.lo.is_const else (
+            ZERO if a.nonneg else None)
+        hi: Bound | None = None
+        if a.hi is not None:
+            if a.hi.is_const:
+                hi = Bound(a.hi.off // c)
+            elif c & (c - 1) == 0:
+                j = c.bit_length() - 1
+                # (2**m + off) // 2**j == 2**(m-j) + off // 2**j exactly
+                # when m >= j, i.e. when the symbolic part divides out.
+                if a.hi.sym.min_exp + a.hi.shift >= j:
+                    hi = Bound(a.hi.off >> j, a.hi.sym, a.hi.shift - j)
+        return Interval(lo, hi)
+    if a.nonneg and b.lo is not None and bound_le(ONE, b.lo):
+        return Interval(ZERO, a.hi)
+    return TOP
+
+
+def unop(op: str, a: Interval) -> Interval:
+    """Sound interval result of a unary operation."""
+    if op == "+":
+        return a
+    if op == "-":
+        return Interval(
+            None if a.hi is None or not a.hi.is_const else Bound(-a.hi.off),
+            None if a.lo is None or not a.lo.is_const else Bound(-a.lo.off),
+        )
+    if op == "~":  # ~x == -x - 1
+        return binop("-", unop("-", a), Interval.const(1))
+    if op == "not":
+        return BOOL
+    return TOP
+
+
+_AST_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.BitAnd: "&", ast.BitOr: "|",
+    ast.BitXor: "^", ast.LShift: "<<", ast.RShift: ">>", ast.Mod: "%",
+    ast.Mult: "*", ast.FloorDiv: "//", ast.Pow: "**",
+}
+
+_AST_UNOPS = {ast.UAdd: "+", ast.USub: "-", ast.Invert: "~", ast.Not: "not"}
+
+_POW2_MAKERS = ("bit_mask",)
+
+
+def definition_range(
+    expr: ast.expr,
+    defs: ReachingDefinitions,
+    module_assigns: dict[str, ast.expr] | None = None,
+    _syms: dict[str, Pow2Sym] | None = None,
+    _depth: int = 0,
+    _seen: frozenset | None = None,
+) -> Interval:
+    """Evaluate an expression to an interval through its definitions.
+
+    Names resolve via :class:`~repro.lint.dataflow.ReachingDefinitions`
+    (joining over all reaching bindings), falling back to module-level
+    assignments; ``1 << n`` / ``2 ** n`` / ``bit_mask(n)`` over an
+    unknown ``n`` produce an exact symbolic power of two keyed by the
+    spelled-out operand, which is all WID004 needs to prove "this modulo
+    operand is a power of two".  Anything unresolvable is :data:`TOP`.
+    """
+    module_assigns = module_assigns or {}
+    syms = _syms if _syms is not None else {}
+    seen = _seen if _seen is not None else frozenset()
+    if _depth > 16:
+        return TOP
+
+    def recurse(node: ast.expr, seen_next: frozenset = seen) -> Interval:
+        return definition_range(node, defs, module_assigns, syms,
+                                _depth + 1, seen_next)
+
+    def pow2_of(operand: ast.expr, lo_exp: int) -> Interval:
+        iv = recurse(operand)
+        if (iv.is_singleton and iv.lo.is_const and iv.lo.off >= 0):
+            return Interval.const(1 << iv.lo.off)
+        key = ast.unparse(operand)
+        sym = syms.get(key)
+        if sym is None:
+            sym = Pow2Sym(("defrange", key), f"2**{key}", min_exp=lo_exp)
+            syms[key] = sym
+        if iv.lo is not None and iv.lo.is_const:
+            sym.require_min_exp(max(lo_exp, iv.lo.off))
+        return Interval.of_bound(Bound(0, sym, 0))
+
+    if isinstance(expr, ast.Constant):
+        if isinstance(expr.value, bool):
+            return Interval.const(int(expr.value))
+        if isinstance(expr.value, int):
+            return Interval.const(expr.value)
+        return TOP
+    if isinstance(expr, ast.Name):
+        if expr.id in seen:
+            return TOP  # cyclic definition chain
+        seen_next = seen | {expr.id}
+        if defs.is_local(expr.id):
+            result: Interval | None = None
+            for definition in defs.definitions(expr.id,
+                                               getattr(expr, "lineno", 1)):
+                if definition.is_parameter or definition.value is None \
+                        or definition.indirect:
+                    return TOP
+                part = recurse(definition.value, seen_next)
+                result = part if result is None else result.join(part)
+            return result if result is not None else TOP
+        if expr.id in module_assigns:
+            return recurse(module_assigns[expr.id], seen_next)
+        return TOP
+    if isinstance(expr, ast.BinOp):
+        op = _AST_BINOPS.get(type(expr.op))
+        if op is None:
+            return TOP
+        if op in ("<<", "**") and isinstance(expr.left, ast.Constant):
+            base = expr.left.value
+            if op == "<<" and base == 1:
+                return pow2_of(expr.right, 0)
+            if op == "**" and base == 2:
+                return pow2_of(expr.right, 0)
+        if op == "**":
+            return TOP
+        return binop(op, recurse(expr.left), recurse(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        op = _AST_UNOPS.get(type(expr.op))
+        return unop(op, recurse(expr.operand)) if op else TOP
+    if isinstance(expr, ast.Call):
+        func = expr.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        if name in _POW2_MAKERS and len(expr.args) == 1 and not expr.keywords:
+            return binop("-", pow2_of(expr.args[0], 0), Interval.const(1))
+        if name in ("min", "max") and expr.args and not expr.keywords:
+            parts = [recurse(arg) for arg in expr.args]
+            result = parts[0]
+            for part in parts[1:]:
+                result = (iv_min if name == "min" else iv_max)(result, part)
+            return result
+        return TOP
+    if isinstance(expr, ast.IfExp):
+        return recurse(expr.body).join(recurse(expr.orelse))
+    return TOP

@@ -17,15 +17,25 @@ consume it without knowing rule internals::
 
 from __future__ import annotations
 
+import inspect
 import json
 from typing import Sequence
 
 from repro.lint.findings import Finding
-from repro.lint.rules import rule_ids
+from repro.lint.rules import SYNTAX_RULE_ID, _RuleBase, rule_ids
 
-__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+__all__ = ["render_text", "render_json", "render_explain",
+           "JSON_SCHEMA_VERSION"]
 
 JSON_SCHEMA_VERSION = 1
+
+_SYNTAX_RULE_EXPLANATION = f"""\
+{SYNTAX_RULE_ID} · error · a linted file failed to parse
+
+  Not a rule class but the engine itself: a file that does not parse
+  cannot be checked by *any* rule, so its syntax error is reported as a
+  finding instead of aborting the run.  Fix the syntax error; there is
+  nothing to suppress."""
 
 
 def render_text(findings: Sequence[Finding]) -> str:
@@ -59,3 +69,33 @@ def render_json(
         "findings": [finding.to_dict() for finding in findings],
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def _indent(text: str, prefix: str) -> str:
+    return "\n".join(prefix + line if line else line
+                     for line in text.splitlines())
+
+
+def render_explain(rules: Sequence[_RuleBase]) -> str:
+    """``repro lint --explain``: rationale and examples per rule.
+
+    Each section shows the rule's one-line summary, its class docstring
+    (the rationale — *why* the invariant exists and what breaks when it
+    does not hold), and the minimal bad/good example pair from the
+    rule's ``example_bad``/``example_good`` attributes.
+    """
+    sections = []
+    for rule in rules:
+        header = f"{rule.rule_id} · {rule.severity.value} · {rule.summary}"
+        body = inspect.cleandoc(type(rule).__doc__ or "").strip()
+        section = [header]
+        if body:
+            section.append(_indent(body, "  "))
+        bad = getattr(rule, "example_bad", "")
+        good = getattr(rule, "example_good", "")
+        if bad:
+            section.append("  bad:\n" + _indent(bad, "    "))
+        if good:
+            section.append("  good:\n" + _indent(good, "    "))
+        sections.append("\n\n".join(section))
+    return "\n\n".join(sections)

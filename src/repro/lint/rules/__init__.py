@@ -116,7 +116,7 @@ def select_rules(selectors: typing.Iterable[str]) -> list[_RuleBase]:
     """Resolve ``--select`` tokens (exact ids or prefixes) to rules.
 
     >>> [r.rule_id for r in select_rules(["DET"])]
-    ['DET001', 'DET002']
+    ['DET001', 'DET002', 'DET003']
     """
     chosen: dict[str, _RuleBase] = {}
     for raw in selectors:
@@ -142,3 +142,4 @@ from repro.lint.rules import determinism  # noqa: E402,F401
 from repro.lint.rules import experiments  # noqa: E402,F401
 from repro.lint.rules import parallelism  # noqa: E402,F401
 from repro.lint.rules import predictors  # noqa: E402,F401
+from repro.lint.rules import widths  # noqa: E402,F401

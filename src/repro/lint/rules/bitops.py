@@ -66,6 +66,11 @@ class HandRolledMaskRule(FileRule):
     rule_id = "BIT001"
     severity = Severity.WARNING
     summary = "index masking goes through utils.bits, not inline bit math"
+    example_bad = "index = hash_value & 0x3FF   # hand-rolled literal mask"
+    example_good = (
+        "from repro.utils.bits import bit_mask\n"
+        "index = hash_value & bit_mask(10)   # or a table's .mask"
+    )
 
     def applies(self, ctx) -> bool:
         return not ctx.matches(BITS_MODULE_SUFFIX)

@@ -50,6 +50,11 @@ class RandomStreamRule(FileRule):
     rule_id = "DET001"
     severity = Severity.ERROR
     summary = "randomness must flow through utils.rng.derive_rng"
+    example_bad = "rng = random.Random(42)"
+    example_good = (
+        "from repro.utils.rng import derive_rng\n"
+        'rng = derive_rng(master_seed, "trace", program)'
+    )
 
     def applies(self, ctx) -> bool:
         return not ctx.matches(RNG_MODULE_SUFFIX)
@@ -137,6 +142,8 @@ class WallClockRule(FileRule):
     rule_id = "DET002"
     severity = Severity.ERROR
     summary = "no wall clocks, OS entropy, or unordered-set iteration"
+    example_bad = "for site in set(sites):   # hash order varies per process"
+    example_good = "for site in sorted(set(sites)):"
 
     def check(self, ctx) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -240,6 +247,8 @@ class SeedProvenanceRule(FileRule):
     rule_id = "DET003"
     severity = Severity.ERROR
     summary = "rng_from_seed arguments trace to fields/literals, never env"
+    example_bad = 'rng = rng_from_seed(int(os.environ["SEED"]))'
+    example_good = "rng = rng_from_seed(self.behavior_seed)"
 
     def applies(self, ctx) -> bool:
         return not ctx.matches(RNG_MODULE_SUFFIX)

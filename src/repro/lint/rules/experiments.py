@@ -43,6 +43,14 @@ class ExperimentGoldenRule(ProjectRule):
     severity = Severity.ERROR
     summary = "experiment ids, runners, and benchmarks/results goldens agree"
     anchor = "experiments/registry.py"
+    example_bad = (
+        '# registry.py declares "figure9" but experiments/figure9.py\n'
+        "# (or its benchmarks/results golden) does not exist"
+    )
+    example_good = (
+        "# every EXPERIMENT_IDS entry has a runner module and a\n"
+        "# benchmarks/results/<id>.json golden, and nothing extra"
+    )
 
     def __init__(
         self,
@@ -165,6 +173,15 @@ class CellPairingRule(ProjectRule):
     severity = Severity.ERROR
     summary = "cells/synthesize declarations pair up; Cell schemes are known"
     anchor = "experiments/registry.py"
+    example_bad = (
+        "def cells(ctx): ...\n"
+        "# no synthesize() in the same module: the parallel runner has\n"
+        "# work to fan out but nothing to reassemble"
+    )
+    example_good = (
+        "def cells(ctx): ...\n"
+        "def synthesize(ctx, results): ..."
+    )
 
     CELLS_PREFIX = "cells"
     SYNTH_PREFIX = "synthesize"

@@ -60,6 +60,15 @@ class WorkerPurityRule(ProjectRule):
     severity = Severity.ERROR
     summary = "worker-reachable code never assigns undeclared module globals"
     anchor = ENGINE_SUFFIX
+    example_bad = (
+        "def execute_cell(cell):\n"
+        "    global _memo\n"
+        "    _memo = build_table()   # lost when the worker exits"
+    )
+    example_good = (
+        "def execute_cell(cell):\n"
+        "    memo = build_table()   # local, or carried on the cell"
+    )
 
     def __init__(self, extra_roots: tuple[str, ...] = ()):
         self._extra_roots = extra_roots
@@ -158,6 +167,8 @@ class PickleSafetyRule(FileRule):
     rule_id = "PAR002"
     severity = Severity.ERROR
     summary = "Cell fields and pool-submitted callables stay picklable"
+    example_bad = "pool.submit(lambda: simulate(cell))   # lambdas don't pickle"
+    example_good = "pool.submit(simulate, cell)   # module-level callable"
 
     def check(self, ctx) -> Iterator[Finding]:
         cell_names = self._cell_names(ctx.tree)

@@ -92,6 +92,17 @@ class PredictorContractRule(FileRule):
     rule_id = "PRED001"
     severity = Severity.ERROR
     summary = "BranchPredictor subclasses define name/predict/update/size_bytes"
+    example_bad = (
+        "class MyPredictor(BranchPredictor):\n"
+        "    def predict(self, address): ...   # update/size_bytes missing"
+    )
+    example_good = (
+        "class MyPredictor(BranchPredictor):\n"
+        '    name = "mine"\n'
+        "    def predict(self, address): ...\n"
+        "    def update(self, address, taken): ...\n"
+        "    def size_bytes(self): ..."
+    )
 
     def check(self, ctx) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -161,6 +172,14 @@ class PredictorRegistrationRule(ProjectRule):
     severity = Severity.ERROR
     summary = "PREDICTOR_NAMES, _FACTORIES, class names, and CLI choices agree"
     anchor = "predictors/sizing.py"
+    example_bad = (
+        '# a class declares name = "agree" but PREDICTOR_NAMES or the\n'
+        "# _FACTORIES table in predictors/sizing.py does not list it"
+    )
+    example_good = (
+        "# every predictor name appears in the class, PREDICTOR_NAMES,\n"
+        "# and _FACTORIES, so the CLI and registry cannot drift"
+    )
 
     def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
         names = self._assigned_string_tuple(anchor_ctx.tree, "PREDICTOR_NAMES")
@@ -347,6 +366,15 @@ class PredictorHiddenStateRule(FileRule):
     rule_id = "PRED003"
     severity = Severity.ERROR
     summary = "update()'s predict-time state is declared in _PREDICT_STATE"
+    example_bad = (
+        "def update(self, address, taken):\n"
+        "    index = self._last_index   # not listed in _PREDICT_STATE"
+    )
+    example_good = (
+        '_PREDICT_STATE = ("_last_index",)\n'
+        "def update(self, address, taken):\n"
+        "    index = self._last_index"
+    )
 
     def check(self, ctx) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):

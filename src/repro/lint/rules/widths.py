@@ -1,0 +1,1668 @@
+"""WID rules: abstract interpretation of predictor bit-width contracts.
+
+Every number a predictor manipulates is a fixed-width hardware value —
+``log2(table_size)``-bit indices, ``bits``-wide saturating counters,
+``length``-bit history registers — and a single unmasked shift or
+off-by-one saturation silently corrupts MISP/KI.  The syntactic rules
+(BIT001) can demand that masking *goes through* the checked helpers;
+they cannot prove the masked value actually fits the table it indexes.
+These rules can, by abstractly interpreting each predictor class over
+the symbolic interval domain of :mod:`repro.lint.intervals`:
+
+WID001
+    Every subscript of a counter table, tag list, or bank tuple is
+    provably in ``[0, table_size)``.
+WID002
+    Every store into a counter file provably stays within the declared
+    counter width — saturation is *verified*, never assumed.
+WID003
+    Every history-register shift-in is provably masked back to the
+    declared history width before it is stored.
+WID004
+    A ``%`` whose right operand is provably a power of two should be an
+    AND mask (perf; unifies with BIT001 for literal masks).
+
+How the analysis works
+----------------------
+For each class deriving from ``BranchPredictor`` (or carrying a
+``_WIDTHS`` declaration — ``CounterTable`` and ``GlobalHistory`` opt in
+this way), the checker
+
+1. evaluates ``__init__`` with strong updates, applying *constructor
+   postconditions*: ``CounterTable(entries, bits=b)`` refines
+   ``entries`` to an exact symbolic power of two ``2**k`` and models the
+   table (``.values`` in ``[0, 2**b - 1]``, ``.mask == entries - 1``,
+   ``.threshold == 2**(b-1)``); ``GlobalHistory(n)`` models an
+   ``n``-bit register; ``raise`` guards refine the surviving branch
+   (``if not is_power_of_two(e): raise`` proves ``e`` is a power of
+   two afterwards);
+2. iterates the remaining methods to a fixpoint with weak (joined)
+   attribute updates, so ``predict``-cached state like
+   ``self._last_index`` carries its ``[0, mask]`` range into
+   ``update`` — this generalizes the ``_PREDICT_STATE`` contract;
+3. re-walks every *root* method (one never called via ``self.m(...)``)
+   emitting findings; ``self``-method calls are inlined per call site,
+   so helpers like ``_train(table, index, taken)`` are checked with the
+   precise arguments of each caller.
+
+Deliberate approximations (all fail-safe — they can only *miss*
+findings on containers the model does not track, never invent them on
+tracked ones, and the acceptance fixtures in
+``tests/test_lint_widths.py`` pin the must-catch cases):
+
+* A raw parameter used directly as an index is a trust boundary (the
+  call sites are checked instead), mirroring how
+  :mod:`repro.lint.dataflow` treats parameters for seed provenance.
+* A tuple of same-shape tables (bi-mode banks, yags caches) is modelled
+  by a representative element; stores through a variable bank index are
+  checked against the shared invariant.
+* Attributes holding unmodelled objects (nested predictors, skew lookup
+  tables) evaluate to ⊤ and their subscripts are not checked.
+* Reassigning a local re-uses its value token, so a joined variable
+  still unifies with ``1 << var`` masks computed from it.
+
+``_WIDTHS`` declarations
+------------------------
+Width-carrying state must be *declared* on the class::
+
+    _WIDTHS = {"table": "counter_bits", "history": "history_length"}
+
+Each key is an attribute; each value is the source text of the width it
+was constructed with (the ``bits=`` argument of ``CounterTable``, the
+constructor argument of ``GlobalHistory``, or — for raw ``list`` state
+like ``LocalHistoryPredictor.histories`` and scalar registers like
+``GlobalHistory.value`` — the name of the ``__init__`` local holding
+the width, which turns the list/scalar into checked history state).
+WID002/WID003 also enforce the declarations both ways: an undeclared
+counter table or history register is a finding, and so is a stale or
+mismatched entry.
+"""
+
+from __future__ import annotations
+
+import ast
+import typing
+
+from repro.lint.dataflow import ReachingDefinitions
+from repro.lint.findings import Finding, Severity
+from repro.lint.graph import module_name_for
+from repro.lint.intervals import (
+    BOOL,
+    ONE,
+    TOP,
+    Bound,
+    Interval,
+    Pow2Sym,
+    ZERO,
+    binop,
+    bound_le,
+    definition_range,
+    is_exact_pow2,
+    iv_max,
+    iv_min,
+    unop,
+)
+from repro.lint.rules import FileRule, ProjectRule, register
+from repro.lint.rules.bitops import _is_power_of_two_expr
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext, ProjectContext
+
+__all__ = [
+    "IndexBoundsRule",
+    "CounterSaturationRule",
+    "HistoryWidthRule",
+    "ProvablePow2ModuloRule",
+]
+
+_PREDICTOR_BASE = "BranchPredictor"
+_WIDTHS_ATTR = "_WIDTHS"
+_ANCHOR = "predictors/base.py"
+
+#: repro helpers the evaluator models (resolved through import aliases).
+_INTRINSICS = frozenset({
+    "CounterTable", "GlobalHistory", "is_power_of_two", "log2_exact",
+    "bit_mask", "fold_bits", "mix64", "reverse_bits", "rotate_left",
+    "pc_index", "fold_history", "gshare_index", "skew_h", "skew_h_inv",
+    "skew_tables",
+})
+
+_AST_BINOPS = {
+    ast.Add: "+", ast.Sub: "-", ast.BitAnd: "&", ast.BitOr: "|",
+    ast.BitXor: "^", ast.LShift: "<<", ast.RShift: ">>", ast.Mod: "%",
+    ast.Mult: "*", ast.FloorDiv: "//", ast.Pow: "**",
+}
+
+_AST_UNOPS = {ast.UAdd: "+", ast.USub: "-", ast.Invert: "~", ast.Not: "not"}
+
+_NEGATED_CMP = {"<": ">=", "<=": ">", ">": "<=", ">=": "<",
+                "==": "!=", "!=": "=="}
+_MIRRORED_CMP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+                 "==": "==", "!=": "!="}
+_CMP_OPS = {ast.Lt: "<", ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+            ast.Eq: "==", ast.NotEq: "!="}
+
+_MAX_FIXPOINT_ROUNDS = 8
+_MAX_INLINE_DEPTH = 8
+
+
+# --------------------------------------------------------------------------
+# Abstract values beyond plain intervals.
+
+
+class InstanceVal:
+    """The ``self`` object of the class under analysis."""
+
+    __slots__ = ()
+
+
+class RangeVal:
+    """A ``range(...)`` object; iterating yields ``iv``."""
+
+    __slots__ = ("iv",)
+
+    def __init__(self, iv: Interval):
+        self.iv = iv
+
+
+class ListVal:
+    """A list.
+
+    ``kind`` is ``"state"`` (elements join freely), ``"counter"`` or
+    ``"history"`` (reads return ``invariant``, stores are checked
+    against it — WID002 / WID003).
+    """
+
+    __slots__ = ("length", "elem", "kind", "invariant", "describe")
+
+    def __init__(self, length: Bound | None, elem: Interval,
+                 kind: str = "state", invariant: Interval | None = None,
+                 describe: str = "list"):
+        self.length = length
+        self.elem = elem
+        self.kind = kind
+        self.invariant = invariant
+        self.describe = describe
+
+
+class TupleVal:
+    """A tuple with per-element abstract values."""
+
+    __slots__ = ("elems", "describe")
+
+    def __init__(self, elems: list, describe: str = "tuple"):
+        self.elems = elems
+        self.describe = describe
+
+
+class TableObj:
+    """A ``CounterTable``: the constructor postcondition in object form."""
+
+    __slots__ = ("size", "max_value", "threshold", "bits", "bits_text",
+                 "values", "describe")
+
+    def __init__(self, size: Bound, max_value: Bound, threshold: Bound,
+                 bits: Interval, bits_text: str, describe: str):
+        self.size = size
+        self.max_value = max_value
+        self.threshold = threshold
+        self.bits = bits
+        self.bits_text = bits_text
+        self.describe = describe
+        self.values = ListVal(
+            size, Interval(ZERO, max_value), kind="counter",
+            invariant=Interval(ZERO, max_value),
+            describe=f"{describe}.values",
+        )
+
+
+class HistObj:
+    """A ``GlobalHistory``: ``value`` reads give ``[0, mask]``, stores
+    are checked against it (WID003)."""
+
+    __slots__ = ("mask", "length", "width_text", "describe")
+
+    def __init__(self, mask: Bound, length: Interval, width_text: str,
+                 describe: str):
+        self.mask = mask
+        self.length = length
+        self.width_text = width_text
+        self.describe = describe
+
+
+class RegVal:
+    """A scalar attribute promoted to a checked history register by a
+    ``_WIDTHS`` declaration (e.g. ``GlobalHistory.value``)."""
+
+    __slots__ = ("invariant", "describe")
+
+    def __init__(self, invariant: Interval, describe: str):
+        self.invariant = invariant
+        self.describe = describe
+
+
+def _join(a, b):
+    """Join two abstract values; incompatible shapes widen to ``TOP``."""
+    if a is None:
+        return b if b is not None else TOP
+    if b is None:
+        return a
+    if a is b:
+        return a
+    if isinstance(a, Interval) and isinstance(b, Interval):
+        return a.join(b)
+    if isinstance(a, InstanceVal) and isinstance(b, InstanceVal):
+        return a
+    if isinstance(a, RangeVal) and isinstance(b, RangeVal):
+        return RangeVal(a.iv.join(b.iv))
+    if isinstance(a, (RegVal, HistObj)) and type(a) is type(b):
+        return a
+    if isinstance(a, TableObj) and isinstance(b, TableObj):
+        if a.size == b.size and a.max_value == b.max_value:
+            return a
+        return TOP
+    if isinstance(a, ListVal) and isinstance(b, ListVal):
+        if a.kind == b.kind and a.length == b.length:
+            if a.kind == "state":
+                a.elem = a.elem.join(b.elem)
+            return a
+        return TOP
+    if isinstance(a, TupleVal) and isinstance(b, TupleVal):
+        if len(a.elems) == len(b.elems):
+            return TupleVal([_join(x, y) for x, y in zip(a.elems, b.elems)],
+                            a.describe)
+        return TOP
+    return TOP
+
+
+def _as_iv(value) -> Interval:
+    return value if isinstance(value, Interval) else TOP
+
+
+# --------------------------------------------------------------------------
+# Per-module environment: import aliases and module-level constants.
+
+
+def _const_expr(node: ast.expr) -> int | None:
+    """Evaluate a module-level constant integer expression, or None."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, int) \
+            and not isinstance(node.value, bool):
+        return node.value
+    if isinstance(node, ast.BinOp):
+        op = _AST_BINOPS.get(type(node.op))
+        left = _const_expr(node.left)
+        right = _const_expr(node.right)
+        if op and left is not None and right is not None:
+            try:
+                result = binop(op, Interval.const(left),
+                               Interval.const(right))
+            except (OverflowError, ValueError):  # pragma: no cover
+                return None
+            if result.is_singleton and result.lo.is_const:
+                return result.lo.off
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        inner = _const_expr(node.operand)
+        return None if inner is None else -inner
+    return None
+
+
+def _module_constants(ctx: "FileContext") -> dict[str, int]:
+    """Module-level ``NAME = <const int>`` bindings of one file."""
+    consts: dict[str, int] = {}
+    for stmt in ctx.tree.body:
+        if not isinstance(stmt, ast.Assign) or len(stmt.targets) != 1:
+            continue
+        target = stmt.targets[0]
+        if isinstance(target, ast.Name):
+            value = _const_expr(stmt.value)
+            if value is not None:
+                consts[target.id] = value
+        elif isinstance(target, ast.Tuple) and all(
+                isinstance(e, ast.Name) for e in target.elts):
+            # The ``_BIM, _G0, _G1, _META = range(4)`` idiom.
+            value = stmt.value
+            if (isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id == "range"
+                    and len(value.args) == 1 and not value.keywords):
+                count = _const_expr(value.args[0])
+                if count is not None and count == len(target.elts):
+                    for i, elt in enumerate(target.elts):
+                        consts[elt.id] = i
+    return consts
+
+
+class _ModuleEnv:
+    """Intrinsic aliases and integer constants visible in one module."""
+
+    __slots__ = ("aliases", "consts")
+
+    def __init__(self, ctx: "FileContext",
+                 project_consts: dict[str, dict[str, int]]):
+        self.aliases: dict[str, str] = {}
+        self.consts: dict[str, int] = dict(_module_constants(ctx))
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, ast.ImportFrom) or stmt.module is None:
+                continue
+            source = project_consts.get(stmt.module, {})
+            for alias in stmt.names:
+                local = alias.asname or alias.name
+                if alias.name in _INTRINSICS:
+                    self.aliases[local] = alias.name
+                elif alias.name in source:
+                    self.consts[local] = source[alias.name]
+
+
+def _project_consts(project: "ProjectContext") -> dict[str, dict[str, int]]:
+    return {module_name_for(ctx): _module_constants(ctx)
+            for ctx in project.files}
+
+
+# --------------------------------------------------------------------------
+# The per-class abstract interpreter.
+
+
+def _base_names(cls_node: ast.ClassDef) -> list[str]:
+    names = []
+    for base in cls_node.bases:
+        if isinstance(base, ast.Name):
+            names.append(base.id)
+        elif isinstance(base, ast.Attribute):
+            names.append(base.attr)
+    return names
+
+
+def _widths_decl(cls_node: ast.ClassDef):
+    """The class's ``_WIDTHS`` dict (attr -> width text) and its node."""
+    for stmt in cls_node.body:
+        if (isinstance(stmt, ast.Assign) and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and stmt.targets[0].id == _WIDTHS_ATTR
+                and isinstance(stmt.value, ast.Dict)):
+            decl: dict[str, str] = {}
+            for key, value in zip(stmt.value.keys, stmt.value.values):
+                if (isinstance(key, ast.Constant) and isinstance(key.value, str)
+                        and isinstance(value, ast.Constant)
+                        and isinstance(value.value, str)):
+                    decl[key.value] = value.value
+            return decl, stmt
+    return {}, None
+
+
+class _ClassAnalysis:
+    """Abstractly interpret one predictor class and collect WID findings."""
+
+    def __init__(self, cls_node: ast.ClassDef, module_env: _ModuleEnv):
+        self.cls = cls_node
+        self.module_env = module_env
+        self.methods: dict[str, ast.FunctionDef] = {}
+        for stmt in cls_node.body:
+            if isinstance(stmt, ast.FunctionDef):
+                self.methods[stmt.name] = stmt
+        self.declared, self.declared_node = _widths_decl(cls_node)
+        self.param_tokens: set[tuple] = set()
+        for name, fn in self.methods.items():
+            args = fn.args
+            for arg in (args.posonlyargs + args.args + args.kwonlyargs):
+                self.param_tokens.add((name, arg.arg))
+        self.instance = InstanceVal()
+        self.attrs: dict[str, object] = {}
+        self.syms: dict[tuple, Pow2Sym] = {}
+        self.widths: dict[tuple, Bound] = {}
+        self.findings: set[tuple] = set()
+        self.checking = False
+        self.strong = False
+        self.method = "?"
+        self.call_stack: list[str] = []
+        self.returns: list = []
+
+    # -- driver ------------------------------------------------------------
+
+    def run(self) -> None:
+        internal = self._internally_called()
+        init = self.methods.get("__init__")
+        if init is not None:
+            self._eval_method(init, strong=True)
+        for _ in range(_MAX_FIXPOINT_ROUNDS):
+            before = self._snapshot()
+            for name in sorted(self.methods):
+                if name != "__init__":
+                    self._eval_method(self.methods[name], strong=False)
+            if self._snapshot() == before:
+                break
+        self.checking = True
+        for name in sorted(self.methods):
+            if name in internal:
+                continue  # checked inline, with per-call-site arguments
+            self._eval_method(self.methods[name], strong=False)
+        self._check_declarations()
+
+    def _internally_called(self) -> set[str]:
+        called: set[str] = set()
+        for fn in self.methods.values():
+            for node in ast.walk(fn):
+                if (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and isinstance(node.func.value, ast.Name)
+                        and node.func.value.id == "self"):
+                    called.add(node.func.attr)
+        return called
+
+    def _snap(self, value, depth: int = 0):
+        if depth > 4 or value is None:
+            return "none"
+        if isinstance(value, Interval):
+            return ("iv", value.lo, value.hi, value.token)
+        if isinstance(value, ListVal):
+            return ("list", id(value), value.length, value.kind,
+                    self._snap(value.elem, depth + 1))
+        if isinstance(value, TupleVal):
+            return ("tuple", tuple(self._snap(e, depth + 1)
+                                   for e in value.elems))
+        if isinstance(value, RangeVal):
+            return ("range", value.iv.lo, value.iv.hi)
+        return (type(value).__name__, id(value))
+
+    def _snapshot(self):
+        return tuple((name, self._snap(self.attrs[name]))
+                     for name in sorted(self.attrs))
+
+    # -- bookkeeping helpers ----------------------------------------------
+
+    def _sym(self, key: tuple, label: str, min_exp: int = 0) -> Pow2Sym:
+        sym = self.syms.get(key)
+        if sym is None:
+            sym = Pow2Sym(key, label, min_exp)
+            self.syms[key] = sym
+        else:
+            sym.require_min_exp(min_exp)
+        return sym
+
+    def _report(self, rule_id: str, node: ast.AST, message: str) -> None:
+        if self.checking:
+            self.findings.add((rule_id, getattr(node, "lineno", 1),
+                               getattr(node, "col_offset", 0), message))
+
+    # -- method evaluation -------------------------------------------------
+
+    def _seed_param(self, method: str, arg: ast.arg) -> Interval:
+        base = TOP
+        annotation = arg.annotation
+        if isinstance(annotation, ast.Name) and annotation.id == "bool":
+            base = BOOL
+        return base.with_token((method, arg.arg))
+
+    def _eval_method(self, fn: ast.FunctionDef, strong: bool) -> None:
+        saved_method, saved_strong = self.method, self.strong
+        self.method, self.strong = fn.name, strong
+        env: dict[str, object] = {}
+        args = fn.args
+        params = args.posonlyargs + args.args
+        if params and params[0].arg == "self":
+            env["self"] = self.instance
+            params = params[1:]
+        for arg in params + args.kwonlyargs:
+            env[arg.arg] = self._seed_param(fn.name, arg)
+        for arg in (args.vararg, args.kwarg):
+            if arg is not None:
+                env[arg.arg] = TOP
+        self._exec_block(fn.body, env)
+        self.method, self.strong = saved_method, saved_strong
+
+    def _call_method(self, fn: ast.FunctionDef, pos_args: list,
+                     kw_args: dict[str, object]):
+        if fn.name in self.call_stack or len(self.call_stack) >= _MAX_INLINE_DEPTH:
+            return TOP
+        self.call_stack.append(fn.name)
+        saved_method, saved_strong = self.method, self.strong
+        saved_returns = self.returns
+        self.method, self.strong, self.returns = fn.name, False, []
+        env: dict[str, object] = {"self": self.instance}
+        args = fn.args
+        params = (args.posonlyargs + args.args)[1:]  # drop self
+        defaults = list(args.defaults)
+        default_by_name: dict[str, ast.expr] = {}
+        for arg, node in zip(params[len(params) - len(defaults):], defaults):
+            default_by_name[arg.arg] = node
+        for arg, node in zip(args.kwonlyargs, args.kw_defaults):
+            if node is not None:
+                default_by_name[arg.arg] = node
+        for i, arg in enumerate(params + args.kwonlyargs):
+            if i < len(pos_args) and arg in params:
+                env[arg.arg] = pos_args[i]
+            elif arg.arg in kw_args:
+                env[arg.arg] = kw_args[arg.arg]
+            elif arg.arg in default_by_name:
+                env[arg.arg] = self._eval(default_by_name[arg.arg],
+                                          {"self": self.instance})
+            else:
+                env[arg.arg] = self._seed_param(fn.name, arg)
+        self._exec_block(fn.body, env)
+        result = TOP
+        for value in self.returns:
+            result = _join(result, value) if result is not TOP else value
+        if not self.returns:
+            result = TOP
+        self.method, self.strong = saved_method, saved_strong
+        self.returns = saved_returns
+        self.call_stack.pop()
+        return result
+
+    # -- statements --------------------------------------------------------
+
+    def _exec_block(self, body: list, env: dict):
+        current = env
+        for stmt in body:
+            current = self._exec_stmt(stmt, current)
+            if current is None:
+                return None
+        return current
+
+    def _join_envs(self, a: dict, b: dict) -> dict:
+        merged: dict[str, object] = {}
+        for key in sorted(set(a) | set(b)):
+            if key in a and key in b:
+                merged[key] = _join(a[key], b[key])
+            else:
+                merged[key] = TOP
+        return merged
+
+    def _exec_stmt(self, stmt: ast.stmt, env: dict):
+        if isinstance(stmt, ast.Assign):
+            value = self._eval(stmt.value, env)
+            for target in stmt.targets:
+                self._assign(target, value, env, stmt.value)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self._assign(stmt.target, self._eval(stmt.value, env), env,
+                             stmt.value)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            op = _AST_BINOPS.get(type(stmt.op))
+            old = _as_iv(self._eval(stmt.target, env))
+            new = _as_iv(self._eval(stmt.value, env))
+            result = binop(op, old, new) if op else TOP
+            self._assign(stmt.target, result, env, None)
+            return env
+        if isinstance(stmt, ast.Return):
+            self.returns.append(self._eval(stmt.value, env)
+                                if stmt.value is not None else TOP)
+            return None
+        if isinstance(stmt, ast.Raise):
+            return None
+        if isinstance(stmt, ast.If):
+            self._eval(stmt.test, env)
+            then_env = self._refine(dict(env), stmt.test, True)
+            else_env = self._refine(dict(env), stmt.test, False)
+            then_out = self._exec_block(stmt.body, then_env)
+            else_out = (self._exec_block(stmt.orelse, else_env)
+                        if stmt.orelse else else_env)
+            if then_out is None and else_out is None:
+                return None
+            survivor = then_out if else_out is None else else_out
+            merged = (survivor if then_out is None or else_out is None
+                      else self._join_envs(then_out, else_out))
+            env.clear()
+            env.update(merged)
+            return env
+        if isinstance(stmt, (ast.For, ast.AsyncFor)):
+            iterable = self._eval(stmt.iter, env)
+            elem = self._iter_elem(iterable)
+            # Two rounds approximate the loop fixpoint for the simple
+            # accumulation-free bodies predictors write.
+            for _ in range(2):
+                self._assign(stmt.target, elem, env, None)
+                out = self._exec_block(stmt.body, dict(env))
+                if out is not None:
+                    merged = self._join_envs(env, out)
+                    env.clear()
+                    env.update(merged)
+            if stmt.orelse:
+                self._exec_block(stmt.orelse, env)
+            return env
+        if isinstance(stmt, ast.While):
+            self._eval(stmt.test, env)
+            for _ in range(2):
+                out = self._exec_block(stmt.body, dict(env))
+                if out is not None:
+                    merged = self._join_envs(env, out)
+                    env.clear()
+                    env.update(merged)
+            if stmt.orelse:
+                self._exec_block(stmt.orelse, env)
+            return env
+        if isinstance(stmt, ast.Expr):
+            self._eval(stmt.value, env)
+            return env
+        if isinstance(stmt, ast.Assert):
+            self._eval(stmt.test, env)
+            self._refine(env, stmt.test, True)
+            return env
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._eval(item.context_expr, env)
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, TOP, env, None)
+            return self._exec_block(stmt.body, env)
+        if isinstance(stmt, ast.Try):
+            out = self._exec_block(stmt.body, dict(env))
+            branches = [] if out is None else [out]
+            for handler in stmt.handlers:
+                handler_env = dict(env)
+                if handler.name:
+                    handler_env[handler.name] = TOP
+                handler_out = self._exec_block(handler.body, handler_env)
+                if handler_out is not None:
+                    branches.append(handler_out)
+            if not branches:
+                return None
+            merged = branches[0]
+            for branch in branches[1:]:
+                merged = self._join_envs(merged, branch)
+            env.clear()
+            env.update(merged)
+            if stmt.finalbody:
+                return self._exec_block(stmt.finalbody, env)
+            return env
+        # Pass / Break / Continue / Delete / Global / Import / nested
+        # defs: no abstract effect we track.
+        return env
+
+    # -- assignment targets ------------------------------------------------
+
+    def _assign(self, target: ast.AST, value, env: dict,
+                value_node: ast.expr | None) -> None:
+        if isinstance(target, ast.Name):
+            if isinstance(value, Interval):
+                # Reassignment re-uses the variable's token: a joined
+                # variable still unifies with masks computed from it.
+                value = value.with_token((self.method, target.id))
+            env[target.id] = value
+        elif isinstance(target, ast.Attribute):
+            base = self._eval(target.value, env)
+            if isinstance(base, InstanceVal):
+                self._store_attr(target.attr, value, env, target, value_node)
+            elif isinstance(base, HistObj) and target.attr == "value":
+                self._check_store("WID003", base.describe,
+                                  Interval(ZERO, base.mask), value, target)
+        elif isinstance(target, ast.Subscript):
+            base = self._eval(target.value, env)
+            if isinstance(target.slice, ast.Slice):
+                return
+            index = _as_iv(self._eval(target.slice, env))
+            self._store_subscript(base, index, value, target)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            if (isinstance(value, TupleVal)
+                    and len(value.elems) == len(target.elts)):
+                for elt, elem in zip(target.elts, value.elems):
+                    self._assign(elt, elem, env, None)
+            else:
+                for elt in target.elts:
+                    self._assign(elt, TOP, env, None)
+        elif isinstance(target, ast.Starred):
+            self._assign(target.value, TOP, env, None)
+
+    def _spec_invariant(self, spec: str, env: dict) -> Interval:
+        """``[0, 2**spec - 1]`` for a declared width name or literal."""
+        if spec.isdigit():
+            return Interval(ZERO, Bound((1 << int(spec)) - 1))
+        min_exp = 0
+        width = env.get(spec)
+        if (isinstance(width, Interval) and width.lo is not None
+                and width.lo.is_const):
+            min_exp = max(0, width.lo.off)
+        sym = self._sym(("shl", ("__init__", spec)), f"2**{spec}", min_exp)
+        return Interval(ZERO, Bound(-1, sym, 0))
+
+    def _store_attr(self, name: str, value, env: dict, target: ast.AST,
+                    value_node: ast.expr | None) -> None:
+        existing = self.attrs.get(name)
+        if isinstance(existing, RegVal):
+            self._check_store("WID003", existing.describe, existing.invariant,
+                              value, target)
+            return
+        if isinstance(existing, ListVal) and existing.kind in (
+                "counter", "history"):
+            if isinstance(value, ListVal):
+                rule = "WID002" if existing.kind == "counter" else "WID003"
+                self._check_store(rule, existing.describe, existing.invariant,
+                                  value.elem, target)
+                return
+        if name in self.declared:
+            spec = self.declared[name]
+            if isinstance(value, Interval):
+                invariant = self._spec_invariant(spec, env)
+                reg = RegVal(invariant, f"self.{name}")
+                self._check_store("WID003", reg.describe, invariant, value,
+                                  target)
+                self.attrs[name] = reg
+                return
+            if isinstance(value, ListVal) and value.kind == "state":
+                value.kind = "history" if "hist" in name else "counter"
+                value.invariant = self._spec_invariant(spec, env)
+                value.describe = f"self.{name}"
+                rule = "WID002" if value.kind == "counter" else "WID003"
+                self._check_store(rule, value.describe, value.invariant,
+                                  value.elem, target)
+                value.elem = value.invariant
+                self.attrs[name] = value
+                return
+        self._label_container(name, value)
+        if self.strong:
+            self.attrs[name] = value
+        else:
+            self.attrs[name] = _join(existing, value)
+
+    def _label_container(self, name: str, value) -> None:
+        if isinstance(value, TableObj) and value.describe.startswith("table@"):
+            value.describe = f"self.{name}"
+            value.values.describe = f"self.{name}.values"
+        elif isinstance(value, HistObj) and value.describe.startswith("hist@"):
+            value.describe = f"self.{name}"
+        elif isinstance(value, ListVal) and value.describe == "list":
+            value.describe = f"self.{name}"
+        elif isinstance(value, TupleVal) and value.describe == "tuple":
+            value.describe = f"self.{name}"
+            shared = all(e is value.elems[0] for e in value.elems)
+            for i, elem in enumerate(value.elems):
+                suffix = "[*]" if shared else f"[{i}]"
+                if isinstance(elem, TableObj) \
+                        and elem.describe.startswith("table@"):
+                    elem.describe = f"self.{name}{suffix}"
+                    elem.values.describe = f"self.{name}{suffix}.values"
+                elif isinstance(elem, ListVal) and elem.describe == "list":
+                    elem.describe = f"self.{name}{suffix}"
+                if shared:
+                    break
+
+    def _store_subscript(self, base, index: Interval, value,
+                         node: ast.AST) -> None:
+        if isinstance(base, ListVal):
+            self._check_index(base.describe, base.length, index, node)
+            if base.kind == "counter":
+                self._check_store("WID002", base.describe, base.invariant,
+                                  value, node)
+            elif base.kind == "history":
+                self._check_store("WID003", base.describe, base.invariant,
+                                  value, node)
+            else:
+                base.elem = base.elem.join(_as_iv(value))
+        elif isinstance(base, TupleVal):
+            self._check_index(base.describe, Bound(len(base.elems)), index,
+                              node)
+
+    # -- the three checks --------------------------------------------------
+
+    def _check_index(self, describe: str, length: Bound | None,
+                     index: Interval, node: ast.AST) -> None:
+        if not self.checking or length is None:
+            return
+        if (index.lo is None and index.hi is None
+                and index.token in self.param_tokens):
+            return  # a raw parameter is the caller's trust boundary
+        ok = (index.lo is not None and bound_le(ZERO, index.lo)
+              and index.hi is not None
+              and bound_le(index.hi, length.add_const(-1)))
+        if not ok:
+            self._report(
+                "WID001", node,
+                f"index into {describe} is not provably in "
+                f"[0, {length.render()}): inferred range "
+                f"{index.render()}",
+            )
+
+    def _check_store(self, rule_id: str, describe: str,
+                     invariant: Interval | None, value, node: ast.AST) -> None:
+        if not self.checking or invariant is None:
+            return
+        iv = _as_iv(value)
+        lo_ok = (invariant.lo is None
+                 or (iv.lo is not None and bound_le(invariant.lo, iv.lo)))
+        hi_ok = (invariant.hi is None
+                 or (iv.hi is not None and bound_le(iv.hi, invariant.hi)))
+        if not (lo_ok and hi_ok):
+            what = ("counter store into" if rule_id == "WID002"
+                    else "history value stored to")
+            self._report(
+                rule_id, node,
+                f"{what} {describe} is not provably within "
+                f"{invariant.render()}: inferred range {iv.render()}",
+            )
+
+    # -- expressions -------------------------------------------------------
+
+    def _eval(self, node: ast.expr, env: dict):
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return Interval.const(int(node.value))
+            if isinstance(node.value, int):
+                return Interval.const(node.value)
+            return TOP
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            if node.id in self.module_env.consts:
+                return Interval.const(self.module_env.consts[node.id])
+            return TOP
+        if isinstance(node, ast.Attribute):
+            return self._eval_attribute(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._eval_subscript(node, env)
+        if isinstance(node, ast.BinOp):
+            return self._eval_binop(node, env)
+        if isinstance(node, ast.UnaryOp):
+            op = _AST_UNOPS.get(type(node.op))
+            operand = _as_iv(self._eval(node.operand, env))
+            return unop(op, operand) if op else TOP
+        if isinstance(node, ast.BoolOp):
+            result = None
+            for value in node.values:
+                part = self._eval(value, env)
+                result = part if result is None else _join(result, part)
+            return result if result is not None else TOP
+        if isinstance(node, ast.Compare):
+            self._eval(node.left, env)
+            for comparator in node.comparators:
+                self._eval(comparator, env)
+            return BOOL
+        if isinstance(node, ast.IfExp):
+            self._eval(node.test, env)
+            then_env = self._refine(dict(env), node.test, True)
+            else_env = self._refine(dict(env), node.test, False)
+            return _join(self._eval(node.body, then_env),
+                         self._eval(node.orelse, else_env))
+        if isinstance(node, ast.Call):
+            return self._eval_call(node, env)
+        if isinstance(node, ast.Tuple):
+            return TupleVal([self._eval(e, env) for e in node.elts])
+        if isinstance(node, ast.List):
+            elem = TOP if not node.elts else None
+            for e in node.elts:
+                part = _as_iv(self._eval(e, env))
+                elem = part if elem is None else elem.join(part)
+            return ListVal(Bound(len(node.elts)), elem)
+        if isinstance(node, (ast.GeneratorExp, ast.ListComp, ast.SetComp)):
+            return self._eval_comprehension(node, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self._eval(node.value, env)
+            self._assign(node.target, value, env, node.value)
+            return value
+        if isinstance(node, ast.Starred):
+            self._eval(node.value, env)
+            return TOP
+        return TOP
+
+    def _eval_attribute(self, node: ast.Attribute, env: dict):
+        base = self._eval(node.value, env)
+        attr = node.attr
+        if isinstance(base, InstanceVal):
+            value = self.attrs.get(attr, TOP)
+            if isinstance(value, RegVal):
+                return value.invariant
+            return value
+        if isinstance(base, TableObj):
+            if attr == "values":
+                return base.values
+            if attr == "mask":
+                return Interval.of_bound(base.size.add_const(-1))
+            if attr == "entries":
+                return Interval.of_bound(base.size)
+            if attr == "max_value":
+                return Interval.of_bound(base.max_value)
+            if attr == "threshold":
+                return Interval.of_bound(base.threshold)
+            if attr == "bits":
+                return base.bits
+            if attr in ("size_bits", "size_bytes"):
+                return Interval(ZERO, None)
+            return TOP
+        if isinstance(base, HistObj):
+            if attr == "value":
+                return Interval(ZERO, base.mask)
+            if attr == "mask":
+                return Interval.of_bound(base.mask)
+            if attr == "length":
+                return base.length
+            return TOP
+        return TOP
+
+    def _read_list_elem(self, lst: ListVal) -> Interval:
+        if lst.kind in ("counter", "history") and lst.invariant is not None:
+            return lst.invariant
+        return lst.elem
+
+    def _tuple_rep(self, tup: TupleVal):
+        """A representative element for a variable-index tuple access."""
+        elems = tup.elems
+        first = elems[0]
+        if all(e is first for e in elems):
+            return first
+        if all(isinstance(e, Interval) for e in elems):
+            result = elems[0]
+            for e in elems[1:]:
+                result = result.join(e)
+            return result
+        if isinstance(first, TableObj) and all(
+                isinstance(e, TableObj) and e.size == first.size
+                and e.max_value == first.max_value for e in elems):
+            return first
+        if isinstance(first, ListVal) and all(
+                isinstance(e, ListVal) and e.kind == first.kind
+                and e.length == first.length for e in elems):
+            if first.kind == "state":
+                for e in elems[1:]:
+                    first.elem = first.elem.join(e.elem)
+            return first
+        return TOP
+
+    def _eval_subscript(self, node: ast.Subscript, env: dict):
+        base = self._eval(node.value, env)
+        if isinstance(node.slice, ast.Slice):
+            for part in (node.slice.lower, node.slice.upper, node.slice.step):
+                if part is not None:
+                    self._eval(part, env)
+            return TOP
+        index = _as_iv(self._eval(node.slice, env))
+        if isinstance(base, ListVal):
+            self._check_index(base.describe, base.length, index, node)
+            return self._read_list_elem(base)
+        if isinstance(base, TupleVal):
+            count = len(base.elems)
+            if (index.is_singleton and index.lo.is_const
+                    and -count <= index.lo.off < count):
+                return base.elems[index.lo.off]
+            self._check_index(base.describe, Bound(count), index, node)
+            return self._tuple_rep(base)
+        return TOP
+
+    def _pow2_token(self, node: ast.expr, env: dict):
+        """``(token, delta)`` such that the expression is ``<token> + delta``."""
+        iv = _as_iv(self._eval(node, env))
+        if iv.token is not None:
+            return iv.token, 0, iv
+        if (isinstance(node, ast.BinOp)
+                and isinstance(node.op, (ast.Add, ast.Sub))
+                and isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)):
+            inner = _as_iv(self._eval(node.left, env))
+            if inner.token is not None:
+                delta = node.right.value
+                if isinstance(node.op, ast.Sub):
+                    delta = -delta
+                return inner.token, delta, inner
+        return None, 0, iv
+
+    def _pow2_value(self, node: ast.expr, env: dict) -> Interval | None:
+        """``2 ** <node>`` as an exact bound, or None when unidentifiable."""
+        iv = _as_iv(self._eval(node, env))
+        if (iv.is_singleton and iv.lo.is_const
+                and 0 <= iv.lo.off <= 256):
+            return Interval.const(1 << iv.lo.off)
+        token, delta, operand = self._pow2_token(node, env)
+        if token is None:
+            return None
+        registered = self.widths.get(token) if delta == 0 else None
+        if registered is not None:
+            return Interval.of_bound(registered)
+        base = self.widths.get(token)
+        if base is not None and base.sym is not None and base.off == 0:
+            return Interval.of_bound(Bound(0, base.sym, base.shift + delta))
+        label = token[-1] if isinstance(token[-1], str) else str(token[-1])
+        min_exp = 0
+        if operand.lo is not None and operand.lo.is_const:
+            min_exp = max(0, operand.lo.off)
+        sym = self._sym(("shl", token), f"2**{label}", min_exp)
+        return Interval.of_bound(Bound(0, sym, delta))
+
+    def _eval_binop(self, node: ast.BinOp, env: dict):
+        op = _AST_BINOPS.get(type(node.op))
+        if op is None:
+            return TOP
+        if op == "*" and (isinstance(node.left, ast.List)
+                          or isinstance(node.right, ast.List)):
+            list_node = node.left if isinstance(node.left, ast.List) \
+                else node.right
+            count_node = node.right if list_node is node.left else node.left
+            lst = self._eval(list_node, env)
+            count = _as_iv(self._eval(count_node, env))
+            if isinstance(lst, ListVal):
+                lst.length = count.lo if count.is_singleton else None
+                return lst
+            return TOP
+        if op in ("<<", "**") and isinstance(node.left, ast.Constant):
+            base_const = node.left.value
+            wanted = 1 if op == "<<" else 2
+            if base_const == wanted:
+                pow2 = self._pow2_value(node.right, env)
+                if pow2 is not None:
+                    return pow2
+        left = _as_iv(self._eval(node.left, env))
+        right = _as_iv(self._eval(node.right, env))
+        if op == "**":
+            if (left.is_singleton and left.lo.is_const and right.is_singleton
+                    and right.lo.is_const and 0 <= right.lo.off <= 64):
+                return Interval.const(left.lo.off ** right.lo.off)
+            return TOP
+        return binop(op, left, right)
+
+    def _eval_comprehension(self, node, env: dict):
+        if len(node.generators) != 1:
+            return TOP
+        gen = node.generators[0]
+        iterable = self._eval(gen.iter, env)
+        fork = dict(env)
+        self._assign(gen.target, self._iter_elem(iterable), fork, None)
+        for cond in gen.ifs:
+            self._eval(cond, fork)
+        elem = _as_iv(self._eval(node.elt, fork))
+        if isinstance(node, ast.ListComp) and not gen.ifs:
+            length = None
+            if isinstance(iterable, ListVal):
+                length = iterable.length
+            elif isinstance(iterable, TupleVal):
+                length = Bound(len(iterable.elems))
+            return ListVal(length, elem)
+        return TOP
+
+    def _iter_elem(self, iterable):
+        if isinstance(iterable, RangeVal):
+            return iterable.iv
+        if isinstance(iterable, ListVal):
+            return self._read_list_elem(iterable)
+        if isinstance(iterable, TupleVal):
+            return self._tuple_rep(iterable)
+        return TOP
+
+    # -- calls -------------------------------------------------------------
+
+    def _eval_args(self, node: ast.Call, env: dict):
+        pos = [self._eval(arg, env) for arg in node.args]
+        kw = {kword.arg: self._eval(kword.value, env)
+              for kword in node.keywords if kword.arg is not None}
+        return pos, kw
+
+    def _eval_call(self, node: ast.Call, env: dict):
+        func = node.func
+        if isinstance(func, ast.Attribute):
+            base = self._eval(func.value, env)
+            if isinstance(base, InstanceVal):
+                target = self.methods.get(func.attr)
+                pos, kw = self._eval_args(node, env)
+                if target is not None:
+                    return self._call_method(target, pos, kw)
+                return TOP
+            if isinstance(base, TableObj):
+                pos, _ = self._eval_args(node, env)
+                if func.attr in ("predict", "update", "strengthen") and pos:
+                    self._check_index(base.values.describe, base.size,
+                                      _as_iv(pos[0]), node.args[0])
+                    return BOOL if func.attr == "predict" else TOP
+                # reset / check_invariants keep the counter invariant.
+                return TOP
+            if isinstance(base, HistObj):
+                self._eval_args(node, env)
+                return TOP  # shift / reset keep the register invariant
+            if isinstance(base, ListVal):
+                pos, _ = self._eval_args(node, env)
+                if func.attr in ("append", "insert", "extend") and pos:
+                    base.elem = base.elem.join(_as_iv(pos[-1]))
+                    base.length = None
+                return TOP
+            if isinstance(base, (TupleVal, RangeVal, RegVal)):
+                self._eval_args(node, env)
+                return TOP
+            canonical = (func.attr if func.attr in _INTRINSICS else None)
+            return self._eval_known_call(canonical, node, env)
+        if isinstance(func, ast.Name):
+            canonical = self.module_env.aliases.get(func.id, func.id)
+            return self._eval_known_call(canonical, node, env)
+        self._eval_args(node, env)
+        return TOP
+
+    def _mask_of(self, width_node: ast.expr, env: dict) -> Interval:
+        """``2**width - 1`` (the value range of a width-bit field)."""
+        pow2 = self._pow2_value(width_node, env)
+        if pow2 is None:
+            return Interval(ZERO, None)
+        return binop("-", pow2, Interval.const(1))
+
+    def _eval_known_call(self, name: str | None, node: ast.Call, env: dict):
+        if name == "CounterTable":
+            return self._make_table(node, env)
+        if name == "GlobalHistory":
+            return self._make_history(node, env)
+        if name == "log2_exact" and len(node.args) == 1:
+            return self._log2(node.args[0], env)
+        if name == "bit_mask" and len(node.args) == 1:
+            return self._mask_of(node.args[0], env)
+        if name == "is_power_of_two":
+            self._eval_args(node, env)
+            return BOOL
+        if name in ("fold_bits", "reverse_bits") and len(node.args) == 2:
+            self._eval(node.args[0], env)
+            return Interval(ZERO, self._mask_of(node.args[1], env).hi)
+        if name == "rotate_left" and len(node.args) == 3:
+            self._eval(node.args[0], env)
+            self._eval(node.args[2], env)
+            return Interval(ZERO, self._mask_of(node.args[1], env).hi)
+        if name == "mix64":
+            self._eval_args(node, env)
+            return Interval(ZERO, Bound((1 << 64) - 1))
+        if name in ("pc_index", "skew_h", "skew_h_inv") \
+                and len(node.args) == 2:
+            self._eval(node.args[0], env)
+            return Interval(ZERO, self._mask_of(node.args[1], env).hi)
+        if name in ("fold_history", "gshare_index") and node.args:
+            for arg in node.args[:-1]:
+                self._eval(arg, env)
+            return Interval(ZERO, self._mask_of(node.args[-1], env).hi)
+        if name == "len" and len(node.args) == 1:
+            value = self._eval(node.args[0], env)
+            if isinstance(value, ListVal) and value.length is not None:
+                return Interval.of_bound(value.length)
+            if isinstance(value, TupleVal):
+                return Interval.const(len(value.elems))
+            return Interval(ZERO, None)
+        if name == "range" and node.args and not node.keywords:
+            parts = [_as_iv(self._eval(arg, env)) for arg in node.args]
+            if len(parts) == 1:
+                lo: Bound | None = ZERO
+                hi = parts[0].hi
+            else:
+                lo = parts[0].lo
+                hi = parts[1].hi
+            return RangeVal(Interval(lo, None if hi is None
+                                     else hi.add_const(-1)))
+        if name in ("min", "max") and node.args and not node.keywords:
+            parts = [_as_iv(self._eval(arg, env)) for arg in node.args]
+            result = parts[0]
+            for part in parts[1:]:
+                result = (iv_min if name == "min" else iv_max)(result, part)
+            return result
+        if name == "abs" and len(node.args) == 1:
+            value = _as_iv(self._eval(node.args[0], env))
+            if value.nonneg:
+                return value
+            if (value.lo is not None and value.lo.is_const
+                    and value.hi is not None and value.hi.is_const):
+                return Interval.range(0, max(-value.lo.off, value.hi.off))
+            return Interval(ZERO, None)
+        if name == "bool":
+            self._eval_args(node, env)
+            return BOOL
+        if name == "int" and len(node.args) == 1:
+            return _as_iv(self._eval(node.args[0], env))
+        if name == "enumerate" and len(node.args) == 1:
+            value = self._eval(node.args[0], env)
+            if isinstance(value, ListVal):
+                hi = None if value.length is None \
+                    else value.length.add_const(-1)
+                pair = TupleVal([Interval(ZERO, hi),
+                                 self._read_list_elem(value)])
+                result = ListVal(value.length, TOP, "state",
+                                 describe="enumerate")
+                result.elem = pair
+                return result
+            self._eval_args(node, env)
+            return TOP
+        if name == "tuple" and len(node.args) == 1:
+            arg = node.args[0]
+            if (isinstance(arg, ast.GeneratorExp)
+                    and len(arg.generators) == 1
+                    and not arg.generators[0].ifs):
+                gen = arg.generators[0]
+                iterable = self._eval(gen.iter, env)
+                count = None
+                if isinstance(iterable, RangeVal):
+                    iv = iterable.iv
+                    if (iv.lo is not None and iv.lo.is_const
+                            and iv.hi is not None and iv.hi.is_const):
+                        count = iv.hi.off - iv.lo.off + 1
+                if count is not None and 0 < count <= 16:
+                    fork = dict(env)
+                    self._assign(gen.target, self._iter_elem(iterable),
+                                 fork, None)
+                    elem = self._eval(arg.elt, fork)
+                    return TupleVal([elem] * count)
+            inner = self._eval(arg, env)
+            if isinstance(inner, TupleVal):
+                return inner
+            return TOP
+        self._eval_args(node, env)
+        return TOP
+
+    def _log2(self, arg: ast.expr, env: dict) -> Interval:
+        iv = _as_iv(self._eval(arg, env))
+        if iv.is_singleton:
+            b = iv.lo
+            if b.is_const:
+                if b.off >= 1 and b.off & (b.off - 1) == 0:
+                    return Interval.const(b.off.bit_length() - 1)
+                return Interval(ZERO, None)
+            if b.off == 0:
+                token = ("width", b.sym.key, b.shift)
+                self.widths[token] = b
+                return Interval(Bound(b.sym.min_exp + b.shift), None, token)
+        return Interval(ZERO, None)
+
+    def _ctor_size(self, node: ast.Call, size_node: ast.expr,
+                   env: dict) -> Bound:
+        """The exact power-of-two size bound of a table constructor,
+        refining a plain-name argument in place (the constructor raises
+        on non-power-of-two sizes, so code after the call may rely on
+        it — including validation hoisted into a loop over several
+        sizes, where the loop variable, not the name, was refined)."""
+        iv = _as_iv(self._eval(size_node, env))
+        if iv.is_singleton and iv.lo.off == 0 and iv.lo.sym is not None:
+            return iv.lo
+        if (iv.is_singleton and iv.lo.is_const and iv.lo.off >= 1
+                and iv.lo.off & (iv.lo.off - 1) == 0):
+            return iv.lo
+        token = iv.token
+        if token is not None:
+            label = token[-1] if isinstance(token[-1], str) else "size"
+            sym = self._sym(("pow2", token), label)
+        else:
+            sym = self._sym(("ctor", node.lineno, node.col_offset),
+                            f"size@L{node.lineno}")
+        if iv.lo is not None and iv.lo.is_const and iv.lo.off >= 1:
+            sym.require_min_exp((iv.lo.off - 1).bit_length())
+        bound = Bound(0, sym, 0)
+        if isinstance(size_node, ast.Name) and size_node.id in env:
+            env[size_node.id] = Interval.of_bound(bound).with_token(token)
+        return bound
+
+    def _find_arg(self, node: ast.Call, position: int, keyword: str):
+        if len(node.args) > position:
+            return node.args[position]
+        for kword in node.keywords:
+            if kword.arg == keyword:
+                return kword.value
+        return None
+
+    def _make_table(self, node: ast.Call, env: dict):
+        size_node = self._find_arg(node, 0, "entries")
+        if size_node is None:
+            return TOP
+        size = self._ctor_size(node, size_node, env)
+        bits_node = self._find_arg(node, 1, "bits")
+        bits_text = "2" if bits_node is None else ast.unparse(bits_node)
+        if bits_node is None:
+            bits = Interval.const(2)
+        else:
+            bits = _as_iv(self._eval(bits_node, env))
+        if bits.is_singleton and bits.lo.is_const:
+            width = max(1, bits.lo.off)
+            max_value = Bound((1 << width) - 1)
+            threshold = Bound(1 << (width - 1))
+            bits = Interval.const(width)
+        else:
+            # Constructor postcondition: bits >= 1, so the ceiling
+            # 2**bits - 1 and threshold 2**(bits - 1) both exist.
+            bits = bits.clamp_lo(ONE)
+            if isinstance(bits_node, ast.Name) and bits_node.id in env:
+                env[bits_node.id] = bits
+            pow2 = self._pow2_value(bits_node, env) if bits_node is not None \
+                else None
+            if pow2 is not None and pow2.is_singleton \
+                    and pow2.lo.sym is not None:
+                pow2.lo.sym.require_min_exp(1)
+                max_value = pow2.lo.add_const(-1)
+                threshold = Bound(0, pow2.lo.sym, pow2.lo.shift - 1)
+            else:
+                sym = self._sym(("bits", node.lineno, node.col_offset),
+                                f"2**bits@L{node.lineno}", 1)
+                max_value = Bound(-1, sym, 0)
+                threshold = Bound(0, sym, -1)
+        initial_node = self._find_arg(node, 2, "initial")
+        if initial_node is not None:
+            self._eval(initial_node, env)
+        return TableObj(size, max_value, threshold, bits, bits_text,
+                        f"table@L{node.lineno}")
+
+    def _make_history(self, node: ast.Call, env: dict):
+        arg = self._find_arg(node, 0, "length")
+        if arg is None:
+            return TOP
+        width_text = ast.unparse(arg)
+        length = _as_iv(self._eval(arg, env)).clamp_lo(ZERO)
+        pow2 = self._pow2_value(arg, env)
+        if pow2 is not None and pow2.is_singleton:
+            mask = pow2.lo.add_const(-1)
+        else:
+            sym = self._sym(("ctor", node.lineno, node.col_offset),
+                            f"2**len@L{node.lineno}")
+            mask = Bound(-1, sym, 0)
+        return HistObj(mask, length, width_text, f"hist@L{node.lineno}")
+
+    # -- branch refinement -------------------------------------------------
+
+    def _refine(self, env: dict, test: ast.expr, sense: bool) -> dict:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return self._refine(env, test.operand, not sense)
+        if isinstance(test, ast.BoolOp):
+            conjunctive = (isinstance(test.op, ast.And) and sense) or (
+                isinstance(test.op, ast.Or) and not sense)
+            if conjunctive:
+                for value in test.values:
+                    self._refine(env, value, sense)
+            return env
+        if isinstance(test, ast.Call):
+            self._refine_pow2_guard(env, test, sense)
+            return env
+        if isinstance(test, ast.Compare):
+            operands = [test.left] + test.comparators
+            ops = [_CMP_OPS.get(type(op)) for op in test.ops]
+            if len(ops) > 1 and not sense:
+                return env  # negated conjunction: no single-branch fact
+            for left, op, right in zip(operands, ops, operands[1:]):
+                if op is None:
+                    continue
+                effective = op if sense else _NEGATED_CMP[op]
+                self._refine_cmp(env, left, effective, right)
+            return env
+        return env
+
+    def _refine_pow2_guard(self, env: dict, test: ast.Call,
+                           sense: bool) -> None:
+        func = test.func
+        name = func.id if isinstance(func, ast.Name) else (
+            func.attr if isinstance(func, ast.Attribute) else "")
+        canonical = self.module_env.aliases.get(name, name)
+        if canonical != "is_power_of_two" or not sense or len(test.args) != 1:
+            return
+        arg = test.args[0]
+        if not isinstance(arg, ast.Name):
+            return
+        current = env.get(arg.id)
+        if not isinstance(current, Interval):
+            return
+        if is_exact_pow2(current):
+            return
+        token = current.token or (self.method, arg.id)
+        label = token[-1] if isinstance(token[-1], str) else arg.id
+        sym = self._sym(("pow2", token), label)
+        if current.lo is not None and current.lo.is_const \
+                and current.lo.off >= 1:
+            sym.require_min_exp((current.lo.off - 1).bit_length())
+        env[arg.id] = Interval.of_bound(Bound(0, sym, 0)).with_token(token)
+
+    def _refine_cmp(self, env: dict, left: ast.expr, op: str,
+                    right: ast.expr) -> None:
+        if isinstance(left, ast.Name) and isinstance(env.get(left.id),
+                                                     Interval):
+            other = _as_iv(self._eval(right, env))
+            env[left.id] = self._apply_cmp(env[left.id], op, other)
+        if isinstance(right, ast.Name) and isinstance(env.get(right.id),
+                                                      Interval):
+            other = _as_iv(self._eval(left, env))
+            env[right.id] = self._apply_cmp(env[right.id],
+                                            _MIRRORED_CMP[op], other)
+
+    @staticmethod
+    def _apply_cmp(iv: Interval, op: str, other: Interval) -> Interval:
+        if op == "<" and other.hi is not None:
+            return iv.clamp_hi(other.hi.add_const(-1))
+        if op == "<=" and other.hi is not None:
+            return iv.clamp_hi(other.hi)
+        if op == ">" and other.lo is not None:
+            return iv.clamp_lo(other.lo.add_const(1))
+        if op == ">=" and other.lo is not None:
+            return iv.clamp_lo(other.lo)
+        if op == "==":
+            if other.lo is not None:
+                iv = iv.clamp_lo(other.lo)
+            if other.hi is not None:
+                iv = iv.clamp_hi(other.hi)
+            return iv
+        return iv
+
+    # -- _WIDTHS declaration honesty --------------------------------------
+
+    def _check_declarations(self) -> None:
+        discovered: dict[str, tuple[str, str]] = {}
+        for name in sorted(self.attrs):
+            value = self.attrs[name]
+            if isinstance(value, TableObj):
+                discovered[name] = ("WID002", value.bits_text)
+            elif isinstance(value, HistObj):
+                discovered[name] = ("WID003", value.width_text)
+            elif isinstance(value, TupleVal):
+                rep = self._tuple_rep(value)
+                if isinstance(rep, TableObj):
+                    discovered[name] = ("WID002", rep.bits_text)
+        anchor = self.declared_node or self.cls
+        for name, (rule_id, text) in sorted(discovered.items()):
+            kind = "counter table" if rule_id == "WID002" \
+                else "history register"
+            if name not in self.declared:
+                self._report(
+                    rule_id, self.cls,
+                    f"{self.cls.name}.{name} holds a {kind} of width "
+                    f"'{text}' but {_WIDTHS_ATTR} does not declare it",
+                )
+            elif self.declared[name] != text:
+                self._report(
+                    rule_id, anchor,
+                    f"{_WIDTHS_ATTR}[{name!r}] declares width "
+                    f"'{self.declared[name]}' but {self.cls.name}.{name} "
+                    f"is constructed with width '{text}'",
+                )
+        for name in sorted(self.declared):
+            if name in discovered:
+                continue
+            value = self.attrs.get(name)
+            promoted = isinstance(value, RegVal) or (
+                isinstance(value, ListVal)
+                and value.kind in ("counter", "history"))
+            if not promoted:
+                self._report(
+                    "WID002", anchor,
+                    f"stale {_WIDTHS_ATTR} entry: {self.cls.name}.{name} "
+                    "is not a counter table, history register, or "
+                    "declared-width list",
+                )
+
+
+# --------------------------------------------------------------------------
+# Project-level driver shared by WID001/WID002/WID003.
+
+
+def _should_analyze(cls_node: ast.ClassDef) -> bool:
+    if _PREDICTOR_BASE in _base_names(cls_node):
+        return True
+    return _widths_decl(cls_node)[1] is not None
+
+
+def _project_results(project: "ProjectContext") -> list[tuple]:
+    """``(rule_id, display_path, line, col, message)`` for all classes.
+
+    Computed once per lint invocation and memoized on the project
+    context; the three WID project rules each filter their own id out.
+    """
+    cached = getattr(project, "_wid_results", None)
+    if cached is not None:
+        return cached
+    consts = _project_consts(project)
+    results: list[tuple] = []
+    for ctx in project.files:
+        classes = [stmt for stmt in ctx.tree.body
+                   if isinstance(stmt, ast.ClassDef)
+                   and _should_analyze(stmt)]
+        if not classes:
+            continue
+        module_env = _ModuleEnv(ctx, consts)
+        for cls_node in classes:
+            analysis = _ClassAnalysis(cls_node, module_env)
+            try:
+                analysis.run()
+            except RecursionError:  # pragma: no cover - defensive
+                continue
+            for rule_id, line, col, message in sorted(analysis.findings):
+                results.append((rule_id, ctx.display, line, col, message))
+    project._wid_results = results
+    return results
+
+
+class _WidthRule(ProjectRule):
+    """Shared plumbing: filter the memoized analysis by rule id."""
+
+    anchor = _ANCHOR
+
+    def check_project(self, anchor_ctx: "FileContext",
+                      project: "ProjectContext"):
+        for rule_id, path, line, col, message in _project_results(project):
+            if rule_id == self.rule_id:
+                yield Finding(path=path, line=line, col=col,
+                              rule=rule_id, severity=self.severity,
+                              message=message)
+
+
+@register
+class IndexBoundsRule(_WidthRule):
+    """Every table subscript must be provably within the table.
+
+    An index hash that escapes ``[0, table_size)`` does not crash the
+    simulation — Python lists happily wrap negative indices — it
+    silently trains the wrong counter, corrupting MISP/KI in a way
+    tier-1 tests catch only probabilistically.  The abstract
+    interpreter proves every subscript of a counter table, tag list, or
+    bank tuple stays inside the table the constructor declared.
+    """
+
+    rule_id = "WID001"
+    severity = Severity.ERROR
+    summary = "table indices are provably within [0, table_size)"
+    example_bad = (
+        "index = (address >> 2) ^ self.history.value\n"
+        "self.table.values[index] += 1   # unmasked: can exceed the table"
+    )
+    example_good = (
+        "index = ((address >> 2) ^ self.history.value) & self._index_mask\n"
+        "self.table.values[index] += 1   # provably in [0, entries)"
+    )
+
+
+@register
+class CounterSaturationRule(_WidthRule):
+    """Counter stores must provably stay within the declared width.
+
+    Saturating arithmetic is the contract of every counter file; an
+    unguarded ``value + 1`` lets a 2-bit counter count to 4, and the
+    MSB-threshold prediction test silently changes meaning.  The
+    checker *verifies* the saturation guards instead of assuming them,
+    and enforces ``_WIDTHS`` declarations both ways.
+    """
+
+    rule_id = "WID002"
+    severity = Severity.ERROR
+    summary = "counter updates provably saturate at the declared width"
+    example_bad = (
+        "value = self.table.values[index]\n"
+        "self.table.values[index] = value + 1   # no saturation guard"
+    )
+    example_good = (
+        "value = self.table.values[index]\n"
+        "if value < self._max_value:\n"
+        "    self.table.values[index] = value + 1"
+    )
+
+
+@register
+class HistoryWidthRule(_WidthRule):
+    """History shift-ins must be masked back to the declared width.
+
+    A shift register that is never masked grows without bound; every
+    index derived from it changes distribution and the predictor
+    quietly stops matching the hardware it models.  Stores to
+    ``GlobalHistory.value`` and to ``_WIDTHS``-declared history lists
+    and scalars must provably fit ``[0, 2**length - 1]``.
+    """
+
+    rule_id = "WID003"
+    severity = Severity.ERROR
+    summary = "history shift-ins are masked to the declared width"
+    example_bad = (
+        "h = self.history\n"
+        "h.value = (h.value << 1) | taken   # unbounded register growth"
+    )
+    example_good = (
+        "h = self.history\n"
+        "h.value = ((h.value << 1) | taken) & h.mask"
+    )
+
+
+@register
+class ProvablePow2ModuloRule(FileRule):
+    """``%`` by a provably power-of-two value should be an AND mask.
+
+    BIT001 catches ``x % 64``; this rule follows reaching definitions
+    through the interval domain to catch ``x % size`` where ``size`` is
+    provably ``1 << n`` — the same off-by-one hazard the seed's
+    modulo-mask bug came from, plus a real cost in hot loops (CPython
+    ``%`` is slower than ``&``).
+    """
+
+    rule_id = "WID004"
+    severity = Severity.WARNING
+    summary = "modulo by a provable power of two should be a mask"
+    example_bad = (
+        "size = 1 << width\n"
+        "index = hash_value % size"
+    )
+    example_good = (
+        "size = 1 << width\n"
+        "index = hash_value & (size - 1)"
+    )
+
+    def applies(self, ctx: "FileContext") -> bool:
+        # utils.bits is the one place allowed to spell out bit math.
+        return not ctx.matches("utils/bits.py")
+
+    def check(self, ctx: "FileContext"):
+        module_assigns = {
+            target.id: stmt.value
+            for stmt in ctx.tree.body if isinstance(stmt, ast.Assign)
+            for target in stmt.targets if isinstance(target, ast.Name)
+        }
+        for scope in self._scopes(ctx.tree):
+            defs = ReachingDefinitions(scope)
+            for node in self._own_nodes(scope):
+                if not (isinstance(node, ast.BinOp)
+                        and isinstance(node.op, ast.Mod)):
+                    continue
+                right = node.right
+                if isinstance(right, ast.Constant):
+                    continue  # literal modulus: BIT001's domain
+                if _is_power_of_two_expr(right):
+                    continue  # literal power-of-two shape: BIT001 again
+                iv = definition_range(right, defs, module_assigns)
+                if is_exact_pow2(iv):
+                    yield self.finding(
+                        ctx, node,
+                        f"'% {ast.unparse(right)}' has a provably "
+                        "power-of-two modulus: use "
+                        f"'& ({ast.unparse(right)} - 1)' or "
+                        "utils.bits.bit_mask instead",
+                    )
+
+    @staticmethod
+    def _scopes(tree: ast.AST):
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _own_nodes(scope: ast.AST):
+        """Walk a scope without descending into nested functions."""
+        stack = list(ast.iter_child_nodes(scope)) if not isinstance(
+            scope, ast.Module) else list(scope.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            yield node

@@ -41,6 +41,7 @@ class AgreePredictor(BranchPredictor):
 
     name = "agree"
     _PREDICT_STATE = ("_last_bias_index", "_last_index")
+    _WIDTHS = {"history": "history_length", "table": "counter_bits"}
 
     def __init__(
         self,

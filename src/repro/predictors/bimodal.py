@@ -29,6 +29,7 @@ class BimodalPredictor(BranchPredictor):
 
     name = "bimodal"
     _PREDICT_STATE = ("_last_index",)
+    _WIDTHS = {"table": "counter_bits"}
 
     def __init__(self, entries: int, counter_bits: int = 2):
         if not is_power_of_two(entries):

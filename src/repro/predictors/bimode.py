@@ -46,6 +46,8 @@ class BiModePredictor(BranchPredictor):
     _PREDICT_STATE = ("_last_bank", "_last_choice_index",
                       "_last_choice_taken", "_last_direction_index",
                       "_last_direction_pred")
+    _WIDTHS = {"choice": "counter_bits", "direction_banks": "counter_bits",
+               "history": "history_length"}
 
     def __init__(
         self,

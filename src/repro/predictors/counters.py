@@ -45,6 +45,8 @@ class CounterTable:
 
     __slots__ = ("entries", "bits", "values", "mask", "threshold", "max_value")
 
+    _WIDTHS = {"values": "bits"}
+
     def __init__(self, entries: int, bits: int = 2, initial: int | None = None):
         if not is_power_of_two(entries):
             raise ConfigurationError(

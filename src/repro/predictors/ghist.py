@@ -29,6 +29,7 @@ class GhistPredictor(BranchPredictor):
 
     name = "ghist"
     _PREDICT_STATE = ("_last_index",)
+    _WIDTHS = {"history": "history_length", "table": "counter_bits"}
 
     def __init__(
         self,

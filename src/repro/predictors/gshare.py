@@ -29,6 +29,7 @@ class GsharePredictor(BranchPredictor):
 
     name = "gshare"
     _PREDICT_STATE = ("_last_index",)
+    _WIDTHS = {"history": "history_length", "table": "counter_bits"}
 
     def __init__(
         self,

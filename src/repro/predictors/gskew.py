@@ -58,6 +58,7 @@ class TwoBcGskewPredictor(BranchPredictor):
     name = "2bcgskew"
     _PREDICT_STATE = ("_bim_pred", "_g0_pred", "_g1_pred",
                       "_gskew_pred", "_meta_choice_gskew")
+    _WIDTHS = {"banks": "counter_bits", "history": "history_length"}
 
     def __init__(
         self,
@@ -92,7 +93,8 @@ class TwoBcGskewPredictor(BranchPredictor):
         # biased not-taken at power-on (Seznec initializes similarly).
         self.banks[_BIM].reset(self.banks[_BIM].threshold)
         # The longest bank history bounds the architectural register.
-        self.history = GlobalHistory(max(g0_history, g1_history, meta_history, 1))
+        history_length = max(g0_history, g1_history, meta_history, 1)
+        self.history = GlobalHistory(history_length)
         self._width = width
         self._mask = bank_entries - 1
         self._g0_hist_mask = (1 << g0_history) - 1

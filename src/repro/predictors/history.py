@@ -33,6 +33,8 @@ class GlobalHistory:
 
     __slots__ = ("length", "mask", "value")
 
+    _WIDTHS = {"value": "length"}
+
     def __init__(self, length: int):
         if length < 0:
             raise ConfigurationError(f"history length must be >= 0, got {length}")

@@ -46,6 +46,7 @@ class LocalHistoryPredictor(BranchPredictor):
 
     name = "local"
     _PREDICT_STATE = ("_last_history_index", "_last_pattern_index")
+    _WIDTHS = {"histories": "history_length", "table": "counter_bits"}
 
     def __init__(
         self,
@@ -133,6 +134,8 @@ class TournamentPredictor(BranchPredictor):
     name = "tournament"
     _PREDICT_STATE = ("_last_chooser_index", "_last_global_index",
                       "_last_global_pred", "_last_local_pred")
+    _WIDTHS = {"chooser": "counter_bits", "global_table": "counter_bits",
+               "history": "global_width"}
 
     def __init__(
         self,

@@ -53,6 +53,8 @@ class YagsPredictor(BranchPredictor):
     _PREDICT_STATE = ("_last_cache", "_last_cache_index",
                       "_last_choice_index", "_last_choice_taken",
                       "_last_hit", "_last_tag")
+    _WIDTHS = {"caches": "counter_bits", "choice": "counter_bits",
+               "history": "history_length"}
 
     def __init__(
         self,

@@ -670,6 +670,7 @@ class TestEngineAndReport:
         assert set(rule_ids()) == {
             "DET001", "DET002", "DET003", "PRED001", "PRED002", "PRED003",
             "REG001", "EXP002", "PAR001", "PAR002", "BIT001", "LINT001",
+            "WID001", "WID002", "WID003", "WID004",
         }
         assert all(RULES[r].summary for r in RULES)
 
