@@ -1,0 +1,145 @@
+"""The benchmark suite: which cases ``repro bench`` runs.
+
+Two tiers:
+
+* **Kernel microbenches** (always run): each hot predictor family,
+  simulated over the same gcc/ref trace with ``kernel="reference"``
+  versus ``kernel="fast"``.  The pairing is the point -- the ratio of
+  the two rows is the speedup the fast kernels buy, and the fast rows
+  are what the CI regression gate protects.
+* **End-to-end benches** (skipped by ``--quick``): a full two-phase
+  ``ExperimentContext.run`` configuration, measuring what an experiment
+  cell actually costs, combined-predictor overhead and all.
+
+Fast-kernel cases are skipped (not failed) when numpy is unavailable,
+mirroring :mod:`repro.kernels`' graceful degradation; the reference
+rows still run, so a snapshot is produced either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.snapshot import BenchResult, BenchSnapshot
+from repro.bench.timing import measure
+from repro.core.simulator import simulate
+from repro.experiments.common import KIB, ExperimentContext
+from repro.kernels import numpy_available
+from repro.predictors.sizing import make_predictor
+
+__all__ = [
+    "BenchCase",
+    "DEFAULT_REPEATS",
+    "DEFAULT_TRACE_LENGTH",
+    "QUICK_REPEATS",
+    "QUICK_TRACE_LENGTH",
+    "WARMUP",
+    "end_to_end_cases",
+    "kernel_cases",
+    "run_suite",
+]
+
+DEFAULT_TRACE_LENGTH = 200_000
+QUICK_TRACE_LENGTH = 50_000
+DEFAULT_REPEATS = 5
+QUICK_REPEATS = 3
+WARMUP = 1
+
+_PROGRAM = "gcc"
+_INPUT = "ref"
+_SIZE_BYTES = 4 * KIB
+_FAMILIES = ("bimodal", "gshare", "ghist")
+
+
+@dataclass(frozen=True, slots=True)
+class BenchCase:
+    """One named measurement: a predictor configuration and kernel mode."""
+
+    name: str
+    predictor: str
+    size_bytes: int
+    kernel: str
+    scheme: str = "none"
+
+    @property
+    def end_to_end(self) -> bool:
+        """Whether the case runs the full two-phase experiment flow."""
+        return self.scheme != "none"
+
+
+def kernel_cases(include_fast: bool | None = None) -> tuple[BenchCase, ...]:
+    """The reference/fast microbench pairs, in report order.
+
+    ``include_fast=None`` probes numpy availability; passing an explicit
+    boolean makes the suite deterministic for tests.
+    """
+    if include_fast is None:
+        include_fast = numpy_available()
+    kernels = ("reference", "fast") if include_fast else ("reference",)
+    return tuple(
+        BenchCase(f"{family}/{kernel}", family, _SIZE_BYTES, kernel)
+        for family in _FAMILIES
+        for kernel in kernels
+    )
+
+
+def end_to_end_cases() -> tuple[BenchCase, ...]:
+    """The full-flow benches (static_95 selection + combined measure)."""
+    return (
+        BenchCase("e2e/gshare/static_95", "gshare", _SIZE_BYTES,
+                  "auto", scheme="static_95"),
+    )
+
+
+def _case_runner(case: BenchCase, ctx: ExperimentContext):
+    """A zero-argument closure running one case once.
+
+    A fresh predictor is built inside the closure on every call:
+    simulation trains in place, and a warm table would change both the
+    work done and the result.
+    """
+    if case.end_to_end:
+        def run() -> None:
+            ctx.run(_PROGRAM, case.predictor, case.size_bytes,
+                    scheme=case.scheme, measure_input=_INPUT)
+        return run
+    trace = ctx.trace(_PROGRAM, _INPUT)
+
+    def run() -> None:
+        predictor = make_predictor(case.predictor, case.size_bytes)
+        simulate(trace, predictor, kernel=case.kernel)
+    return run
+
+
+def run_suite(
+    name: str = "kernels",
+    quick: bool = False,
+    trace_length: int | None = None,
+    repeats: int | None = None,
+) -> BenchSnapshot:
+    """Run the suite and return the snapshot (not yet written to disk)."""
+    if trace_length is None:
+        trace_length = QUICK_TRACE_LENGTH if quick else DEFAULT_TRACE_LENGTH
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
+    ctx = ExperimentContext(trace_length=trace_length, kernel="auto")
+    cases = kernel_cases()
+    if not quick:
+        cases = cases + end_to_end_cases()
+    results = []
+    for case in cases:
+        stats = measure(_case_runner(case, ctx), repeats=repeats,
+                        warmup=WARMUP)
+        results.append(BenchResult(
+            case=case.name,
+            branches=trace_length,
+            median_s=stats.median_s,
+            iqr_s=stats.iqr_s,
+        ))
+    return BenchSnapshot(
+        name=name,
+        trace_length=trace_length,
+        repeats=repeats,
+        warmup=WARMUP,
+        results=tuple(results),
+    )

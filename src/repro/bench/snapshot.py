@@ -1,0 +1,230 @@
+"""Benchmark snapshots: a versioned JSON format and regression compare.
+
+A snapshot (``BENCH_<name>.json`` at the repository root) records one
+``repro bench`` run: the configuration that produced it and, per case,
+the median/IQR wall time and throughput in branches per second.
+Snapshots carry **no timestamps or host identifiers** -- they are meant
+to be diffed, and two runs of equal performance should produce
+near-identical files.
+
+:func:`compare` is the CI regression gate: it pairs cases by name and
+flags every case whose throughput fell below ``old / threshold``.
+Cases present on only one side are reported as informational skips, not
+failures -- adding a benchmark must not break the gate retroactively.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+__all__ = [
+    "FORMAT_HEADER",
+    "BenchFormatError",
+    "BenchResult",
+    "BenchSnapshot",
+    "Comparison",
+    "compare",
+    "parse_threshold",
+    "snapshot_filename",
+]
+
+FORMAT_HEADER = "repro-bench v1"
+
+
+class BenchFormatError(ReproError):
+    """A snapshot file or threshold string is malformed."""
+
+
+def snapshot_filename(name: str) -> str:
+    """``BENCH_<name>.json`` -- the conventional snapshot location."""
+    return f"BENCH_{name}.json"
+
+
+@dataclass(frozen=True, slots=True)
+class BenchResult:
+    """One benchmark case's measurement."""
+
+    case: str
+    branches: int
+    median_s: float
+    iqr_s: float
+
+    @property
+    def branches_per_s(self) -> float:
+        """Throughput; the quantity the regression gate compares."""
+        if self.median_s <= 0.0:
+            return 0.0
+        return self.branches / self.median_s
+
+    def to_dict(self) -> dict:
+        return {
+            "case": self.case,
+            "branches": self.branches,
+            "median_s": self.median_s,
+            "iqr_s": self.iqr_s,
+            "branches_per_s": self.branches_per_s,
+        }
+
+
+@dataclass(frozen=True, slots=True)
+class BenchSnapshot:
+    """One full ``repro bench`` run."""
+
+    name: str
+    trace_length: int
+    repeats: int
+    warmup: int
+    results: tuple[BenchResult, ...]
+
+    def to_json(self) -> str:
+        payload = {
+            "format": FORMAT_HEADER,
+            "name": self.name,
+            "trace_length": self.trace_length,
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "results": [result.to_dict() for result in self.results],
+        }
+        return json.dumps(payload, indent=2) + "\n"
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="ascii") as stream:
+            stream.write(self.to_json())
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "BenchSnapshot":
+        if payload.get("format") != FORMAT_HEADER:
+            raise BenchFormatError(
+                f"bad snapshot format {payload.get('format')!r}, "
+                f"expected {FORMAT_HEADER!r}"
+            )
+        try:
+            results = tuple(
+                BenchResult(
+                    case=str(entry["case"]),
+                    branches=int(entry["branches"]),
+                    median_s=float(entry["median_s"]),
+                    iqr_s=float(entry["iqr_s"]),
+                )
+                for entry in payload["results"]
+            )
+            return cls(
+                name=str(payload["name"]),
+                trace_length=int(payload["trace_length"]),
+                repeats=int(payload["repeats"]),
+                warmup=int(payload["warmup"]),
+                results=results,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise BenchFormatError(f"malformed snapshot: {exc}") from exc
+
+    @classmethod
+    def load(cls, path: str) -> "BenchSnapshot":
+        try:
+            with open(path, "r", encoding="ascii") as stream:
+                payload = json.load(stream)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BenchFormatError(
+                f"cannot read snapshot {path!r}: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise BenchFormatError(f"snapshot {path!r} is not a JSON object")
+        return cls.from_dict(payload)
+
+
+def parse_threshold(text: str) -> float:
+    """A regression threshold as a slowdown factor ``>= 1``.
+
+    Accepted spellings, all meaning "fail when the new run is more than
+    this much slower":
+
+    * ``"20%"``  -- up to 20% slower is tolerated (factor ``1.25``);
+    * ``"2x"``   -- up to 2x slower is tolerated (factor ``2.0``);
+    * ``"1.5"``  -- a bare number ``> 1`` is a factor;
+    * ``"0.2"``  -- a bare number ``< 1`` is a fraction (same as 20%).
+    """
+    raw = text.strip().lower()
+    try:
+        if raw.endswith("%"):
+            fraction = float(raw[:-1]) / 100.0
+        elif raw.endswith("x"):
+            factor = float(raw[:-1])
+            if factor < 1.0:
+                raise BenchFormatError(
+                    f"threshold {text!r}: an x-factor must be >= 1"
+                )
+            return factor
+        else:
+            value = float(raw)
+            if value > 1.0:
+                return value
+            fraction = value
+    except ValueError as exc:
+        raise BenchFormatError(
+            f"cannot parse regression threshold {text!r}; expected e.g. "
+            "'20%', '2x', or '1.5'"
+        ) from exc
+    if not 0.0 <= fraction < 1.0:
+        raise BenchFormatError(
+            f"threshold {text!r}: a fractional slowdown must be in [0, 1)"
+        )
+    return 1.0 / (1.0 - fraction)
+
+
+@dataclass(frozen=True, slots=True)
+class Comparison:
+    """One case's baseline-versus-current verdict."""
+
+    case: str
+    old_branches_per_s: float
+    new_branches_per_s: float
+    threshold: float
+
+    @property
+    def ratio(self) -> float:
+        """Current over baseline throughput (1.0 = unchanged)."""
+        if self.old_branches_per_s <= 0.0:
+            return 1.0
+        return self.new_branches_per_s / self.old_branches_per_s
+
+    @property
+    def regressed(self) -> bool:
+        return self.new_branches_per_s * self.threshold \
+            < self.old_branches_per_s
+
+    def render(self) -> str:
+        verdict = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.case}: {self.old_branches_per_s:,.0f} -> "
+            f"{self.new_branches_per_s:,.0f} branches/s "
+            f"({self.ratio:.2f}x) {verdict}"
+        )
+
+
+def compare(old: BenchSnapshot, new: BenchSnapshot,
+            threshold: float) -> list[Comparison]:
+    """Pair cases by name and judge each against ``threshold``.
+
+    Returns one :class:`Comparison` per case present in *both*
+    snapshots, in the new snapshot's order.
+    """
+    if threshold < 1.0:
+        raise BenchFormatError(
+            f"threshold factor must be >= 1, got {threshold}"
+        )
+    baseline = {result.case: result for result in old.results}
+    comparisons = []
+    for result in new.results:
+        reference = baseline.get(result.case)
+        if reference is None:
+            continue
+        comparisons.append(Comparison(
+            case=result.case,
+            old_branches_per_s=reference.branches_per_s,
+            new_branches_per_s=result.branches_per_s,
+            threshold=threshold,
+        ))
+    return comparisons

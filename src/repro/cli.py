@@ -12,6 +12,8 @@ Subcommands::
     repro profile --program gcc --input train --out gcc.profile.json
     repro classify --program gcc [--predictor gshare --size 8192]
     repro interference --program gcc --predictor gshare --size 2048
+    repro bench [--quick] [--name NAME] [--out FILE] \
+                [--compare BASELINE [CURRENT]] [--max-regression 20%]
     repro lint [--format json|sarif] [--select RULES] [--changed] \
                [--baseline [FILE]] [--update-baseline] [--cache [FILE]] [paths]
 
@@ -23,6 +25,10 @@ wall time, branches/s per worker, cache hit/miss counts.  ``run`` with
 flow for that single configuration and prints the result line.
 ``experiment`` regenerates a whole table or figure serially (it also
 honors the ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment knobs);
+``bench`` times the simulation kernels (reference loop versus the
+array-backed fast kernels) and writes a ``BENCH_<name>.json`` snapshot;
+with ``--compare`` it gates against a baseline snapshot and exits 1 on
+any case slower than ``--max-regression`` allows;
 ``lint`` statically checks the determinism, predictor, and parallelism
 invariants the results depend on (exit status 1 when any finding
 survives); ``--baseline`` ratchets against accepted debt so only *new*
@@ -45,6 +51,7 @@ from typing import Callable
 from repro.arch.isa import ShiftPolicy
 from repro.errors import ReproError
 from repro.experiments.common import ExperimentContext
+from repro.kernels import KERNEL_MODES
 from repro.experiments.registry import EXPERIMENT_IDS, get_experiment
 from repro.predictors.sizing import PREDICTOR_NAMES
 from repro.profiling.profile import ProgramProfile
@@ -103,6 +110,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--seed", type=int, default=None)
     run.add_argument("--scale", type=float, default=None,
                      help="static-branch site scale")
+    run.add_argument("--kernel", default=None, choices=KERNEL_MODES,
+                     help="simulation kernel mode (default: REPRO_KERNEL "
+                          "or auto); bit-identical by contract, so this "
+                          "only changes wall time")
 
     experiment = sub.add_parser("experiment",
                                 help="regenerate a paper table or figure")
@@ -156,6 +167,34 @@ def build_parser() -> argparse.ArgumentParser:
     interference.add_argument("--seed", type=int, default=None)
     interference.add_argument("--scale", type=float, default=None)
 
+    bench = sub.add_parser(
+        "bench",
+        help="time the simulation kernels and gate perf regressions",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="shorter trace, fewer repeats, kernel "
+                            "microbenches only (the CI configuration)")
+    bench.add_argument("--name", default="kernels",
+                       help="suite name; the snapshot is written to "
+                            "BENCH_<name>.json")
+    bench.add_argument("--out", default=None,
+                       help="snapshot path (default: BENCH_<name>.json "
+                            "in the current directory)")
+    bench.add_argument("--length", type=int, default=None,
+                       help="trace length in branches (default: 200000, "
+                            "or 50000 with --quick)")
+    bench.add_argument("--repeats", type=int, default=None,
+                       help="timed samples per case (default: 5, or 3 "
+                            "with --quick)")
+    bench.add_argument("--compare", nargs="+", default=None,
+                       metavar="SNAPSHOT",
+                       help="compare BASELINE [CURRENT] snapshots; with "
+                            "one argument the suite runs fresh as the "
+                            "current side; exits 1 on regression")
+    bench.add_argument("--max-regression", default="20%",
+                       help="tolerated slowdown for --compare: '20%%', "
+                            "'2x', or a bare factor (default: 20%%)")
+
     lint = sub.add_parser(
         "lint",
         help="statically check determinism and predictor invariants",
@@ -204,6 +243,7 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
         trace_length=getattr(args, "length", None),
         site_scale=getattr(args, "scale", None),
         seed=getattr(args, "seed", None),
+        kernel=getattr(args, "kernel", None),
     )
 
 
@@ -337,6 +377,80 @@ def _cmd_interference(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        BenchSnapshot,
+        compare,
+        parse_threshold,
+        run_suite,
+        snapshot_filename,
+    )
+
+    threshold = parse_threshold(args.max_regression)
+    baseline = None
+    current = None
+    if args.compare:
+        if len(args.compare) > 2:
+            raise ReproError(
+                "--compare takes BASELINE and optionally CURRENT, got "
+                f"{len(args.compare)} snapshots"
+            )
+        baseline = BenchSnapshot.load(args.compare[0])
+        if len(args.compare) == 2:
+            current = BenchSnapshot.load(args.compare[1])
+
+    if current is None:
+        current = run_suite(
+            name=args.name, quick=args.quick,
+            trace_length=args.length, repeats=args.repeats,
+        )
+        out = args.out or snapshot_filename(current.name)
+        current.save(out)
+        for result in current.results:
+            print(f"{result.case}: {result.branches_per_s:,.0f} branches/s "
+                  f"(median {result.median_s * 1000.0:.2f} ms, "
+                  f"iqr {result.iqr_s * 1000.0:.2f} ms)")
+        _print_speedups(current)
+        print(f"wrote {out}")
+
+    if baseline is None:
+        return 0
+    comparisons = compare(baseline, current, threshold)
+    if not comparisons:
+        print("no common cases between the snapshots; nothing to gate",
+              file=sys.stderr)
+        return 0
+    regressed = 0
+    for comparison in comparisons:
+        print(comparison.render())
+        if comparison.regressed:
+            regressed += 1
+    if regressed:
+        print(f"{regressed} case(s) regressed beyond "
+              f"{args.max_regression} (factor {threshold:.2f})",
+              file=sys.stderr)
+        return 1
+    print(f"no regression beyond {args.max_regression} "
+          f"across {len(comparisons)} case(s)")
+    return 0
+
+
+def _print_speedups(snapshot) -> None:
+    """Per-family fast-over-reference speedups, when both rows exist."""
+    throughput = {result.case: result.branches_per_s
+                  for result in snapshot.results}
+    for case, fast_bps in throughput.items():
+        if not case.endswith("/fast"):
+            continue
+        reference_bps = throughput.get(
+            case[: -len("fast")] + "reference"
+        )
+        if reference_bps and reference_bps > 0.0:
+            family = case.split("/")[0]
+            print(f"{family}: fast kernel is "
+                  f"{fast_bps / reference_bps:.1f}x reference")
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import repro
     from repro.lint import (
@@ -437,6 +551,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "profile": _cmd_profile,
     "classify": _cmd_classify,
     "interference": _cmd_interference,
+    "bench": _cmd_bench,
     "lint": _cmd_lint,
 }
 

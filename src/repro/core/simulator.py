@@ -22,6 +22,7 @@ from repro.arch.isa import ShiftPolicy
 from repro.core.combined import CombinedPredictor
 from repro.core.metrics import SimulationResult
 from repro.errors import SelectionError
+from repro.kernels import try_fast_simulate, validate_kernel_mode
 from repro.predictors.base import BranchPredictor
 from repro.predictors.collisions import CollisionTracker
 from repro.profiling.accuracy import measure_accuracy
@@ -39,48 +40,68 @@ from repro.workloads.trace import BranchTrace
 __all__ = ["simulate", "run_selection_phase", "run_combined"]
 
 
+def _reference_loop(
+    trace: BranchTrace,
+    predictor: BranchPredictor,
+    tracker: CollisionTracker | None,
+) -> int:
+    """The per-branch ``predict``/``update`` loop; returns mispredictions.
+
+    This is the semantic definition every fast kernel must match
+    bit-for-bit, and the only loop body in the simulator: collision
+    instrumentation hangs off the optional ``tracker`` rather than
+    duplicating the loop.
+    """
+    addresses = trace.addresses
+    outcomes = trace.outcomes
+    predict = predictor.predict
+    update = predictor.update
+    observe = tracker.observe_lookup if tracker is not None else None
+    classify = tracker.classify if tracker is not None else None
+    mispredictions = 0
+    for i in range(len(addresses)):
+        address = addresses[i]
+        taken = outcomes[i]
+        predicted = predict(address)
+        collisions = observe(address) if observe is not None else None
+        update(address, taken, predicted)
+        correct = predicted == taken
+        if not correct:
+            mispredictions += 1
+        if classify is not None:
+            classify(collisions, correct)
+    return mispredictions
+
+
 def simulate(
     trace: BranchTrace,
     predictor: BranchPredictor,
     scheme: str = "none",
     track_collisions: bool = False,
+    kernel: str = "auto",
 ) -> SimulationResult:
     """Run ``trace`` through ``predictor`` and collect statistics.
 
     The predictor is trained in place; pass a fresh instance for
     independent measurements.  With ``track_collisions`` every counter
     lookup is tag-checked (slower; used by the Figures 1-6 sweep).
-    """
-    addresses = trace.addresses
-    outcomes = trace.outcomes
-    predict = predictor.predict
-    update = predictor.update
-    mispredictions = 0
 
-    if track_collisions:
-        tracker = CollisionTracker(predictor)
-        observe = tracker.observe_lookup
-        classify = tracker.classify
-        for i in range(len(addresses)):
-            address = addresses[i]
-            taken = outcomes[i]
-            predicted = predict(address)
-            collisions = observe(address)
-            update(address, taken, predicted)
-            correct = predicted == taken
-            if not correct:
-                mispredictions += 1
-            classify(collisions, correct)
-        collision_counts = tracker.counts
-    else:
-        for i in range(len(addresses)):
-            address = addresses[i]
-            taken = outcomes[i]
-            predicted = predict(address)
-            update(address, taken, predicted)
-            if predicted != taken:
-                mispredictions += 1
-        collision_counts = None
+    ``kernel`` selects the execution strategy (see :mod:`repro.kernels`
+    for the modes and the bit-identical contract); it never changes a
+    result, only how fast it is produced.  Collision tracking observes
+    every individual lookup, so it always runs the reference loop.
+    """
+    validate_kernel_mode(kernel)
+    tracker = CollisionTracker(predictor) if track_collisions else None
+
+    mispredictions = None
+    if tracker is None and kernel != "reference":
+        mispredictions = try_fast_simulate(
+            trace, predictor, require=kernel == "fast"
+        )
+    if mispredictions is None:
+        mispredictions = _reference_loop(trace, predictor, tracker)
+    collision_counts = tracker.counts if tracker is not None else None
 
     static_branches = 0
     static_mispredictions = 0
@@ -94,7 +115,7 @@ def simulate(
         predictor_name=predictor.name,
         scheme=scheme,
         size_bytes=predictor.size_bytes,
-        branches=len(addresses),
+        branches=len(trace),
         instructions=trace.instruction_count,
         mispredictions=mispredictions,
         static_branches=static_branches,
@@ -175,12 +196,22 @@ def run_combined(
     hints: HintAssignment,
     shift_policy: ShiftPolicy = ShiftPolicy.NO_SHIFT,
     track_collisions: bool = False,
+    kernel: str = "auto",
 ) -> SimulationResult:
-    """Phase two: measure the combined predictor on the measurement trace."""
+    """Phase two: measure the combined predictor on the measurement trace.
+
+    ``kernel`` is passed through to :func:`simulate`; a combined
+    predictor has no fast kernel today, so every mode currently runs
+    the reference loop, but the knob keeps the call sites uniform.
+    """
     combined = CombinedPredictor(dynamic, hints, shift_policy=shift_policy)
     scheme = hints.scheme
     if shift_policy is ShiftPolicy.SHIFT:
         scheme += "+shift"
     return simulate(
-        measure_trace, combined, scheme=scheme, track_collisions=track_collisions
+        measure_trace,
+        combined,
+        scheme=scheme,
+        track_collisions=track_collisions,
+        kernel=kernel,
     )

@@ -13,6 +13,11 @@ Scaling knobs (environment variables, all optional):
     Table 1 separately reports the paper's unscaled static counts.
 ``REPRO_SEED``
     Root seed for every workload and trace (default 42).
+``REPRO_KERNEL``
+    Simulation kernel mode (default ``auto``; see :mod:`repro.kernels`).
+    Kernels are bit-identical to the reference loop by contract, so this
+    knob changes wall time, never results -- it is deliberately *not*
+    part of any cache key.
 
 The :class:`ExperimentContext` memoizes workloads, traces, bias
 profiles, per-predictor accuracy profiles, and hint assignments, because
@@ -29,6 +34,7 @@ from repro.arch.isa import ShiftPolicy
 from repro.core.metrics import SimulationResult
 from repro.core.simulator import run_combined, simulate
 from repro.errors import ExperimentError
+from repro.kernels import validate_kernel_mode
 from repro.predictors.base import BranchPredictor
 from repro.predictors.sizing import make_predictor
 from repro.profiling.accuracy import AccuracyProfile, measure_accuracy
@@ -104,6 +110,13 @@ def default_seed() -> int:
     return _env_int("REPRO_SEED", 42)
 
 
+def default_kernel() -> str:
+    """Simulation kernel mode (``auto``/``fast``/``reference``)."""
+    kernel = os.environ.get("REPRO_KERNEL", "auto")
+    validate_kernel_mode(kernel)
+    return kernel
+
+
 class ExperimentContext:
     """Cached workloads, traces, profiles, and hint assignments."""
 
@@ -112,12 +125,15 @@ class ExperimentContext:
         trace_length: int | None = None,
         site_scale: float | None = None,
         seed: int | None = None,
+        kernel: str | None = None,
     ):
         self.trace_length = trace_length if trace_length is not None else default_trace_length()
         self.site_scale = site_scale if site_scale is not None else default_site_scale()
         self.seed = seed if seed is not None else default_seed()
+        self.kernel = kernel if kernel is not None else default_kernel()
         if self.trace_length <= 0:
             raise ExperimentError(f"trace_length must be positive, got {self.trace_length}")
+        validate_kernel_mode(self.kernel)
         self._workloads: dict[tuple, SyntheticWorkload] = {}
         self._traces: dict[tuple, BranchTrace] = {}
         self._profiles: dict[tuple, ProgramProfile] = {}
@@ -126,15 +142,20 @@ class ExperimentContext:
         self._hints: dict[tuple, HintAssignment] = {}
 
     def __reduce__(self):
-        """Pickle as the three defining knobs only.
+        """Pickle as the defining knobs only.
 
         Everything a context memoizes is a pure function of
         ``(trace_length, site_scale, seed)``, so shipping a context to a
         :mod:`repro.runner` worker process transfers a few numbers and
         the worker rebuilds (and re-memoizes) traces on demand --
         bit-identical to the parent's, by the determinism contract.
+        ``kernel`` rides along so workers honor the requested execution
+        strategy; by the bit-identical kernel contract it is an
+        execution detail, which is why it stays out of every cache key
+        (see :meth:`repro.runner.cells.Cell.key_fields`).
         """
-        return (ExperimentContext, (self.trace_length, self.site_scale, self.seed))
+        return (ExperimentContext,
+                (self.trace_length, self.site_scale, self.seed, self.kernel))
 
     # -- workloads and traces -------------------------------------------
 
@@ -312,7 +333,7 @@ class ExperimentContext:
         if scheme == "none" and hints is None:
             return simulate(
                 measure_trace, predictor, scheme="none",
-                track_collisions=track_collisions,
+                track_collisions=track_collisions, kernel=self.kernel,
             )
         if hints is None:
             hints = self.hints(
@@ -324,6 +345,7 @@ class ExperimentContext:
         return run_combined(
             measure_trace, predictor, hints,
             shift_policy=shift_policy, track_collisions=track_collisions,
+            kernel=self.kernel,
         )
 
     def predictor_factory(

@@ -1,0 +1,122 @@
+"""Array-backed fast simulation kernels.
+
+The reference simulation loop in :mod:`repro.core.simulator` calls
+``predict``/``update`` once per branch; CPython method dispatch makes
+that the throughput ceiling of every experiment.  This package provides
+numpy-vectorized kernels for the hot predictor families that replay a
+whole :class:`~repro.workloads.trace.BranchTrace` in a handful of array
+passes, under one non-negotiable contract:
+
+**A fast kernel is bit-identical to the reference loop.**  Same
+misprediction count, same final counter-table state, same history
+register, same ``_PREDICT_STATE``.  Kernels are an execution detail,
+never an experiment parameter -- which is why the runner's result-cache
+keys deliberately exclude the kernel mode.
+
+Dispatch is by exact predictor type (subclasses may override
+``predict``/``update``, so they fall back), selected by the
+``kernel`` knob on :func:`repro.core.simulator.simulate`:
+
+``"auto"``
+    Use a fast kernel when numpy is importable and the predictor has
+    one; otherwise run the reference loop.  The default everywhere.
+``"fast"``
+    Like ``"auto"`` but a missing numpy is a
+    :class:`~repro.errors.ConfigurationError` instead of a silent
+    fallback.  Predictors with no kernel (combined predictors, gskew,
+    ...) still use the reference loop.
+``"reference"``
+    Always run the per-branch loop (the baseline the differential
+    tests and `repro bench` compare against).
+
+numpy is imported lazily inside the kernels so this package -- and the
+reference loop -- stay fully functional when numpy is absent.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.kernels import dynamic
+from repro.predictors.base import BranchPredictor
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.ghist import GhistPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.workloads.trace import BranchTrace
+
+__all__ = [
+    "KERNEL_MODES",
+    "has_fast_kernel",
+    "numpy_available",
+    "try_fast_simulate",
+    "validate_kernel_mode",
+]
+
+KERNEL_MODES = ("auto", "fast", "reference")
+
+_KERNELS = {
+    BimodalPredictor: dynamic.simulate_bimodal,
+    GsharePredictor: dynamic.simulate_gshare,
+    GhistPredictor: dynamic.simulate_ghist,
+}
+
+
+def numpy_available() -> bool:
+    """True when numpy can be imported (cheap after the first call)."""
+    try:
+        import numpy  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def validate_kernel_mode(kernel: str) -> str:
+    """Return ``kernel`` or raise :class:`ConfigurationError`."""
+    if kernel not in KERNEL_MODES:
+        raise ConfigurationError(
+            f"unknown kernel mode {kernel!r}; expected one of "
+            + ", ".join(KERNEL_MODES)
+        )
+    return kernel
+
+
+def _within_limits(predictor: BranchPredictor, trace: BranchTrace) -> bool:
+    """Conservative numeric-headroom guards (see repro.kernels.dynamic)."""
+    if len(trace) >= dynamic.MAX_TRACE_LENGTH:
+        return False
+    if predictor.table.bits > dynamic.MAX_COUNTER_BITS:
+        return False
+    history = getattr(predictor, "history", None)
+    if history is not None and history.length > dynamic.MAX_HISTORY_LENGTH:
+        return False
+    return True
+
+
+def has_fast_kernel(predictor: BranchPredictor) -> bool:
+    """True when ``predictor`` is exactly a kernel-backed family."""
+    return type(predictor) in _KERNELS
+
+
+def try_fast_simulate(
+    trace: BranchTrace,
+    predictor: BranchPredictor,
+    require: bool = False,
+) -> int | None:
+    """Replay ``trace`` through a fast kernel, if one applies.
+
+    Returns the misprediction count with the predictor's state advanced
+    exactly as the reference loop would have left it, or ``None`` when
+    no kernel applies and the caller should run the reference loop.
+    With ``require=True`` (the ``kernel="fast"`` knob) a missing numpy
+    raises instead of falling back.
+    """
+    if not numpy_available():
+        if require:
+            raise ConfigurationError(
+                "kernel='fast' requires numpy, which is not importable; "
+                "use kernel='auto' to fall back to the reference loop"
+            )
+        return None
+    kernel = _KERNELS.get(type(predictor))
+    if kernel is None or not _within_limits(predictor, trace):
+        return None
+    return kernel(trace, predictor)

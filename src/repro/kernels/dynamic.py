@@ -1,0 +1,160 @@
+"""Whole-trace kernels for the hot dynamic predictors.
+
+Each kernel replays one :class:`~repro.workloads.trace.BranchTrace`
+through one predictor family without a per-branch Python loop:
+
+1. the counter index of every event is precomputed as one vectorized
+   expression (trace outcomes are known in advance, so the global
+   history register's value before each branch is a pure function of
+   the preceding outcomes -- see :func:`_history_windows`);
+2. the per-counter state evolution runs through the exact segmented
+   scan of :mod:`repro.kernels.scan`;
+3. the predictor's externally visible state -- counter table, history
+   register, ``_PREDICT_STATE`` -- is written back so the predictor is
+   indistinguishable from one trained by the reference loop.
+
+Every kernel is bit-identical to the reference ``predict``/``update``
+loop by contract (same mispredictions, same final state), including
+warm-started predictors.  Callers go through
+:func:`repro.kernels.try_fast_simulate`, which performs the type and
+limit checks; numpy is imported lazily so the package stays importable
+(and the reference loop fully functional) without it.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.scan import scan_counters
+from repro.utils.bits import ADDRESS_ALIGN_SHIFT, log2_exact
+
+__all__ = [
+    "MAX_COUNTER_BITS",
+    "MAX_HISTORY_LENGTH",
+    "MAX_TRACE_LENGTH",
+    "simulate_bimodal",
+    "simulate_ghist",
+    "simulate_gshare",
+]
+
+MAX_TRACE_LENGTH = 1 << 30
+"""Scan adds are int32; cumulative deltas must stay far from overflow."""
+
+MAX_COUNTER_BITS = 16
+"""Counter states must fit int32 alongside the cumulative deltas."""
+
+MAX_HISTORY_LENGTH = 62
+"""History windows are built in int64; bit length-1 must stay below 63."""
+
+
+def _history_windows(outcomes, length, initial):
+    """The history register's value *before* each branch, vectorized.
+
+    Register semantics (:class:`~repro.predictors.history.GlobalHistory`):
+    bit 0 is the most recent outcome, so before branch ``i`` the
+    register holds ``outcome[i-k]`` at bit ``k-1`` for ``k <= length``,
+    with bits beyond the start of the trace supplied by ``initial``
+    (the warm-start register contents) shifted left ``i`` times.
+
+    Short registers -- every configuration the paper simulates -- are
+    built in int32 to halve the memory traffic of the ``length`` shift
+    passes.
+    """
+    import numpy
+
+    dtype = numpy.int32 if length <= 30 else numpy.int64
+    n = outcomes.shape[0]
+    windows = numpy.zeros(n, dtype=dtype)
+    if length == 0 or n == 0:
+        return windows
+    bits = outcomes.view(numpy.int8).astype(dtype)
+    for k in range(1, length + 1):
+        if k >= n:
+            break
+        windows[k:] |= bits[:-k] << (k - 1)
+    if initial:
+        mask = (1 << length) - 1
+        for i in range(min(length, n)):
+            contribution = (initial << i) & mask
+            if contribution == 0:
+                break
+            windows[i] |= contribution
+    return windows
+
+
+def _final_history(outcomes, length, initial):
+    """The register value after shifting in every outcome of the trace."""
+    if length == 0:
+        return 0
+    mask = (1 << length) - 1
+    n = outcomes.shape[0]
+    value = initial & mask
+    for i in range(max(0, n - length), n):
+        value = ((value << 1) | int(outcomes[i])) & mask
+    return value
+
+
+def _run_table(predictor, indices, outcomes):
+    """Scan the counter table, write all predictor state back.
+
+    Returns the misprediction count.  ``indices`` must already be
+    masked into the table; the caller has updated any history register
+    separately (its evolution does not depend on the table).
+    """
+    import numpy
+
+    table = predictor.table
+    base = table.export_array().astype(numpy.int32)
+    predictions = scan_counters(
+        indices, outcomes, base, table.max_value, table.threshold
+    )
+    table.import_array(base)
+    n = indices.shape[0]
+    if n:
+        predictor._last_index = int(indices[n - 1])
+    return int(numpy.count_nonzero(predictions != outcomes))
+
+
+def simulate_bimodal(trace, predictor):
+    """Fast path for :class:`~repro.predictors.bimodal.BimodalPredictor`."""
+    addresses, outcomes = trace.arrays()
+    indices = (addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask
+    return _run_table(predictor, indices, outcomes)
+
+
+def _folded_windows(predictor, outcomes):
+    """Per-branch history windows, folded into the table's index width.
+
+    Every returned window fits the index mask (an unfolded register is
+    at most ``width`` bits; a folded one is masked here, matching the
+    reference predictors' mask-after-fold), so gshare's XOR with masked
+    address bits needs no re-mask.
+    """
+    history = predictor.history
+    width = log2_exact(predictor.table.entries)
+    windows = _history_windows(outcomes, history.length, history.value)
+    if history.length > width:
+        windows ^= windows >> width
+        windows &= predictor.table.mask
+    return windows
+
+
+def simulate_gshare(trace, predictor):
+    """Fast path for :class:`~repro.predictors.gshare.GsharePredictor`."""
+    addresses, outcomes = trace.arrays()
+    history = predictor.history
+    windows = _folded_windows(predictor, outcomes)
+    pc = ((addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask).astype(
+        windows.dtype
+    )
+    mispredictions = _run_table(predictor, pc ^ windows, outcomes)
+    history.import_value(_final_history(outcomes, history.length, history.value))
+    return mispredictions
+
+
+def simulate_ghist(trace, predictor):
+    """Fast path for :class:`~repro.predictors.ghist.GhistPredictor`."""
+    _, outcomes = trace.arrays()
+    history = predictor.history
+    windows = _folded_windows(predictor, outcomes)
+    mispredictions = _run_table(predictor, windows, outcomes)
+    history.import_value(_final_history(outcomes, history.length, history.value))
+    return mispredictions

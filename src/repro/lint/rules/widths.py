@@ -241,6 +241,47 @@ class RegVal:
         self.describe = describe
 
 
+class NumpyMod:
+    """The ``numpy`` module object, bound by an ``import numpy``."""
+
+    __slots__ = ()
+
+
+NUMPY = NumpyMod()
+
+#: numpy integer dtypes as value ranges.  A dtype is a *width
+#: declaration the checker trusts structurally*: casting wraps every
+#: element into the dtype's representable range, so an array built with
+#: ``dtype=numpy.uint8`` provably holds values in ``[0, 255]`` no matter
+#: what went in.  ``intp`` is modeled at its widest (64-bit) layout,
+#: which is sound on every narrower platform.
+_NUMPY_DTYPES = {
+    "bool_": (0, 1),
+    "uint8": (0, (1 << 8) - 1),
+    "uint16": (0, (1 << 16) - 1),
+    "uint32": (0, (1 << 32) - 1),
+    "uint64": (0, (1 << 64) - 1),
+    "int8": (-(1 << 7), (1 << 7) - 1),
+    "int16": (-(1 << 15), (1 << 15) - 1),
+    "int32": (-(1 << 31), (1 << 31) - 1),
+    "int64": (-(1 << 63), (1 << 63) - 1),
+    "intp": (-(1 << 63), (1 << 63) - 1),
+}
+
+
+class DtypeVal:
+    """A numpy integer dtype: the value range it wraps casts into."""
+
+    __slots__ = ("iv",)
+
+    def __init__(self, iv: Interval):
+        self.iv = iv
+
+
+def _is_ndarray(value) -> bool:
+    return isinstance(value, ListVal) and value.describe == "ndarray"
+
+
 def _join(a, b):
     """Join two abstract values; incompatible shapes widen to ``TOP``."""
     if a is None:
@@ -272,6 +313,10 @@ def _join(a, b):
             return TupleVal([_join(x, y) for x, y in zip(a.elems, b.elems)],
                             a.describe)
         return TOP
+    if isinstance(a, NumpyMod) and isinstance(b, NumpyMod):
+        return a
+    if isinstance(a, DtypeVal) and isinstance(b, DtypeVal):
+        return DtypeVal(a.iv.join(b.iv))
     return TOP
 
 
@@ -335,13 +380,19 @@ def _module_constants(ctx: "FileContext") -> dict[str, int]:
 class _ModuleEnv:
     """Intrinsic aliases and integer constants visible in one module."""
 
-    __slots__ = ("aliases", "consts")
+    __slots__ = ("aliases", "consts", "numpy_names")
 
     def __init__(self, ctx: "FileContext",
                  project_consts: dict[str, dict[str, int]]):
         self.aliases: dict[str, str] = {}
         self.consts: dict[str, int] = dict(_module_constants(ctx))
+        self.numpy_names: set[str] = set()
         for stmt in ctx.tree.body:
+            if isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    if alias.name == "numpy":
+                        self.numpy_names.add(alias.asname or alias.name)
+                continue
             if not isinstance(stmt, ast.ImportFrom) or stmt.module is None:
                 continue
             source = project_consts.get(stmt.module, {})
@@ -665,8 +716,15 @@ class _ClassAnalysis:
             if stmt.finalbody:
                 return self._exec_block(stmt.finalbody, env)
             return env
-        # Pass / Break / Continue / Delete / Global / Import / nested
-        # defs: no abstract effect we track.
+        if isinstance(stmt, ast.Import):
+            # The lazy ``import numpy`` idiom of optional-dependency
+            # methods binds the module object we model.
+            for alias in stmt.names:
+                if alias.name == "numpy":
+                    env[alias.asname or "numpy"] = NUMPY
+            return env
+        # Pass / Break / Continue / Delete / Global / ImportFrom /
+        # nested defs: no abstract effect we track.
         return env
 
     # -- assignment targets ------------------------------------------------
@@ -844,6 +902,8 @@ class _ClassAnalysis:
                 return env[node.id]
             if node.id in self.module_env.consts:
                 return Interval.const(self.module_env.consts[node.id])
+            if node.id in self.module_env.numpy_names:
+                return NUMPY
             return TOP
         if isinstance(node, ast.Attribute):
             return self._eval_attribute(node, env)
@@ -924,6 +984,11 @@ class _ClassAnalysis:
                 return Interval.of_bound(base.mask)
             if attr == "length":
                 return base.length
+            return TOP
+        if isinstance(base, NumpyMod):
+            dtype_range = _NUMPY_DTYPES.get(attr)
+            if dtype_range is not None:
+                return DtypeVal(Interval.range(*dtype_range))
             return TOP
         return TOP
 
@@ -1037,8 +1102,24 @@ class _ClassAnalysis:
                 pow2 = self._pow2_value(node.right, env)
                 if pow2 is not None:
                     return pow2
-        left = _as_iv(self._eval(node.left, env))
-        right = _as_iv(self._eval(node.right, env))
+        left_raw = self._eval(node.left, env)
+        right_raw = self._eval(node.right, env)
+        if _is_ndarray(left_raw) or _is_ndarray(right_raw):
+            # numpy operators broadcast elementwise, so the interval
+            # algebra applies to the element ranges (e.g. masking an
+            # unknown array with ``& mask`` bounds every element).
+            parts = []
+            length = None
+            for raw in (left_raw, right_raw):
+                if isinstance(raw, ListVal):
+                    parts.append(self._read_list_elem(raw))
+                    length = raw.length if length is None else length
+                else:
+                    parts.append(_as_iv(raw))
+            return ListVal(length, binop(op, parts[0], parts[1]),
+                           "state", describe="ndarray")
+        left = _as_iv(left_raw)
+        right = _as_iv(right_raw)
         if op == "**":
             if (left.is_singleton and left.lo.is_const and right.is_singleton
                     and right.lo.is_const and 0 <= right.lo.off <= 64):
@@ -1104,11 +1185,19 @@ class _ClassAnalysis:
                 self._eval_args(node, env)
                 return TOP  # shift / reset keep the register invariant
             if isinstance(base, ListVal):
-                pos, _ = self._eval_args(node, env)
+                pos, kw = self._eval_args(node, env)
                 if func.attr in ("append", "insert", "extend") and pos:
                     base.elem = base.elem.join(_as_iv(pos[-1]))
                     base.length = None
+                if func.attr == "tolist":
+                    return ListVal(base.length, self._read_list_elem(base))
+                if func.attr == "astype" and pos:
+                    return self._ndarray(base, pos[0])
+                if func.attr == "copy" and _is_ndarray(base):
+                    return self._ndarray(base, kw.get("dtype"))
                 return TOP
+            if isinstance(base, NumpyMod):
+                return self._eval_numpy_call(func.attr, node, env)
             if isinstance(base, (TupleVal, RangeVal, RegVal)):
                 self._eval_args(node, env)
                 return TOP
@@ -1118,6 +1207,53 @@ class _ClassAnalysis:
             canonical = self.module_env.aliases.get(func.id, func.id)
             return self._eval_known_call(canonical, node, env)
         self._eval_args(node, env)
+        return TOP
+
+    def _ndarray(self, source, dtype) -> ListVal:
+        """An ndarray built from ``source``, optionally cast to ``dtype``.
+
+        A known integer dtype acts as a width declaration: the cast
+        wraps every element into the dtype's representable range, so
+        the result's elements are bounded by it even when the source is
+        unknown.  A provably narrower source survives the cast
+        unchanged, so the tighter of the two ranges is kept.  An
+        *unknown* dtype may wrap arbitrarily and widens to ``TOP``.
+        """
+        length = source.length if isinstance(source, ListVal) else None
+        elem = (self._read_list_elem(source)
+                if isinstance(source, ListVal) else _as_iv(source))
+        if isinstance(dtype, DtypeVal):
+            within = (elem.lo is not None and elem.hi is not None
+                      and dtype.iv.lo is not None and dtype.iv.hi is not None
+                      and bound_le(dtype.iv.lo, elem.lo)
+                      and bound_le(elem.hi, dtype.iv.hi))
+            if not within:
+                elem = dtype.iv
+        elif dtype is not None:
+            elem = TOP
+        return ListVal(length, elem, "state", describe="ndarray")
+
+    def _eval_numpy_call(self, name: str, node: ast.Call, env: dict):
+        """Model the numpy constructors and predicates predictors use."""
+        pos, kw = self._eval_args(node, env)
+        dtype = kw.get("dtype")
+        if name in ("asarray", "array", "ascontiguousarray"):
+            if dtype is None and len(pos) > 1:
+                dtype = pos[1]
+            return self._ndarray(pos[0] if pos else TOP, dtype)
+        if name in ("zeros", "empty", "ones"):
+            fill = Interval.range(0, 1 if name == "ones" else 0)
+            result = self._ndarray(fill if name != "empty" else TOP, dtype)
+            result.length = None
+            return result
+        if name == "full" and len(pos) >= 2:
+            result = self._ndarray(pos[1], dtype)
+            result.length = None
+            return result
+        if name in ("array_equal", "array_equiv", "any", "all"):
+            return BOOL
+        if name == "count_nonzero":
+            return Interval(ZERO, None)
         return TOP
 
     def _mask_of(self, width_node: ast.expr, env: dict) -> Interval:
@@ -1553,6 +1689,17 @@ class CounterSaturationRule(_WidthRule):
     MSB-threshold prediction test silently changes meaning.  The
     checker *verifies* the saturation guards instead of assuming them,
     and enforces ``_WIDTHS`` declarations both ways.
+
+    numpy policy: an integer dtype *is* a width declaration.  Casting
+    wraps every element into the dtype's representable range, so an
+    array built with ``numpy.asarray(..., dtype=numpy.uint8)`` (or
+    ``.astype``) provably holds values in ``[0, 255]``, and masking an
+    unknown array with ``array & mask`` bounds it like the scalar
+    masking idiom.  Array-backed counter state therefore satisfies
+    WID001-WID003 structurally — it is never baselined — as long as
+    each store back into a ``_WIDTHS``-declared attribute goes through
+    a dtype, a mask, or a checked import (``CounterTable.import_array``
+    rejects out-of-range states instead of wrapping them).
     """
 
     rule_id = "WID002"
@@ -1560,12 +1707,17 @@ class CounterSaturationRule(_WidthRule):
     summary = "counter updates provably saturate at the declared width"
     example_bad = (
         "value = self.table.values[index]\n"
-        "self.table.values[index] = value + 1   # no saturation guard"
+        "self.table.values[index] = value + 1   # no saturation guard\n"
+        "\n"
+        "self.values = array.tolist()   # unbounded ndarray adopted raw"
     )
     example_good = (
         "value = self.table.values[index]\n"
         "if value < self._max_value:\n"
-        "    self.table.values[index] = value + 1"
+        "    self.table.values[index] = value + 1\n"
+        "\n"
+        "self.values = (array & self.max_value).tolist()   # dtype/mask\n"
+        "# bounds every element; import_array() checks before adopting"
     )
 
 

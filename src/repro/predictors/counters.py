@@ -105,6 +105,43 @@ class CounterTable:
         for i in range(self.entries):
             self.values[i] = initial
 
+    def export_array(self):
+        """The counter states as a numpy array (for repro.kernels).
+
+        The dtype is the width declaration made executable: tables
+        whose counters fit a hardware byte export as ``uint8``, wider
+        (model-only) tables as ``int64``.  Callers may mutate the
+        returned copy freely; :meth:`import_array` adopts it back.
+        """
+        import numpy
+
+        dtype = numpy.uint8 if self.bits <= 8 else numpy.int64
+        return numpy.asarray(self.values, dtype=dtype)
+
+    def import_array(self, values) -> None:
+        """Adopt kernel-computed counter states (for repro.kernels).
+
+        ``values`` is an integer array of shape ``(entries,)``.  Every
+        state must already be saturated into ``[0, max_value]``; the
+        mask comparison below is the identity exactly on that range, so
+        a kernel that drifted out of range is rejected rather than
+        silently wrapped.
+        """
+        import numpy
+
+        array = numpy.asarray(values)
+        if array.shape != (self.entries,):
+            raise ConfigurationError(
+                f"imported counter array has shape {array.shape}, "
+                f"expected ({self.entries},)"
+            )
+        masked = array & self.max_value
+        if not numpy.array_equal(masked, array):
+            raise ConfigurationError(
+                f"imported counter states escape [0, {self.max_value}]"
+            )
+        self.values = masked.tolist()
+
     def check_invariants(self) -> None:
         """Assert all counters are in range (used by property tests)."""
         for i, value in enumerate(self.values):

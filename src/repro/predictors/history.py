@@ -54,6 +54,20 @@ class GlobalHistory:
         """Clear the register (all not-taken)."""
         self.value = 0
 
+    def import_value(self, value: int) -> None:
+        """Adopt a kernel-computed register value (for repro.kernels).
+
+        The mask comparison is the identity exactly on ``[0, mask]``,
+        so an out-of-range value is rejected, never silently truncated.
+        """
+        masked = value & self.mask
+        if masked != value:
+            raise ConfigurationError(
+                f"imported history value {value:#x} does not fit "
+                f"{self.length} bits"
+            )
+        self.value = masked
+
     def bits(self) -> tuple[bool, ...]:
         """The register contents as booleans, most recent first."""
         return tuple(bool((self.value >> i) & 1) for i in range(self.length))

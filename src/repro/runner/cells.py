@@ -81,7 +81,11 @@ class Cell:
         Everything a :class:`~repro.core.metrics.SimulationResult` is a
         function of: the context's root seed, trace length, and site
         scale, plus every cell field.  Any change to any entry must (and
-        does) produce a different cache key.
+        does) produce a different cache key.  The context's ``kernel``
+        knob is deliberately absent: kernels are bit-identical to the
+        reference loop by contract (:mod:`repro.kernels`), so it can
+        never change a result -- a cache entry written under one kernel
+        mode is valid under every other.
         """
         return {
             "seed": ctx.seed,

@@ -56,6 +56,7 @@ class BranchTrace:
     addresses: list[int] = field(default_factory=list)
     outcomes: list[bool] = field(default_factory=list)
     gaps: list[int] = field(default_factory=list)
+    _arrays: tuple | None = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.site_indices)
@@ -114,6 +115,25 @@ class BranchTrace:
                 raise TraceFormatError(
                     f"record {i} has unaligned address {address:#x}"
                 )
+
+    def arrays(self) -> tuple:
+        """The ``(addresses, outcomes)`` columns as numpy arrays, memoized.
+
+        Fast simulation kernels (:mod:`repro.kernels`) consume whole
+        columns at once; memoizing the conversion means its cost is
+        paid once per trace, not once per simulated cell.  Addresses
+        convert to ``int64`` (they are small, aligned instruction
+        addresses), outcomes to numpy bools.  Callers must treat the
+        returned arrays as read-only views of the trace.
+        """
+        import numpy
+
+        if self._arrays is None or self._arrays[0].shape[0] != len(self.addresses):
+            self._arrays = (
+                numpy.asarray(self.addresses, dtype=numpy.int64),
+                numpy.asarray(self.outcomes, dtype=numpy.bool_),
+            )
+        return self._arrays
 
     def slice(self, start: int, stop: int) -> "BranchTrace":
         """Return a sub-trace covering records ``[start, stop)``.

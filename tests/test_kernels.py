@@ -1,0 +1,223 @@
+"""Differential tests for the fast simulation kernels.
+
+The contract of :mod:`repro.kernels` is bit-identity with the
+reference ``predict``/``update`` loop: same misprediction count, same
+final counter table, same history register, same ``_last_index``.
+These tests enforce it differentially — every assertion runs the same
+randomized trace through both paths and compares the complete
+observable state, across the three kernel-backed predictor families,
+cold and warm starts, and the degenerate trace lengths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.errors import ConfigurationError
+from repro.experiments.common import ExperimentContext
+from repro.kernels import (
+    KERNEL_MODES,
+    has_fast_kernel,
+    numpy_available,
+    try_fast_simulate,
+    validate_kernel_mode,
+)
+from repro.predictors.bimodal import BimodalPredictor
+from repro.predictors.ghist import GhistPredictor
+from repro.predictors.gshare import GsharePredictor
+from repro.predictors.sizing import make_predictor
+from repro.utils.rng import derive_seed, rng_from_seed
+from repro.workloads.trace import BranchTrace
+
+numpy = pytest.importorskip("numpy")
+
+
+def random_trace(seed: int, length: int, sites: int = 37) -> BranchTrace:
+    """A word-aligned random trace over a small, aliasing-prone window."""
+    rng = rng_from_seed(seed)
+    trace = BranchTrace(program_name="diff", input_name="ref")
+    for _ in range(length):
+        site = rng.randrange(sites)
+        trace.site_indices.append(site)
+        trace.addresses.append(0x4000 + site * 4)
+        trace.outcomes.append(rng.random() < 0.6)
+        trace.gaps.append(3)
+    return trace
+
+
+def warm_up(predictor, seed: int, length: int = 200) -> None:
+    """Drive a predictor into a non-initial state via the reference loop."""
+    simulate(random_trace(seed, length), predictor, kernel="reference")
+
+
+def observable_state(predictor) -> dict:
+    """Everything the bit-identity contract covers, as plain data."""
+    state = {
+        "table": list(predictor.table.values),
+        "last_index": predictor._last_index,
+    }
+    history = getattr(predictor, "history", None)
+    if history is not None:
+        state["history"] = history.value
+    return state
+
+
+def assert_bit_identical(factory, trace, warm_seed=None):
+    """Run ``trace`` through both paths; compare counts and final state."""
+    reference = factory()
+    fast = factory()
+    if warm_seed is not None:
+        warm_up(reference, warm_seed)
+        warm_up(fast, warm_seed)
+    result_ref = simulate(trace, reference, kernel="reference")
+    mispredictions = try_fast_simulate(trace, fast, require=True)
+    assert mispredictions is not None, "fast kernel unexpectedly missing"
+    assert mispredictions == result_ref.mispredictions
+    assert observable_state(fast) == observable_state(reference)
+
+
+FAMILIES = [
+    pytest.param(lambda: BimodalPredictor(256), id="bimodal-256x2"),
+    pytest.param(lambda: BimodalPredictor(64, counter_bits=1),
+                 id="bimodal-64x1"),
+    pytest.param(lambda: BimodalPredictor(16, counter_bits=5),
+                 id="bimodal-16x5"),
+    pytest.param(lambda: BimodalPredictor(32, counter_bits=12),
+                 id="bimodal-32x12"),
+    pytest.param(lambda: GsharePredictor(256), id="gshare-256"),
+    pytest.param(lambda: GsharePredictor(256, history_length=16),
+                 id="gshare-256-folded"),
+    pytest.param(lambda: GsharePredictor(16, history_length=1),
+                 id="gshare-16-h1"),
+    pytest.param(lambda: GhistPredictor(128), id="ghist-128"),
+    pytest.param(lambda: GhistPredictor(64, history_length=12),
+                 id="ghist-64-folded"),
+]
+
+LENGTHS = [0, 1, 2, 3, 17, 500, 4096]
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("factory", FAMILIES)
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_cold_start(self, factory, length):
+        seed = derive_seed(1234, "kernels", length)
+        assert_bit_identical(factory, random_trace(seed, length))
+
+    @pytest.mark.parametrize("factory", FAMILIES)
+    def test_warm_start(self, factory):
+        seed = derive_seed(1234, "kernels", "warm")
+        trace = random_trace(seed, 600)
+        assert_bit_identical(factory, trace, warm_seed=seed + 1)
+
+    def test_repeated_kernel_runs_chain_state(self):
+        """Back-to-back fast runs match back-to-back reference runs."""
+        seeds = [derive_seed(99, "chain", i) for i in range(3)]
+        reference = GsharePredictor(128, history_length=9)
+        fast = GsharePredictor(128, history_length=9)
+        for seed in seeds:
+            trace = random_trace(seed, 300)
+            result = simulate(trace, reference, kernel="reference")
+            assert try_fast_simulate(trace, fast, require=True) \
+                == result.mispredictions
+        assert observable_state(fast) == observable_state(reference)
+
+    def test_simulate_fast_equals_reference_result(self, gcc_trace):
+        for name in ("bimodal", "gshare", "ghist"):
+            fast = simulate(gcc_trace, make_predictor(name, 2048),
+                            kernel="fast")
+            reference = simulate(gcc_trace, make_predictor(name, 2048),
+                                 kernel="reference")
+            assert fast == reference
+
+
+class TestDispatch:
+    def test_kernel_modes_validate(self):
+        for mode in KERNEL_MODES:
+            assert validate_kernel_mode(mode) == mode
+        with pytest.raises(ConfigurationError):
+            validate_kernel_mode("vectorized")
+
+    def test_unknown_mode_rejected_by_simulate(self):
+        with pytest.raises(ConfigurationError):
+            simulate(random_trace(5, 10), BimodalPredictor(64),
+                     kernel="turbo")
+
+    def test_unsupported_predictor_falls_back(self):
+        trace = random_trace(7, 400)
+        predictor = make_predictor("2bcgskew", 2048)
+        assert not has_fast_kernel(predictor)
+        assert try_fast_simulate(trace, predictor) is None
+        # kernel="fast" still runs (the knob requires numpy, not a
+        # kernel for every family) and matches the reference loop.
+        fast = simulate(trace, make_predictor("2bcgskew", 2048),
+                        kernel="fast")
+        reference = simulate(trace, make_predictor("2bcgskew", 2048),
+                             kernel="reference")
+        assert fast == reference
+
+    def test_limits_fall_back_to_reference(self):
+        trace = random_trace(11, 50)
+        wide = BimodalPredictor(16, counter_bits=17)  # beyond MAX_COUNTER_BITS
+        assert try_fast_simulate(trace, wide) is None
+        result = simulate(trace, wide, kernel="auto")
+        assert result.branches == 50
+
+    def test_collision_tracking_uses_reference_loop(self):
+        """track_collisions observes every lookup, so auto must not
+        shortcut — and both paths must report identical mispredictions."""
+        trace = random_trace(13, 1200)
+        plain = simulate(trace, GsharePredictor(128), kernel="auto")
+        tracked = simulate(trace, GsharePredictor(128), kernel="auto",
+                           track_collisions=True)
+        assert tracked.mispredictions == plain.mispredictions
+        assert tracked.collisions is not None
+        assert plain.collisions is None
+
+
+class TestWithoutNumpy:
+    def test_auto_falls_back(self, monkeypatch):
+        monkeypatch.setattr("repro.kernels.numpy_available", lambda: False)
+        trace = random_trace(17, 300)
+        result = simulate(trace, BimodalPredictor(64), kernel="auto")
+        reference = simulate(trace, BimodalPredictor(64),
+                             kernel="reference")
+        assert result == reference
+
+    def test_fast_raises(self, monkeypatch):
+        monkeypatch.setattr("repro.kernels.numpy_available", lambda: False)
+        with pytest.raises(ConfigurationError, match="numpy"):
+            simulate(random_trace(19, 10), BimodalPredictor(64),
+                     kernel="fast")
+
+    def test_numpy_available_probe(self):
+        assert numpy_available() is True
+
+
+class TestExperimentContext:
+    def test_cells_identical_under_fast_and_reference(self):
+        """The figure-1 style flow is kernel-invariant end to end."""
+        results = {}
+        for kernel in ("fast", "reference"):
+            ctx = ExperimentContext(trace_length=4000, site_scale=0.02,
+                                    seed=3, kernel=kernel)
+            results[kernel] = [
+                ctx.run("gcc", "gshare", 1024),
+                ctx.run("gcc", "bimodal", 1024, scheme="static_95"),
+            ]
+        assert results["fast"] == results["reference"]
+
+    def test_kernel_knob_pickles(self):
+        import pickle
+
+        ctx = ExperimentContext(trace_length=1000, site_scale=0.02,
+                                seed=3, kernel="reference")
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.kernel == "reference"
+        assert (clone.trace_length, clone.site_scale, clone.seed) \
+            == (ctx.trace_length, ctx.site_scale, ctx.seed)
+
+    def test_invalid_kernel_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ExperimentContext(trace_length=1000, kernel="warp")

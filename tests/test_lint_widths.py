@@ -458,6 +458,109 @@ class TestWid004:
 
 
 # ---------------------------------------------------------------------------
+# numpy policy: an integer dtype is a width declaration.
+
+
+class TestNumpyPolicy:
+    def test_masked_ndarray_adoption_is_clean(self, tmp_path):
+        """The ``import_array`` idiom: mask, then adopt via tolist()."""
+        findings = lint_tree(tmp_path, {**ANCHOR, "predictors/arrays.py": """
+            import numpy
+
+
+            class ArrayTable:
+                _WIDTHS = {"values": "bits"}
+
+                def __init__(self, entries, bits=2):
+                    self.bits = bits
+                    self.max_value = (1 << bits) - 1
+                    self.values = [0] * entries
+
+                def import_array(self, array):
+                    masked = numpy.asarray(array) & self.max_value
+                    self.values = masked.tolist()
+        """})
+        assert findings == []
+
+    def test_unmasked_ndarray_adoption_is_flagged(self, tmp_path):
+        """Adopting a raw ndarray skips the saturation proof entirely."""
+        findings = lint_tree(tmp_path, {**ANCHOR, "predictors/arrays.py": """
+            import numpy
+
+
+            class LeakyArrayTable:
+                _WIDTHS = {"values": "bits"}
+
+                def __init__(self, entries, bits=2):
+                    self.bits = bits
+                    self.max_value = (1 << bits) - 1
+                    self.values = [0] * entries
+
+                def import_array(self, array):
+                    self.values = numpy.asarray(array).tolist()
+        """})
+        assert rules_hit(findings) == {"WID002"}
+
+    def test_integer_dtype_is_a_width_declaration(self, tmp_path):
+        """A uint8 cast provably bounds every element in [0, 255]."""
+        findings = lint_tree(tmp_path, {**ANCHOR, "predictors/arrays.py": """
+            import numpy
+
+
+            class ByteTable:
+                _WIDTHS = {"values": "8"}
+
+                def __init__(self, entries):
+                    self.values = [0] * entries
+
+                def import_array(self, array):
+                    bytes_ = numpy.asarray(array, dtype=numpy.uint8)
+                    self.values = bytes_.tolist()
+        """})
+        assert findings == []
+
+    def test_astype_narrows_like_a_mask(self, tmp_path):
+        findings = lint_tree(tmp_path, {**ANCHOR, "predictors/arrays.py": """
+            import numpy
+
+
+            class CastTable:
+                _WIDTHS = {"values": "8"}
+
+                def __init__(self, entries):
+                    self.values = [0] * entries
+
+                def import_array(self, array):
+                    wide = numpy.asarray(array, dtype=numpy.int64)
+                    self.values = wide.astype(numpy.uint8).tolist()
+        """})
+        assert findings == []
+
+    def test_wide_dtype_does_not_satisfy_narrow_declaration(self, tmp_path):
+        """int64 is a width declaration too -- just not a narrow one."""
+        findings = lint_tree(tmp_path, {**ANCHOR, "predictors/arrays.py": """
+            import numpy
+
+
+            class WideTable:
+                _WIDTHS = {"values": "8"}
+
+                def __init__(self, entries):
+                    self.values = [0] * entries
+
+                def import_array(self, array):
+                    wide = numpy.asarray(array, dtype=numpy.int64)
+                    self.values = wide.tolist()
+        """})
+        assert rules_hit(findings) == {"WID002"}
+
+    def test_explain_documents_the_dtype_policy(self):
+        text = render_explain(select_rules(["WID002"]))
+        assert "dtype" in text
+        assert "width declaration" in text
+
+
+# ---------------------------------------------------------------------------
 # Self-hosting and explainability.
 
 
