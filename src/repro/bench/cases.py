@@ -36,6 +36,7 @@ __all__ = [
     "WARMUP",
     "end_to_end_cases",
     "kernel_cases",
+    "profiling_cases",
     "run_suite",
 ]
 
@@ -83,6 +84,23 @@ def kernel_cases(include_fast: bool | None = None) -> tuple[BenchCase, ...]:
     )
 
 
+def profiling_cases(include_fast: bool | None = None) -> tuple[BenchCase, ...]:
+    """The profile-tally pair: scalar loop versus vectorized column pass.
+
+    Mirrors the kernel pairs: ``profile/reference`` runs the
+    numpy-free scalar tally, ``profile/fast`` the whole-column
+    :meth:`~repro.profiling.profile.ProgramProfile.from_trace` pass,
+    and the ratio is the phase-one speedup.
+    """
+    if include_fast is None:
+        include_fast = numpy_available()
+    kernels = ("reference", "fast") if include_fast else ("reference",)
+    return tuple(
+        BenchCase(f"profile/{kernel}", "bimodal", _SIZE_BYTES, kernel)
+        for kernel in kernels
+    )
+
+
 def end_to_end_cases() -> tuple[BenchCase, ...]:
     """The full-flow benches (static_95 selection + combined measure)."""
     return (
@@ -104,6 +122,16 @@ def _case_runner(case: BenchCase, ctx: ExperimentContext):
                     scheme=case.scheme, measure_input=_INPUT)
         return run
     trace = ctx.trace(_PROGRAM, _INPUT)
+    if case.name.startswith("profile/"):
+        from repro.profiling.profile import ProgramProfile
+
+        if case.kernel == "reference":
+            def run() -> None:
+                ProgramProfile._from_trace_scalar(trace)
+        else:
+            def run() -> None:
+                ProgramProfile.from_trace(trace)
+        return run
 
     def run() -> None:
         predictor = make_predictor(case.predictor, case.size_bytes)
@@ -123,7 +151,7 @@ def run_suite(
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
     ctx = ExperimentContext(trace_length=trace_length, kernel="auto")
-    cases = kernel_cases()
+    cases = kernel_cases() + profiling_cases()
     if not quick:
         cases = cases + end_to_end_cases()
     results = []

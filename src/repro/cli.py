@@ -15,7 +15,8 @@ Subcommands::
     repro bench [--quick] [--name NAME] [--out FILE] \
                 [--compare BASELINE [CURRENT]] [--max-regression 20%]
     repro lint [--format json|sarif] [--select RULES] [--changed] \
-               [--baseline [FILE]] [--update-baseline] [--cache [FILE]] [paths]
+               [--baseline [FILE]] [--update-baseline] [--cache [FILE]] \
+               [--hot-report] [paths]
 
 ``run`` with experiment ids schedules their declared cells across
 ``--jobs`` worker processes backed by a persistent result cache (warm
@@ -234,6 +235,10 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--stats", action="store_true",
                       help="print engine statistics (files, parsed, "
                            "reused, cache hits) to stderr")
+    lint.add_argument("--hot-report", action="store_true", dest="hot_report",
+                      help="print the hot-path vectorization worklist "
+                           "(function, est. per-branch ops, callers) "
+                           "instead of findings, then exit")
 
     return parser
 
@@ -420,11 +425,26 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print("no common cases between the snapshots; nothing to gate",
               file=sys.stderr)
         return 0
+    # The ratio table prints on success too, so CI logs carry the trend
+    # line even when nothing regressed.
+    from repro.utils.tables import render_table
+
     regressed = 0
+    rows = []
     for comparison in comparisons:
-        print(comparison.render())
         if comparison.regressed:
             regressed += 1
+        rows.append([
+            comparison.case,
+            f"{comparison.old_branches_per_s:,.0f}",
+            f"{comparison.new_branches_per_s:,.0f}",
+            f"{comparison.ratio:.2f}x",
+            "REGRESSION" if comparison.regressed else "ok",
+        ])
+    print(render_table(
+        ["case", "baseline b/s", "current b/s", "ratio", "verdict"],
+        rows, title="bench comparison",
+    ))
     if regressed:
         print(f"{regressed} case(s) regressed beyond "
               f"{args.max_regression} (factor {threshold:.2f})",
@@ -453,6 +473,7 @@ def _print_speedups(snapshot) -> None:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     import repro
+    from repro.errors import LintError
     from repro.lint import (
         DEFAULT_BASELINE_PATH,
         DEFAULT_CACHE_PATH,
@@ -488,7 +509,19 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         rules = select_rules(args.select.split(","))
     paths: list = args.paths or [os.path.dirname(repro.__file__)]
     if args.changed:
-        paths = git_changed_paths(paths)
+        try:
+            paths = git_changed_paths(paths)
+        except LintError as exc:
+            # No git, no commits, detached tmpdir: degrade to a full
+            # scan rather than surfacing a subprocess error.
+            print(f"warning: {exc}; falling back to a full scan",
+                  file=sys.stderr)
+
+    if args.hot_report:
+        from repro.lint.hotpath import hot_region, load_project, render_hot_report
+
+        print(render_hot_report(hot_region(load_project(paths))))
+        return 0
 
     cache = None
     if args.lint_cache is not None:

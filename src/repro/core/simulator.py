@@ -59,6 +59,8 @@ def _reference_loop(
     observe = tracker.observe_lookup if tracker is not None else None
     classify = tracker.classify if tracker is not None else None
     mispredictions = 0
+    # repro: allow[PERF001] -- this IS the semantic reference the fast
+    # kernels must match bit-for-bit; it stays scalar by definition
     for i in range(len(addresses)):
         address = addresses[i]
         taken = outcomes[i]

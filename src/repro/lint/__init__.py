@@ -21,6 +21,7 @@ machine-checked rules that run before any simulation does::
     repro lint --strict-baseline ... # CI: also fail on stale debt
     repro lint --explain WID002      # a rule's rationale + examples
     repro lint --stats --cache src/  # cache effectiveness, to stderr
+    repro lint --hot-report src/     # ranked hot-path vectorization worklist
 
 Deliberate exceptions are annotated in place::
 
@@ -43,18 +44,27 @@ WID001    table indices are provably within ``[0, table_size)``
 WID002    counter updates provably saturate at the declared width
 WID003    history shift-ins are masked to the declared width
 WID004    modulo by a provable power of two should be a mask
+PERF001   no per-element Python loops over trace-scale data on hot paths
+PERF002   hot-path accumulators preallocate arrays instead of append
+PERF003   no array-reallocating, upcasting, or scalar-math numpy use
+PERF004   ``kernels/`` ``simulate_*`` functions reachable from ``_KERNELS``
 LINT001   (engine) a linted file failed to parse
 ========  ============================================================
 
-The rules stack in three analysis layers.  Syntactic rules match
+The rules stack in four analysis layers.  Syntactic rules match
 shapes in one AST (DET001/DET002, BIT001, PRED/EXP/REG contracts);
 interprocedural dataflow rules walk the project call graph
 (:mod:`repro.lint.graph`) and reaching definitions
 (:mod:`repro.lint.dataflow`) for worker purity and seed provenance
-(PAR001, DET003); and the WID family abstractly interprets predictor
+(PAR001, DET003); the WID family abstractly interprets predictor
 classes over a symbolic interval domain (:mod:`repro.lint.intervals`,
 :mod:`repro.lint.rules.widths`) to *prove* bit-width contracts instead
-of pattern-matching them.  No module is ever imported to be linted.
+of pattern-matching them; and the PERF family combines all three —
+call-graph hot-region inference from the simulation entry points
+(:mod:`repro.lint.hotpath`), loop trip-count provenance through
+reaching definitions, and the interval domain to separate trace-scale
+loops from table-sized ones — to ratchet scalar code off the hot
+paths.  No module is ever imported to be linted.
 """
 
 from repro.lint.baseline import BASELINE_VERSION, DEFAULT_BASELINE_PATH, Baseline
@@ -66,6 +76,7 @@ from repro.lint.cache import (
 )
 from repro.lint.engine import EngineStats, LintEngine, collect_files, run_lint
 from repro.lint.findings import Finding, Severity
+from repro.lint.hotpath import HotRegion, hot_region, load_project, render_hot_report
 from repro.lint.report import render_explain, render_json, render_text
 from repro.lint.rules import RULES, all_rules, rule_ids, select_rules
 from repro.lint.sarif import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
@@ -96,4 +107,8 @@ __all__ = [
     "all_rules",
     "rule_ids",
     "select_rules",
+    "HotRegion",
+    "hot_region",
+    "load_project",
+    "render_hot_report",
 ]

@@ -48,7 +48,7 @@ __all__ = [
     "git_changed_paths",
 ]
 
-CACHE_FORMAT_VERSION = 2
+CACHE_FORMAT_VERSION = 3
 DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
 
 

@@ -141,5 +141,6 @@ from repro.lint.rules import bitops  # noqa: E402,F401  (registration import)
 from repro.lint.rules import determinism  # noqa: E402,F401
 from repro.lint.rules import experiments  # noqa: E402,F401
 from repro.lint.rules import parallelism  # noqa: E402,F401
+from repro.lint.rules import perf  # noqa: E402,F401
 from repro.lint.rules import predictors  # noqa: E402,F401
 from repro.lint.rules import widths  # noqa: E402,F401

@@ -7,6 +7,8 @@ only) so every other layer of the library can import them without cycles:
   predictor index functions.
 * :mod:`repro.utils.rng` -- deterministic, named random streams so that a
   single experiment seed reproduces every trace and selection decision.
+* :mod:`repro.utils.hotpath` -- the ``@hot_path`` marker declaring a
+  function as per-branch work for the lint hot-path analyzer.
 * :mod:`repro.utils.tables` -- plain-text table rendering for experiment
   reports (the "tables" of the paper).
 * :mod:`repro.utils.charts` -- plain-text chart rendering for experiment
@@ -14,6 +16,7 @@ only) so every other layer of the library can import them without cycles:
 """
 
 from repro.utils.bits import bit_mask, fold_bits, is_power_of_two, log2_exact, mix64
+from repro.utils.hotpath import hot_path
 from repro.utils.rng import derive_rng, derive_seed
 
 __all__ = [
@@ -22,6 +25,7 @@ __all__ = [
     "is_power_of_two",
     "log2_exact",
     "mix64",
+    "hot_path",
     "derive_rng",
     "derive_seed",
 ]

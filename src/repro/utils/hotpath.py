@@ -1,0 +1,30 @@
+"""The ``@hot_path`` marker: declare a function as per-branch hot code.
+
+The hot-path analyzer (:mod:`repro.lint.hotpath`) infers most of the
+per-branch region from entry points and the call graph, but some
+functions are hot by *role* rather than by reachability — trace
+synthesis runs before any simulator entry point exists, and trace I/O
+is trace-length work invoked from arbitrary callers.  Decorating them
+declares the intent::
+
+    @hot_path
+    def execute(self, n_branches: int) -> BranchTrace: ...
+
+The decorator is a zero-cost identity at runtime (it only sets a
+``__hot_path__`` attribute); the lint layer reads the *decoration
+syntax*, never the attribute, so linted code is still never imported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+__all__ = ["hot_path"]
+
+_F = TypeVar("_F", bound=Callable)
+
+
+def hot_path(fn: _F) -> _F:
+    """Mark ``fn`` as running per simulated branch (trace-scale work)."""
+    fn.__hot_path__ = True
+    return fn

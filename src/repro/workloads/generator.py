@@ -36,6 +36,7 @@ from typing import Sequence
 
 from repro.arch.program import Program
 from repro.errors import ConfigurationError, WorkloadError
+from repro.utils.hotpath import hot_path
 from repro.utils.rng import derive_rng, derive_seed, rng_from_seed
 from repro.workloads.behaviors import (
     BehaviorFactory,
@@ -262,6 +263,7 @@ class SyntheticWorkload:
         """Instantiate fresh behaviour objects for every site."""
         return [plan.build(self.input_name) for plan in self.site_plans]
 
+    @hot_path
     def execute(self, n_branches: int, run_seed: int = 0) -> BranchTrace:
         """Run the workload until ``n_branches`` branches have executed.
 

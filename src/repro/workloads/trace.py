@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Iterator, TextIO
 
 from repro.errors import TraceFormatError
+from repro.utils.hotpath import hot_path
 
 __all__ = ["BranchRecord", "BranchTrace"]
 
@@ -97,6 +98,7 @@ class BranchTrace:
         """Set of static site indices that executed at least once."""
         return set(self.site_indices)
 
+    @hot_path
     def validate(self) -> None:
         """Check structural invariants; raise :class:`TraceFormatError`."""
         n = len(self.site_indices)
@@ -152,6 +154,7 @@ class BranchTrace:
 
     # -- file I/O ----------------------------------------------------------
 
+    @hot_path
     def dump(self, stream: TextIO) -> None:
         """Write the trace to a text stream.
 
@@ -180,6 +183,7 @@ class BranchTrace:
             self.dump(stream)
 
     @classmethod
+    @hot_path
     def load_stream(cls, stream: TextIO) -> "BranchTrace":
         """Read a trace written by :meth:`dump`."""
         header = stream.readline().rstrip("\n")

@@ -6,7 +6,7 @@ import json
 
 import pytest
 
-from repro.bench.cases import kernel_cases, run_suite
+from repro.bench.cases import kernel_cases, profiling_cases, run_suite
 from repro.bench.snapshot import (
     FORMAT_HEADER,
     BenchFormatError,
@@ -124,10 +124,17 @@ class TestSuite:
         without = [case.name for case in kernel_cases(include_fast=False)]
         assert all(name.endswith("/reference") for name in without)
 
+    def test_profiling_cases_pair_scalar_and_vectorized(self):
+        names = [case.name for case in profiling_cases(include_fast=True)]
+        assert names == ["profile/reference", "profile/fast"]
+        without = [case.name for case in profiling_cases(include_fast=False)]
+        assert without == ["profile/reference"]
+
     def test_run_suite_smoke(self):
         snap = run_suite(quick=True, trace_length=2000, repeats=1)
         cases = {entry.case for entry in snap.results}
         assert "bimodal/reference" in cases
+        assert "profile/reference" in cases
         assert all(entry.median_s > 0.0 for entry in snap.results)
         assert all(entry.branches == 2000 for entry in snap.results)
 

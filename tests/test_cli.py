@@ -137,9 +137,40 @@ class TestCommands:
 
 
 class TestLintCommand:
-    def test_default_self_lint_is_clean(self, capsys):
-        assert main(["lint"]) == 0
-        assert "clean: no lint findings" in capsys.readouterr().out
+    def test_default_self_lint_is_clean_against_baseline(self, capsys):
+        # src/repro carries deliberate, baselined PERF debt (the
+        # vectorization worklist); the ratchet is "no NEW findings".
+        assert main(["lint", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "clean: no lint findings" in out
+        assert "baselined finding(s) not shown" in out
+
+    def test_hot_report_prints_ranked_worklist(self, capsys):
+        assert main(["lint", "--select", "PERF", "--hot-report"]) == 0
+        first = capsys.readouterr().out
+        assert "hot region:" in first
+        assert "est. ops/branch" in first
+        # The ranking is deterministic: a second run renders identically.
+        assert main(["lint", "--select", "PERF", "--hot-report"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_changed_degrades_to_full_scan_without_git(
+            self, tmp_path, capsys, monkeypatch):
+        import repro.lint as lint_pkg
+        from repro.errors import LintError
+
+        def no_git(paths):
+            raise LintError(
+                "--changed needs a git checkout: git status failed (boom)")
+
+        monkeypatch.setattr(lint_pkg, "git_changed_paths", no_git)
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n",
+                       encoding="utf-8")
+        assert main(["lint", "--changed", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "falling back to a full scan" in captured.err
+        assert "DET001" in captured.out
 
     def test_findings_mean_nonzero_exit(self, tmp_path, capsys):
         bad = tmp_path / "bad.py"

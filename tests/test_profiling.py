@@ -61,6 +61,30 @@ class TestProgramProfile:
         assert profile[0x1004].majority_taken is False
         assert profile.total_executions == 4
 
+    def test_from_trace_matches_scalar_reference_bit_for_bit(self):
+        # The vectorized tally must be indistinguishable from the scalar
+        # loop it replaced, including dict insertion order (which
+        # to_json serializes) — same contract as the fast kernels.
+        from repro.utils import derive_rng
+
+        rng = derive_rng(1234, "profiling", "differential")
+        addresses = [0x1000 + 4 * rng.randrange(64) for _ in range(5000)]
+        records = [(addr, rng.random() < 0.7) for addr in addresses]
+        trace = make_trace(records)
+
+        fast = ProgramProfile.from_trace(trace)
+        scalar = ProgramProfile._from_trace_scalar(trace)
+        assert list(fast.branches) == list(scalar.branches)
+        assert {a: (p.executions, p.taken) for a, p in fast.items()} == \
+            {a: (p.executions, p.taken) for a, p in scalar.items()}
+        assert fast.to_json() == scalar.to_json()
+
+    def test_from_trace_empty_trace(self):
+        profile = ProgramProfile.from_trace(make_trace([]))
+        assert len(profile) == 0
+        assert profile.to_json() == \
+            ProgramProfile._from_trace_scalar(make_trace([])).to_json()
+
     def test_merge_accumulates(self):
         a = ProgramProfile.from_trace(make_trace([(0x1000, True)] * 3))
         b = ProgramProfile.from_trace(
