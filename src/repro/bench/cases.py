@@ -10,6 +10,11 @@ Two tiers:
 * **End-to-end benches** (skipped by ``--quick``): a full two-phase
   ``ExperimentContext.run`` configuration, measuring what an experiment
   cell actually costs, combined-predictor overhead and all.
+* **Replay benches** (always run): pure simulation over a pinned trace
+  artifact from the :mod:`repro.traces` store -- the trace is generated
+  (once) and digest-verified *outside* the timed region, so the number
+  is simulation throughput with zero generation noise, which is what
+  the fast-path-gap work (ROADMAP item 1) needs to watch.
 
 Fast-kernel cases are skipped (not failed) when numpy is unavailable,
 mirroring :mod:`repro.kernels`' graceful degradation; the reference
@@ -37,6 +42,7 @@ __all__ = [
     "end_to_end_cases",
     "kernel_cases",
     "profiling_cases",
+    "replay_cases",
     "run_suite",
 ]
 
@@ -101,6 +107,17 @@ def profiling_cases(include_fast: bool | None = None) -> tuple[BenchCase, ...]:
     )
 
 
+def replay_cases() -> tuple[BenchCase, ...]:
+    """Pure-simulation benches over a pinned trace-store artifact.
+
+    One case per suite tier: gshare over the store-ensured gcc/ref
+    artifact at the bench context's knobs, with ``kernel="auto"``.
+    Loading and digest-verifying the artifact happens in the runner
+    factory, outside the timed closure.
+    """
+    return (BenchCase("replay/gshare", "gshare", _SIZE_BYTES, "auto"),)
+
+
 def end_to_end_cases() -> tuple[BenchCase, ...]:
     """The full-flow benches (static_95 selection + combined measure)."""
     return (
@@ -120,6 +137,21 @@ def _case_runner(case: BenchCase, ctx: ExperimentContext):
         def run() -> None:
             ctx.run(_PROGRAM, case.predictor, case.size_bytes,
                     scheme=case.scheme, measure_input=_INPUT)
+        return run
+    if case.name.startswith("replay/"):
+        from repro.traces import TraceSpec, TraceStore
+
+        spec = TraceSpec(
+            name=f"bench-{_PROGRAM}-{_INPUT}-{ctx.trace_length}",
+            program=_PROGRAM, input_name=_INPUT,
+            length=ctx.trace_length, seed=ctx.seed,
+            site_scale=ctx.site_scale,
+        )
+        pinned = TraceStore().ensure(spec)
+
+        def run() -> None:
+            predictor = make_predictor(case.predictor, case.size_bytes)
+            simulate(pinned, predictor, kernel=case.kernel)
         return run
     trace = ctx.trace(_PROGRAM, _INPUT)
     if case.name.startswith("profile/"):
@@ -151,7 +183,7 @@ def run_suite(
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
     ctx = ExperimentContext(trace_length=trace_length, kernel="auto")
-    cases = kernel_cases() + profiling_cases()
+    cases = kernel_cases() + profiling_cases() + replay_cases()
     if not quick:
         cases = cases + end_to_end_cases()
     results = []

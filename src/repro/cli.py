@@ -9,6 +9,8 @@ Subcommands::
               [--length 200000] [--input ref] [--profile-input ref]
     repro experiment table3 [--length N] [--seed N] [--scale F]
     repro trace --program gcc --input ref --length 10000 --out gcc.trace
+    repro traces generate|list|verify|info [--suite NAME] [--quick] \
+                 [--dir DIR] [--force]
     repro profile --program gcc --input train --out gcc.profile.json
     repro classify --program gcc [--predictor gshare --size 8192]
     repro interference --program gcc --predictor gshare --size 2048
@@ -26,6 +28,11 @@ wall time, branches/s per worker, cache hit/miss counts.  ``run`` with
 flow for that single configuration and prints the result line.
 ``experiment`` regenerates a whole table or figure serially (it also
 honors the ``REPRO_JOBS``/``REPRO_CACHE_DIR`` environment knobs);
+``traces`` manages the pinned trace suites (:mod:`repro.traces`):
+``generate`` materializes a suite's content-digested artifacts into the
+store, ``verify`` re-checks every artifact against its manifest and
+pinned digest (exit 1 on any problem), ``list`` shows the registered
+suites with per-spec store status, and ``info`` dumps the manifests;
 ``bench`` times the simulation kernels (reference loop versus the
 array-backed fast kernels) and writes a ``BENCH_<name>.json`` snapshot;
 with ``--compare`` it gates against a baseline snapshot and exits 1 on
@@ -130,6 +137,24 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--out", required=True, help="output trace file")
     trace.add_argument("--seed", type=int, default=None)
     trace.add_argument("--scale", type=float, default=None)
+
+    traces = sub.add_parser(
+        "traces",
+        help="manage pinned trace suites (generate, list, verify, info)",
+    )
+    traces.add_argument("action",
+                        choices=("generate", "list", "verify", "info"))
+    traces.add_argument("--suite", default="quick",
+                        help="suite to operate on (default: quick); "
+                             "see `repro traces list`")
+    traces.add_argument("--quick", action="store_true",
+                        help="shorthand for --suite quick (the CI suite)")
+    traces.add_argument("--dir", default=None, dest="trace_dir",
+                        help="trace store root (default: REPRO_TRACE_DIR "
+                             "or .repro-traces)")
+    traces.add_argument("--force", action="store_true",
+                        help="with generate: rebuild artifacts that "
+                             "already exist")
 
     profile = sub.add_parser("profile", help="profile a workload to JSON")
     profile.add_argument("--program", required=True, choices=PROGRAM_ORDER)
@@ -254,11 +279,13 @@ def _context(args: argparse.Namespace) -> ExperimentContext:
 
 def _cmd_list() -> int:
     from repro.lint import rule_ids
+    from repro.traces import suite_names
 
     print("programs:   ", " ".join(PROGRAM_ORDER))
     print("predictors: ", " ".join(PREDICTOR_NAMES))
     print("schemes:    ", " ".join(SELECTION_SCHEMES))
     print("experiments:", " ".join(EXPERIMENT_IDS))
+    print("trace suites:", " ".join(suite_names()))
     print("lint rules: ", " ".join(rule_ids()))
     return 0
 
@@ -319,6 +346,68 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     trace.save(args.out)
     print(f"wrote {len(trace)} branches ({trace.instruction_count} "
           f"instructions) to {args.out}")
+    return 0
+
+
+def _cmd_traces(args: argparse.Namespace) -> int:
+    from repro.traces import TraceStore, get_suite, suite_names
+
+    store = TraceStore(args.trace_dir)
+    suite_name = "quick" if args.quick else args.suite
+
+    if args.action == "list":
+        for name in suite_names():
+            suite = get_suite(name)
+            print(f"{suite.name}: {len(suite)} trace(s)"
+                  + (f" -- {suite.description}" if suite.description else ""))
+            for spec in suite:
+                status = "generated" if store.exists(spec) else "missing"
+                print(f"  {spec.describe()} [{status}]")
+        print(f"store: {store.root}")
+        return 0
+
+    suite = get_suite(suite_name)
+    if args.action == "generate":
+        for spec in suite:
+            existed = store.exists(spec) and not args.force
+            manifest = store.generate(spec, force=args.force)
+            verb = "up to date" if existed else "wrote"
+            print(f"{spec.name}: {verb} {manifest['branches']} branches "
+                  f"-> {store.artifact_path(spec)} "
+                  f"(digest {manifest['content_digest'][:12]})")
+        return 0
+
+    if args.action == "verify":
+        failures = 0
+        for spec in suite:
+            problems = store.verify(spec)
+            if problems:
+                failures += 1
+                for problem in problems:
+                    print(f"{spec.name}: FAIL: {problem}")
+            else:
+                print(f"{spec.name}: ok")
+        if failures:
+            print(f"{failures} of {len(suite)} trace(s) failed verification "
+                  f"in store {store.root}", file=sys.stderr)
+            return 1
+        print(f"verified {len(suite)} trace(s) in store {store.root}")
+        return 0
+
+    # info: dump each generated spec's manifest, flag the rest.
+    for spec in suite:
+        manifest = store.manifest(spec)
+        if manifest is None:
+            print(f"{spec.name}: not generated "
+                  f"(expected {store.artifact_path(spec)})")
+            continue
+        print(f"{spec.name}:")
+        print(f"  artifact: {store.artifact_path(spec)}")
+        for key in ("spec_digest", "content_digest", "branches",
+                    "instructions", "format_version"):
+            print(f"  {key}: {manifest.get(key)}")
+        pinned = spec.pinned_digest or "(unpinned)"
+        print(f"  pinned_digest: {pinned}")
     return 0
 
 
@@ -581,6 +670,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "run": _cmd_run,
     "experiment": _cmd_experiment,
     "trace": _cmd_trace,
+    "traces": _cmd_traces,
     "profile": _cmd_profile,
     "classify": _cmd_classify,
     "interference": _cmd_interference,

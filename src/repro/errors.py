@@ -34,6 +34,15 @@ class TraceFormatError(ReproError):
     """A trace file is malformed or has an unsupported version."""
 
 
+class TraceSuiteError(ReproError):
+    """A pinned trace suite or store operation failed.
+
+    Raised for unknown suites/specs, missing artifacts that have not been
+    generated yet, corrupt manifests, and digest mismatches between an
+    artifact and its manifest or its pinned expectation.
+    """
+
+
 class ProfileError(ReproError):
     """Profile data is missing, inconsistent, or cannot be merged."""
 

@@ -18,6 +18,15 @@ Scaling knobs (environment variables, all optional):
     Kernels are bit-identical to the reference loop by contract, so this
     knob changes wall time, never results -- it is deliberately *not*
     part of any cache key.
+``REPRO_TRACE_SUITE``
+    When set, name of a pinned trace suite (see :mod:`repro.traces`):
+    every ``ctx.trace()`` loads the suite's content-digested artifact
+    instead of regenerating, and the artifact digest is folded into
+    result-cache keys.  Unset (the default) keeps the regeneration
+    path, whose cache keys are unchanged.
+``REPRO_TRACE_DIR``
+    Root of the pinned-trace store (default ``.repro-traces``); only
+    consulted in replay mode.
 
 The :class:`ExperimentContext` memoizes workloads, traces, bias
 profiles, per-predictor accuracy profiles, and hint assignments, because
@@ -61,6 +70,7 @@ __all__ = [
     "default_trace_length",
     "default_site_scale",
     "default_seed",
+    "default_trace_suite",
     "ExperimentContext",
     "default_context",
 ]
@@ -117,6 +127,11 @@ def default_kernel() -> str:
     return kernel
 
 
+def default_trace_suite() -> str | None:
+    """Pinned trace suite name from the environment (None = regenerate)."""
+    return os.environ.get("REPRO_TRACE_SUITE") or None
+
+
 class ExperimentContext:
     """Cached workloads, traces, profiles, and hint assignments."""
 
@@ -126,16 +141,25 @@ class ExperimentContext:
         site_scale: float | None = None,
         seed: int | None = None,
         kernel: str | None = None,
+        trace_suite: "str | None" = None,
+        trace_dir: str | None = None,
     ):
         self.trace_length = trace_length if trace_length is not None else default_trace_length()
         self.site_scale = site_scale if site_scale is not None else default_site_scale()
         self.seed = seed if seed is not None else default_seed()
         self.kernel = kernel if kernel is not None else default_kernel()
+        # ``trace_suite`` accepts a suite name or a TraceSuite instance;
+        # None (with REPRO_TRACE_SUITE unset) keeps the regeneration
+        # path.  ``trace_dir`` overrides the store root (else
+        # REPRO_TRACE_DIR / .repro-traces, resolved by the store).
+        self.trace_suite = trace_suite if trace_suite is not None else default_trace_suite()
+        self.trace_dir = trace_dir
         if self.trace_length <= 0:
             raise ExperimentError(f"trace_length must be positive, got {self.trace_length}")
         validate_kernel_mode(self.kernel)
         self._workloads: dict[tuple, SyntheticWorkload] = {}
         self._traces: dict[tuple, BranchTrace] = {}
+        self._trace_digests: dict[tuple, str] = {}
         self._profiles: dict[tuple, ProgramProfile] = {}
         self._accuracies: dict[tuple, AccuracyProfile] = {}
         self._collision_profiles: dict[tuple, CollisionProfile] = {}
@@ -145,8 +169,9 @@ class ExperimentContext:
         """Pickle as the defining knobs only.
 
         Everything a context memoizes is a pure function of
-        ``(trace_length, site_scale, seed)``, so shipping a context to a
-        :mod:`repro.runner` worker process transfers a few numbers and
+        ``(trace_length, site_scale, seed)`` -- plus, in replay mode,
+        the pinned suite and store root -- so shipping a context to a
+        :mod:`repro.runner` worker process transfers a few values and
         the worker rebuilds (and re-memoizes) traces on demand --
         bit-identical to the parent's, by the determinism contract.
         ``kernel`` rides along so workers honor the requested execution
@@ -155,7 +180,8 @@ class ExperimentContext:
         (see :meth:`repro.runner.cells.Cell.key_fields`).
         """
         return (ExperimentContext,
-                (self.trace_length, self.site_scale, self.seed, self.kernel))
+                (self.trace_length, self.site_scale, self.seed, self.kernel,
+                 self.trace_suite, self.trace_dir))
 
     # -- workloads and traces -------------------------------------------
 
@@ -173,15 +199,78 @@ class ExperimentContext:
 
     def trace(self, program: str, input_name: str = "ref",
               length: int | None = None) -> BranchTrace:
-        """The (cached) trace for one program and input."""
+        """The (cached) trace for one program and input.
+
+        In replay mode (``trace_suite`` set) the trace loads from the
+        pinned store artifact instead of regenerating; a context knob
+        combination the suite does not pin is an error, never a silent
+        fallback to regeneration -- mixing pinned and regenerated
+        streams inside one run would defeat the point of pinning.
+        """
         if length is None:
             length = self.trace_length
         key = (program, input_name, length)
         trace = self._traces.get(key)
         if trace is None:
-            trace = self.workload(program, input_name).execute(length, run_seed=1)
+            if self.trace_suite is not None:
+                trace = self._load_pinned(program, input_name, length)
+            else:
+                trace = self.workload(program, input_name).execute(length, run_seed=1)
             self._traces[key] = trace
         return trace
+
+    # -- pinned replay (see repro.traces) --------------------------------
+
+    def _pinned_spec(self, program: str, input_name: str, length: int):
+        """Resolve context knobs to the suite's spec; error if unpinned."""
+        from repro.traces import get_suite
+
+        suite = get_suite(self.trace_suite)
+        spec = suite.lookup(program, input_name, length, self.seed, self.site_scale)
+        if spec is None:
+            raise ExperimentError(
+                f"trace suite {suite.name!r} pins no trace for "
+                f"program={program!r} input={input_name!r} length={length} "
+                f"seed={self.seed} site_scale={self.site_scale}; add a "
+                "TraceSpec to the suite or unset REPRO_TRACE_SUITE"
+            )
+        return spec
+
+    def _store(self):
+        from repro.traces import TraceStore
+
+        return TraceStore(self.trace_dir)
+
+    def _load_pinned(self, program: str, input_name: str,
+                     length: int) -> BranchTrace:
+        spec = self._pinned_spec(program, input_name, length)
+        store = self._store()
+        trace = store.load(spec)
+        self._trace_digests[(program, input_name, length)] = (
+            store.content_digest(spec)
+        )
+        return trace
+
+    def trace_digest(self, program: str, input_name: str = "ref",
+                     length: int | None = None) -> str | None:
+        """Content digest of the pinned trace, or None when regenerating.
+
+        This is what :meth:`repro.runner.cells.Cell.key_fields` folds
+        into the result-cache key in replay mode; reading it does not
+        load the trace (the digest comes from the artifact manifest).
+        """
+        if self.trace_suite is None:
+            return None
+        if length is None:
+            length = self.trace_length
+        key = (program, input_name, length)
+        digest = self._trace_digests.get(key)
+        if digest is None:
+            digest = self._store().content_digest(
+                self._pinned_spec(program, input_name, length)
+            )
+            self._trace_digests[key] = digest
+        return digest
 
     # -- profiles --------------------------------------------------------
 

@@ -27,6 +27,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import tempfile
 
 from repro.core.metrics import SimulationResult
 from repro.errors import ReproError
@@ -82,15 +83,26 @@ class ResultCache:
     def _write(self, key: str, payload: dict) -> None:
         path = self._path(key)
         directory = os.path.dirname(path)
-        os.makedirs(directory, exist_ok=True)
-        tmp = f"{path}.{os.getpid()}.tmp"
+        # The temp name must be unique per *call*, not per process:
+        # thread-pool workers share a pid, and two writers using the
+        # same temp path can unlink each other's half-written file out
+        # from under the os.replace.  mkstemp guarantees a fresh name
+        # (and an already-open descriptor) on every call.
         try:
-            with open(tmp, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream, sort_keys=True)
-            os.replace(tmp, path)
+            os.makedirs(directory, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                dir=directory, prefix=os.path.basename(path) + ".",
+                suffix=".tmp",
+            )
         except OSError:
             # Caching is an optimization; a full disk or permission
             # hiccup must not kill the simulation that just succeeded.
+            return
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                json.dump(payload, stream, sort_keys=True)
+            os.replace(tmp, path)
+        except OSError:
             try:
                 os.unlink(tmp)
             except OSError:

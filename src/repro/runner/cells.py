@@ -86,8 +86,16 @@ class Cell:
         reference loop by contract (:mod:`repro.kernels`), so it can
         never change a result -- a cache entry written under one kernel
         mode is valid under every other.
+
+        In replay mode (the context pins a trace suite) the content
+        digests of every trace the cell consumes -- the measurement
+        trace, plus the profiling trace(s) for selecting schemes -- are
+        folded in as extra entries, so a pinned-artifact result and a
+        regenerated one can never alias in the cache even if the scalar
+        knobs coincide.  In regeneration mode the entries are absent and
+        existing cache keys are unchanged.
         """
-        return {
+        fields = {
             "seed": ctx.seed,
             "trace_length": ctx.trace_length,
             "site_scale": ctx.site_scale,
@@ -103,6 +111,27 @@ class Cell:
             "track_collisions": self.track_collisions,
             "predictor_kwargs": list(self.predictor_kwargs),
         }
+        if ctx.trace_suite is not None:
+            fields["trace_digest"] = ctx.trace_digest(
+                self.program, self.measure_input
+            )
+            if self.scheme != "none":
+                fields["profile_trace_digest"] = self._profile_digests(ctx)
+        return fields
+
+    def _profile_digests(self, ctx: ExperimentContext):
+        """Digest(s) of the trace(s) the selection phase profiles.
+
+        The stable-filtered scheme merges the train and ref profiles, so
+        its selection identity spans both pinned traces; every other
+        scheme profiles exactly ``profile_input``.
+        """
+        if self.scheme == STABLE_SCHEME:
+            return [
+                ctx.trace_digest(self.program, "train"),
+                ctx.trace_digest(self.program, "ref"),
+            ]
+        return ctx.trace_digest(self.program, self.profile_input)
 
     def hint_key_fields(self, ctx: ExperimentContext) -> dict:
         """Cache-key identity of this cell's *selection phase* only.
@@ -127,6 +156,8 @@ class Cell:
             fields["predictor"] = self.predictor
             fields["size_bytes"] = self.size_bytes
             fields["predictor_kwargs"] = list(self.predictor_kwargs)
+        if ctx.trace_suite is not None:
+            fields["profile_trace_digest"] = self._profile_digests(ctx)
         return fields
 
 

@@ -1,0 +1,42 @@
+"""Pinned trace suites: versioned, content-digested replay artifacts.
+
+The paper's comparisons only mean something when every configuration
+sees the *same* dynamic branch stream.  This package freezes those
+streams: a :class:`~repro.traces.spec.TraceSpec` pins a generation
+recipe, a :class:`~repro.traces.registry.TraceSuite` names a set of
+them, and a :class:`~repro.traces.store.TraceStore` materializes them
+as content-digested on-disk artifacts (compressed npz, or memmap-backed
+columns for traces too large to hold as Python lists).
+
+Replay integration: construct an
+:class:`~repro.experiments.common.ExperimentContext` with
+``trace_suite=`` (or set ``REPRO_TRACE_SUITE``) and every
+``ctx.trace()`` resolves through the suite to a pinned artifact instead
+of regenerating; the artifact's content digest is folded into the
+result-cache key (see :meth:`repro.runner.cells.Cell.key_fields`), so
+pinned and regenerated results can never alias in the cache.
+
+CLI: ``repro traces generate|list|verify|info``.
+"""
+
+from repro.traces.registry import (
+    TraceSuite,
+    get_suite,
+    register_suite,
+    suite_names,
+)
+from repro.traces.spec import SUITE_FORMAT_VERSION, TRACE_FORMATS, TraceSpec
+from repro.traces.store import ENV_TRACE_DIR, TraceStore, default_trace_dir
+
+__all__ = [
+    "ENV_TRACE_DIR",
+    "SUITE_FORMAT_VERSION",
+    "TRACE_FORMATS",
+    "TraceSpec",
+    "TraceStore",
+    "TraceSuite",
+    "default_trace_dir",
+    "get_suite",
+    "register_suite",
+    "suite_names",
+]

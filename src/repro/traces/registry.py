@@ -1,0 +1,201 @@
+"""Named trace suites: the registry of pinned generation recipes.
+
+A :class:`TraceSuite` is an ordered collection of :class:`TraceSpec`
+records under one name.  Two suites ship with the library:
+
+``quick``
+    The CI suite: every SPECINT95 program x {train, ref} at the CI
+    scale knobs (20k branches, site scale 0.05, seed 42), plus one
+    memmap-format artifact exercising the large-trace path.  Every
+    quick spec carries a **pinned content digest** computed when the
+    suite was first generated; regeneration that produces different
+    bytes (a workload-model or RNG change) fails loudly instead of
+    silently shifting every downstream number.
+
+``default``
+    The full-scale suite matching the experiment defaults (200k
+    branches, site scale 0.125, seed 42).  Its specs are unpinned --
+    the digest is recorded in each artifact's manifest at generation
+    time and verified on load, so integrity is still checked; only the
+    cross-machine expectation is omitted to keep regeneration of the
+    heavyweight suite from requiring a registry edit after intentional
+    model changes.
+
+Suites are looked up by name (e.g. from ``REPRO_TRACE_SUITE``); replay
+resolves a context's ``(program, input, length, seed, site_scale)`` to
+a spec via :meth:`TraceSuite.lookup`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TraceSuiteError
+from repro.traces.spec import TraceSpec
+from repro.workloads.spec95 import PROGRAM_ORDER
+
+__all__ = [
+    "TraceSuite",
+    "get_suite",
+    "register_suite",
+    "suite_names",
+]
+
+_QUICK_LENGTH = 20_000
+_QUICK_SITE_SCALE = 0.05
+_DEFAULT_LENGTH = 200_000
+_DEFAULT_SITE_SCALE = 0.125
+_SEED = 42
+
+#: Content digests of the quick suite's traces, computed once from the
+#: generators at suite-introduction time.  These freeze the synthetic
+#: workload models: if a change to :mod:`repro.workloads` alters any
+#: generated stream, ``repro traces generate``/``verify`` fail with a
+#: digest mismatch and the change has to be made deliberately (bump the
+#: digests alongside the model change).
+_QUICK_DIGESTS = {
+    "quick-go-train": "36c8a0ec726648f0277bb7015b7d47f1812297576c3add86788b8c01977dc4e1",
+    "quick-go-ref": "50b1a36391a0a1cec5e7a11e4abbc6694ef417748f83311b5cfec8e69184dcc1",
+    "quick-gcc-train": "137eff925a805e2626aec2a6c9944723201126cd46fe312dab75a9eeb56ec3b6",
+    "quick-gcc-ref": "5c15f72a49a4e08146725402988bc2d00a5e4d7c002d9a2b849f515ba8a1929a",
+    "quick-perl-train": "126c5cda07219f516dfd833da952ff953a2ce8bcfbbab25efc9525addf19780b",
+    "quick-perl-ref": "1fbcc741b07af35a573f078c244cffd7ed8e3e365a4ea270e1d47982d8e61d38",
+    "quick-m88ksim-train": "817fbd30823949e64d1031b4fd4e41ab3a34395746ed274a2b9294b290702725",
+    "quick-m88ksim-ref": "ae1ab462b55756116362c17f78977d6139698035a130b5b3ca11c4bf109c68b4",
+    "quick-compress-train": "de22bcf22c4c78f531f6ff20a74681344839b6b8df663f520252762fe15fa685",
+    "quick-compress-ref": "fb3b760fbc2c609754936ff8f3c7f0beeaad148f9cc3c309e6c8a40704ef377d",
+    "quick-ijpeg-train": "b9e59dbfa8e0d5f4fe30910db7985641433bb42bc98e0be16c2c55dcd526062c",
+    "quick-ijpeg-ref": "e3788636759035f6429d7b79f5da9f5c10f768afc964070f26373b127aa04b49",
+    # Same recipe as quick-gcc-ref apart from the on-disk format, and
+    # the content digest is format-independent by construction -- the
+    # matching value is itself a regression check.
+    "quick-gcc-ref-memmap": "5c15f72a49a4e08146725402988bc2d00a5e4d7c002d9a2b849f515ba8a1929a",
+}
+
+
+class TraceSuite:
+    """An ordered, name-addressable collection of trace specs."""
+
+    def __init__(self, name: str, specs: tuple[TraceSpec, ...],
+                 description: str = ""):
+        self.name = name
+        self.specs = tuple(specs)
+        self.description = description
+        seen: set[str] = set()
+        for spec in self.specs:
+            if spec.name in seen:
+                raise TraceSuiteError(
+                    f"suite {name!r} has duplicate spec name {spec.name!r}"
+                )
+            seen.add(spec.name)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def get(self, spec_name: str) -> TraceSpec:
+        """The spec with the given name; raise if unknown."""
+        for spec in self.specs:
+            if spec.name == spec_name:
+                return spec
+        raise TraceSuiteError(
+            f"suite {self.name!r} has no spec named {spec_name!r}"
+        )
+
+    def lookup(self, program: str, input_name: str, length: int,
+               seed: int, site_scale: float) -> TraceSpec | None:
+        """The first spec matching those generation knobs, or ``None``.
+
+        Declaration order breaks ties, so when a recipe is pinned in
+        both npz and memmap form the suite decides which one replay
+        loads (list the preferred format first).
+        """
+        for spec in self.specs:
+            if spec.matches(program, input_name, length, seed, site_scale):
+                return spec
+        return None
+
+
+def _quick_specs() -> tuple[TraceSpec, ...]:
+    specs = [
+        TraceSpec(
+            name=f"quick-{program}-{input_name}",
+            program=program,
+            input_name=input_name,
+            length=_QUICK_LENGTH,
+            seed=_SEED,
+            site_scale=_QUICK_SITE_SCALE,
+            fmt="npz",
+            pinned_digest=_QUICK_DIGESTS[f"quick-{program}-{input_name}"] or None,
+        )
+        for program in PROGRAM_ORDER
+        for input_name in ("train", "ref")
+    ]
+    specs.append(
+        TraceSpec(
+            name="quick-gcc-ref-memmap",
+            program="gcc",
+            input_name="ref",
+            length=_QUICK_LENGTH,
+            seed=_SEED,
+            site_scale=_QUICK_SITE_SCALE,
+            fmt="memmap",
+            pinned_digest=_QUICK_DIGESTS["quick-gcc-ref-memmap"] or None,
+        )
+    )
+    return tuple(specs)
+
+
+def _default_specs() -> tuple[TraceSpec, ...]:
+    return tuple(
+        TraceSpec(
+            name=f"default-{program}-{input_name}",
+            program=program,
+            input_name=input_name,
+            length=_DEFAULT_LENGTH,
+            seed=_SEED,
+            site_scale=_DEFAULT_SITE_SCALE,
+            fmt="npz",
+        )
+        for program in PROGRAM_ORDER
+        for input_name in ("train", "ref")
+    )
+
+
+_SUITES: dict[str, TraceSuite] = {}
+
+
+def register_suite(suite: TraceSuite, replace: bool = False) -> TraceSuite:
+    """Add a suite to the registry (tests and downstream extensions)."""
+    if suite.name in _SUITES and not replace:
+        raise TraceSuiteError(f"trace suite {suite.name!r} already registered")
+    _SUITES[suite.name] = suite
+    return suite
+
+
+register_suite(TraceSuite(
+    "quick", _quick_specs(),
+    description="CI-scale pinned suite (20k branches, site scale 0.05)",
+))
+register_suite(TraceSuite(
+    "default", _default_specs(),
+    description="Experiment-default suite (200k branches, site scale 0.125)",
+))
+
+
+def suite_names() -> tuple[str, ...]:
+    """Registered suite names, in registration order."""
+    return tuple(_SUITES)
+
+
+def get_suite(name: "str | TraceSuite") -> TraceSuite:
+    """Resolve a suite by name; :class:`TraceSuite` instances pass through."""
+    if isinstance(name, TraceSuite):
+        return name
+    suite = _SUITES.get(name)
+    if suite is None:
+        raise TraceSuiteError(
+            f"unknown trace suite {name!r} (registered: "
+            f"{', '.join(sorted(_SUITES))})"
+        )
+    return suite

@@ -1,0 +1,130 @@
+"""Trace specifications: the generation recipe a pinned artifact freezes.
+
+A :class:`TraceSpec` names everything that determines a synthetic trace
+bit-for-bit: the workload model (program + input), the root seed, the
+site scale, and the trace length.  Its :meth:`~TraceSpec.build_trace`
+reproduces exactly what :meth:`repro.experiments.common.ExperimentContext.trace`
+would generate for the same knobs (``build_workload(...).execute(length,
+run_seed=1)``), which is what makes pinned replay bit-identical to
+regeneration.
+
+Two digests with different jobs:
+
+* :meth:`TraceSpec.spec_digest` hashes the *recipe* (this class's
+  identity fields).  It names the on-disk artifact, so two specs that
+  would generate different traces can never collide on a path.
+* :meth:`repro.workloads.trace.BranchTrace.content_digest` hashes the
+  *data*.  It is recorded in the artifact manifest at generation time,
+  optionally pinned in the suite registry, and folded into result-cache
+  keys by the replay integration.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.errors import TraceSuiteError
+from repro.workloads.generator import build_workload
+from repro.workloads.spec95 import get_spec
+from repro.workloads.trace import BranchTrace
+
+__all__ = ["SUITE_FORMAT_VERSION", "TRACE_FORMATS", "TraceSpec"]
+
+#: Version of the suite/manifest schema.  Bump when the identity fields,
+#: manifest layout, or digest recipe change; artifacts generated under a
+#: different version never match and must be regenerated.
+SUITE_FORMAT_VERSION = 1
+
+#: Supported on-disk artifact formats.
+TRACE_FORMATS = ("npz", "memmap")
+
+
+@dataclass(frozen=True, slots=True)
+class TraceSpec:
+    """One pinned trace: a named, fully-determined generation recipe.
+
+    ``pinned_digest`` is optional: when set, generation fails loudly if
+    the freshly-built trace's content digest differs (the workload
+    models or RNG derivation changed), turning silent drift into an
+    error.  It is an *expectation about* the artifact, not part of the
+    recipe, so it is excluded from :meth:`spec_digest`.
+    """
+
+    name: str
+    program: str
+    input_name: str
+    length: int
+    seed: int
+    site_scale: float
+    fmt: str = "npz"
+    pinned_digest: str | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise TraceSuiteError("trace spec name must be non-empty")
+        if self.fmt not in TRACE_FORMATS:
+            raise TraceSuiteError(
+                f"trace spec {self.name!r} has unsupported format "
+                f"{self.fmt!r} (expected one of {TRACE_FORMATS})"
+            )
+        if self.length <= 0:
+            raise TraceSuiteError(
+                f"trace spec {self.name!r} length must be positive, "
+                f"got {self.length}"
+            )
+
+    def identity(self) -> dict:
+        """The recipe fields, as a canonical JSON-ready mapping."""
+        return {
+            "version": SUITE_FORMAT_VERSION,
+            "name": self.name,
+            "program": self.program,
+            "input_name": self.input_name,
+            "length": self.length,
+            "seed": self.seed,
+            "site_scale": self.site_scale,
+            "fmt": self.fmt,
+        }
+
+    def spec_digest(self) -> str:
+        """SHA-256 of the canonical recipe; names the on-disk artifact."""
+        canonical = json.dumps(self.identity(), sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def matches(self, program: str, input_name: str, length: int,
+                seed: int, site_scale: float) -> bool:
+        """Whether this spec pins the trace those context knobs generate."""
+        return (
+            self.program == program
+            and self.input_name == input_name
+            and self.length == length
+            and self.seed == seed
+            and self.site_scale == site_scale
+        )
+
+    def build_trace(self) -> BranchTrace:
+        """Generate the trace this spec describes, from scratch.
+
+        Mirrors ``ExperimentContext.trace`` exactly: the workload is
+        built from the program's SPECINT95 model with this spec's root
+        seed and site scale, and executed with ``run_seed=1``.  Any
+        divergence here would break the replay-equals-regeneration
+        bit-identity contract.
+        """
+        workload = build_workload(
+            get_spec(self.program), self.input_name,
+            root_seed=self.seed, site_scale=self.site_scale,
+        )
+        return workload.execute(self.length, run_seed=1)
+
+    def describe(self) -> str:
+        """One human-readable line for CLI listings."""
+        return (
+            f"{self.name}: {self.program}/{self.input_name} "
+            f"length={self.length} seed={self.seed} "
+            f"site_scale={self.site_scale} fmt={self.fmt}"
+            + (" [pinned]" if self.pinned_digest else "")
+        )

@@ -1,0 +1,234 @@
+"""The on-disk trace store: content-digested pinned artifacts.
+
+A :class:`TraceStore` maps :class:`~repro.traces.spec.TraceSpec` records
+to artifacts under one root directory (``REPRO_TRACE_DIR`` or
+``.repro-traces``).  Each artifact is named by the spec's name plus a
+prefix of its :meth:`~repro.traces.spec.TraceSpec.spec_digest`, so
+recipes that would generate different traces can never collide on a
+path, and sits next to a JSON **manifest** recording the full spec
+identity, the trace's content digest, and its branch/instruction
+counts.
+
+Integrity is checked at every boundary:
+
+* ``generate`` refuses to write an artifact whose content digest
+  differs from the spec's pinned expectation;
+* ``load`` re-digests the loaded trace and compares it against the
+  manifest (and the pin), so a corrupt, tampered, or drifted artifact
+  raises :class:`~repro.errors.TraceSuiteError` instead of silently
+  feeding wrong bytes to an experiment;
+* ``verify`` runs the same checks read-only for the CLI/CI gate.
+
+Manifests are written atomically (fresh ``mkstemp`` + ``os.replace``),
+matching the result cache's discipline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+from repro.errors import TraceSuiteError
+from repro.traces.spec import SUITE_FORMAT_VERSION, TraceSpec
+from repro.workloads.trace import BranchTrace
+
+__all__ = ["ENV_TRACE_DIR", "TraceStore", "default_trace_dir"]
+
+ENV_TRACE_DIR = "REPRO_TRACE_DIR"
+
+
+def default_trace_dir() -> str:
+    """The store root used when the caller does not name one."""
+    return os.environ.get(ENV_TRACE_DIR) or ".repro-traces"
+
+
+class TraceStore:
+    """Generate, load, and verify pinned trace artifacts."""
+
+    def __init__(self, root: str | None = None):
+        self.root = root if root is not None else default_trace_dir()
+
+    # -- paths -----------------------------------------------------------
+
+    def _base(self, spec: TraceSpec) -> str:
+        return os.path.join(self.root, f"{spec.name}-{spec.spec_digest()[:12]}")
+
+    def artifact_path(self, spec: TraceSpec) -> str:
+        """Where the spec's trace bytes live (file for npz, dir for memmap)."""
+        base = self._base(spec)
+        return base + ".npz" if spec.fmt == "npz" else base + ".trace.d"
+
+    def manifest_path(self, spec: TraceSpec) -> str:
+        return self._base(spec) + ".json"
+
+    def exists(self, spec: TraceSpec) -> bool:
+        """Whether both the artifact and its manifest are present."""
+        return (os.path.exists(self.artifact_path(spec))
+                and os.path.exists(self.manifest_path(spec)))
+
+    # -- manifests -------------------------------------------------------
+
+    def manifest(self, spec: TraceSpec) -> dict | None:
+        """The spec's manifest, or ``None`` when not generated yet."""
+        try:
+            with open(self.manifest_path(spec), "r", encoding="utf-8") as stream:
+                manifest = json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError) as exc:
+            raise TraceSuiteError(
+                f"corrupt trace manifest {self.manifest_path(spec)!r}: {exc}"
+            ) from exc
+        if manifest.get("spec_digest") != spec.spec_digest():
+            raise TraceSuiteError(
+                f"trace manifest {self.manifest_path(spec)!r} was written "
+                f"for a different recipe (spec digest "
+                f"{manifest.get('spec_digest')!r}, expected "
+                f"{spec.spec_digest()!r})"
+            )
+        return manifest
+
+    def _write_manifest(self, spec: TraceSpec, manifest: dict) -> None:
+        path = self.manifest_path(spec)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=os.path.basename(path) + ".", suffix=".tmp",
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as stream:
+                json.dump(manifest, stream, sort_keys=True, indent=2)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # -- generation ------------------------------------------------------
+
+    def generate(self, spec: TraceSpec, force: bool = False) -> dict:
+        """Build the spec's trace, write the artifact, return the manifest.
+
+        Already-generated artifacts are left untouched unless ``force``
+        is set.  A pinned spec whose freshly-generated trace digests
+        differently fails *before* anything is written: nothing
+        downstream ever sees a trace that contradicts the registry.
+        """
+        if not force:
+            manifest = self.manifest(spec)
+            if manifest is not None and os.path.exists(self.artifact_path(spec)):
+                return manifest
+        trace = spec.build_trace()
+        digest = trace.content_digest()
+        if spec.pinned_digest is not None and digest != spec.pinned_digest:
+            raise TraceSuiteError(
+                f"generated trace for spec {spec.name!r} has content digest "
+                f"{digest} but the suite pins {spec.pinned_digest}; the "
+                "workload models or RNG derivation changed -- if intended, "
+                "update the pinned digest in the suite registry"
+            )
+        os.makedirs(self.root, exist_ok=True)
+        artifact = self.artifact_path(spec)
+        if spec.fmt == "npz":
+            trace.save_npz(artifact)
+        else:
+            trace.save_memmap(artifact)
+        manifest = {
+            "format_version": SUITE_FORMAT_VERSION,
+            "spec": spec.identity(),
+            "spec_digest": spec.spec_digest(),
+            "content_digest": digest,
+            "branches": len(trace),
+            "instructions": trace.instruction_count,
+        }
+        self._write_manifest(spec, manifest)
+        return manifest
+
+    # -- loading ---------------------------------------------------------
+
+    def load(self, spec: TraceSpec, materialize: bool = True) -> BranchTrace:
+        """Load the spec's pinned artifact, verifying its content digest.
+
+        Raises :class:`TraceSuiteError` when the artifact has not been
+        generated (pointing at ``repro traces generate``) or when the
+        loaded bytes do not digest to what the manifest -- and, for
+        pinned specs, the registry -- promise.
+        """
+        manifest = self.manifest(spec)
+        if manifest is None or not os.path.exists(self.artifact_path(spec)):
+            raise TraceSuiteError(
+                f"pinned trace {spec.name!r} has not been generated in "
+                f"store {self.root!r}; run `repro traces generate`"
+            )
+        artifact = self.artifact_path(spec)
+        if spec.fmt == "npz":
+            trace = BranchTrace.load_npz(artifact)
+        else:
+            trace = BranchTrace.load_memmap(artifact, materialize=materialize)
+        digest = trace.content_digest()
+        expected = manifest.get("content_digest")
+        if digest != expected:
+            raise TraceSuiteError(
+                f"pinned trace artifact {artifact!r} digests to {digest} "
+                f"but its manifest records {expected!r}; the artifact is "
+                "corrupt or was modified -- regenerate with "
+                "`repro traces generate --force`"
+            )
+        if spec.pinned_digest is not None and digest != spec.pinned_digest:
+            raise TraceSuiteError(
+                f"pinned trace artifact {artifact!r} digests to {digest} "
+                f"but the suite pins {spec.pinned_digest}; regenerate with "
+                "`repro traces generate --force`"
+            )
+        return trace
+
+    def ensure(self, spec: TraceSpec, materialize: bool = True) -> BranchTrace:
+        """Load the spec's artifact, generating it first when missing."""
+        if not self.exists(spec):
+            self.generate(spec)
+        return self.load(spec, materialize=materialize)
+
+    def content_digest(self, spec: TraceSpec) -> str:
+        """The generated artifact's content digest, from its manifest."""
+        manifest = self.manifest(spec)
+        if manifest is None:
+            raise TraceSuiteError(
+                f"pinned trace {spec.name!r} has not been generated in "
+                f"store {self.root!r}; run `repro traces generate`"
+            )
+        digest = manifest.get("content_digest")
+        if not isinstance(digest, str) or not digest:
+            raise TraceSuiteError(
+                f"trace manifest {self.manifest_path(spec)!r} records no "
+                "content digest; regenerate with `repro traces generate "
+                "--force`"
+            )
+        return digest
+
+    # -- verification ----------------------------------------------------
+
+    def verify(self, spec: TraceSpec) -> list[str]:
+        """Read-only integrity check; returns problems (empty = ok)."""
+        problems: list[str] = []
+        try:
+            manifest = self.manifest(spec)
+        except TraceSuiteError as exc:
+            return [str(exc)]
+        if manifest is None:
+            return [f"not generated (expected {self.artifact_path(spec)})"]
+        if not os.path.exists(self.artifact_path(spec)):
+            return [f"manifest present but artifact missing: "
+                    f"{self.artifact_path(spec)}"]
+        if manifest.get("format_version") != SUITE_FORMAT_VERSION:
+            problems.append(
+                f"manifest format_version {manifest.get('format_version')!r} "
+                f"!= {SUITE_FORMAT_VERSION}"
+            )
+        try:
+            self.load(spec)
+        except Exception as exc:
+            # A verify pass reports *any* load failure (format errors,
+            # digest mismatches, truncated files) rather than crash.
+            problems.append(str(exc))
+        return problems

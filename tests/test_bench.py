@@ -6,7 +6,12 @@ import json
 
 import pytest
 
-from repro.bench.cases import kernel_cases, profiling_cases, run_suite
+from repro.bench.cases import (
+    kernel_cases,
+    profiling_cases,
+    replay_cases,
+    run_suite,
+)
 from repro.bench.snapshot import (
     FORMAT_HEADER,
     BenchFormatError,
@@ -29,6 +34,12 @@ def result(case: str, median_s: float, branches: int = 1000) -> BenchResult:
 def snapshot(results, name="kernels") -> BenchSnapshot:
     return BenchSnapshot(name=name, trace_length=1000, repeats=3,
                          warmup=1, results=tuple(results))
+
+
+@pytest.fixture(autouse=True)
+def isolated_trace_store(tmp_path, monkeypatch):
+    """Keep replay-case trace artifacts out of the working tree."""
+    monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "trace-store"))
 
 
 class TestTiming:
@@ -130,13 +141,32 @@ class TestSuite:
         without = [case.name for case in profiling_cases(include_fast=False)]
         assert without == ["profile/reference"]
 
+    def test_replay_cases_pure_simulation(self):
+        names = [case.name for case in replay_cases()]
+        assert names == ["replay/gshare"]
+        assert all(not case.end_to_end for case in replay_cases())
+
     def test_run_suite_smoke(self):
         snap = run_suite(quick=True, trace_length=2000, repeats=1)
         cases = {entry.case for entry in snap.results}
         assert "bimodal/reference" in cases
         assert "profile/reference" in cases
+        assert "replay/gshare" in cases
         assert all(entry.median_s > 0.0 for entry in snap.results)
         assert all(entry.branches == 2000 for entry in snap.results)
+
+    def test_replay_case_reuses_pinned_artifact(self, tmp_path, monkeypatch):
+        # Two suite runs at the same knobs must generate the artifact
+        # once and replay it the second time.
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "store"))
+        run_suite(quick=True, trace_length=1500, repeats=1)
+        store = tmp_path / "store"
+        manifests = sorted(p.name for p in store.glob("*.json"))
+        assert len(manifests) == 1 and manifests[0].startswith("bench-gcc-ref")
+        stamp = {p.name: p.stat().st_mtime_ns for p in store.iterdir()}
+        run_suite(quick=True, trace_length=1500, repeats=1)
+        assert {p.name: p.stat().st_mtime_ns
+                for p in store.iterdir()} == stamp
 
 
 class TestCli:

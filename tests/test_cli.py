@@ -136,6 +136,94 @@ class TestCommands:
         assert "collisions" in out
 
 
+@pytest.fixture()
+def cli_suite():
+    """A tiny registered suite so traces commands stay fast."""
+    from repro.traces import TraceSpec, TraceSuite, register_suite
+
+    suite = TraceSuite("cli-tiny", (
+        TraceSpec(name="cli-compress-ref", program="compress",
+                  input_name="ref", length=1000, seed=7, site_scale=0.02),
+    ))
+    register_suite(suite, replace=True)
+    return suite
+
+
+class TestTracesCommand:
+    def test_generate_then_verify(self, tmp_path, capsys, cli_suite):
+        store = str(tmp_path / "store")
+        assert main(["traces", "generate", "--suite", "cli-tiny",
+                     "--dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "cli-compress-ref: wrote 1000 branches" in out
+        assert main(["traces", "verify", "--suite", "cli-tiny",
+                     "--dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "cli-compress-ref: ok" in out
+
+    def test_generate_is_idempotent(self, tmp_path, capsys, cli_suite):
+        store = str(tmp_path / "store")
+        main(["traces", "generate", "--suite", "cli-tiny", "--dir", store])
+        capsys.readouterr()
+        assert main(["traces", "generate", "--suite", "cli-tiny",
+                     "--dir", store]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_verify_fails_on_missing_artifacts(self, tmp_path, capsys,
+                                               cli_suite):
+        assert main(["traces", "verify", "--suite", "cli-tiny",
+                     "--dir", str(tmp_path / "empty")]) == 1
+        captured = capsys.readouterr()
+        assert "not generated" in captured.out
+        assert "failed verification" in captured.err
+
+    def test_verify_detects_tampering(self, tmp_path, capsys, cli_suite):
+        store = str(tmp_path / "store")
+        main(["traces", "generate", "--suite", "cli-tiny", "--dir", store])
+        capsys.readouterr()
+        from repro.traces import TraceStore
+
+        artifact = TraceStore(store).artifact_path(
+            cli_suite.get("cli-compress-ref")
+        )
+        with open(artifact, "r+b") as stream:
+            stream.truncate(64)
+        assert main(["traces", "verify", "--suite", "cli-tiny",
+                     "--dir", store]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_info_shows_digests(self, tmp_path, capsys, cli_suite):
+        store = str(tmp_path / "store")
+        main(["traces", "generate", "--suite", "cli-tiny", "--dir", store])
+        capsys.readouterr()
+        assert main(["traces", "info", "--suite", "cli-tiny",
+                     "--dir", store]) == 0
+        out = capsys.readouterr().out
+        assert "content_digest:" in out and "spec_digest:" in out
+
+    def test_list_shows_suites_and_status(self, tmp_path, capsys, cli_suite):
+        assert main(["traces", "list", "--dir",
+                     str(tmp_path / "store")]) == 0
+        out = capsys.readouterr().out
+        assert "quick:" in out and "default:" in out and "cli-tiny:" in out
+        assert "[missing]" in out
+
+    def test_quick_flag_selects_quick_suite(self, tmp_path, capsys):
+        # --quick on verify targets the (ungenerated) quick suite.
+        assert main(["traces", "verify", "--quick",
+                     "--dir", str(tmp_path / "empty")]) == 1
+        assert "quick-gcc-ref" in capsys.readouterr().out
+
+    def test_unknown_suite_is_clean_error(self, tmp_path, capsys):
+        assert main(["traces", "generate", "--suite", "nope",
+                     "--dir", str(tmp_path)]) == 1
+        assert "unknown trace suite" in capsys.readouterr().err
+
+    def test_list_mentions_trace_suites(self, capsys):
+        assert main(["list"]) == 0
+        assert "trace suites:" in capsys.readouterr().out
+
+
 class TestLintCommand:
     def test_default_self_lint_is_clean_against_baseline(self, capsys):
         # src/repro carries deliberate, baselined PERF debt (the

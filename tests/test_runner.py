@@ -174,6 +174,38 @@ class TestResultCache:
         assert first is not None and second is not None
         assert second.to_json() == first.to_json()
 
+    def test_concurrent_writers_to_one_key_never_corrupt(self, tmp_path):
+        # Regression: the temp-file name used to be {path}.{pid}.tmp,
+        # identical for every thread in a process, so two concurrent
+        # writers could unlink each other's half-written file and one
+        # os.replace would fail or install a torn entry.  With per-call
+        # unique temp names every interleaving leaves a complete entry.
+        import threading
+
+        cache = ResultCache(str(tmp_path))
+        payloads = [{"result": {"n": i}, "key": {}} for i in range(8)]
+        errors = []
+
+        def writer(payload):
+            try:
+                for _ in range(50):
+                    cache._write("aa" + "0" * 62, payload)
+            except BaseException as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(p,))
+                   for p in payloads]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        entry = cache._read("aa" + "0" * 62)
+        assert entry in payloads
+        # No orphaned temp files left behind.
+        leftovers = list((tmp_path / "aa").glob("*.tmp"))
+        assert leftovers == []
+
 
 class TestSimulationResultSerialization:
     def test_roundtrip_with_collisions_and_metadata(self):

@@ -1,10 +1,18 @@
-"""Tests for the branch trace data structure and its file format."""
+"""Tests for the branch trace data structure and its file formats."""
+
+import io
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.errors import TraceFormatError
-from repro.workloads.trace import BranchRecord, BranchTrace
+from repro.workloads.trace import (
+    BranchRecord,
+    BranchTrace,
+    _dump_records_scalar,
+    _parse_records_scalar,
+    _validate_scalar,
+)
 
 
 def make_trace(records):
@@ -72,6 +80,75 @@ class TestBranchTrace:
         with pytest.raises(TraceFormatError):
             trace.validate()
 
+    def test_validate_reports_first_bad_record_index(self):
+        trace = make_trace(
+            [(0, 0x1000, True, 5), (1, 0x1004, False, 0), (2, 0x1008, True, -1)]
+        )
+        with pytest.raises(TraceFormatError, match=r"record 1 has gap 0 < 1"):
+            trace.validate()
+
+    def test_validate_checks_gaps_before_addresses(self):
+        # Both violations present: the scalar loop always reported the
+        # gap first, and the vectorized pass must preserve that order.
+        trace = make_trace([(0, 0x1001, True, 0)])
+        with pytest.raises(TraceFormatError, match=r"gap 0 < 1"):
+            trace.validate()
+
+    def test_validate_matches_scalar_reference_messages(self):
+        bad_gap = make_trace([(0, 0x1000, True, 5), (1, 0x1004, False, -3)])
+        bad_address = make_trace([(0, 0x1000, True, 5), (1, 0x1002, False, 3)])
+        for trace in (bad_gap, bad_address):
+            with pytest.raises(TraceFormatError) as vectorized:
+                trace.validate()
+            with pytest.raises(TraceFormatError) as scalar:
+                _validate_scalar(trace)
+            assert str(vectorized.value) == str(scalar.value)
+
+    def test_validate_huge_ints_fall_back_to_scalar(self):
+        # Beyond-int64 values cannot convert to a numpy column; the
+        # arbitrary-precision scalar path must still validate them.
+        trace = make_trace([(0, 4 * 2**70, True, 2**70)])
+        trace.validate()
+        with pytest.raises(TraceFormatError, match="gap"):
+            make_trace([(0, 0x1000, True, -(2**70))]).validate()
+
+
+class TestArraysMemo:
+    def test_memoized_across_calls(self):
+        trace = make_trace(SIMPLE)
+        assert trace.arrays() is trace.arrays()
+
+    def test_refreshes_when_addresses_grow(self):
+        trace = make_trace(SIMPLE)
+        trace.arrays()
+        trace.site_indices.append(2)
+        trace.addresses.append(0x2000)
+        trace.outcomes.append(True)
+        trace.gaps.append(1)
+        addresses, outcomes = trace.arrays()
+        assert addresses.shape[0] == 4 and int(addresses[-1]) == 0x2000
+
+    def test_refreshes_when_only_outcomes_change_length(self):
+        # Regression: the old guard compared only the address column's
+        # length, so a ragged-in-progress edit to outcomes handed stale
+        # kernel inputs back.
+        trace = make_trace(SIMPLE)
+        trace.arrays()
+        trace.outcomes.append(False)
+        addresses, outcomes = trace.arrays()
+        assert outcomes.shape[0] == 4
+
+    def test_invalidate_arrays_after_same_length_mutation(self):
+        trace = make_trace(SIMPLE)
+        _, outcomes = trace.arrays()
+        trace.outcomes[0] = not trace.outcomes[0]
+        # The length guard cannot see this; the documented contract is
+        # an explicit invalidation.
+        trace.invalidate_arrays()
+        _, refreshed = trace.arrays()
+        assert bool(refreshed[0]) == trace.outcomes[0]
+        assert bool(refreshed[0]) != bool(outcomes[0])
+
 
 class TestTraceFormat:
     def test_roundtrip(self):
@@ -108,6 +185,132 @@ class TestTraceFormat:
         text = "repro-trace v1\ndemo ref 1\n0 zzzz 1 1\n"
         with pytest.raises(TraceFormatError):
             BranchTrace.loads(text)
+
+    def test_tolerates_trailing_blank_lines(self):
+        trace = make_trace(SIMPLE)
+        loaded = BranchTrace.loads(trace.dumps() + "\n\n")
+        assert loaded.addresses == trace.addresses
+        assert loaded.gaps == trace.gaps
+
+    def test_trailing_whitespace_only_line_tolerated(self):
+        trace = make_trace(SIMPLE)
+        loaded = BranchTrace.loads(trace.dumps() + "   \n")
+        assert loaded.addresses == trace.addresses
+
+    def test_interior_blank_line_still_rejected(self):
+        text = "repro-trace v1\ndemo ref 2\n0 1000 1 1\n\n1 1004 0 2\n"
+        with pytest.raises(TraceFormatError,
+                           match=r"line 4: expected 4 fields, got \[\]"):
+            BranchTrace.loads(text)
+
+    def test_empty_trace_roundtrip(self):
+        trace = make_trace([])
+        loaded = BranchTrace.loads(trace.dumps())
+        assert len(loaded) == 0
+        assert loaded.program_name == "demo"
+
+    def test_dump_rejects_program_name_with_space(self):
+        trace = make_trace(SIMPLE)
+        trace.program_name = "my program"
+        with pytest.raises(TraceFormatError, match="program name"):
+            trace.dumps()
+
+    def test_dump_rejects_input_name_with_whitespace(self):
+        trace = make_trace(SIMPLE)
+        trace.input_name = "ref\ttrain"
+        with pytest.raises(TraceFormatError, match="input name"):
+            trace.dumps()
+
+    def test_dump_rejects_empty_name(self):
+        trace = make_trace(SIMPLE)
+        trace.program_name = ""
+        with pytest.raises(TraceFormatError, match="non-empty"):
+            trace.dumps()
+
+
+class TestVectorizedScalarEquivalence:
+    """The whole-column passes must be bit-identical to the scalar
+    references they replaced -- outputs, error messages, and record
+    indices alike."""
+
+    def test_dump_matches_scalar_reference(self):
+        trace = make_trace(SIMPLE)
+        scalar = io.StringIO()
+        _dump_records_scalar(trace, scalar)
+        assert trace.dumps().endswith(scalar.getvalue())
+
+    def test_parse_matches_scalar_on_canonical_input(self):
+        trace = make_trace(SIMPLE)
+        body = trace.dumps().split("\n", 2)[2]
+        lines = [line for line in body.split("\n") if line.strip()]
+        assert BranchTrace.loads(trace.dumps()).site_indices == \
+            _parse_records_scalar(lines)[0]
+
+    @pytest.mark.parametrize("body", [
+        "0 1000  1 5",        # double space
+        " 0 1000 1 5",        # leading space
+        "0 1000 1 5 ",        # trailing space
+        "0\t1000\t1\t5",      # tabs
+        "0 1000 1 5\r",       # CRLF line ending
+    ])
+    def test_noncanonical_whitespace_parses_like_scalar(self, body):
+        # str.split() treats all of these as 4 fields, so they are
+        # *valid* -- they just cannot take the flat-split fast path.
+        text = f"repro-trace v1\ndemo ref 1\n{body}\n"
+        loaded = BranchTrace.loads(text)
+        assert loaded.site_indices == [0]
+        assert loaded.addresses == [0x1000]
+        assert loaded.outcomes == [True]
+        assert loaded.gaps == [5]
+
+    def test_token_aliasing_across_lines_is_not_miscounted(self):
+        # 3 tokens + 5 tokens = 8 = 2*4: a naive flat split would parse
+        # this as two happy records; the structural check must route it
+        # to the scalar parser, which reports the first bad line.
+        text = ("repro-trace v1\ndemo ref 2\n"
+                "0 1000 1\n"
+                "1 1004 0 2 9\n")
+        with pytest.raises(TraceFormatError,
+                           match=r"line 3: expected 4 fields"):
+            BranchTrace.loads(text)
+
+    def test_error_line_numbers_match_scalar_reference(self):
+        bodies = ["0 1000 1 1\nbogus", "0 zzzz 1 1", "0 1000 1 one"]
+        for body in bodies:
+            lines = body.split("\n")
+            count = len(lines)
+            text = f"repro-trace v1\ndemo ref {count}\n{body}\n"
+            with pytest.raises(TraceFormatError) as vectorized:
+                BranchTrace.loads(text)
+            with pytest.raises(TraceFormatError) as scalar:
+                _parse_records_scalar(lines)
+            assert str(vectorized.value) == str(scalar.value)
+
+    def test_underscored_int_literals_parse_like_scalar(self):
+        # int("1_0") == 10 in Python but numpy's astype rejects it; the
+        # fast path must fall back so the quirky-but-accepted spelling
+        # keeps parsing exactly as the scalar loop did.
+        text = "repro-trace v1\ndemo ref 1\n1_0 1000 1 2_5\n"
+        loaded = BranchTrace.loads(text)
+        assert loaded.site_indices == [10]
+        assert loaded.gaps == [25]
+
+    @given(st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1000),
+            st.integers(min_value=0, max_value=2**40).map(lambda a: a * 4),
+            st.booleans(),
+            st.integers(min_value=1, max_value=100),
+        ),
+        max_size=40,
+    ))
+    @settings(max_examples=40, deadline=None)
+    def test_dump_property_matches_scalar(self, records):
+        trace = make_trace(records)
+        scalar = io.StringIO()
+        _dump_records_scalar(trace, scalar)
+        header = f"repro-trace v1\ndemo ref {len(records)}\n"
+        assert trace.dumps() == header + scalar.getvalue()
 
     @given(st.lists(
         st.tuples(
@@ -160,3 +363,123 @@ class TestNpzFormat:
         loaded = BranchTrace.load_npz(path)
         assert loaded.addresses == gcc_trace.addresses
         assert loaded.instruction_count == gcc_trace.instruction_count
+
+    def test_suffixless_path_roundtrip(self, tmp_path):
+        # Regression: numpy.savez_compressed silently appends .npz, so
+        # save("foo.trace") wrote foo.trace.npz while load("foo.trace")
+        # raised; both directions now normalize the suffix.
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "foo.trace")
+        written = trace.save_npz(path)
+        assert written == path + ".npz"
+        loaded = BranchTrace.load_npz(path)
+        assert loaded.addresses == trace.addresses
+
+    def test_load_falls_back_to_literal_path(self, tmp_path):
+        # An archive that genuinely sits at a suffixless name (renamed
+        # by hand) still loads.
+        trace = make_trace(SIMPLE)
+        written = trace.save_npz(str(tmp_path / "t"))
+        bare = str(tmp_path / "bare")
+        (tmp_path / "t.npz").rename(bare)
+        assert written.endswith(".npz")
+        assert BranchTrace.load_npz(bare).gaps == trace.gaps
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = make_trace([])
+        trace.save_npz(str(tmp_path / "empty.npz"))
+        loaded = BranchTrace.load_npz(str(tmp_path / "empty.npz"))
+        assert len(loaded) == 0
+        assert loaded.input_name == "ref"
+
+    def test_truncated_archive_is_clean_error(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "t.npz")
+        trace.save_npz(path)
+        blob = (tmp_path / "t.npz").read_bytes()
+        (tmp_path / "t.npz").write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceFormatError, match="cannot read npz"):
+            BranchTrace.load_npz(path)
+
+
+class TestMemmapFormat:
+    def test_roundtrip(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "t.trace.d")
+        trace.save_memmap(path)
+        loaded = BranchTrace.load_memmap(path)
+        assert loaded.program_name == "demo"
+        assert loaded.site_indices == trace.site_indices
+        assert loaded.addresses == trace.addresses
+        assert loaded.outcomes == trace.outcomes
+        assert loaded.gaps == trace.gaps
+
+    def test_unmaterialized_columns_work_whole_column(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "t.trace.d")
+        trace.save_memmap(path)
+        lazy = BranchTrace.load_memmap(path, materialize=False)
+        assert len(lazy) == len(trace)
+        assert lazy.content_digest() == trace.content_digest()
+        addresses, outcomes = lazy.arrays()
+        assert addresses.shape[0] == len(trace)
+
+    def test_empty_trace_roundtrip(self, tmp_path):
+        trace = make_trace([])
+        trace.save_memmap(str(tmp_path / "e.d"))
+        assert len(BranchTrace.load_memmap(str(tmp_path / "e.d"))) == 0
+
+    def test_missing_directory_is_clean_error(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="cannot read memmap"):
+            BranchTrace.load_memmap(str(tmp_path / "nope.d"))
+
+    def test_missing_column_is_clean_error(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "t.trace.d")
+        trace.save_memmap(path)
+        (tmp_path / "t.trace.d" / "gaps.npy").unlink()
+        with pytest.raises(TraceFormatError, match="gaps.npy"):
+            BranchTrace.load_memmap(path)
+
+    def test_length_mismatch_is_clean_error(self, tmp_path):
+        import numpy
+
+        trace = make_trace(SIMPLE)
+        path = str(tmp_path / "t.trace.d")
+        trace.save_memmap(path)
+        numpy.save(str(tmp_path / "t.trace.d" / "gaps.npy"),
+                   numpy.asarray([1], dtype=numpy.int32))
+        with pytest.raises(TraceFormatError, match="column lengths"):
+            BranchTrace.load_memmap(path)
+
+
+class TestContentDigest:
+    def test_stable_across_all_formats(self, tmp_path):
+        trace = make_trace(SIMPLE)
+        expected = trace.content_digest()
+        from_text = BranchTrace.loads(trace.dumps())
+        trace.save_npz(str(tmp_path / "t.npz"))
+        from_npz = BranchTrace.load_npz(str(tmp_path / "t.npz"))
+        trace.save_memmap(str(tmp_path / "t.d"))
+        from_memmap = BranchTrace.load_memmap(str(tmp_path / "t.d"))
+        assert from_text.content_digest() == expected
+        assert from_npz.content_digest() == expected
+        assert from_memmap.content_digest() == expected
+
+    def test_sensitive_to_every_column_and_name(self):
+        base = make_trace(SIMPLE).content_digest()
+        flipped = make_trace(SIMPLE)
+        flipped.outcomes[1] = True
+        assert flipped.content_digest() != base
+        regapped = make_trace(SIMPLE)
+        regapped.gaps[0] = 6
+        assert regapped.content_digest() != base
+        renamed = make_trace(SIMPLE)
+        renamed.input_name = "train"
+        assert renamed.content_digest() != base
+
+    def test_empty_trace_has_a_digest(self):
+        assert len(make_trace([]).content_digest()) == 64
+
+    def test_real_workload_digest_deterministic(self, gcc_trace):
+        assert gcc_trace.content_digest() == gcc_trace.content_digest()

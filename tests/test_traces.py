@@ -1,0 +1,296 @@
+"""Tests for the pinned trace suite subsystem (:mod:`repro.traces`)."""
+
+import json
+
+import pytest
+
+from repro.errors import ExperimentError, TraceSuiteError
+from repro.experiments.common import ExperimentContext
+from repro.traces import (
+    TraceSpec,
+    TraceStore,
+    TraceSuite,
+    get_suite,
+    register_suite,
+    suite_names,
+)
+
+TINY = dict(length=3000, seed=7, site_scale=0.02)
+
+
+def tiny_spec(name="tiny-gcc-ref", program="gcc", input_name="ref",
+              fmt="npz", **overrides):
+    return TraceSpec(name=name, program=program, input_name=input_name,
+                     fmt=fmt, **{**TINY, **overrides})
+
+
+def tiny_suite(*specs):
+    return TraceSuite("tiny", specs or (tiny_spec(),))
+
+
+class TestTraceSpec:
+    def test_rejects_bad_format(self):
+        with pytest.raises(TraceSuiteError, match="unsupported format"):
+            tiny_spec(fmt="csv")
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(TraceSuiteError, match="positive"):
+            tiny_spec(length=0)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(TraceSuiteError, match="non-empty"):
+            tiny_spec(name="")
+
+    def test_spec_digest_sensitive_to_recipe(self):
+        base = tiny_spec()
+        assert base.spec_digest() == tiny_spec().spec_digest()
+        assert tiny_spec(length=3001).spec_digest() != base.spec_digest()
+        assert tiny_spec(seed=8).spec_digest() != base.spec_digest()
+        assert tiny_spec(input_name="train").spec_digest() != base.spec_digest()
+        assert tiny_spec(fmt="memmap").spec_digest() != base.spec_digest()
+
+    def test_pinned_digest_excluded_from_spec_digest(self):
+        assert tiny_spec().spec_digest() == \
+            tiny_spec(pinned_digest="0" * 64).spec_digest()
+
+    def test_build_trace_matches_context_generation(self):
+        # The replay-equals-regeneration contract hinges on this.
+        ctx = ExperimentContext(trace_length=TINY["length"],
+                                site_scale=TINY["site_scale"],
+                                seed=TINY["seed"])
+        generated = ctx.trace("gcc", "ref")
+        built = tiny_spec().build_trace()
+        assert built.content_digest() == generated.content_digest()
+
+
+class TestRegistry:
+    def test_builtin_suites_registered(self):
+        assert "quick" in suite_names() and "default" in suite_names()
+
+    def test_quick_suite_is_fully_pinned(self):
+        for spec in get_suite("quick"):
+            assert spec.pinned_digest, f"{spec.name} is unpinned"
+            assert len(spec.pinned_digest) == 64
+
+    def test_quick_suite_covers_all_programs_and_inputs(self):
+        pairs = {(s.program, s.input_name) for s in get_suite("quick")}
+        from repro.workloads.spec95 import PROGRAM_ORDER
+
+        assert pairs == {(p, i) for p in PROGRAM_ORDER
+                         for i in ("train", "ref")}
+
+    def test_unknown_suite_raises(self):
+        with pytest.raises(TraceSuiteError, match="unknown trace suite"):
+            get_suite("nonexistent")
+
+    def test_suite_instance_passes_through(self):
+        suite = tiny_suite()
+        assert get_suite(suite) is suite
+
+    def test_duplicate_spec_names_rejected(self):
+        with pytest.raises(TraceSuiteError, match="duplicate"):
+            TraceSuite("dup", (tiny_spec(), tiny_spec()))
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(TraceSuiteError, match="already registered"):
+            register_suite(get_suite("quick"))
+
+    def test_lookup_matches_exact_knobs_only(self):
+        suite = tiny_suite()
+        assert suite.lookup("gcc", "ref", TINY["length"], TINY["seed"],
+                            TINY["site_scale"]) is not None
+        assert suite.lookup("gcc", "ref", 9999, TINY["seed"],
+                            TINY["site_scale"]) is None
+        assert suite.lookup("gcc", "train", TINY["length"], TINY["seed"],
+                            TINY["site_scale"]) is None
+
+    def test_get_unknown_spec_raises(self):
+        with pytest.raises(TraceSuiteError, match="no spec named"):
+            tiny_suite().get("missing")
+
+
+class TestTraceStore:
+    def test_generate_load_roundtrip(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec()
+        manifest = store.generate(spec)
+        assert manifest["branches"] == TINY["length"]
+        trace = store.load(spec)
+        assert trace.content_digest() == manifest["content_digest"]
+
+    def test_generate_is_idempotent(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec()
+        first = store.generate(spec)
+        artifact = store.artifact_path(spec)
+        stamp = (tmp_path / artifact.split("/")[-1]).stat().st_mtime_ns
+        second = store.generate(spec)
+        assert second == first
+        assert (tmp_path / artifact.split("/")[-1]).stat().st_mtime_ns == stamp
+
+    def test_memmap_spec_roundtrip(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        npz = tiny_spec()
+        memmap = tiny_spec(name="tiny-gcc-ref-mm", fmt="memmap")
+        digest_npz = store.generate(npz)["content_digest"]
+        digest_memmap = store.generate(memmap)["content_digest"]
+        # The content digest is format-independent by construction.
+        assert digest_npz == digest_memmap
+        assert store.load(memmap).outcomes == store.load(npz).outcomes
+
+    def test_load_before_generate_raises(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        with pytest.raises(TraceSuiteError, match="repro traces generate"):
+            store.load(tiny_spec())
+
+    def test_ensure_generates_then_loads(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec()
+        trace = store.ensure(spec)
+        assert len(trace) == TINY["length"]
+        assert store.exists(spec)
+
+    def test_pinned_digest_mismatch_fails_generation(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec(pinned_digest="0" * 64)
+        with pytest.raises(TraceSuiteError, match="pins"):
+            store.generate(spec)
+        assert not store.exists(spec)
+
+    def test_correct_pinned_digest_accepted(self, tmp_path):
+        digest = tiny_spec().build_trace().content_digest()
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec(pinned_digest=digest)
+        store.generate(spec)
+        assert store.load(spec).content_digest() == digest
+
+    def test_tampered_artifact_fails_load_and_verify(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec()
+        store.generate(spec)
+        artifact = store.artifact_path(spec)
+        other = tiny_spec(name="other", input_name="train")
+        other.build_trace().save_npz(artifact)
+        with pytest.raises(TraceSuiteError, match="digests to"):
+            store.load(spec)
+        problems = store.verify(spec)
+        assert problems and "digests to" in problems[0]
+
+    def test_verify_reports_missing_artifact(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        problems = store.verify(tiny_spec())
+        assert problems == [f"not generated (expected "
+                            f"{store.artifact_path(tiny_spec())})"]
+
+    def test_manifest_for_different_recipe_rejected(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec()
+        store.generate(spec)
+        # Corrupt the manifest's spec digest.
+        path = store.manifest_path(spec)
+        manifest = json.loads(open(path).read())
+        manifest["spec_digest"] = "f" * 64
+        with open(path, "w") as stream:
+            json.dump(manifest, stream)
+        with pytest.raises(TraceSuiteError, match="different recipe"):
+            store.manifest(spec)
+
+    def test_digest_readable_without_loading(self, tmp_path):
+        store = TraceStore(str(tmp_path))
+        spec = tiny_spec()
+        manifest = store.generate(spec)
+        assert store.content_digest(spec) == manifest["content_digest"]
+
+    def test_env_default_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path / "envstore"))
+        assert TraceStore().root == str(tmp_path / "envstore")
+
+
+class TestReplayIntegration:
+    def make_ctx(self, tmp_path, suite=None, **overrides):
+        return ExperimentContext(
+            trace_length=TINY["length"], site_scale=TINY["site_scale"],
+            seed=TINY["seed"], trace_suite=suite,
+            trace_dir=str(tmp_path / "store"), **overrides,
+        )
+
+    def test_replay_trace_is_bit_identical_to_regeneration(self, tmp_path):
+        suite = tiny_suite()
+        TraceStore(str(tmp_path / "store")).generate(suite.get("tiny-gcc-ref"))
+        replayed = self.make_ctx(tmp_path, suite).trace("gcc", "ref")
+        regenerated = self.make_ctx(tmp_path).trace("gcc", "ref")
+        assert replayed.site_indices == regenerated.site_indices
+        assert replayed.addresses == regenerated.addresses
+        assert replayed.outcomes == regenerated.outcomes
+        assert replayed.gaps == regenerated.gaps
+
+    def test_unpinned_knobs_raise_instead_of_regenerating(self, tmp_path):
+        ctx = self.make_ctx(tmp_path, tiny_suite())
+        with pytest.raises(ExperimentError, match="pins no trace"):
+            ctx.trace("gcc", "train")
+
+    def test_ungenerated_artifact_raises_with_pointer(self, tmp_path):
+        ctx = self.make_ctx(tmp_path, tiny_suite())
+        with pytest.raises(TraceSuiteError, match="repro traces generate"):
+            ctx.trace("gcc", "ref")
+
+    def test_trace_digest_none_when_regenerating(self, tmp_path):
+        assert self.make_ctx(tmp_path).trace_digest("gcc", "ref") is None
+
+    def test_trace_digest_matches_manifest(self, tmp_path):
+        suite = tiny_suite()
+        store = TraceStore(str(tmp_path / "store"))
+        manifest = store.generate(suite.get("tiny-gcc-ref"))
+        ctx = self.make_ctx(tmp_path, suite)
+        assert ctx.trace_digest("gcc", "ref") == manifest["content_digest"]
+
+    def test_cell_keys_fold_digest_only_in_replay_mode(self, tmp_path):
+        from repro.runner.cells import Cell
+
+        suite = tiny_suite()
+        TraceStore(str(tmp_path / "store")).generate(suite.get("tiny-gcc-ref"))
+        cell = Cell.make("gcc", "gshare", 1024, scheme="static_95")
+        plain = cell.key_fields(self.make_ctx(tmp_path))
+        replay = cell.key_fields(self.make_ctx(tmp_path, suite))
+        assert "trace_digest" not in plain
+        assert len(replay["trace_digest"]) == 64
+        assert replay["profile_trace_digest"] == replay["trace_digest"]
+        assert "profile_trace_digest" in \
+            cell.hint_key_fields(self.make_ctx(tmp_path, suite))
+        # Everything else is unchanged, so regeneration-mode cache keys
+        # are stable across this feature.
+        assert plain == {k: v for k, v in replay.items()
+                         if k not in ("trace_digest", "profile_trace_digest")}
+
+    def test_replay_results_bit_identical_for_experiment_cells(self, tmp_path):
+        from repro.experiments.registry import get_cells
+        from repro.runner.cells import execute_cell
+
+        suite = tiny_suite(
+            tiny_spec(name="tiny-go-ref", program="go"),
+            tiny_spec(name="tiny-go-train", program="go", input_name="train"),
+        )
+        store = TraceStore(str(tmp_path / "store"))
+        for spec in suite:
+            store.generate(spec)
+        ctx_gen = self.make_ctx(tmp_path)
+        ctx_rep = self.make_ctx(tmp_path, suite)
+        cells = get_cells("figure1")(ctx_gen)[:4]
+        for cell in cells:
+            assert execute_cell(ctx_gen, cell).to_dict() == \
+                execute_cell(ctx_rep, cell).to_dict()
+
+    def test_replay_context_pickles_with_suite_name(self, tmp_path):
+        import pickle
+
+        ctx = ExperimentContext(trace_length=TINY["length"],
+                                site_scale=TINY["site_scale"],
+                                seed=TINY["seed"], trace_suite="quick",
+                                trace_dir=str(tmp_path))
+        clone = pickle.loads(pickle.dumps(ctx))
+        assert clone.trace_suite == "quick"
+        assert clone.trace_dir == str(tmp_path)
+
+    def test_env_knob_enables_replay(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_SUITE", "quick")
+        assert ExperimentContext(trace_length=10).trace_suite == "quick"
