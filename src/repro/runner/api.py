@@ -27,7 +27,7 @@ from repro.core.metrics import SimulationResult
 from repro.errors import ExperimentError
 from repro.experiments.common import ExperimentContext, _env_int
 from repro.experiments.report import ExperimentReport
-from repro.runner.cache import ResultCache
+from repro.runner.cache import ENV_CACHE_DIR, ResultCache
 from repro.runner.cells import Cell
 from repro.runner.engine import CellExecutor, RunSummary
 
@@ -61,7 +61,7 @@ def execute_cells(
     if jobs is None:
         jobs = default_jobs()
     if cache is None:
-        env_dir = os.environ.get("REPRO_CACHE_DIR")
+        env_dir = os.environ.get(ENV_CACHE_DIR)
         if env_dir:
             cache = ResultCache(env_dir)
     executor = CellExecutor(ctx, jobs=jobs, cache=cache)
