@@ -19,6 +19,7 @@ import json
 from dataclasses import dataclass
 
 from repro.errors import ReproError
+from repro.utils.io import atomic_write_text
 
 __all__ = [
     "FORMAT_HEADER",
@@ -91,8 +92,9 @@ class BenchSnapshot:
         return json.dumps(payload, indent=2) + "\n"
 
     def save(self, path: str) -> None:
-        with open(path, "w", encoding="ascii") as stream:
-            stream.write(self.to_json())
+        # Atomic so a concurrent `--compare` (or an interrupted bench
+        # run) never reads a half-written snapshot.
+        atomic_write_text(path, self.to_json(), encoding="ascii")
 
     @classmethod
     def from_dict(cls, payload: dict) -> "BenchSnapshot":

@@ -36,7 +36,6 @@ Figures 7-12 panel reuses the same six ref traces).
 
 from __future__ import annotations
 
-import os
 from typing import Callable
 
 from repro.arch.isa import ShiftPolicy
@@ -53,6 +52,7 @@ from repro.profiling.collision_profile import (
 )
 from repro.profiling.profile import ProgramProfile
 from repro.staticpred.hints import HintAssignment
+from repro.utils.env import env_float, env_int, env_str
 from repro.staticpred.iterative import select_static_iterative
 from repro.staticpred.selection import (
     select_static_95,
@@ -67,6 +67,7 @@ from repro.workloads.trace import BranchTrace
 __all__ = [
     "PROGRAMS",
     "KIB",
+    "ENV_KNOBS",
     "default_trace_length",
     "default_site_scale",
     "default_seed",
@@ -78,58 +79,53 @@ __all__ = [
 PROGRAMS = PROGRAM_ORDER
 KIB = 1024
 
-
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name)
-    if raw is None:
-        return default
-    try:
-        return float(raw)
-    except ValueError as exc:
-        raise ExperimentError(f"{name} must be numeric, got {raw!r}") from exc
-
-
-def _env_int(name: str, default: int) -> int:
-    """An integer knob from the environment.
-
-    Scientific notation for an exact integer (``2e5``) is accepted, but a
-    fractional value (``200000.7``) is an error: silently truncating it
-    would run a different experiment than the one the user asked for.
-    """
-    value = _env_float(name, default)
-    if isinstance(value, float) and not value.is_integer():
-        raise ExperimentError(
-            f"{name} must be an integer, got {os.environ.get(name)!r} "
-            f"(would silently truncate to {int(value)})"
-        )
-    return int(value)
+#: The environment-knob contract: name -> (parser kind, default, what it
+#: does).  This is the package's complete inventory of environment
+#: inputs: every knob read anywhere in :mod:`repro` must be declared
+#: here and read through the typed accessors in :mod:`repro.utils.env`.
+#: Lint rule ENV001 enforces the contract in both directions -- an
+#: accessor call naming an undeclared knob (or disagreeing with the
+#: declared parser/default) is a finding, and so is a declared knob no
+#: accessor ever reads.  Keeping the inventory machine-checked is what
+#: lets KEY001 reason about which knobs can influence cached results.
+ENV_KNOBS = {
+    "REPRO_TRACE_LENGTH": ("int", 200_000, "branches per measurement trace"),
+    "REPRO_EXPERIMENT_SITE_SCALE": ("float", 0.125, "static-branch scale for experiment workloads"),
+    "REPRO_SEED": ("int", 42, "root seed for every workload and trace"),
+    "REPRO_KERNEL": ("str", "auto", "simulation kernel mode (auto/fast/reference)"),
+    "REPRO_TRACE_SUITE": ("str", None, "pinned trace suite name (unset = regenerate)"),
+    "REPRO_TRACE_DIR": ("str", ".repro-traces", "root of the pinned-trace store"),
+    "REPRO_CACHE_DIR": ("str", None, "persistent result-cache directory (unset = CLI default)"),
+    "REPRO_JOBS": ("int", 1, "runner worker count"),
+    "REPRO_SITE_SCALE": ("float", 1.0, "global static-site scale for workload construction"),
+}
 
 
 def default_trace_length() -> int:
     """Measurement-trace length in branches."""
-    return _env_int("REPRO_TRACE_LENGTH", 200_000)
+    return env_int("REPRO_TRACE_LENGTH", 200_000, error=ExperimentError)
 
 
 def default_site_scale() -> float:
     """Static-branch scale used by experiment workloads."""
-    return _env_float("REPRO_EXPERIMENT_SITE_SCALE", 0.125)
+    return env_float("REPRO_EXPERIMENT_SITE_SCALE", 0.125, error=ExperimentError)
 
 
 def default_seed() -> int:
     """Root seed for experiment workloads."""
-    return _env_int("REPRO_SEED", 42)
+    return env_int("REPRO_SEED", 42, error=ExperimentError)
 
 
 def default_kernel() -> str:
     """Simulation kernel mode (``auto``/``fast``/``reference``)."""
-    kernel = os.environ.get("REPRO_KERNEL", "auto")
+    kernel = env_str("REPRO_KERNEL", "auto")
     validate_kernel_mode(kernel)
     return kernel
 
 
 def default_trace_suite() -> str | None:
     """Pinned trace suite name from the environment (None = regenerate)."""
-    return os.environ.get("REPRO_TRACE_SUITE") or None
+    return env_str("REPRO_TRACE_SUITE")
 
 
 class ExperimentContext:

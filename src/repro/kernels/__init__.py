@@ -47,6 +47,7 @@ __all__ = [
     "KERNEL_MODES",
     "has_fast_kernel",
     "numpy_available",
+    "try_fast_predictions",
     "try_fast_simulate",
     "validate_kernel_mode",
 ]
@@ -57,6 +58,12 @@ _KERNELS = {
     BimodalPredictor: dynamic.simulate_bimodal,
     GsharePredictor: dynamic.simulate_gshare,
     GhistPredictor: dynamic.simulate_ghist,
+}
+
+_PREDICTION_KERNELS = {
+    BimodalPredictor: dynamic.predictions_bimodal,
+    GsharePredictor: dynamic.predictions_gshare,
+    GhistPredictor: dynamic.predictions_ghist,
 }
 
 
@@ -117,6 +124,33 @@ def try_fast_simulate(
             )
         return None
     kernel = _KERNELS.get(type(predictor))
+    if kernel is None or not _within_limits(predictor, trace):
+        return None
+    return kernel(trace, predictor)
+
+
+def try_fast_predictions(
+    trace: BranchTrace,
+    predictor: BranchPredictor,
+    require: bool = False,
+):
+    """Replay ``trace``, returning the per-event prediction array.
+
+    The accuracy-profiling twin of :func:`try_fast_simulate`: same
+    dispatch, same limit guards, same state-advance contract, but the
+    result is a numpy bool array of each event's prediction (compare
+    against ``trace.arrays()[1]`` for correctness per branch) instead
+    of the misprediction total.  Returns ``None`` when no kernel
+    applies and the caller should run the reference loop.
+    """
+    if not numpy_available():
+        if require:
+            raise ConfigurationError(
+                "kernel='fast' requires numpy, which is not importable; "
+                "use kernel='auto' to fall back to the reference loop"
+            )
+        return None
+    kernel = _PREDICTION_KERNELS.get(type(predictor))
     if kernel is None or not _within_limits(predictor, trace):
         return None
     return kernel(trace, predictor)

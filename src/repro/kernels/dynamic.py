@@ -30,6 +30,9 @@ __all__ = [
     "MAX_COUNTER_BITS",
     "MAX_HISTORY_LENGTH",
     "MAX_TRACE_LENGTH",
+    "predictions_bimodal",
+    "predictions_ghist",
+    "predictions_gshare",
     "simulate_bimodal",
     "simulate_ghist",
     "simulate_gshare",
@@ -92,12 +95,12 @@ def _final_history(outcomes, length, initial):
     return value
 
 
-def _run_table(predictor, indices, outcomes):
+def _table_predictions(predictor, indices, outcomes):
     """Scan the counter table, write all predictor state back.
 
-    Returns the misprediction count.  ``indices`` must already be
-    masked into the table; the caller has updated any history register
-    separately (its evolution does not depend on the table).
+    Returns the per-event prediction array.  ``indices`` must already
+    be masked into the table; the caller has updated any history
+    register separately (its evolution does not depend on the table).
     """
     import numpy
 
@@ -110,14 +113,27 @@ def _run_table(predictor, indices, outcomes):
     n = indices.shape[0]
     if n:
         predictor._last_index = int(indices[n - 1])
+    return predictions
+
+
+def _mispredictions(predictions, outcomes):
+    import numpy
+
     return int(numpy.count_nonzero(predictions != outcomes))
+
+
+def predictions_bimodal(trace, predictor):
+    """Per-event predictions for
+    :class:`~repro.predictors.bimodal.BimodalPredictor`, state advanced."""
+    addresses, outcomes = trace.arrays()
+    indices = (addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask
+    return _table_predictions(predictor, indices, outcomes)
 
 
 def simulate_bimodal(trace, predictor):
     """Fast path for :class:`~repro.predictors.bimodal.BimodalPredictor`."""
-    addresses, outcomes = trace.arrays()
-    indices = (addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask
-    return _run_table(predictor, indices, outcomes)
+    _, outcomes = trace.arrays()
+    return _mispredictions(predictions_bimodal(trace, predictor), outcomes)
 
 
 def _folded_windows(predictor, outcomes):
@@ -137,24 +153,38 @@ def _folded_windows(predictor, outcomes):
     return windows
 
 
-def simulate_gshare(trace, predictor):
-    """Fast path for :class:`~repro.predictors.gshare.GsharePredictor`."""
+def predictions_gshare(trace, predictor):
+    """Per-event predictions for
+    :class:`~repro.predictors.gshare.GsharePredictor`, state advanced."""
     addresses, outcomes = trace.arrays()
     history = predictor.history
     windows = _folded_windows(predictor, outcomes)
     pc = ((addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask).astype(
         windows.dtype
     )
-    mispredictions = _run_table(predictor, pc ^ windows, outcomes)
+    predictions = _table_predictions(predictor, pc ^ windows, outcomes)
     history.import_value(_final_history(outcomes, history.length, history.value))
-    return mispredictions
+    return predictions
+
+
+def simulate_gshare(trace, predictor):
+    """Fast path for :class:`~repro.predictors.gshare.GsharePredictor`."""
+    _, outcomes = trace.arrays()
+    return _mispredictions(predictions_gshare(trace, predictor), outcomes)
+
+
+def predictions_ghist(trace, predictor):
+    """Per-event predictions for
+    :class:`~repro.predictors.ghist.GhistPredictor`, state advanced."""
+    _, outcomes = trace.arrays()
+    history = predictor.history
+    windows = _folded_windows(predictor, outcomes)
+    predictions = _table_predictions(predictor, windows, outcomes)
+    history.import_value(_final_history(outcomes, history.length, history.value))
+    return predictions
 
 
 def simulate_ghist(trace, predictor):
     """Fast path for :class:`~repro.predictors.ghist.GhistPredictor`."""
     _, outcomes = trace.arrays()
-    history = predictor.history
-    windows = _folded_windows(predictor, outcomes)
-    mispredictions = _run_table(predictor, windows, outcomes)
-    history.import_value(_final_history(outcomes, history.length, history.value))
-    return mispredictions
+    return _mispredictions(predictions_ghist(trace, predictor), outcomes)

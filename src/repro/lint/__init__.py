@@ -48,10 +48,18 @@ PERF001   no per-element Python loops over trace-scale data on hot paths
 PERF002   hot-path accumulators preallocate arrays instead of append
 PERF003   no array-reallocating, upcasting, or scalar-math numpy use
 PERF004   ``kernels/`` ``simulate_*`` functions reachable from ``_KERNELS``
+KEY001    every result-influencing input reaches the cache key or is
+          declared in the audited ``_KEY_EXEMPT`` contract
+KEY002    cache keys serialize canonically: sorted JSON, no sets,
+          ``repr()``, or host/process-dependent values
+ENV001    ``os.environ`` reads go through ``utils.env`` and match the
+          ``ENV_KNOBS`` contract registry
+ATM001    artifact stores write through the ``utils.io`` atomic seam
+ATM002    no exists-then-write (TOCTOU) races in artifact stores
 LINT001   (engine) a linted file failed to parse
 ========  ============================================================
 
-The rules stack in four analysis layers.  Syntactic rules match
+The rules stack in five analysis layers.  Syntactic rules match
 shapes in one AST (DET001/DET002, BIT001, PRED/EXP/REG contracts);
 interprocedural dataflow rules walk the project call graph
 (:mod:`repro.lint.graph`) and reaching definitions
@@ -64,7 +72,16 @@ call-graph hot-region inference from the simulation entry points
 (:mod:`repro.lint.hotpath`), loop trip-count provenance through
 reaching definitions, and the interval domain to separate trace-scale
 loops from table-sized ones — to ratchet scalar code off the hot
-paths.  No module is ever imported to be linted.
+paths.  The fifth layer is result provenance
+(:mod:`repro.lint.provenance`, :mod:`repro.lint.rules.provenance`):
+KEY001 proves over the call graph that every ``Cell`` field and every
+``ExperimentContext`` knob reachable from ``execute_cell`` flows into
+the result-cache key or carries an audited ``_KEY_EXEMPT`` entry,
+KEY002 keeps the key's serialization canonical, ENV001 reconciles
+every environment read against the ``ENV_KNOBS`` contract registry,
+and ATM001/ATM002 confine artifact writes to the ``mkstemp`` +
+``os.replace`` seam of :mod:`repro.utils.io`.  No module is ever
+imported to be linted.
 """
 
 from repro.lint.baseline import BASELINE_VERSION, DEFAULT_BASELINE_PATH, Baseline

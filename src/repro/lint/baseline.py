@@ -46,6 +46,7 @@ from typing import Sequence
 
 from repro.errors import LintError
 from repro.lint.findings import Finding
+from repro.utils.io import atomic_write_text
 
 __all__ = ["Baseline", "DEFAULT_BASELINE_PATH", "BASELINE_VERSION"]
 
@@ -110,15 +111,8 @@ class Baseline:
             for key, count in sorted(self.counts.items())
         ]
         payload = {"version": BASELINE_VERSION, "findings": entries}
-        path = Path(path)
-        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        try:
-            tmp.write_text(json.dumps(payload, indent=2) + "\n",
-                           encoding="utf-8")
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():  # pragma: no cover - only on a failed replace
-                tmp.unlink()
+        atomic_write_text(os.fspath(path),
+                          json.dumps(payload, indent=2) + "\n")
 
     def updated(
         self, findings: Sequence[Finding], linted_paths: Sequence[str]

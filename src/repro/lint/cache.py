@@ -38,6 +38,7 @@ from typing import Iterable, Sequence
 
 from repro.errors import LintError
 from repro.lint.findings import Finding, Severity
+from repro.utils.io import atomic_write_text
 
 __all__ = [
     "AnalysisCache",
@@ -48,7 +49,7 @@ __all__ = [
     "git_changed_paths",
 ]
 
-CACHE_FORMAT_VERSION = 3
+CACHE_FORMAT_VERSION = 4
 DEFAULT_CACHE_PATH = ".repro-lint-cache.json"
 
 
@@ -105,14 +106,11 @@ class AnalysisCache:
             "files": self._data["files"],
             "full": self._data["full"],
         }
-        tmp = self.path.with_name(f"{self.path.name}.{os.getpid()}.tmp")
         try:
-            tmp.write_text(json.dumps(payload, sort_keys=True),
-                           encoding="utf-8")
-            os.replace(tmp, self.path)
+            atomic_write_text(os.fspath(self.path),
+                              json.dumps(payload, sort_keys=True))
         except OSError:  # pragma: no cover - disk-full/permission paths
-            if tmp.exists():
-                tmp.unlink()
+            pass
 
     # -- per-file entries (file-rule findings) ---------------------------
 

@@ -1,0 +1,381 @@
+"""Shared machinery for the provenance rule family (analysis layer 5).
+
+The KEY/ENV/ATM rules of :mod:`repro.lint.rules.provenance` all answer
+questions about *where results come from*: which configuration values
+reach the result-cache key, which environment variables the package
+reads, and which writes can leave a torn artifact behind.  This module
+holds the reusable pieces, built on the symbol table and call graph of
+:mod:`repro.lint.graph`:
+
+* declaration parsing — dataclass fields, ``self.<knob>`` assignments
+  in an ``__init__``, literal string-keyed contract dicts
+  (``ENV_KNOBS``, ``_KEY_EXEMPT``), and string constants resolved
+  through module-level assignments and imports;
+* read collection — every ``<receiver>.<attr>`` read in a function
+  body, and the intra-class closure of a method (the other methods it
+  reaches through ``self``), which is how "flows into the key" is
+  defined;
+* write classification — raw file-write calls (``open`` in a write
+  mode, ``os.fdopen``, ``Path.write_text``/``write_bytes``) and
+  ``os.path.exists``-style guards, the ingredients of the ATM rules;
+* environment-read classification — inline ``os.environ``/``os.getenv``
+  uses versus calls to the typed accessors of :mod:`repro.utils.env`.
+
+Everything operates on linted ASTs only, deterministic and
+side-effect-free, like the rest of the lint layers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterator
+
+from repro.lint.graph import ClassInfo, FunctionInfo, ModuleInfo, ModuleTable, _dotted
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
+
+__all__ = [
+    "ACCESSOR_PARSERS",
+    "accessor_calls",
+    "attribute_reads",
+    "dataclass_fields",
+    "exists_guarded_writes",
+    "find_class",
+    "init_knobs",
+    "inline_env_reads",
+    "literal_str_dict",
+    "method_closure",
+    "module_for",
+    "non_self_params",
+    "raw_write_calls",
+    "resolve_str_constant",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+# -- declarations --------------------------------------------------------
+
+
+def module_for(table: ModuleTable, ctx: "FileContext") -> ModuleInfo | None:
+    """The table record of a linted file (by identity, then by path)."""
+    for info in table.modules.values():
+        if info.ctx is ctx or info.ctx.path == ctx.path:
+            return info
+    return None
+
+
+def find_class(
+    table: ModuleTable, name: str, path_suffix: str | None = None
+) -> ClassInfo | None:
+    """A class by bare name, preferring files matching ``path_suffix``.
+
+    The suffix preference keeps a fixture tree's ``ExperimentContext``
+    from shadowing the real one when both are linted together; when no
+    module matches the suffix, the first (sorted) definition wins.
+    """
+    fallback: ClassInfo | None = None
+    for mod_name in sorted(table.modules):
+        module = table.modules[mod_name]
+        cls_info = module.classes.get(name)
+        if cls_info is None:
+            continue
+        if path_suffix is not None and module.ctx.matches(path_suffix):
+            return cls_info
+        if fallback is None:
+            fallback = cls_info
+    return fallback
+
+
+def dataclass_fields(cls_info: ClassInfo) -> dict[str, ast.AnnAssign]:
+    """Public annotated fields declared in a (dataclass-style) body."""
+    fields: dict[str, ast.AnnAssign] = {}
+    for stmt in cls_info.node.body:
+        if (isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and not stmt.target.id.startswith("_")):
+            fields[stmt.target.id] = stmt
+    return fields
+
+
+def init_knobs(cls_info: ClassInfo) -> dict[str, ast.Attribute]:
+    """Public ``self.<name> = ...`` bindings made by ``__init__``.
+
+    Underscore names are excluded by convention: they are memo tables
+    and other derived state, not configuration.
+    """
+    init = cls_info.methods.get("__init__")
+    knobs: dict[str, ast.Attribute] = {}
+    if init is None:
+        return knobs
+    for node in ast.walk(init.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, ast.AnnAssign):
+            targets = [node.target]
+        for target in targets:
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and not target.attr.startswith("_")):
+                knobs.setdefault(target.attr, target)
+    return knobs
+
+
+def literal_str_dict(
+    expr: ast.expr | None,
+) -> dict[str, tuple[ast.expr, ast.expr]] | None:
+    """A literal dict with constant string keys, as ``{key: (key_node,
+    value_node)}`` — or None when ``expr`` is not such a dict."""
+    if not isinstance(expr, ast.Dict):
+        return None
+    out: dict[str, tuple[ast.expr, ast.expr]] = {}
+    for key, value in zip(expr.keys, expr.values):
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            out[key.value] = (key, value)
+    return out
+
+
+def resolve_str_constant(
+    expr: ast.expr,
+    module: ModuleInfo,
+    table: ModuleTable,
+    _depth: int = 0,
+) -> str | None:
+    """Resolve an expression to a string constant, following names.
+
+    Handles literals, module-level ``NAME = "..."`` assignments, and
+    names imported from other linted modules (``from repro.runner.cache
+    import ENV_CACHE_DIR``) — the shapes the env-knob call sites use.
+    """
+    if isinstance(expr, ast.Constant) and isinstance(expr.value, str):
+        return expr.value
+    if _depth > 4 or not isinstance(expr, ast.Name):
+        return None
+    local = module.assigns.get(expr.id)
+    if local is not None:
+        return resolve_str_constant(local, module, table, _depth + 1)
+    origin = module.import_froms.get(expr.id)
+    if origin is not None:
+        target = table.resolve_module(origin[0], module)
+        if target is not None:
+            remote = target.assigns.get(origin[1])
+            if remote is not None:
+                return resolve_str_constant(remote, target, table, _depth + 1)
+    return None
+
+
+# -- reads ---------------------------------------------------------------
+
+
+def attribute_reads(
+    node: ast.AST, receivers: frozenset[str] | set[str] | None = None
+) -> dict[tuple[str, str], ast.Attribute]:
+    """``(receiver, attr)`` pairs read anywhere under ``node``.
+
+    Only attributes whose base is a plain name are collected; with
+    ``receivers=None`` every base name counts (the over-approximation
+    the influence scan wants), otherwise only the given names.  Chained
+    accesses like ``self.shift_policy.value`` surface the inner
+    ``(self, shift_policy)`` read.
+    """
+    reads: dict[tuple[str, str], ast.Attribute] = {}
+    for child in ast.walk(node):
+        if (isinstance(child, ast.Attribute)
+                and isinstance(child.value, ast.Name)):
+            base = child.value.id
+            if receivers is None or base in receivers:
+                reads.setdefault((base, child.attr), child)
+    return reads
+
+
+def method_closure(cls_info: ClassInfo, method_name: str) -> list[FunctionInfo]:
+    """A method plus every same-class method it reaches via ``self``.
+
+    This is the "key path" of KEY001: an attribute read anywhere in
+    ``key_fields`` or a helper it calls (``self._profile_digests(ctx)``)
+    counts as flowing into the key.
+    """
+    start = cls_info.methods.get(method_name)
+    if start is None:
+        return []
+    closure = [start]
+    seen = {method_name}
+    queue = [start]
+    while queue:
+        fn = queue.pop()
+        for node in ast.walk(fn.node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in ("self", "cls")):
+                callee = cls_info.methods.get(node.func.attr)
+                if callee is not None and node.func.attr not in seen:
+                    seen.add(node.func.attr)
+                    closure.append(callee)
+                    queue.append(callee)
+    return closure
+
+
+def non_self_params(fn: FunctionInfo) -> set[str]:
+    """Parameter names of a method, minus the ``self``/``cls`` receiver."""
+    args = getattr(fn.node, "args", None)
+    if args is None:
+        return set()
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    return {n for n in names if n not in ("self", "cls")}
+
+
+# -- environment reads ---------------------------------------------------
+
+#: The typed accessors of :mod:`repro.utils.env`, with the parser kind
+#: each one implies (matched against the ENV_KNOBS declaration).
+ACCESSOR_PARSERS = {"env_str": "str", "env_int": "int", "env_float": "float"}
+
+_ENV_DOTTED = frozenset({"os.environ", "os.getenv"})
+
+
+def inline_env_reads(module: ModuleInfo) -> list[ast.AST]:
+    """Raw ``os.environ``/``os.getenv`` uses (including ``from os
+    import environ`` aliases) anywhere in a module."""
+    aliases = {
+        local for local, (mod, name) in module.import_froms.items()
+        if mod == "os" and name in ("environ", "getenv")
+    }
+    found: list[ast.AST] = []
+    for node in ast.walk(module.ctx.tree):
+        if isinstance(node, ast.Attribute):
+            if _dotted(node) in _ENV_DOTTED:
+                found.append(node)
+        elif (isinstance(node, ast.Name) and node.id in aliases
+                and isinstance(node.ctx, ast.Load)):
+            found.append(node)
+    return sorted(found, key=lambda n: (n.lineno, n.col_offset))
+
+
+def accessor_calls(module: ModuleInfo) -> Iterator[tuple[str, ast.Call]]:
+    """Calls to the :mod:`repro.utils.env` accessors, as
+    ``(parser_kind, call)`` pairs.
+
+    An accessor is recognized by import provenance, not bare name: the
+    called name must be imported from a module whose last path
+    component is ``env`` and resolve to one of
+    :data:`ACCESSOR_PARSERS` — so a fixture's local ``env_int`` helper
+    that is *not* the seam does not masquerade as one.
+    """
+    for node in ast.walk(module.ctx.tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+            continue
+        origin = module.import_froms.get(node.func.id)
+        if origin is None:
+            continue
+        source, original = origin
+        if original in ACCESSOR_PARSERS and source.split(".")[-1] == "env":
+            yield ACCESSOR_PARSERS[original], node
+
+
+# -- writes --------------------------------------------------------------
+
+_WRITE_MODE_CHARS = frozenset("wax+")
+
+
+def _mode_opens_for_write(call: ast.Call, mode_index: int) -> bool:
+    """Whether an ``open``-style call's mode argument writes.
+
+    A non-constant mode in a store module is treated as a write: the
+    rule's question is "can this leave a torn file", and an unknowable
+    mode cannot prove it can't.
+    """
+    mode: ast.expr | None = None
+    if len(call.args) > mode_index:
+        mode = call.args[mode_index]
+    else:
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+    if mode is None:
+        return False  # default mode is "r"
+    if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+        return any(c in _WRITE_MODE_CHARS for c in mode.value)
+    return True
+
+
+def _write_call_description(node: ast.Call) -> str | None:
+    """Classify one call as a raw file write (description), or None."""
+    dotted = _dotted(node.func)
+    if dotted in ("open", "io.open") and _mode_opens_for_write(node, 1):
+        return f"{dotted}(...) in a write mode"
+    if dotted == "os.fdopen" and _mode_opens_for_write(node, 1):
+        return "os.fdopen(...) in a write mode"
+    if (isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("write_text", "write_bytes")):
+        return f".{node.func.attr}(...)"
+    return None
+
+
+def raw_write_calls(tree: ast.AST) -> Iterator[tuple[ast.Call, str]]:
+    """Raw file-write call sites, with a short description of each."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            description = _write_call_description(node)
+            if description is not None:
+                yield node, description
+
+
+_EXISTS_DOTTED = frozenset({"os.path.exists", "os.path.isfile", "os.path.isdir"})
+_EXISTS_METHODS = frozenset({"exists", "is_file", "is_dir"})
+
+
+def _has_exists_test(test: ast.expr) -> bool:
+    for node in ast.walk(test):
+        if not isinstance(node, ast.Call):
+            continue
+        if _dotted(node.func) in _EXISTS_DOTTED:
+            return True
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr in _EXISTS_METHODS):
+            return True
+    return False
+
+
+def _makedirs_without_exist_ok(node: ast.AST) -> bool:
+    if not (isinstance(node, ast.Call)
+            and _dotted(node.func) in ("os.makedirs", "os.mkdir")):
+        return False
+    for kw in node.keywords:
+        if (kw.arg == "exist_ok" and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True):
+            return False
+    return True
+
+
+def exists_guarded_writes(tree: ast.AST) -> Iterator[tuple[ast.If, str]]:
+    """``if <exists-check>: <raw write or makedirs>`` patterns.
+
+    Between the existence test and the write, another process can
+    create, replace, or delete the path — the classic TOCTOU race.
+    Guarded calls that are *not* raw writes (e.g. an idempotent
+    ``generate()`` that itself commits atomically) are deliberately not
+    flagged: the race is only harmful when the guarded action can
+    observe or produce torn state.
+    """
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.If) and _has_exists_test(node.test)):
+            continue
+        description = None
+        for stmt in node.body + node.orelse:
+            for child in ast.walk(stmt):
+                if not isinstance(child, ast.Call):
+                    continue
+                if _makedirs_without_exist_ok(child):
+                    description = "os.makedirs without exist_ok=True"
+                else:
+                    description = _write_call_description(child)
+                if description is not None:
+                    break
+            if description is not None:
+                break
+        if description is not None:
+            yield node, description

@@ -143,4 +143,5 @@ from repro.lint.rules import experiments  # noqa: E402,F401
 from repro.lint.rules import parallelism  # noqa: E402,F401
 from repro.lint.rules import perf  # noqa: E402,F401
 from repro.lint.rules import predictors  # noqa: E402,F401
+from repro.lint.rules import provenance  # noqa: E402,F401
 from repro.lint.rules import widths  # noqa: E402,F401

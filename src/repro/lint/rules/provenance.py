@@ -1,0 +1,645 @@
+"""KEY001/KEY002, ENV001, ATM001/ATM002: result provenance.
+
+The content-addressed result cache is only sound if three disciplines
+hold everywhere at once:
+
+* **key completeness** — every input that can change a simulated result
+  (a :class:`~repro.runner.cells.Cell` field, an ``ExperimentContext``
+  knob, a :class:`~repro.traces.spec.TraceSpec` recipe field) flows
+  into the canonical-JSON cache key, or carries an audited exemption
+  declaring why it cannot change results (KEY001), and the key itself
+  serializes canonically — sorted, ordered, machine-independent
+  (KEY002);
+* **env-knob inventory** — environment variables are configuration
+  inputs too, so every read goes through the typed accessors of
+  :mod:`repro.utils.env` and is declared in the ``ENV_KNOBS`` registry
+  of :mod:`repro.experiments.common`; an inline ``os.environ`` read is
+  an input the inventory (and therefore KEY001's reasoning) cannot see
+  (ENV001);
+* **atomic artifacts** — cache entries, trace manifests, and bench
+  snapshots become visible only via the ``mkstemp`` + ``os.replace``
+  seam of :mod:`repro.utils.io`, with no bare write-mode ``open`` and
+  no exists-then-write races in store modules (ATM001/ATM002).
+
+These are the software form of the paper's aliasing problem: two
+*different* configurations mapping to the *same* cache entry is
+destructive aliasing between experiments, and it corrupts every
+downstream table silently.  KEY001 is the constructive proof that it
+cannot happen.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.findings import Finding
+from repro.lint.graph import CallGraph, _dotted
+from repro.lint.provenance import (
+    accessor_calls,
+    attribute_reads,
+    dataclass_fields,
+    exists_guarded_writes,
+    find_class,
+    init_knobs,
+    inline_env_reads,
+    literal_str_dict,
+    method_closure,
+    module_for,
+    non_self_params,
+    raw_write_calls,
+    resolve_str_constant,
+)
+from repro.lint.rules import FileRule, ProjectRule, register
+
+__all__ = [
+    "CacheKeyCompletenessRule",
+    "CacheKeyCanonicalizationRule",
+    "EnvKnobContractRule",
+    "AtomicWriteSeamRule",
+    "ExistsThenWriteRule",
+]
+
+#: KEY001/KEY002 anchors: the cell declaration and the key hasher.
+CELLS_SUFFIX = "runner/cells.py"
+CACHE_SUFFIX = "runner/cache.py"
+#: ENV001 anchor: where the ``ENV_KNOBS`` registry is declared.
+COMMON_SUFFIX = "experiments/common.py"
+#: Path fragments identifying artifact-store modules (ATM scope).
+STORE_FRAGMENTS = ("/runner/", "/traces/", "/bench/")
+#: The one module allowed to perform raw writes (the seam itself).
+IO_SEAM_SUFFIX = "utils/io.py"
+#: The one module allowed to read ``os.environ`` (the accessor seam).
+ENV_SEAM_SUFFIX = "utils/env.py"
+
+
+@register
+class CacheKeyCompletenessRule(ProjectRule):
+    """KEY001: every result-influencing input reaches the cache key.
+
+    The rule extracts three declaration sets from the linted tree — the
+    ``Cell`` dataclass fields, the public ``self.<knob>`` bindings of
+    ``ExperimentContext.__init__``, and the ``_KEY_EXEMPT`` contract
+    dict — then computes two read sets: the *key path* (every attribute
+    read in ``key_fields`` and the same-class helpers it calls) and the
+    *execution region* (every attribute read in code reachable from
+    ``execute_cell`` on the call graph).  A Cell field must be read on
+    the key path or be exempt; a context knob read in the execution
+    region must be read on the key path or be exempt; an exemption must
+    name a real, un-keyed input (a keyed exemption is stale, an unknown
+    one a typo).  ``TraceSpec`` gets the same treatment against its
+    ``identity()`` method, with ``pinned_digest`` exempt by design (it
+    is an expectation *about* the artifact, not part of the recipe).
+    """
+
+    rule_id = "KEY001"
+    summary = (
+        "every Cell field and result-influencing context knob flows into "
+        "the result-cache key or is declared key-exempt"
+    )
+    example_bad = (
+        "def key_fields(self, ctx):\n"
+        "    return {\"seed\": ctx.seed, \"program\": self.program}\n"
+        "    # ctx.site_scale feeds the workload but never the key:\n"
+        "    # two different experiments alias to one cache entry"
+    )
+    example_good = (
+        "_KEY_EXEMPT = {\"kernel\": \"bit-identical by contract\"}\n"
+        "def key_fields(self, ctx):\n"
+        "    return {\"seed\": ctx.seed, \"site_scale\": ctx.site_scale,\n"
+        "            \"program\": self.program, ...}"
+    )
+
+    def __init__(
+        self,
+        anchor: str = CELLS_SUFFIX,
+        cell_class: str = "Cell",
+        context_class: str = "ExperimentContext",
+        context_suffix: str = COMMON_SUFFIX,
+        key_method: str = "key_fields",
+        hint_key_method: str = "hint_key_fields",
+        exempt_name: str = "_KEY_EXEMPT",
+        entry: str = "execute_cell",
+        spec_class: str = "TraceSpec",
+        spec_identity: str = "identity",
+        spec_exempt: tuple[str, ...] = ("pinned_digest",),
+    ):
+        self.anchor = anchor
+        self.cell_class = cell_class
+        self.context_class = context_class
+        self.context_suffix = context_suffix
+        self.key_method = key_method
+        self.hint_key_method = hint_key_method
+        self.exempt_name = exempt_name
+        self.entry = entry
+        self.spec_class = spec_class
+        self.spec_identity = spec_identity
+        self.spec_exempt = spec_exempt
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        graph = CallGraph.build(project)
+        table = graph.table
+        anchor_mod = module_for(table, anchor_ctx)
+        if anchor_mod is None:  # pragma: no cover - table always has anchor
+            return
+        cell = anchor_mod.classes.get(self.cell_class)
+        if cell is None:
+            yield self.finding(
+                anchor_ctx, anchor_ctx.tree,
+                f"cannot find class {self.cell_class!r} in the anchor "
+                f"module; the cache-key completeness proof has nothing "
+                f"to check",
+            )
+            return
+
+        exempt = literal_str_dict(anchor_mod.assigns.get(self.exempt_name)) or {}
+        fields = dataclass_fields(cell)
+        key_path = method_closure(cell, self.key_method)
+        if not key_path:
+            yield self.finding(
+                anchor_ctx, cell.node,
+                f"{self.cell_class}.{self.key_method} is missing: cells "
+                f"have no cache-key identity at all",
+            )
+            return
+        keyed_fields, keyed_knobs = self._key_reads(key_path)
+
+        # -- Cell fields: always result-influencing by construction.
+        for name, node in sorted(fields.items()):
+            if name in keyed_fields or name in exempt:
+                continue
+            yield self.finding(
+                anchor_ctx, node,
+                f"Cell field {name!r} never flows into "
+                f"{self.key_method}() and is not declared in "
+                f"{self.exempt_name}: two cells differing only in "
+                f"{name!r} would alias to one cache entry",
+            )
+
+        # -- Context knobs: influencing iff read in the execution region.
+        context = find_class(table, self.context_class, self.context_suffix)
+        knobs = init_knobs(context) if context is not None else {}
+        influencing = self._influencing_knobs(graph, set(knobs), key_path)
+        for name in sorted(knobs):
+            if name in keyed_knobs or name in exempt:
+                continue
+            reader = influencing.get(name)
+            if reader is None:
+                continue
+            yield self.finding(
+                anchor_ctx, knobs[name],
+                f"context knob {name!r} can influence simulated results "
+                f"(read in {reader}) but never flows into "
+                f"{self.key_method}() and is not declared in "
+                f"{self.exempt_name}",
+            )
+
+        # -- Exemptions must stay honest.
+        for name, (key_node, _) in sorted(exempt.items()):
+            if name in keyed_fields or name in keyed_knobs:
+                yield self.finding(
+                    anchor_ctx, key_node,
+                    f"stale exemption: {name!r} is declared in "
+                    f"{self.exempt_name} but *does* flow into "
+                    f"{self.key_method}() — delete the entry or the key "
+                    f"field",
+                )
+            elif name not in fields and name not in knobs:
+                yield self.finding(
+                    anchor_ctx, key_node,
+                    f"unknown name {name!r} in {self.exempt_name}: it is "
+                    f"neither a {self.cell_class} field nor a "
+                    f"{self.context_class} knob",
+                )
+
+        yield from self._check_spec_identity(table)
+
+    def _key_reads(self, key_path) -> tuple[set[str], set[str]]:
+        """Attribute names read on the key path, split by receiver:
+        ``self.<field>`` reads versus ``<ctx param>.<knob>`` reads."""
+        keyed_fields: set[str] = set()
+        keyed_knobs: set[str] = set()
+        for fn in key_path:
+            params = non_self_params(fn)
+            for (base, attr) in attribute_reads(fn.node, {"self"} | params):
+                if base == "self":
+                    keyed_fields.add(attr)
+                else:
+                    keyed_knobs.add(attr)
+        return keyed_fields, keyed_knobs
+
+    def _influencing_knobs(self, graph, knob_names, key_path) -> dict[str, str]:
+        """knob -> qualname of an execution-region function reading it.
+
+        The region is everything reachable from the entry point on the
+        call graph, minus the key path itself (reading a knob *in order
+        to key it* is not influence).  Reads are collected on any
+        receiver name — an over-approximation that can only demand more
+        keying, never less.
+        """
+        roots = [fn.qualname for fn in graph.functions_named(self.entry)]
+        exclude = {fn.qualname for fn in key_path}
+        influencing: dict[str, str] = {}
+        for fn in graph.reachable_from(roots):
+            if fn.qualname in exclude or fn.name == self.hint_key_method:
+                continue
+            for (_, attr) in attribute_reads(fn.node):
+                if attr in knob_names:
+                    influencing.setdefault(attr, fn.qualname)
+        return influencing
+
+    def _check_spec_identity(self, table) -> Iterator[Finding]:
+        """TraceSpec fields must reach ``identity()`` or be exempt."""
+        spec = find_class(table, self.spec_class)
+        if spec is None:
+            return
+        identity_path = method_closure(spec, self.spec_identity)
+        if not identity_path:
+            return
+        spec_ctx = table.modules[spec.module].ctx
+        read = {
+            attr for fn in identity_path
+            for (base, attr) in attribute_reads(fn.node, {"self"})
+        }
+        for name, node in sorted(dataclass_fields(spec).items()):
+            if name in read or name in self.spec_exempt:
+                continue
+            yield self.finding(
+                spec_ctx, node,
+                f"{self.spec_class} field {name!r} never flows into "
+                f"{self.spec_identity}(): two different trace recipes "
+                f"could share a spec digest",
+            )
+
+
+@register
+class CacheKeyCanonicalizationRule(ProjectRule):
+    """KEY002: the cache key serializes canonically.
+
+    The key hasher must ``json.dumps(..., sort_keys=True)`` (two
+    writers of the same identity must produce the same digest), and the
+    key-field builders must not put machine- or process-dependent
+    representations into the payload: unordered ``set`` values
+    serialize in hash order, ``repr()`` of floats is implementation
+    lore, and ``os.getcwd``/``locale``/``time``/``platform`` values key
+    the *host*, not the experiment.
+    """
+
+    rule_id = "KEY002"
+    summary = (
+        "cache-key construction is canonical: sorted JSON, no sets, no "
+        "repr(), no path/locale/time/host values"
+    )
+    example_bad = (
+        "fields = {\"inputs\": set(self.inputs),   # hash-order JSON\n"
+        "          \"cutoff\": repr(self.cutoff),  # impl-defined text\n"
+        "          \"root\": os.getcwd()}          # keys the host"
+    )
+    example_good = (
+        "fields = {\"inputs\": sorted(self.inputs), \"cutoff\": self.cutoff}\n"
+        "canonical = json.dumps(payload, sort_keys=True)"
+    )
+
+    #: Dotted call prefixes whose values are host/process state.
+    TAINTED_PREFIXES = ("locale.", "time.", "platform.", "tempfile.", "socket.")
+    TAINTED_CALLS = frozenset({
+        "os.getcwd", "os.path.abspath", "os.path.realpath", "os.getpid",
+        "Path.cwd",
+    })
+
+    def __init__(
+        self,
+        anchor: str = CACHE_SUFFIX,
+        hasher: str = "_canonical_key",
+        key_methods: tuple[str, ...] = ("key_fields", "hint_key_fields"),
+    ):
+        self.anchor = anchor
+        self.hasher = hasher
+        self.key_methods = key_methods
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        from repro.lint.graph import ModuleTable
+
+        table = ModuleTable.build(project)
+        anchor_mod = module_for(table, anchor_ctx)
+        if anchor_mod is not None:
+            hasher = anchor_mod.functions.get(self.hasher)
+            if hasher is not None:
+                yield from self._check_hasher(anchor_ctx, hasher)
+        for mod_name in sorted(table.modules):
+            module = table.modules[mod_name]
+            for cls_name in sorted(module.classes):
+                cls_info = module.classes[cls_name]
+                for method_name in self.key_methods:
+                    for fn in method_closure(cls_info, method_name):
+                        yield from self._check_key_builder(module.ctx, fn)
+
+    def _check_hasher(self, ctx, hasher) -> Iterator[Finding]:
+        for node in ast.walk(hasher.node):
+            if not (isinstance(node, ast.Call)
+                    and _dotted(node.func) == "json.dumps"):
+                continue
+            sort_keys = next(
+                (kw.value for kw in node.keywords if kw.arg == "sort_keys"),
+                None,
+            )
+            if not (isinstance(sort_keys, ast.Constant)
+                    and sort_keys.value is True):
+                yield self.finding(
+                    ctx, node,
+                    f"the key hasher {self.hasher}() serializes without "
+                    f"sort_keys=True: key bytes depend on dict insertion "
+                    f"order, so equal identities can hash differently",
+                )
+
+    def _check_key_builder(self, ctx, fn) -> Iterator[Finding]:
+        sorted_spans: list[tuple[int, int, int, int]] = []
+        for node in ast.walk(fn.node):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "sorted"):
+                sorted_spans.append((
+                    node.lineno, node.col_offset,
+                    node.end_lineno or node.lineno,
+                    node.end_col_offset or 0,
+                ))
+
+        def inside_sorted(node) -> bool:
+            for (l0, c0, l1, c1) in sorted_spans:
+                if ((node.lineno, node.col_offset) >= (l0, c0)
+                        and (node.end_lineno or node.lineno,
+                             node.end_col_offset or 0) <= (l1, c1)):
+                    return True
+            return False
+
+        label = f"{fn.qualname.rsplit('.', 2)[-2]}.{fn.name}"
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Set) and not inside_sorted(node):
+                yield self.finding(
+                    ctx, node,
+                    f"set literal in cache-key builder {label}: JSON "
+                    f"serializes sets in hash order — wrap in sorted()",
+                )
+            elif isinstance(node, ast.Call):
+                dotted = _dotted(node.func)
+                if (dotted in ("set", "frozenset")
+                        and not inside_sorted(node)):
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted}() in cache-key builder {label}: "
+                        f"unordered values serialize in hash order — "
+                        f"wrap in sorted()",
+                    )
+                elif dotted == "repr":
+                    yield self.finding(
+                        ctx, node,
+                        f"repr() in cache-key builder {label}: textual "
+                        f"float/object representations are not canonical "
+                        f"— let the JSON layer serialize the raw value",
+                    )
+                elif dotted is not None and (
+                        dotted in self.TAINTED_CALLS
+                        or dotted.startswith(self.TAINTED_PREFIXES)):
+                    yield self.finding(
+                        ctx, node,
+                        f"{dotted}() in cache-key builder {label}: the "
+                        f"value depends on the host or process, not the "
+                        f"experiment, so equal experiments key "
+                        f"differently across machines",
+                    )
+
+
+@register
+class EnvKnobContractRule(ProjectRule):
+    """ENV001: environment reads honor the ``ENV_KNOBS`` contract.
+
+    Three checks, all anchored on the registry declaration:
+
+    * no inline ``os.environ``/``os.getenv`` read outside the
+      :mod:`repro.utils.env` seam — an undeclared input is invisible to
+      the knob inventory (and to KEY001's influence reasoning);
+    * every accessor call names a declared knob (literal or resolvable
+      string constant), with the parser kind and any literal default
+      matching the declaration;
+    * every declared knob is read by some accessor in the linted set —
+      checked only when the set contains accessor calls outside the
+      anchor module, so linting the anchor alone does not report the
+      whole registry stale.
+    """
+
+    rule_id = "ENV001"
+    summary = (
+        "os.environ reads go through the repro.utils.env accessors and "
+        "match the ENV_KNOBS contract registry"
+    )
+    example_bad = "jobs = int(os.environ.get(\"REPRO_JOBS\", \"1\"))"
+    example_good = (
+        "# common.py:  ENV_KNOBS = {\"REPRO_JOBS\": (\"int\", 1, \"...\")}\n"
+        "jobs = env_int(\"REPRO_JOBS\", 1, error=ExperimentError)"
+    )
+
+    def __init__(
+        self,
+        anchor: str = COMMON_SUFFIX,
+        registry_name: str = "ENV_KNOBS",
+        seam_suffix: str = ENV_SEAM_SUFFIX,
+    ):
+        self.anchor = anchor
+        self.registry_name = registry_name
+        self.seam_suffix = seam_suffix
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        from repro.lint.graph import ModuleTable
+
+        table = ModuleTable.build(project)
+        anchor_mod = module_for(table, anchor_ctx)
+        declared = literal_str_dict(
+            anchor_mod.assigns.get(self.registry_name)
+            if anchor_mod is not None else None
+        )
+        if declared is None:
+            yield self.finding(
+                anchor_ctx, anchor_ctx.tree,
+                f"the {self.registry_name} contract registry (a literal "
+                f"dict of knob name -> (parser, default, description)) "
+                f"is missing from the anchor module",
+            )
+            return
+
+        used: set[str] = set()
+        outside_calls = 0
+        for mod_name in sorted(table.modules):
+            module = table.modules[mod_name]
+            if module.ctx.matches(self.seam_suffix):
+                continue
+            for node in inline_env_reads(module):
+                yield self.finding(
+                    module.ctx, node,
+                    "inline os.environ read: declare the knob in "
+                    f"{self.registry_name} and read it through the "
+                    "repro.utils.env accessors so the knob inventory "
+                    "stays complete",
+                )
+            for parser, call in accessor_calls(module):
+                if module is not anchor_mod:
+                    outside_calls += 1
+                yield from self._check_accessor_call(
+                    table, module, declared, used, parser, call
+                )
+
+        if outside_calls:
+            for name, (key_node, _) in sorted(declared.items()):
+                if name not in used:
+                    yield self.finding(
+                        anchor_ctx, key_node,
+                        f"declared env knob {name!r} is never read "
+                        f"through an accessor in the linted set: the "
+                        f"declaration is stale (or the consumer "
+                        f"bypasses the seam)",
+                    )
+
+    def _check_accessor_call(
+        self, table, module, declared, used, parser, call
+    ) -> Iterator[Finding]:
+        if not call.args:
+            return
+        name = resolve_str_constant(call.args[0], module, table)
+        if name is None:
+            yield self.finding(
+                module.ctx, call,
+                "env-knob name is not a resolvable string constant; the "
+                f"{self.registry_name} contract cannot be checked for "
+                "this read",
+            )
+            return
+        used.add(name)
+        if name not in declared:
+            yield self.finding(
+                module.ctx, call,
+                f"undeclared env knob {name!r}: add it to "
+                f"{self.registry_name} (name, parser, default) so the "
+                f"inventory of result-influencing inputs stays complete",
+            )
+            return
+        _, value_node = declared[name]
+        spec = value_node.elts if isinstance(value_node, ast.Tuple) else []
+        declared_parser = (
+            spec[0].value
+            if spec and isinstance(spec[0], ast.Constant) else None
+        )
+        if declared_parser is not None and declared_parser != parser:
+            yield self.finding(
+                module.ctx, call,
+                f"env knob {name!r} is declared with parser "
+                f"{declared_parser!r} but read as {parser!r}: one of the "
+                f"two lies about the knob's type",
+            )
+        declared_default = (
+            spec[1] if len(spec) > 1 and isinstance(spec[1], ast.Constant)
+            else None
+        )
+        call_default = call.args[1] if len(call.args) > 1 else next(
+            (kw.value for kw in call.keywords if kw.arg == "default"), None
+        )
+        if (declared_default is not None
+                and isinstance(call_default, ast.Constant)
+                and call_default.value != declared_default.value):
+            yield self.finding(
+                module.ctx, call,
+                f"env knob {name!r} is declared with default "
+                f"{declared_default.value!r} but read with default "
+                f"{call_default.value!r}: the contract and the call "
+                f"site disagree",
+            )
+
+
+class _StoreFileRule(FileRule):
+    """Shared scope: the ATM rules run on artifact-store modules only.
+
+    ``fragments`` are path fragments (with directory slashes) naming
+    the store layers; the atomic-write seam itself is exempt — it is
+    the one place a raw write is the point.
+    """
+
+    def __init__(
+        self,
+        fragments: tuple[str, ...] = STORE_FRAGMENTS,
+        seam_suffix: str = IO_SEAM_SUFFIX,
+    ):
+        self.fragments = fragments
+        self.seam_suffix = seam_suffix
+
+    def applies(self, ctx) -> bool:
+        if ctx.matches(self.seam_suffix):
+            return False
+        posix = "/" + ctx.path.as_posix()
+        return any(fragment in posix for fragment in self.fragments)
+
+
+@register
+class AtomicWriteSeamRule(_StoreFileRule):
+    """ATM001: store modules write through the atomic seam only.
+
+    A bare write-mode ``open`` (or ``Path.write_text``/``write_bytes``,
+    or a hand-rolled ``os.fdopen``) in a cache/trace/bench store module
+    can be interrupted between truncate and flush, and a concurrent
+    reader then parses half a file.  Every durable write goes through
+    :func:`repro.utils.io.atomic_write_text` — temp file in the target
+    directory, then ``os.replace`` — so readers see the old bytes or
+    the new bytes, never a mixture.
+    """
+
+    rule_id = "ATM001"
+    summary = (
+        "artifact-store modules write through the repro.utils.io "
+        "atomic-write seam, never a bare write-mode open"
+    )
+    example_bad = (
+        "with open(path, \"w\") as stream:   # torn on interrupt\n"
+        "    stream.write(payload)"
+    )
+    example_good = "atomic_write_text(path, payload)   # mkstemp + os.replace"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node, description in raw_write_calls(ctx.tree):
+            yield self.finding(
+                ctx, node,
+                f"raw write ({description}) in an artifact-store module: "
+                f"route it through repro.utils.io.atomic_write_text/"
+                f"atomic_write_json so a reader never observes a torn "
+                f"file",
+            )
+
+
+@register
+class ExistsThenWriteRule(_StoreFileRule):
+    """ATM002: no exists-then-write races in store modules.
+
+    ``if not os.path.exists(p): open(p, "w")`` hands a concurrent
+    writer the window between the test and the write; under the
+    runner's process pool that window is hit in practice.  Guard-free
+    idioms close it: ``os.makedirs(..., exist_ok=True)`` for
+    directories, unconditional atomic replace for files (last writer
+    wins with identical content-addressed bytes).
+    """
+
+    rule_id = "ATM002"
+    summary = (
+        "no exists-then-write (TOCTOU) patterns in artifact-store "
+        "modules; use exist_ok/EAFP plus atomic replace"
+    )
+    example_bad = (
+        "if not os.path.exists(directory):\n"
+        "    os.makedirs(directory)   # races a concurrent worker"
+    )
+    example_good = "os.makedirs(directory, exist_ok=True)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node, description in exists_guarded_writes(ctx.tree):
+            yield self.finding(
+                ctx, node,
+                f"exists-then-write race: the guarded {description} can "
+                f"interleave with a concurrent worker between the "
+                f"existence test and the write — use exist_ok=True / "
+                f"EAFP with an atomic replace instead",
+            )

@@ -124,12 +124,64 @@ def measure_accuracy(trace: BranchTrace, predictor: BranchPredictor) -> Accuracy
     The predictor is consumed (trained) by the measurement; pass a fresh
     instance.  This is the phase-one simulation of the paper's
     ``Static_Acc`` methodology.
+
+    Kernel-backed predictor families replay through
+    :func:`repro.kernels.try_fast_predictions` and tally per-branch
+    hits with one sort-based groupby (the
+    :meth:`~repro.profiling.profile.ProgramProfile.from_trace` idiom);
+    the result is bit-identical to the reference loop, including the
+    mapping's first-occurrence insertion order.
     """
+    from repro.kernels import try_fast_predictions
+
+    predictions = try_fast_predictions(trace, predictor)
+    if predictions is None:
+        return _measure_accuracy_scalar(trace, predictor)
+    import numpy
+
+    if len(trace) == 0:
+        return AccuracyProfile(
+            trace.program_name, trace.input_name, predictor.name, {}
+        )
+    addresses, outcomes = trace.arrays()
+    n = addresses.shape[0]
+    correct = (predictions == outcomes).astype(numpy.int64)
+    sidx = numpy.argsort(addresses)
+    sorted_addr = addresses[sidx]
+    starts = numpy.flatnonzero(
+        numpy.r_[True, sorted_addr[1:] != sorted_addr[:-1]]
+    )
+    executions = numpy.diff(numpy.r_[starts, n])
+    hits = numpy.add.reduceat(correct[sidx], starts)
+    # The sort need not be stable: each group's first occurrence is the
+    # minimum original index within the group.
+    first = numpy.minimum.reduceat(sidx, starts)
+    order = numpy.argsort(first, kind="stable")
+    branches = {
+        address: BranchAccuracy(executions=e, correct=c)
+        for address, e, c in zip(
+            sorted_addr[starts][order].tolist(),
+            executions[order].tolist(),
+            hits[order].tolist(),
+        )
+    }
+    return AccuracyProfile(
+        trace.program_name, trace.input_name, predictor.name, branches
+    )
+
+
+def _measure_accuracy_scalar(
+    trace: BranchTrace, predictor: BranchPredictor
+) -> AccuracyProfile:
+    """Reference loop (kernel-less predictors, and the differential baseline)."""
     counts: dict[int, list[int]] = {}
     predict = predictor.predict
     update = predictor.update
     addresses = trace.addresses
     outcomes = trace.outcomes
+    # repro: allow[PERF001] -- the numpy-free fallback and correctness
+    # reference; kernel-backed families take the vectorized path above,
+    # which is differentially tested against this loop
     for i in range(len(addresses)):
         address = addresses[i]
         taken = outcomes[i]

@@ -21,15 +21,14 @@ circular.
 
 from __future__ import annotations
 
-import os
-
 from repro.core.metrics import SimulationResult
 from repro.errors import ExperimentError
-from repro.experiments.common import ExperimentContext, _env_int
+from repro.experiments.common import ExperimentContext
 from repro.experiments.report import ExperimentReport
 from repro.runner.cache import ENV_CACHE_DIR, ResultCache
 from repro.runner.cells import Cell
 from repro.runner.engine import CellExecutor, RunSummary
+from repro.utils.env import env_int, env_str
 
 __all__ = ["execute_cells", "run_experiments", "default_jobs"]
 
@@ -38,7 +37,7 @@ ENV_JOBS = "REPRO_JOBS"
 
 def default_jobs() -> int:
     """Worker count used when the caller does not pass one (env knob)."""
-    jobs = _env_int(ENV_JOBS, 1)
+    jobs = env_int(ENV_JOBS, 1, error=ExperimentError)
     if jobs < 1:
         raise ExperimentError(f"{ENV_JOBS} must be >= 1, got {jobs}")
     return jobs
@@ -61,7 +60,7 @@ def execute_cells(
     if jobs is None:
         jobs = default_jobs()
     if cache is None:
-        env_dir = os.environ.get(ENV_CACHE_DIR)
+        env_dir = env_str(ENV_CACHE_DIR)
         if env_dir:
             cache = ResultCache(env_dir)
     executor = CellExecutor(ctx, jobs=jobs, cache=cache)

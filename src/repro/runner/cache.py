@@ -27,11 +27,12 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-import tempfile
 
 from repro.core.metrics import SimulationResult
 from repro.errors import ReproError
 from repro.staticpred.hints import HintAssignment
+from repro.utils.env import env_str
+from repro.utils.io import atomic_write_json
 
 __all__ = ["ResultCache", "default_cache_dir", "CACHE_FORMAT_VERSION"]
 
@@ -43,7 +44,7 @@ ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 
 def default_cache_dir() -> str:
     """The cache directory used when the CLI is not told otherwise."""
-    return os.environ.get(ENV_CACHE_DIR) or ".repro-cache"
+    return env_str(ENV_CACHE_DIR) or ".repro-cache"
 
 
 def _canonical_key(kind: str, fields: dict) -> str:
@@ -82,31 +83,13 @@ class ResultCache:
 
     def _write(self, key: str, payload: dict) -> None:
         path = self._path(key)
-        directory = os.path.dirname(path)
-        # The temp name must be unique per *call*, not per process:
-        # thread-pool workers share a pid, and two writers using the
-        # same temp path can unlink each other's half-written file out
-        # from under the os.replace.  mkstemp guarantees a fresh name
-        # (and an already-open descriptor) on every call.
         try:
-            os.makedirs(directory, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                dir=directory, prefix=os.path.basename(path) + ".",
-                suffix=".tmp",
-            )
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            atomic_write_json(path, payload)
         except OSError:
             # Caching is an optimization; a full disk or permission
             # hiccup must not kill the simulation that just succeeded.
             return
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as stream:
-                json.dump(payload, stream, sort_keys=True)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
 
     # -- results ---------------------------------------------------------
 

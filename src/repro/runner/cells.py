@@ -27,6 +27,24 @@ from repro.staticpred.selection import select_static_95
 
 __all__ = ["Cell", "STABLE_SCHEME", "execute_cell", "resolve_hints"]
 
+#: Context knobs that can influence *how* a cell executes but are
+#: deliberately excluded from :meth:`Cell.key_fields`, with the
+#: justification for each.  This is a machine-checked contract: lint
+#: rule KEY001 proves every Cell field and every ``ExperimentContext``
+#: knob reachable from :func:`execute_cell` either flows into the cache
+#: key or is declared here -- and flags a stale entry whose knob *does*
+#: reach the key.  Add to this dict only with a reason a reviewer can
+#: audit; an exemption is a claim that two runs differing *only* in
+#: that knob are bit-identical.
+_KEY_EXEMPT = {
+    "kernel": "kernels are bit-identical to the reference loop by "
+              "contract (repro.kernels), so the knob changes wall time, "
+              "never results",
+    "trace_dir": "names *where* pinned artifacts live, not what they "
+                 "contain; replay keys fold in the artifacts' content "
+                 "digests instead",
+}
+
 STABLE_SCHEME = "static_95_stable"
 """Figure 13's bar 4: static_95 over the merged train+ref profile with
 unstable (>5% bias change) branches filtered out.  A cell-level scheme

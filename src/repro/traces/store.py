@@ -19,7 +19,8 @@ Integrity is checked at every boundary:
   feeding wrong bytes to an experiment;
 * ``verify`` runs the same checks read-only for the CLI/CI gate.
 
-Manifests are written atomically (fresh ``mkstemp`` + ``os.replace``),
+Manifests are written atomically through the shared
+:mod:`repro.utils.io` seam (fresh ``mkstemp`` + ``os.replace``),
 matching the result cache's discipline.
 """
 
@@ -27,10 +28,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 
 from repro.errors import TraceSuiteError
 from repro.traces.spec import SUITE_FORMAT_VERSION, TraceSpec
+from repro.utils.env import env_str
+from repro.utils.io import atomic_write_json
 from repro.workloads.trace import BranchTrace
 
 __all__ = ["ENV_TRACE_DIR", "TraceStore", "default_trace_dir"]
@@ -40,7 +42,7 @@ ENV_TRACE_DIR = "REPRO_TRACE_DIR"
 
 def default_trace_dir() -> str:
     """The store root used when the caller does not name one."""
-    return os.environ.get(ENV_TRACE_DIR) or ".repro-traces"
+    return env_str(ENV_TRACE_DIR) or ".repro-traces"
 
 
 class TraceStore:
@@ -90,20 +92,10 @@ class TraceStore:
         return manifest
 
     def _write_manifest(self, spec: TraceSpec, manifest: dict) -> None:
-        path = self.manifest_path(spec)
-        fd, tmp = tempfile.mkstemp(
-            dir=self.root, prefix=os.path.basename(path) + ".", suffix=".tmp",
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as stream:
-                json.dump(manifest, stream, sort_keys=True, indent=2)
-            os.replace(tmp, path)
-        except OSError:
-            try:
-                os.unlink(tmp)
-            except OSError:
-                pass
-            raise
+        # The manifest is the artifact's commit point, so unlike the
+        # result cache a failed write propagates: a generate that cannot
+        # record its manifest has not generated anything.
+        atomic_write_json(self.manifest_path(spec), manifest, indent=2)
 
     # -- generation ------------------------------------------------------
 

@@ -1,0 +1,84 @@
+"""Typed environment-knob accessors: the single raw ``os.environ`` seam.
+
+Every runtime environment read in the package goes through the three
+accessors here.  The knob *names* (with parser kind, default, and a
+one-line description) are declared in the
+:data:`repro.experiments.common.ENV_KNOBS` contract registry, and lint
+rule ENV001 cross-checks the two against each other in both directions:
+an accessor call naming an undeclared knob (or disagreeing with the
+declared parser/default) is a finding, and so is a declared knob no
+accessor ever reads.  Inline ``os.environ`` / ``os.getenv`` reads
+anywhere outside this module are findings too -- that is what makes the
+registry trustworthy as *the* inventory of result-influencing inputs.
+
+This module is deliberately dependency-free (standard library plus
+:mod:`repro.errors` only) so every layer -- workloads, traces, runner,
+bench -- can use it without import cycles; the registry lives in
+``experiments/common.py`` because that is where the knobs are
+documented for users, but nothing here imports it.
+
+An empty-string value is treated as unset everywhere: ``FOO= repro ...``
+means "use the default", never "parse the empty string".
+
+The accessors take the exception class to raise on a malformed value
+(``error=``) because callers sit in different error domains: experiment
+knobs raise :class:`~repro.errors.ExperimentError`, workload knobs raise
+:class:`~repro.errors.WorkloadError`.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import ConfigurationError
+
+__all__ = ["env_str", "env_int", "env_float"]
+
+
+def _raw(name: str) -> str | None:
+    """The one raw environment read (empty string counts as unset)."""
+    return os.environ.get(name) or None
+
+
+def env_str(name: str, default: str | None = None) -> str | None:
+    """A string knob from the environment."""
+    raw = _raw(name)
+    return default if raw is None else raw
+
+
+def env_float(
+    name: str,
+    default: float,
+    error: type[Exception] = ConfigurationError,
+) -> float:
+    """A float knob from the environment."""
+    raw = _raw(name)
+    if raw is None:
+        return default
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise error(f"{name} must be numeric, got {raw!r}") from exc
+
+
+def env_int(
+    name: str,
+    default: int,
+    error: type[Exception] = ConfigurationError,
+) -> int:
+    """An integer knob from the environment.
+
+    Scientific notation for an exact integer (``2e5``) is accepted, but a
+    fractional value (``200000.7``) is an error: silently truncating it
+    would run a different experiment than the one the user asked for.
+    """
+    raw = _raw(name)
+    if raw is None:
+        return default
+    value = env_float(name, float(default), error=error)
+    if not value.is_integer():
+        raise error(
+            f"{name} must be an integer, got {raw!r} "
+            f"(would silently truncate to {int(value)})"
+        )
+    return int(value)

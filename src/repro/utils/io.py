@@ -1,0 +1,68 @@
+"""Atomic file writes: the one ``mkstemp`` + ``os.replace`` seam.
+
+Every artifact store in the package -- the runner's result cache, the
+pinned trace store, bench snapshots, and the lint analysis cache and
+baseline -- writes through :func:`atomic_write_text` (or the
+:func:`atomic_write_json` convenience on top of it), so a reader can
+never observe a torn file: the bytes land in a fresh temp file in the
+destination directory and become visible only through the atomic
+rename.  Lint rule ATM001 enforces the seam (no bare ``open(..., "w")``
+in store modules) and ATM002 the companion discipline (no
+exists-then-write races around it).
+
+The temp name must be unique per *call*, not per process: thread-pool
+workers share a pid, and two writers using the same temp path can
+unlink each other's half-written file out from under the
+``os.replace``.  ``mkstemp`` guarantees a fresh name (and an
+already-open descriptor) on every call.
+
+Failure semantics: the temp file is unlinked and the :class:`OSError`
+re-raised.  Callers for whom a write is an optimization (the result
+cache) catch it; callers for whom it is a commit point (the trace
+store) let it propagate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+
+__all__ = ["atomic_write_text", "atomic_write_json"]
+
+
+def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
+    """Write ``text`` to ``path`` atomically (temp file + rename)."""
+    path = os.fspath(path)
+    directory = os.path.dirname(path) or "."
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp",
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as stream:
+            stream.write(text)
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_json(
+    path: str,
+    payload: object,
+    *,
+    sort_keys: bool = True,
+    indent: int | None = None,
+    encoding: str = "utf-8",
+) -> None:
+    """Serialize ``payload`` and write it atomically.
+
+    Keys are sorted by default so two writers serializing the same
+    payload produce identical bytes -- the property the content-digest
+    checks in the trace store rely on.
+    """
+    text = json.dumps(payload, sort_keys=sort_keys, indent=indent)
+    atomic_write_text(path, text, encoding=encoding)

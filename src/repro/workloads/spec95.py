@@ -28,12 +28,12 @@ are not reproduced; trace lengths are an experiment parameter.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Mapping, Sequence
 
 from repro.errors import ConfigurationError, WorkloadError
+from repro.utils.env import env_float
 from repro.workloads.behaviors import (
     BehaviorFactory,
     BiasedFactory,
@@ -53,11 +53,7 @@ def site_scale() -> float:
     paper's static branches; useful for quick local iteration.  Defaults
     to 1.0 (paper-faithful static counts).
     """
-    raw = os.environ.get("REPRO_SITE_SCALE", "1.0")
-    try:
-        value = float(raw)
-    except ValueError as exc:
-        raise WorkloadError(f"REPRO_SITE_SCALE must be a float, got {raw!r}") from exc
+    value = env_float("REPRO_SITE_SCALE", 1.0, error=WorkloadError)
     if value <= 0:
         raise WorkloadError(f"REPRO_SITE_SCALE must be positive, got {value}")
     return value

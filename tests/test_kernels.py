@@ -20,9 +20,11 @@ from repro.kernels import (
     KERNEL_MODES,
     has_fast_kernel,
     numpy_available,
+    try_fast_predictions,
     try_fast_simulate,
     validate_kernel_mode,
 )
+from repro.profiling.accuracy import _measure_accuracy_scalar, measure_accuracy
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.ghist import GhistPredictor
 from repro.predictors.gshare import GsharePredictor
@@ -130,6 +132,48 @@ class TestBitIdentity:
             reference = simulate(gcc_trace, make_predictor(name, 2048),
                                  kernel="reference")
             assert fast == reference
+
+
+class TestAccuracyBitIdentity:
+    """measure_accuracy's vectorized path against the reference loop."""
+
+    @pytest.mark.parametrize("factory", FAMILIES)
+    @pytest.mark.parametrize("length", LENGTHS)
+    def test_accuracy_profiles_match(self, factory, length):
+        seed = derive_seed(4321, "accuracy", length)
+        trace = random_trace(seed, length)
+        fast_predictor, ref_predictor = factory(), factory()
+        fast = measure_accuracy(trace, fast_predictor)
+        reference = _measure_accuracy_scalar(trace, ref_predictor)
+        # Identical per-branch counts AND first-occurrence insertion
+        # order (to_json serializes the mapping order), plus the same
+        # trained predictor state.
+        assert fast.to_json() == reference.to_json()
+        assert list(fast.branches) == list(reference.branches)
+        assert observable_state(fast_predictor) \
+            == observable_state(ref_predictor)
+
+    @pytest.mark.parametrize("factory", FAMILIES)
+    def test_predictions_agree_with_simulate_counts(self, factory):
+        seed = derive_seed(4321, "accuracy", "counts")
+        trace = random_trace(seed, 700)
+        predictor = factory()
+        predictions = try_fast_predictions(trace, predictor, require=True)
+        assert predictions is not None
+        _, outcomes = trace.arrays()
+        mispredicted = int(numpy.count_nonzero(predictions != outcomes))
+        result = simulate(trace, factory(), kernel="reference")
+        assert mispredicted == result.mispredictions
+
+    def test_kernel_less_predictor_falls_back_to_the_loop(self):
+        predictor = make_predictor("2bcgskew", 4096)
+        assert try_fast_predictions(random_trace(7, 50), predictor) is None
+        trace = random_trace(8, 400)
+        fast = measure_accuracy(trace, make_predictor("2bcgskew", 4096))
+        reference = _measure_accuracy_scalar(
+            trace, make_predictor("2bcgskew", 4096)
+        )
+        assert fast.to_json() == reference.to_json()
 
 
 class TestDispatch:

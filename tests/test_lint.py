@@ -672,6 +672,7 @@ class TestEngineAndReport:
             "REG001", "EXP002", "PAR001", "PAR002", "BIT001", "LINT001",
             "WID001", "WID002", "WID003", "WID004",
             "PERF001", "PERF002", "PERF003", "PERF004",
+            "KEY001", "KEY002", "ENV001", "ATM001", "ATM002",
         }
         assert all(RULES[r].summary for r in RULES)
 
