@@ -16,6 +16,7 @@ was executed -- which is what makes the regression compare meaningful.
 
 from repro.bench.cases import (
     BenchCase,
+    collision_cases,
     end_to_end_cases,
     kernel_cases,
     run_suite,
@@ -38,6 +39,7 @@ __all__ = [
     "BenchSnapshot",
     "Comparison",
     "TimingStats",
+    "collision_cases",
     "compare",
     "end_to_end_cases",
     "kernel_cases",

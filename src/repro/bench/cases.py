@@ -39,6 +39,7 @@ __all__ = [
     "QUICK_REPEATS",
     "QUICK_TRACE_LENGTH",
     "WARMUP",
+    "collision_cases",
     "end_to_end_cases",
     "kernel_cases",
     "profiling_cases",
@@ -107,6 +108,24 @@ def profiling_cases(include_fast: bool | None = None) -> tuple[BenchCase, ...]:
     )
 
 
+def collision_cases(include_fast: bool | None = None) -> tuple[BenchCase, ...]:
+    """The collision-attribution pair: scalar loop versus index snapshot.
+
+    ``collision/reference`` runs the per-event victim/aggressor loop,
+    ``collision/fast`` the vectorized
+    :func:`~repro.profiling.collision_profile.measure_collision_involvement`
+    path (index snapshot + stable sort + bincounts); the ratio is the
+    collision-phase speedup of the static_collision selection flow.
+    """
+    if include_fast is None:
+        include_fast = numpy_available()
+    kernels = ("reference", "fast") if include_fast else ("reference",)
+    return tuple(
+        BenchCase(f"collision/{kernel}", "gshare", _SIZE_BYTES, kernel)
+        for kernel in kernels
+    )
+
+
 def replay_cases() -> tuple[BenchCase, ...]:
     """Pure-simulation benches over a pinned trace-store artifact.
 
@@ -154,6 +173,21 @@ def _case_runner(case: BenchCase, ctx: ExperimentContext):
             simulate(pinned, predictor, kernel=case.kernel)
         return run
     trace = ctx.trace(_PROGRAM, _INPUT)
+    if case.name.startswith("collision/"):
+        from repro.profiling.collision_profile import (
+            _measure_collision_involvement_scalar,
+            measure_collision_involvement,
+        )
+
+        if case.kernel == "reference":
+            def run() -> None:
+                _measure_collision_involvement_scalar(
+                    trace, make_predictor(case.predictor, case.size_bytes))
+        else:
+            def run() -> None:
+                measure_collision_involvement(
+                    trace, make_predictor(case.predictor, case.size_bytes))
+        return run
     if case.name.startswith("profile/"):
         from repro.profiling.profile import ProgramProfile
 
@@ -183,7 +217,8 @@ def run_suite(
     if repeats is None:
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
     ctx = ExperimentContext(trace_length=trace_length, kernel="auto")
-    cases = kernel_cases() + profiling_cases() + replay_cases()
+    cases = (kernel_cases() + profiling_cases() + collision_cases()
+             + replay_cases())
     if not quick:
         cases = cases + end_to_end_cases()
     results = []

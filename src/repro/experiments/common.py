@@ -96,6 +96,7 @@ ENV_KNOBS = {
     "REPRO_TRACE_SUITE": ("str", None, "pinned trace suite name (unset = regenerate)"),
     "REPRO_TRACE_DIR": ("str", ".repro-traces", "root of the pinned-trace store"),
     "REPRO_CACHE_DIR": ("str", None, "persistent result-cache directory (unset = CLI default)"),
+    "REPRO_CACHE_MAX_BYTES": ("int", 0, "result-store size budget in bytes (0 = unbounded)"),
     "REPRO_JOBS": ("int", 1, "runner worker count"),
     "REPRO_SITE_SCALE": ("float", 1.0, "global static-site scale for workload construction"),
 }

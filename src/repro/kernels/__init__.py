@@ -47,6 +47,7 @@ __all__ = [
     "KERNEL_MODES",
     "has_fast_kernel",
     "numpy_available",
+    "try_fast_indices",
     "try_fast_predictions",
     "try_fast_simulate",
     "validate_kernel_mode",
@@ -64,6 +65,12 @@ _PREDICTION_KERNELS = {
     BimodalPredictor: dynamic.predictions_bimodal,
     GsharePredictor: dynamic.predictions_gshare,
     GhistPredictor: dynamic.predictions_ghist,
+}
+
+_INDEX_KERNELS = {
+    BimodalPredictor: dynamic.indices_bimodal,
+    GsharePredictor: dynamic.indices_gshare,
+    GhistPredictor: dynamic.indices_ghist,
 }
 
 
@@ -151,6 +158,27 @@ def try_fast_predictions(
             )
         return None
     kernel = _PREDICTION_KERNELS.get(type(predictor))
+    if kernel is None or not _within_limits(predictor, trace):
+        return None
+    return kernel(trace, predictor)
+
+
+def try_fast_indices(
+    trace: BranchTrace,
+    predictor: BranchPredictor,
+):
+    """Per-event counter-table indices, if a kernel applies.
+
+    The collision-profiling companion of
+    :func:`try_fast_predictions`: same dispatch, same limit guards, but
+    *pure* -- no predictor state is advanced, so callers that need both
+    arrays take the index snapshot first (the history-indexed families
+    fold the register's current value into the windows) and then run
+    the prediction kernel.  Returns ``None`` when no kernel applies.
+    """
+    if not numpy_available():
+        return None
+    kernel = _INDEX_KERNELS.get(type(predictor))
     if kernel is None or not _within_limits(predictor, trace):
         return None
     return kernel(trace, predictor)

@@ -30,6 +30,9 @@ __all__ = [
     "MAX_COUNTER_BITS",
     "MAX_HISTORY_LENGTH",
     "MAX_TRACE_LENGTH",
+    "indices_bimodal",
+    "indices_ghist",
+    "indices_gshare",
     "predictions_bimodal",
     "predictions_ghist",
     "predictions_gshare",
@@ -122,12 +125,23 @@ def _mispredictions(predictions, outcomes):
     return int(numpy.count_nonzero(predictions != outcomes))
 
 
+def indices_bimodal(trace, predictor):
+    """Per-event counter-table indices for
+    :class:`~repro.predictors.bimodal.BimodalPredictor`.
+
+    Pure: no predictor state is read beyond the table geometry and none
+    is written, so the collision profiler can take an index snapshot
+    before the prediction kernel advances the predictor.
+    """
+    addresses, _ = trace.arrays()
+    return (addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask
+
+
 def predictions_bimodal(trace, predictor):
     """Per-event predictions for
     :class:`~repro.predictors.bimodal.BimodalPredictor`, state advanced."""
-    addresses, outcomes = trace.arrays()
-    indices = (addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask
-    return _table_predictions(predictor, indices, outcomes)
+    _, outcomes = trace.arrays()
+    return _table_predictions(predictor, indices_bimodal(trace, predictor), outcomes)
 
 
 def simulate_bimodal(trace, predictor):
@@ -153,16 +167,30 @@ def _folded_windows(predictor, outcomes):
     return windows
 
 
-def predictions_gshare(trace, predictor):
-    """Per-event predictions for
-    :class:`~repro.predictors.gshare.GsharePredictor`, state advanced."""
+def indices_gshare(trace, predictor):
+    """Per-event counter-table indices for
+    :class:`~repro.predictors.gshare.GsharePredictor`.
+
+    Reads the history register's *current* value (the windows are a
+    pure function of it plus the trace outcomes) without advancing it,
+    so this must run before the prediction kernel imports the final
+    history.
+    """
     addresses, outcomes = trace.arrays()
-    history = predictor.history
     windows = _folded_windows(predictor, outcomes)
     pc = ((addresses >> ADDRESS_ALIGN_SHIFT) & predictor.table.mask).astype(
         windows.dtype
     )
-    predictions = _table_predictions(predictor, pc ^ windows, outcomes)
+    return pc ^ windows
+
+
+def predictions_gshare(trace, predictor):
+    """Per-event predictions for
+    :class:`~repro.predictors.gshare.GsharePredictor`, state advanced."""
+    _, outcomes = trace.arrays()
+    history = predictor.history
+    indices = indices_gshare(trace, predictor)
+    predictions = _table_predictions(predictor, indices, outcomes)
     history.import_value(_final_history(outcomes, history.length, history.value))
     return predictions
 
@@ -173,13 +201,23 @@ def simulate_gshare(trace, predictor):
     return _mispredictions(predictions_gshare(trace, predictor), outcomes)
 
 
+def indices_ghist(trace, predictor):
+    """Per-event counter-table indices for
+    :class:`~repro.predictors.ghist.GhistPredictor`.
+
+    Like :func:`indices_gshare`: reads the current history register,
+    never advances it -- call before the prediction kernel.
+    """
+    _, outcomes = trace.arrays()
+    return _folded_windows(predictor, outcomes)
+
+
 def predictions_ghist(trace, predictor):
     """Per-event predictions for
     :class:`~repro.predictors.ghist.GhistPredictor`, state advanced."""
     _, outcomes = trace.arrays()
     history = predictor.history
-    windows = _folded_windows(predictor, outcomes)
-    predictions = _table_predictions(predictor, windows, outcomes)
+    predictions = _table_predictions(predictor, indices_ghist(trace, predictor), outcomes)
     history.import_value(_final_history(outcomes, history.length, history.value))
     return predictions
 

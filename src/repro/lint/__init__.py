@@ -56,10 +56,19 @@ ENV001    ``os.environ`` reads go through ``utils.env`` and match the
           ``ENV_KNOBS`` contract registry
 ATM001    artifact stores write through the ``utils.io`` atomic seam
 ATM002    no exists-then-write (TOCTOU) races in artifact stores
+CONC001   store mutations hold the shard lock (or ride ``*_locked``
+          helpers whose call sites do); no stale pre-lock scans
+CONC002   shard locks are with-scoped and un-nested; nothing blocking
+          runs under one; bare ``.acquire()`` needs a finally release
+CONC003   worker-and-parent-reachable code writes files only through
+          the result-store seams
+CONC004   store-module descriptors have guaranteed cleanup: opens are
+          context managers, ``os.open`` closes in finally, ``mkstemp``
+          unlinks on failure paths
 LINT001   (engine) a linted file failed to parse
 ========  ============================================================
 
-The rules stack in five analysis layers.  Syntactic rules match
+The rules stack in six analysis layers.  Syntactic rules match
 shapes in one AST (DET001/DET002, BIT001, PRED/EXP/REG contracts);
 interprocedural dataflow rules walk the project call graph
 (:mod:`repro.lint.graph`) and reaching definitions
@@ -80,8 +89,21 @@ the result-cache key or carries an audited ``_KEY_EXEMPT`` entry,
 KEY002 keeps the key's serialization canonical, ENV001 reconciles
 every environment read against the ``ENV_KNOBS`` contract registry,
 and ATM001/ATM002 confine artifact writes to the ``mkstemp`` +
-``os.replace`` seam of :mod:`repro.utils.io`.  No module is ever
-imported to be linted.
+``os.replace`` seam of :mod:`repro.utils.io`.  The sixth layer is
+concurrency safety (:mod:`repro.lint.concurrency`,
+:mod:`repro.lint.rules.conc`), proving the discipline the sharded
+result store (:mod:`repro.runner.store`) relies on: CONC001 requires
+every cross-process filesystem mutation in the store modules to hold
+the ``shard_lock`` seam (recognized by import provenance, like the
+env-accessor seam) or to live in a ``*_locked`` helper whose call
+sites are all under lock, and uses reaching definitions to reject
+stale pre-lock directory scans consumed inside a locked region;
+CONC002 keeps lock acquisition with-scoped, un-nested, and free of
+blocking calls; CONC003 generalizes PAR001's reachability with
+seam-blocked call-graph traversal — code reachable from both the pool
+workers and the parent may write files only through the store seams;
+and CONC004 guarantees descriptor cleanup paths in the store modules.
+No module is ever imported to be linted.
 """
 
 from repro.lint.baseline import BASELINE_VERSION, DEFAULT_BASELINE_PATH, Baseline

@@ -1,0 +1,286 @@
+"""Shared machinery for the concurrency rule family (analysis layer 6).
+
+The CONC rules of :mod:`repro.lint.rules.conc` answer questions about
+*multi-process discipline*: which filesystem mutations happen under the
+shard-lock seam, whether locks are scoped and un-nested, what code both
+the pool workers and the parent can reach, and which file descriptors
+have a guaranteed cleanup path.  This module holds the reusable pieces:
+
+* seam recognition — names bound to :func:`repro.utils.io.shard_lock`
+  by import provenance (the same discipline as the env-accessor seam:
+  a fixture's local ``shard_lock`` that is *not* the seam does not
+  masquerade as one);
+* lock regions — the source spans of ``with shard_lock(...)`` bodies,
+  plus containment queries (is this call under a lock? is this lock
+  nested inside another?);
+* call classification — cross-process *mutation* calls (unlink,
+  replace, rmtree: the operations whose interleaving loses updates),
+  *scan* calls (listdir, stat, getsize: the read half of a
+  read-modify-write cycle), and *blocking* calls (sleep, subprocess,
+  whole simulations) that must never run while a shard lock is held;
+* a standalone :func:`module_info` so file rules can resolve import
+  provenance without building the whole project table.
+
+The lock-requiring convention rides function names: a ``*_locked``
+function may mutate freely (its contract is "caller holds the lock"),
+and every *call* to one must sit inside a lock region.  Everything here
+operates on linted ASTs only — deterministic and side-effect-free, like
+the rest of the lint layers.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING
+
+from repro.lint.graph import CallGraph, FunctionInfo, ModuleInfo, ModuleTable, _dotted
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.lint.engine import FileContext
+
+__all__ = [
+    "LOCK_SEAM_NAMES",
+    "Span",
+    "blocking_call_description",
+    "body_span",
+    "call_name",
+    "function_nodes",
+    "in_locked_function",
+    "is_lock_call",
+    "lock_regions",
+    "lock_seam_aliases",
+    "module_info",
+    "mutation_call_description",
+    "node_span",
+    "scan_call_name",
+    "seam_blocked_reach",
+    "within",
+]
+
+_FUNC_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: The mutual-exclusion seam of :mod:`repro.utils.io`.
+LOCK_SEAM_NAMES = frozenset({"shard_lock"})
+
+Span = tuple[int, int, int, int]
+
+
+# -- seam recognition ----------------------------------------------------
+
+
+def module_info(ctx: "FileContext") -> ModuleInfo:
+    """A standalone symbol table for one linted file.
+
+    File rules have no project table; imports and assigns of the single
+    module are enough to recognize the lock seam by provenance.
+    """
+    from repro.lint.graph import module_name_for
+
+    info = ModuleInfo(module_name_for(ctx), ctx)
+    ModuleTable._index_module(info)
+    return info
+
+
+def lock_seam_aliases(module: ModuleInfo) -> frozenset[str]:
+    """Local names bound to the shard-lock seam by import provenance.
+
+    A name counts when it is imported from a module whose last path
+    component is ``io`` and resolves to one of
+    :data:`LOCK_SEAM_NAMES` -- mirroring how the env rules recognize
+    the accessor seam.
+    """
+    return frozenset(
+        local for local, (source, original) in module.import_froms.items()
+        if original in LOCK_SEAM_NAMES and source.split(".")[-1] == "io"
+    )
+
+
+def is_lock_call(
+    expr: ast.AST, module: ModuleInfo, aliases: frozenset[str]
+) -> bool:
+    """Whether an expression is a call acquiring the shard-lock seam."""
+    if not isinstance(expr, ast.Call):
+        return False
+    func = expr.func
+    if isinstance(func, ast.Name):
+        return func.id in aliases
+    if isinstance(func, ast.Attribute) and func.attr in LOCK_SEAM_NAMES:
+        dotted = _dotted(func.value)
+        if dotted is None:
+            return False
+        target = module.imports.get(dotted)
+        if target is None:
+            origin = module.import_froms.get(dotted)
+            if origin is not None:
+                target = (origin[0] + "." + origin[1]).lstrip(".")
+        return target is not None and target.split(".")[-1] == "io"
+    return False
+
+
+# -- lock regions --------------------------------------------------------
+
+
+def lock_regions(
+    tree: ast.AST, module: ModuleInfo, aliases: frozenset[str]
+) -> list[ast.With]:
+    """Every ``with`` statement that acquires the shard-lock seam."""
+    regions: list[ast.With] = []
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.With, ast.AsyncWith)) and any(
+            is_lock_call(item.context_expr, module, aliases)
+            for item in node.items
+        ):
+            regions.append(node)
+    return regions
+
+
+def node_span(node: ast.AST) -> Span:
+    return (
+        node.lineno, node.col_offset,
+        node.end_lineno or node.lineno, node.end_col_offset or 0,
+    )
+
+
+def body_span(with_node: ast.With) -> Span:
+    """The span of a ``with`` statement's *body* (code run under lock)."""
+    first = with_node.body[0]
+    return (
+        first.lineno, first.col_offset,
+        with_node.end_lineno or first.lineno,
+        with_node.end_col_offset or 0,
+    )
+
+
+def within(node: ast.AST, spans: list[Span]) -> bool:
+    """Whether ``node`` lies entirely inside any of the spans."""
+    start = (node.lineno, node.col_offset)
+    end = (node.end_lineno or node.lineno, node.end_col_offset or 0)
+    return any(
+        start >= (l0, c0) and end <= (l1, c1) for (l0, c0, l1, c1) in spans
+    )
+
+
+def function_nodes(tree: ast.AST) -> list[ast.AST]:
+    """Every function/method definition node in a module, in walk order."""
+    return [n for n in ast.walk(tree) if isinstance(n, _FUNC_NODES)]
+
+
+def in_locked_function(node: ast.AST, functions: list[ast.AST]) -> bool:
+    """Whether ``node`` sits inside a ``*_locked``-named function.
+
+    The naming convention is the escape hatch for helpers whose
+    contract is "caller holds the shard lock": their bodies may mutate,
+    and CONC001 instead polices their *call sites*.
+    """
+    return any(
+        fn.name.endswith("_locked") and within(node, [node_span(fn)])
+        for fn in functions
+    )
+
+
+# -- call classification -------------------------------------------------
+
+#: Dotted calls that mutate shared filesystem state in place.  Path
+#: methods are matched only where unambiguous (``.unlink``/``.rmdir``);
+#: ``str.replace``/``.rename`` lookalikes stay out.
+_MUTATION_DOTTED = frozenset({
+    "os.unlink", "os.remove", "os.rename", "os.replace", "os.rmdir",
+    "os.removedirs", "os.truncate", "shutil.rmtree", "shutil.move",
+})
+_MUTATION_METHODS = frozenset({"unlink", "rmdir"})
+
+#: The read half of a read-modify-write cycle on shared paths.
+_SCAN_DOTTED = frozenset({
+    "os.listdir", "os.scandir", "os.stat", "os.lstat",
+    "os.path.getsize", "os.path.getmtime", "glob.glob", "glob.iglob",
+})
+
+_BLOCKING_DOTTED = frozenset({"time.sleep", "os.system", "os.popen"})
+_BLOCKING_DOTTED_PREFIXES = ("subprocess.",)
+#: Bare simulation entry points: a whole simulation under a shard lock
+#: serializes every other process on filesystem metadata work.
+_BLOCKING_NAMES = frozenset({
+    "simulate", "run_combined", "run_selection_phase",
+    "execute_cell", "execute_cells", "run_experiments",
+})
+#: Pool-submission methods (shipping work while holding a lock means
+#: workers can contend on the very lock the parent holds).
+_BLOCKING_METHODS = frozenset({
+    "submit", "apply", "apply_async", "map_async", "starmap",
+    "imap", "imap_unordered",
+})
+
+
+def call_name(call: ast.Call) -> str | None:
+    """The bare called name (``f`` or the ``.attr`` of a method call)."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def mutation_call_description(call: ast.Call) -> str | None:
+    """Classify a call as a shared-path mutation (description), or None."""
+    dotted = _dotted(call.func)
+    if dotted in _MUTATION_DOTTED:
+        return f"{dotted}(...)"
+    if (isinstance(call.func, ast.Attribute)
+            and call.func.attr in _MUTATION_METHODS):
+        return f".{call.func.attr}(...)"
+    return None
+
+
+def scan_call_name(dotted: str | None) -> str | None:
+    """The scan call a dotted callee names, or None."""
+    if dotted in _SCAN_DOTTED:
+        return dotted
+    return None
+
+
+def blocking_call_description(call: ast.Call) -> str | None:
+    """Classify a call as blocking-under-lock (description), or None."""
+    dotted = _dotted(call.func)
+    if dotted in _BLOCKING_DOTTED:
+        return f"{dotted}(...)"
+    if dotted is not None and dotted.startswith(_BLOCKING_DOTTED_PREFIXES):
+        return f"{dotted}(...)"
+    if isinstance(call.func, ast.Name) and call.func.id in _BLOCKING_NAMES:
+        return f"{call.func.id}(...) (a simulation entry point)"
+    if (isinstance(call.func, ast.Attribute)
+            and call.func.attr in _BLOCKING_METHODS):
+        return f".{call.func.attr}(...) (a pool submission)"
+    return None
+
+
+# -- seam-blocked reachability -------------------------------------------
+
+
+def seam_blocked_reach(
+    graph: CallGraph,
+    roots: list[str],
+    seam_suffixes: tuple[str, ...],
+) -> dict[str, FunctionInfo]:
+    """Functions reachable from ``roots`` without traversing the seams.
+
+    Like :meth:`CallGraph.reachable_from`, except functions defined in
+    seam modules are *boundaries*: they are recorded as reached (so a
+    caller can see the seam absorbs a path) but their callees are not
+    expanded -- a write inside ``ResultCache`` does not make everything
+    the cache touches "worker-reachable shared state".
+    """
+    seen: dict[str, FunctionInfo] = {}
+    stack = sorted(set(roots))
+    while stack:
+        qual = stack.pop()
+        if qual in seen:
+            continue
+        fn = graph.functions.get(qual)
+        if fn is None:
+            continue
+        seen[qual] = fn
+        if any(fn.ctx.matches(suffix) for suffix in seam_suffixes):
+            continue
+        stack.extend(graph.edges.get(qual, ()))
+    return seen

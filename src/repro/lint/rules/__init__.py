@@ -138,6 +138,7 @@ def select_rules(selectors: typing.Iterable[str]) -> list[_RuleBase]:
 
 # Import the rule modules so their ``register`` calls populate RULES.
 from repro.lint.rules import bitops  # noqa: E402,F401  (registration import)
+from repro.lint.rules import conc  # noqa: E402,F401
 from repro.lint.rules import determinism  # noqa: E402,F401
 from repro.lint.rules import experiments  # noqa: E402,F401
 from repro.lint.rules import parallelism  # noqa: E402,F401

@@ -1,0 +1,576 @@
+"""CONC001-CONC004: concurrency safety for the sharded result store.
+
+The runner's process pool makes every artifact store a *shared* data
+structure: N workers plus the parent all read, write, stamp, and evict
+entries in the same directory tree at once.  Atomic replace (the ATM
+rules) makes any single write safe; these rules prove the multi-step
+disciplines on top of it:
+
+* **CONC001** — cross-process file *mutation* (unlink, rename, rmtree)
+  in store modules happens under the :func:`repro.utils.io.shard_lock`
+  seam or inside a ``*_locked`` helper whose call sites hold the lock;
+  and a read-modify-write cycle never acts on a directory scan taken
+  *before* the lock was acquired (the scan is stale by the time the
+  lock arrives — another process may have removed the entry).
+* **CONC002** — lock discipline: the lock seam is acquired only as a
+  ``with`` context (so an exception cannot leak a held lock), two shard
+  locks never nest (lexicographically unordered nesting deadlocks two
+  processes), and nothing *blocking* — sleeps, subprocesses, whole
+  simulations, pool submissions — runs while a shard lock is held.
+* **CONC003** — shared mutable *filesystem* state: code reachable from
+  both the pool workers and the parent must not write or mutate files
+  except through the store seams (the result cache, the sharded store,
+  the atomic-write module).  A raw write on a path both sides can reach
+  is a torn-file or lost-update race the store machinery cannot see.
+* **CONC004** — descriptor hygiene in store modules: every ``open`` is
+  a context manager, every raw ``os.open`` has an ``os.close`` on a
+  ``finally`` path, every ``mkstemp`` temp name is unlinked on failure.
+  A leaked descriptor in a long-lived pool worker is a slow fd-limit
+  crash attributed to whatever cell happened to run 10,000 cells later.
+
+The self-host subject is :mod:`repro.runner.store`: these rules are the
+static proof of exactly the invariants its docstring claims.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.concurrency import (
+    blocking_call_description,
+    body_span,
+    call_name,
+    function_nodes,
+    in_locked_function,
+    is_lock_call,
+    lock_regions,
+    lock_seam_aliases,
+    module_info,
+    mutation_call_description,
+    node_span,
+    scan_call_name,
+    within,
+)
+from repro.lint.dataflow import ReachingDefinitions, provenance_atoms
+from repro.lint.findings import Finding
+from repro.lint.graph import CallGraph, _dotted
+from repro.lint.provenance import raw_write_calls
+from repro.lint.rules import FileRule, ProjectRule, register
+from repro.lint.rules.provenance import IO_SEAM_SUFFIX, STORE_FRAGMENTS
+
+__all__ = [
+    "CrossProcessMutationRule",
+    "LockDisciplineRule",
+    "SharedStateEscapeRule",
+    "ResourceLeakRule",
+]
+
+ENGINE_SUFFIX = "runner/engine.py"
+CELLS_SUFFIX = "runner/cells.py"
+
+#: Modules through which worker/parent-shared filesystem writes are
+#: sanctioned (CONC003): the cache facade, the sharded store, and the
+#: atomic-write/lock seam they are built on.
+STORE_SEAM_SUFFIXES = ("runner/cache.py", "runner/store.py", "utils/io.py")
+
+#: Calls that open a file descriptor (CONC004 wants them scoped).
+_OPEN_CALLS = frozenset({"open", "io.open", "os.fdopen"})
+
+
+class _ConcStoreRule(FileRule):
+    """Shared scope for the store-module CONC rules.
+
+    Same fragment scoping as the ATM rules; ``include_seam`` controls
+    whether :mod:`repro.utils.io` itself is in scope (CONC004 audits
+    the seam too — it is where the raw descriptors live).
+    """
+
+    include_seam = False
+
+    def __init__(
+        self,
+        fragments: tuple[str, ...] = STORE_FRAGMENTS,
+        seam_suffix: str = IO_SEAM_SUFFIX,
+    ):
+        self.fragments = fragments
+        self.seam_suffix = seam_suffix
+
+    def applies(self, ctx) -> bool:
+        if ctx.matches(self.seam_suffix):
+            return self.include_seam
+        posix = "/" + ctx.path.as_posix()
+        return any(fragment in posix for fragment in self.fragments)
+
+
+@register
+class CrossProcessMutationRule(_ConcStoreRule):
+    """CONC001: store-module mutations hold the shard lock.
+
+    Three checks per store module:
+
+    * a mutation call (``os.unlink``/``os.replace``/``shutil.rmtree``
+      and friends) must sit inside a ``with shard_lock(...)`` body or
+      inside a ``*_locked`` helper (whose contract is "caller holds the
+      lock");
+    * every *call* to a ``*_locked`` helper must itself sit under a
+      lock — the naming convention moves the obligation to the call
+      site, it does not waive it;
+    * a value derived from a directory *scan* (``os.listdir``,
+      ``os.stat``, ``glob``) taken outside the lock must not drive code
+      inside it: the scan is stale once the lock is finally acquired,
+      so the locked read-modify-write must re-read under the lock.
+    """
+
+    rule_id = "CONC001"
+    summary = (
+        "store-module file mutations happen under the shard lock (or in "
+        "*_locked helpers called under it), and locked code never acts "
+        "on a pre-lock directory scan"
+    )
+    example_bad = (
+        "names = os.listdir(shard)        # scan before the lock\n"
+        "with shard_lock(lock_path):\n"
+        "    for name in names:           # stale by now\n"
+        "        os.unlink(name)"
+    )
+    example_good = (
+        "with shard_lock(lock_path):\n"
+        "    for name in os.listdir(shard):   # scan under the lock\n"
+        "        os.unlink(name)"
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        module = module_info(ctx)
+        aliases = lock_seam_aliases(module)
+        spans = [
+            body_span(region)
+            for region in lock_regions(ctx.tree, module, aliases)
+        ]
+        functions = function_nodes(ctx.tree)
+
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if within(node, spans) or in_locked_function(node, functions):
+                continue
+            description = mutation_call_description(node)
+            if description is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"{description} mutates shared store state without "
+                    f"holding the shard lock: a concurrent process can "
+                    f"interleave its own read-modify-write and lose the "
+                    f"update — wrap the cycle in 'with shard_lock(...)' "
+                    f"or move it into a *_locked helper",
+                )
+                continue
+            callee = call_name(node)
+            if callee is not None and callee.endswith("_locked"):
+                yield self.finding(
+                    ctx, node,
+                    f"{callee}() is a *_locked helper (contract: caller "
+                    f"holds the shard lock) but this call site holds no "
+                    f"lock — acquire 'with shard_lock(...)' around it",
+                )
+
+        yield from self._check_stale_scans(ctx, module, spans, functions)
+
+    def _check_stale_scans(
+        self, ctx, module, spans, functions
+    ) -> Iterator[Finding]:
+        """Names read under a lock must not derive from a pre-lock scan."""
+        reported: set[int] = set()
+        for fn in functions:
+            fn_span = node_span(fn)
+            fn_spans = [
+                s for s in spans
+                if s[0] >= fn_span[0] and s[2] <= fn_span[2]
+            ]
+            if not fn_spans:
+                continue
+            defs = ReachingDefinitions(fn)
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Name)
+                        and isinstance(node.ctx, ast.Load)
+                        and within(node, fn_spans)):
+                    continue
+                for atom in provenance_atoms(
+                    node, defs, module.assigns, node.lineno
+                ):
+                    scan = (scan_call_name(atom.text)
+                            if atom.kind == "call" else None)
+                    if (scan is None or within(atom.node, fn_spans)
+                            or id(atom.node) in reported):
+                        continue
+                    reported.add(id(atom.node))
+                    yield self.finding(
+                        ctx, node,
+                        f"{node.id!r} is used under the shard lock but "
+                        f"derives from a {scan}() scan taken before the "
+                        f"lock (line {atom.node.lineno}): the scan is "
+                        f"stale once the lock arrives — re-read under "
+                        f"the lock instead",
+                    )
+
+
+@register
+class LockDisciplineRule(FileRule):
+    """CONC002: shard locks are scoped, un-nested, and quick.
+
+    Applies everywhere (the lock seam can be imported anywhere), but is
+    inert in modules that never touch it.  Checks:
+
+    * every ``shard_lock(...)`` call is the context expression of a
+      ``with`` — a bare call (or an assignment of the context manager)
+      can leak a held lock past an exception;
+    * no lock region nests inside another: two processes acquiring two
+      shards in opposite orders deadlock, so the store's discipline is
+      strictly one shard at a time;
+    * nothing blocking runs under a lock — ``time.sleep``, subprocess
+      spawns, pool submissions, or a whole simulation entry point turn
+      an accounting lock into a global serialization point;
+    * a bare ``.acquire()`` on any lock object needs a matching
+      ``.release()`` on a ``finally`` path in the same function (or use
+      ``with`` and let the runtime pair them).
+    """
+
+    rule_id = "CONC002"
+    summary = (
+        "shard locks are with-scoped, never nested, never held across "
+        "blocking calls; bare .acquire() pairs with a finally .release()"
+    )
+    example_bad = (
+        "with shard_lock(a_lock):\n"
+        "    with shard_lock(b_lock):   # unordered nesting: deadlock\n"
+        "        time.sleep(1)          # blocking while holding a lock"
+    )
+    example_good = (
+        "for shard in sorted(doomed):\n"
+        "    with shard_lock(lock_path(shard)):   # one at a time\n"
+        "        remove_locked(shard, doomed[shard])"
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        module = module_info(ctx)
+        aliases = lock_seam_aliases(module)
+        regions = lock_regions(ctx.tree, module, aliases)
+        spans = [body_span(region) for region in regions]
+
+        with_items = {
+            id(item.context_expr)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for node in ast.walk(ctx.tree):
+            if (isinstance(node, ast.Call)
+                    and is_lock_call(node, module, aliases)
+                    and id(node) not in with_items):
+                yield self.finding(
+                    ctx, node,
+                    "shard_lock(...) acquired outside a 'with' statement: "
+                    "an exception between acquire and release leaks a "
+                    "held lock to every other process — use "
+                    "'with shard_lock(...):'",
+                )
+
+        for region in regions:
+            others = [body_span(r) for r in regions if r is not region]
+            if within(region, others):
+                yield self.finding(
+                    ctx, region,
+                    "nested shard locks: two processes acquiring shards "
+                    "in opposite orders deadlock — release the outer "
+                    "lock first and take shards strictly one at a time",
+                )
+
+        for node in ast.walk(ctx.tree):
+            if not (isinstance(node, ast.Call) and within(node, spans)):
+                continue
+            description = blocking_call_description(node)
+            if description is not None:
+                yield self.finding(
+                    ctx, node,
+                    f"blocking call {description} while holding a shard "
+                    f"lock: every concurrent reader and writer of the "
+                    f"shard stalls behind it — move the slow work "
+                    f"outside the locked region",
+                )
+
+        yield from self._check_bare_acquire(ctx, with_items)
+
+    def _check_bare_acquire(self, ctx, with_items) -> Iterator[Finding]:
+        for fn in function_nodes(ctx.tree):
+            released: set[str] = set()
+            for node in ast.walk(fn):
+                if isinstance(node, ast.Try):
+                    for stmt in node.finalbody:
+                        for call in ast.walk(stmt):
+                            if (isinstance(call, ast.Call)
+                                    and isinstance(call.func, ast.Attribute)
+                                    and call.func.attr == "release"):
+                                receiver = _dotted(call.func.value)
+                                if receiver is not None:
+                                    released.add(receiver)
+            for node in ast.walk(fn):
+                if not (isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr == "acquire"
+                        and id(node) not in with_items):
+                    continue
+                receiver = _dotted(node.func.value)
+                if receiver is None or receiver not in released:
+                    yield self.finding(
+                        ctx, node,
+                        f"bare .acquire() without a .release() on a "
+                        f"finally path in {fn.name}(): an exception "
+                        f"leaves the lock held forever — pair them in "
+                        f"try/finally, or use a 'with' block",
+                    )
+
+
+@register
+class SharedStateEscapeRule(ProjectRule):
+    """CONC003: worker/parent-shared code writes files only via seams.
+
+    Builds the project call graph and computes two reachability
+    regions, both *seam-blocked* (traversal records but does not expand
+    functions inside the store seams — a write inside the cache is the
+    sanctioned path, not an escape):
+
+    * the worker region — everything reachable from ``execute_cell``
+      and the ``_worker_*`` pool entry points;
+    * the parent region — everything reachable from the scheduling
+      entry point (``CellExecutor.execute``).
+
+    Any function in *both* regions can run concurrently in N+1
+    processes.  If it performs a raw file write or a path mutation
+    without going through the store seam, two processes can tear or
+    lose that file in ways no lock in the store layer can prevent —
+    the generalization of PAR001 from module globals to the filesystem.
+    """
+
+    rule_id = "CONC003"
+    summary = (
+        "code reachable from both pool workers and the parent never "
+        "writes or mutates files except through the result-store seams"
+    )
+    anchor = ENGINE_SUFFIX
+    example_bad = (
+        "def execute_cell(ctx, cell):\n"
+        "    with open(\"progress.json\", \"w\") as f:   # N workers +\n"
+        "        f.write(status)                       # parent race here"
+    )
+    example_good = (
+        "def execute_cell(ctx, cell):\n"
+        "    ...  # results flow back to the parent, which writes them\n"
+        "    # through ResultCache (sharded store + shard locks)"
+    )
+
+    def __init__(
+        self,
+        anchor: str = ENGINE_SUFFIX,
+        worker_entry: str = "execute_cell",
+        cells_suffix: str = CELLS_SUFFIX,
+        parent_entry: str = "execute",
+        seam_suffixes: tuple[str, ...] = STORE_SEAM_SUFFIXES,
+        extra_worker_roots: tuple[str, ...] = (),
+        extra_parent_roots: tuple[str, ...] = (),
+    ):
+        self.anchor = anchor
+        self.worker_entry = worker_entry
+        self.cells_suffix = cells_suffix
+        self.parent_entry = parent_entry
+        self.seam_suffixes = seam_suffixes
+        self._extra_worker_roots = extra_worker_roots
+        self._extra_parent_roots = extra_parent_roots
+
+    def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
+        from repro.lint.concurrency import seam_blocked_reach
+
+        graph = CallGraph.build(project)
+        worker_roots = [
+            fn.qualname
+            for fn in graph.functions.values()
+            if (fn.ctx is anchor_ctx and fn.cls is None
+                and fn.name.startswith("_worker"))
+        ]
+        worker_roots += [
+            fn.qualname
+            for fn in graph.functions_named(self.worker_entry,
+                                            self.cells_suffix)
+        ]
+        worker_roots += list(self._extra_worker_roots)
+        parent_roots = [
+            fn.qualname
+            for fn in graph.functions_named(self.parent_entry, self.anchor)
+        ]
+        parent_roots += list(self._extra_parent_roots)
+
+        workers = seam_blocked_reach(graph, worker_roots, self.seam_suffixes)
+        parents = seam_blocked_reach(graph, parent_roots, self.seam_suffixes)
+        for qualname in sorted(set(workers) & set(parents)):
+            fn = workers[qualname]
+            if any(fn.ctx.matches(suffix) for suffix in self.seam_suffixes):
+                continue
+            for node, description in raw_write_calls(fn.node):
+                yield self.finding(
+                    fn.ctx, node,
+                    f"{fn.qualname} is reachable from both the pool "
+                    f"workers and the parent, and performs a raw file "
+                    f"write ({description}) outside the store seams: "
+                    f"N+1 processes can race on the same path — route "
+                    f"the artifact through the result store",
+                )
+            for node in ast.walk(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                description = mutation_call_description(node)
+                if description is not None:
+                    yield self.finding(
+                        fn.ctx, node,
+                        f"{fn.qualname} is reachable from both the pool "
+                        f"workers and the parent, and mutates a path "
+                        f"({description}) outside the store seams: a "
+                        f"concurrent process can lose the update or "
+                        f"observe the gap — route it through the store",
+                    )
+
+
+@register
+class ResourceLeakRule(_ConcStoreRule):
+    """CONC004: store modules scope every descriptor they open.
+
+    Pool workers are long-lived, so a descriptor leaked per cache read
+    is an ``EMFILE`` crash thousands of cells later, attributed to an
+    innocent cell.  In store modules (the atomic seam included — it is
+    where the raw descriptors live):
+
+    * ``open``/``io.open``/``os.fdopen`` must be a ``with`` context
+      expression, never a bare call or assignment;
+    * a raw ``os.open`` descriptor needs an ``os.close(fd)`` on a
+      ``finally`` path in the same function;
+    * a ``mkstemp`` temp file needs an unlink on the failure path
+      (``except``/``finally``) so a crashed write cannot strand temp
+      files in the store forever.
+    """
+
+    rule_id = "CONC004"
+    summary = (
+        "store modules open descriptors only as context managers; raw "
+        "os.open closes on finally; mkstemp temp names unlink on failure"
+    )
+    include_seam = True
+    example_bad = (
+        "stream = open(path)        # leaks on any exception\n"
+        "payload = json.load(stream)"
+    )
+    example_good = (
+        "with open(path, \"r\", encoding=\"utf-8\") as stream:\n"
+        "    payload = json.load(stream)"
+    )
+
+    def check(self, ctx) -> Iterator[Finding]:
+        with_items = {
+            id(item.context_expr)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, (ast.With, ast.AsyncWith))
+            for item in node.items
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted in _OPEN_CALLS and id(node) not in with_items:
+                yield self.finding(
+                    ctx, node,
+                    f"{dotted}(...) outside a 'with' block: the "
+                    f"descriptor leaks on any exception before close, "
+                    f"and long-lived pool workers turn that into an "
+                    f"fd-limit crash — use a context manager",
+                )
+        for fn in function_nodes(ctx.tree):
+            yield from self._check_os_open(ctx, fn, with_items)
+            yield from self._check_mkstemp(ctx, fn)
+
+    def _check_os_open(self, ctx, fn, with_items) -> Iterator[Finding]:
+        closed = self._closed_in_finally(fn)
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)
+                    and _dotted(node.value.func) == "os.open"
+                    and id(node.value) not in with_items):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            if target.id not in closed:
+                yield self.finding(
+                    ctx, node,
+                    f"os.open descriptor {target.id!r} has no "
+                    f"os.close({target.id}) on a finally path in "
+                    f"{fn.name}(): an exception leaks the descriptor — "
+                    f"close it in try/finally",
+                )
+
+    def _check_mkstemp(self, ctx, fn) -> Iterator[Finding]:
+        cleaned = self._cleanup_targets(fn)
+        for node in ast.walk(fn):
+            if not (isinstance(node, ast.Assign)
+                    and isinstance(node.value, ast.Call)):
+                continue
+            dotted = _dotted(node.value.func)
+            if dotted is None or dotted.split(".")[-1] != "mkstemp":
+                continue
+            target = node.targets[0]
+            if not (isinstance(target, ast.Tuple)
+                    and len(target.elts) == 2
+                    and isinstance(target.elts[1], ast.Name)):
+                continue
+            tmp_name = target.elts[1].id
+            if tmp_name not in cleaned:
+                yield self.finding(
+                    ctx, node,
+                    f"mkstemp temp file {tmp_name!r} is never unlinked "
+                    f"on a failure path in {fn.name}(): a crashed write "
+                    f"strands temp files in the store forever — unlink "
+                    f"it in an except/finally handler",
+                )
+
+    @staticmethod
+    def _closed_in_finally(fn) -> set[str]:
+        """Names passed to ``os.close`` inside a finally block of ``fn``."""
+        closed: set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            for stmt in node.finalbody:
+                for call in ast.walk(stmt):
+                    if (isinstance(call, ast.Call)
+                            and _dotted(call.func) == "os.close"
+                            and call.args
+                            and isinstance(call.args[0], ast.Name)):
+                        closed.add(call.args[0].id)
+        return closed
+
+    @staticmethod
+    def _cleanup_targets(fn) -> set[str]:
+        """Names unlinked inside except handlers or finally blocks."""
+        cleaned: set[str] = set()
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            regions = list(node.finalbody)
+            for handler in node.handlers:
+                regions.extend(handler.body)
+            for stmt in regions:
+                for call in ast.walk(stmt):
+                    if not isinstance(call, ast.Call):
+                        continue
+                    dotted = _dotted(call.func)
+                    if (dotted in ("os.unlink", "os.remove")
+                            and call.args
+                            and isinstance(call.args[0], ast.Name)):
+                        cleaned.add(call.args[0].id)
+        return cleaned

@@ -98,7 +98,113 @@ def measure_collision_involvement(
 
     The predictor is consumed (trained) by the measurement; pass a fresh
     instance.
+
+    Kernel-backed predictor families take a vectorized path: the
+    per-event counter indices come from
+    :func:`repro.kernels.try_fast_indices` (snapshotted *before* the
+    prediction kernel advances the history register), the previous user
+    of each counter from one stable sort over those indices, and the
+    per-branch charges from bincounts.  Bit-identical to the reference
+    loop below, including the profile's first-occurrence insertion
+    order.
     """
+    records = _fast_collision_records(trace, predictor)
+    if records is None:
+        return _measure_collision_involvement_scalar(trace, predictor)
+    return CollisionProfile(
+        trace.program_name, trace.input_name, predictor.name, records
+    )
+
+
+def _fast_collision_records(
+    trace: BranchTrace, predictor: BranchPredictor
+) -> dict[int, CollisionInvolvement] | None:
+    """Vectorized victim/aggressor attribution, or None (no kernel).
+
+    The single-table families access exactly one counter per event (the
+    index the kernels compute), so the scalar loop's tag array reduces
+    to "the previous event with my index": a stable argsort groups
+    events by index, and within a group each event's predecessor held
+    the tag.  A collision is a predecessor with a different address;
+    the victim and that one aggressor are each charged once, on the
+    victim's correctness.
+    """
+    from repro.kernels import try_fast_indices, try_fast_predictions
+
+    indices = try_fast_indices(trace, predictor)
+    if indices is None:
+        return None
+    predictions = try_fast_predictions(trace, predictor)
+    if predictions is None:
+        # Dispatch and guards match try_fast_indices, so this cannot
+        # happen today -- but the index snapshot is pure, so falling
+        # back to the reference loop stays correct if it ever does.
+        return None
+    import numpy
+
+    addresses, outcomes = trace.arrays()
+    n = addresses.shape[0]
+    if n == 0:
+        return {}
+    correct = predictions == outcomes
+
+    # Previous user of each event's counter (-1 = counter untouched).
+    sidx = numpy.argsort(indices, kind="stable")
+    same = indices[sidx[1:]] == indices[sidx[:-1]]
+    prev = numpy.full(n, -1, dtype=sidx.dtype)
+    prev[sidx[1:][same]] = sidx[:-1][same]
+    colliding = (prev >= 0) & (addresses[prev] != addresses)
+
+    # Factorize addresses into ids ranked by first occurrence, so the
+    # records dict below iterates in the scalar loop's insertion order
+    # (an aggressor always executed before its victim, so first
+    # executions are the only insertions).
+    saddr = numpy.argsort(addresses)
+    sorted_addr = addresses[saddr]
+    starts = numpy.flatnonzero(
+        numpy.r_[True, sorted_addr[1:] != sorted_addr[:-1]]
+    )
+    groups = starts.shape[0]
+    first = numpy.minimum.reduceat(saddr, starts)
+    order = numpy.argsort(first, kind="stable")
+    rank = numpy.empty(groups, dtype=numpy.int64)
+    rank[order] = numpy.arange(groups)
+    group_of_sorted = numpy.cumsum(
+        numpy.r_[False, sorted_addr[1:] != sorted_addr[:-1]]
+    )
+    ids = numpy.empty(n, dtype=numpy.int64)
+    ids[saddr] = rank[group_of_sorted]
+
+    executions = numpy.bincount(ids, minlength=groups)
+    col = numpy.flatnonzero(colliding)
+    col_correct = correct[col]
+    victim_ids = ids[col]
+    aggressor_ids = ids[prev[col]]
+    constructive = (
+        numpy.bincount(victim_ids[col_correct], minlength=groups)
+        + numpy.bincount(aggressor_ids[col_correct], minlength=groups)
+    )
+    destructive = (
+        numpy.bincount(victim_ids[~col_correct], minlength=groups)
+        + numpy.bincount(aggressor_ids[~col_correct], minlength=groups)
+    )
+    return {
+        address: CollisionInvolvement(
+            executions=e, destructive=d, constructive=c
+        )
+        for address, e, d, c in zip(
+            sorted_addr[starts][order].tolist(),
+            executions.tolist(),
+            destructive.tolist(),
+            constructive.tolist(),
+        )
+    }
+
+
+def _measure_collision_involvement_scalar(
+    trace: BranchTrace, predictor: BranchPredictor
+) -> CollisionProfile:
+    """Reference loop (kernel-less predictors, and the differential baseline)."""
     records: dict[int, CollisionInvolvement] = {}
     tags: list[list[int]] = [
         [-1] * entries for entries in predictor.table_entry_counts()
@@ -109,6 +215,9 @@ def measure_collision_involvement(
     addresses = trace.addresses
     outcomes = trace.outcomes
 
+    # repro: allow[PERF001] -- the numpy-free fallback and correctness
+    # reference; kernel-backed families take the vectorized path above,
+    # which is differentially tested against this loop
     for i in range(len(addresses)):
         address = addresses[i]
         taken = outcomes[i]

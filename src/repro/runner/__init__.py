@@ -9,6 +9,8 @@ are incremental:
   work) and :func:`execute_cell` (its pure executor);
 * :mod:`repro.runner.cache`  -- :class:`ResultCache`, content-addressed
   by the full (seed, trace length, site scale, cell) identity;
+* :mod:`repro.runner.store`  -- :class:`ShardedResultStore`, the
+  sharded, bounded, lock-coordinated storage layer under the cache;
 * :mod:`repro.runner.engine` -- :class:`CellExecutor` process pool and
   the :class:`RunSummary` observability record;
 * :mod:`repro.runner.api`    -- :func:`execute_cells` (what experiment
@@ -19,6 +21,7 @@ from repro.runner.api import default_jobs, execute_cells, run_experiments
 from repro.runner.cache import CACHE_FORMAT_VERSION, ResultCache, default_cache_dir
 from repro.runner.cells import STABLE_SCHEME, Cell, execute_cell, resolve_hints
 from repro.runner.engine import CellExecutor, RunSummary, WorkerStats
+from repro.runner.store import ShardedResultStore, default_cache_max_bytes
 
 __all__ = [
     "Cell",
@@ -27,8 +30,10 @@ __all__ = [
     "ResultCache",
     "RunSummary",
     "STABLE_SCHEME",
+    "ShardedResultStore",
     "WorkerStats",
     "default_cache_dir",
+    "default_cache_max_bytes",
     "default_jobs",
     "execute_cell",
     "execute_cells",

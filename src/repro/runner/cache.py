@@ -17,22 +17,25 @@ Two entry kinds share one directory tree:
   through the filesystem instead of through in-memory memoization that
   cannot cross a process boundary.
 
-Entries are one JSON file each, written atomically (temp file +
-``os.replace``), fanned out by key prefix to keep directories small.
-A corrupt or truncated entry reads as a miss, never as an error.
+Storage is delegated to the sharded store
+(:class:`repro.runner.store.ShardedResultStore`): entries are one JSON
+file each, written atomically, fanned out by key prefix into shard
+directories with per-shard manifests, advisory locks, and LRU eviction
+under the ``REPRO_CACHE_MAX_BYTES`` budget.  A corrupt or truncated
+entry reads as a miss, never as an error -- and is deleted on the spot
+so the disk budget stays truthful.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-import os
 
 from repro.core.metrics import SimulationResult
 from repro.errors import ReproError
+from repro.runner.store import ShardedResultStore
 from repro.staticpred.hints import HintAssignment
 from repro.utils.env import env_str
-from repro.utils.io import atomic_write_json
 
 __all__ = ["ResultCache", "default_cache_dir", "CACHE_FORMAT_VERSION"]
 
@@ -61,35 +64,31 @@ class ResultCache:
     reports); hint traffic is an internal sharing mechanism.
     """
 
-    def __init__(self, root: str):
+    def __init__(self, root: str, max_bytes: int | None = None):
         self.root = root
         self.hits = 0
         self.misses = 0
+        self._store = ShardedResultStore(root, max_bytes=max_bytes)
 
-    # -- storage ---------------------------------------------------------
+    # -- storage (delegated to the sharded store) ------------------------
+
+    @property
+    def evictions(self) -> int:
+        """Entries this process evicted enforcing the size budget."""
+        return self._store.evictions
+
+    def store_bytes(self) -> int:
+        """The store's accounted on-disk size in bytes."""
+        return self._store.total_bytes()
 
     def _path(self, key: str) -> str:
-        return os.path.join(self.root, key[:2], key + ".json")
+        return self._store.entry_path(key)
 
     def _read(self, key: str) -> dict | None:
-        try:
-            with open(self._path(key), "r", encoding="utf-8") as stream:
-                return json.load(stream)
-        except FileNotFoundError:
-            return None
-        except (OSError, ValueError):
-            # A torn or corrupt entry is a miss; the rerun overwrites it.
-            return None
+        return self._store.read(key)
 
     def _write(self, key: str, payload: dict) -> None:
-        path = self._path(key)
-        try:
-            os.makedirs(os.path.dirname(path), exist_ok=True)
-            atomic_write_json(path, payload)
-        except OSError:
-            # Caching is an optimization; a full disk or permission
-            # hiccup must not kill the simulation that just succeeded.
-            return
+        self._store.write(key, payload)
 
     # -- results ---------------------------------------------------------
 

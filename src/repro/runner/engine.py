@@ -57,6 +57,8 @@ class RunSummary:
     simulated: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
+    cache_evictions: int = 0
+    store_bytes: int | None = None
     wall_seconds: float = 0.0
     branches_simulated: int = 0
     workers: dict[str, WorkerStats] = field(default_factory=dict)
@@ -87,6 +89,11 @@ class RunSummary:
             f"wall time: {self.wall_seconds:.2f}s with {self.jobs} job(s); "
             f"{self.branches_simulated} branches simulated",
         ]
+        if self.store_bytes is not None:
+            lines.append(
+                f"store: {self.cache_hits} hits, {self.cache_misses} misses, "
+                f"{self.cache_evictions} evictions, {self.store_bytes} bytes"
+            )
         for label in sorted(self.workers):
             stats = self.workers[label]
             lines.append(
@@ -178,6 +185,8 @@ class CellExecutor:
         if self.cache is not None:
             self.summary.cache_hits = self.cache.hits
             self.summary.cache_misses = self.cache.misses
+            self.summary.cache_evictions = self.cache.evictions
+            self.summary.store_bytes = self.cache.store_bytes()
         self.summary.wall_seconds += (
             time.perf_counter() - start  # repro: allow[DET002] -- observability only
         )

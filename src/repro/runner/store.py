@@ -1,0 +1,304 @@
+"""Sharded, bounded, concurrency-safe backing store for result entries.
+
+:class:`ShardedResultStore` is the storage layer under
+:class:`repro.runner.cache.ResultCache`.  Entries are one JSON file
+each, fanned out into two-hex-character shard directories by key prefix
+(``root/ab/<key>.json`` -- the exact layout the flat cache always used,
+so existing caches stay warm and entry bytes are unchanged).  What the
+sharding adds is *per-shard metadata and coordination*:
+
+* every shard carries a ``manifest.json`` segment manifest recording
+  each entry's size and a logical last-use stamp (a logical clock, not
+  a wall clock -- determinism rules out ``time.time``).  Stamps must
+  be comparable *across* shards for LRU to pick true victims, so each
+  store seeds a process-local clock from the maximum tick any manifest
+  has recorded and hands strictly increasing hints to the stamping
+  path; the locked manifest update takes the max with the shard's own
+  tick, keeping per-shard stamps monotone even when processes race;
+* a per-shard ``.lock`` advisory lockfile serializes the manifest's
+  read-modify-write cycles (stamp refresh, eviction's scan-then-delete,
+  corrupt-entry removal) across the runner's worker processes, via the
+  :func:`repro.utils.io.shard_lock` seam;
+* when ``REPRO_CACHE_MAX_BYTES`` is set (the ``ENV_KNOBS`` contract
+  declares it; 0 means unbounded), every write is followed by an LRU
+  eviction pass that deletes least-recently-stamped entries -- one
+  shard lock at a time, never nested -- until the store fits the
+  budget.
+
+Entry reads take no lock: entries and manifests become visible only
+through the atomic-replace seam, so a reader observes complete old
+bytes or complete new bytes, never a torn file.  A corrupt or truncated
+entry reads as a miss *and is deleted on the spot* (under the shard
+lock, with its manifest record), so eviction accounting and disk
+budgets stay truthful instead of carrying dead bytes forever.
+
+Locks degrade gracefully (see :func:`~repro.utils.io.shard_lock`): an
+unlockable filesystem can lose an LRU stamp or double-evict, never
+corrupt an entry.  Lint rules CONC001/CONC002 prove the discipline this
+module relies on: mutations hold the shard lock, locks are scoped by
+``with``, and no two shard locks nest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.errors import ExperimentError
+from repro.utils.env import env_int
+from repro.utils.io import atomic_write_text, shard_lock
+
+__all__ = ["ShardedResultStore", "default_cache_max_bytes", "ENV_CACHE_MAX_BYTES"]
+
+ENV_CACHE_MAX_BYTES = "REPRO_CACHE_MAX_BYTES"
+
+MANIFEST_NAME = "manifest.json"
+LOCK_NAME = ".lock"
+MANIFEST_VERSION = 1
+
+
+def default_cache_max_bytes() -> int:
+    """The store's size budget in bytes (0 = unbounded, the default)."""
+    return env_int("REPRO_CACHE_MAX_BYTES", 0, error=ExperimentError)
+
+
+def _empty_manifest() -> dict:
+    return {"version": MANIFEST_VERSION, "tick": 0, "entries": {}}
+
+
+class ShardedResultStore:
+    """Prefix-sharded JSON entry store with manifests, locks, and LRU.
+
+    The store speaks raw JSON payloads keyed by hex digests; the
+    result/hint semantics (and the hit/miss accounting they imply) live
+    in :class:`~repro.runner.cache.ResultCache` on top.  ``evictions``
+    counts entries *this process* evicted; concurrent processes keep
+    their own counters, and the stress suite asserts the sum.
+    """
+
+    def __init__(self, root: str, max_bytes: int | None = None):
+        self.root = root
+        self.max_bytes = (
+            default_cache_max_bytes() if max_bytes is None else max_bytes
+        )
+        self.evictions = 0
+        self._clock = 0
+
+    # -- layout ----------------------------------------------------------
+
+    def entry_path(self, key: str) -> str:
+        """Where one entry's JSON lives (same layout as the flat cache)."""
+        return os.path.join(self.root, key[:2], key + ".json")
+
+    def _shard_dir(self, shard: str) -> str:
+        return os.path.join(self.root, shard)
+
+    def _manifest_path(self, shard: str) -> str:
+        return os.path.join(self.root, shard, MANIFEST_NAME)
+
+    def _lock_path(self, shard: str) -> str:
+        return os.path.join(self.root, shard, LOCK_NAME)
+
+    def _shards(self) -> list[str]:
+        """Existing shard directory names, sorted (two hex characters)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:
+            return []
+        return sorted(
+            name for name in names
+            if len(name) == 2 and os.path.isdir(self._shard_dir(name))
+        )
+
+    # -- manifests (call only with the shard lock held for writes) ------
+
+    def _load_manifest(self, shard: str) -> dict:
+        """A shard's manifest; corrupt or absent reads as empty.
+
+        A manifest must never be able to *cause* a wrong result: it is
+        accounting metadata, and the entries themselves are the truth.
+        """
+        try:
+            with open(self._manifest_path(shard), "r", encoding="utf-8") as stream:
+                manifest = json.load(stream)
+        except FileNotFoundError:
+            return _empty_manifest()
+        except (OSError, ValueError):
+            return _empty_manifest()
+        if (not isinstance(manifest, dict)
+                or manifest.get("version") != MANIFEST_VERSION
+                or not isinstance(manifest.get("entries"), dict)
+                or not isinstance(manifest.get("tick"), int)):
+            return _empty_manifest()
+        return manifest
+
+    def _write_manifest_locked(self, shard: str, manifest: dict) -> None:
+        atomic_write_text(
+            self._manifest_path(shard),
+            json.dumps(manifest, sort_keys=True),
+        )
+
+    def _next_stamp_hint(self) -> int:
+        """A cross-shard-comparable LRU stamp candidate.
+
+        Per-shard ticks alone are not comparable between shards (a
+        fresh write into a new shard would stamp 1 and lose the LRU
+        tiebreak to a genuinely stale entry), so the store keeps a
+        process-local logical clock, seeded lazily from the maximum
+        tick any manifest has recorded.  The hint is computed *before*
+        the shard lock is taken; staleness is harmless because
+        :meth:`_stamp_locked` takes the max with the locked manifest's
+        own tick.
+        """
+        if self._clock == 0:
+            for shard in self._shards():
+                tick = self._load_manifest(shard)["tick"]
+                if tick > self._clock:
+                    self._clock = tick
+        self._clock += 1
+        return self._clock
+
+    def _stamp_locked(self, shard: str, key: str, size: int, stamp: int) -> None:
+        """Record (or refresh) one entry's size and last-use stamp."""
+        manifest = self._load_manifest(shard)
+        tick = max(stamp, manifest["tick"] + 1)
+        if tick > self._clock:
+            self._clock = tick
+        manifest["tick"] = tick
+        manifest["entries"][key] = [size, tick]
+        self._write_manifest_locked(shard, manifest)
+
+    # -- entries ---------------------------------------------------------
+
+    def read(self, key: str) -> dict | None:
+        """One entry's payload, or None; corrupt entries are deleted.
+
+        The happy path takes no lock (atomic replace means no torn
+        reads); a successful read refreshes the entry's LRU stamp under
+        the shard lock, adopting legacy flat-cache entries that predate
+        the manifest into the accounting as a side effect.
+        """
+        try:
+            with open(self.entry_path(key), "r", encoding="utf-8") as stream:
+                payload = json.load(stream)
+        except FileNotFoundError:
+            return None
+        except (OSError, ValueError):
+            # A torn or corrupt entry is a miss -- and dead bytes the
+            # disk budget must not keep paying for: delete it now.
+            self._discard(key)
+            return None
+        if not isinstance(payload, dict):
+            self._discard(key)
+            return None
+        self._touch(key)
+        return payload
+
+    def write(self, key: str, payload: dict) -> None:
+        """Persist one entry atomically and account for it; then evict.
+
+        Storing is an optimization: a full disk or permission hiccup
+        must not kill the simulation that just succeeded.
+        """
+        text = json.dumps(payload, sort_keys=True)
+        shard = key[:2]
+        stamp = self._next_stamp_hint()
+        try:
+            os.makedirs(self._shard_dir(shard), exist_ok=True)
+            with shard_lock(self._lock_path(shard)):
+                atomic_write_text(self.entry_path(key), text)
+                self._stamp_locked(shard, key, len(text.encode("utf-8")), stamp)
+        except OSError:
+            return
+        self._enforce_budget()
+
+    def _touch(self, key: str) -> None:
+        """Refresh an entry's LRU stamp after a successful read."""
+        shard = key[:2]
+        stamp = self._next_stamp_hint()
+        try:
+            with shard_lock(self._lock_path(shard)):
+                size = self._entry_size(key)
+                if size is not None:
+                    self._stamp_locked(shard, key, size, stamp)
+        except OSError:
+            return
+
+    def _entry_size(self, key: str) -> int | None:
+        try:
+            return os.path.getsize(self.entry_path(key))
+        except OSError:
+            return None
+
+    def _discard(self, key: str) -> None:
+        """Delete a corrupt entry and its manifest record."""
+        shard = key[:2]
+        try:
+            with shard_lock(self._lock_path(shard)):
+                self._remove_locked(shard, [key])
+        except OSError:
+            return
+
+    def _remove_locked(self, shard: str, keys: list[str]) -> int:
+        """Unlink entries and drop their manifest records; returns the
+        number of entries that actually existed (in the manifest or on
+        disk) -- the caller holds the shard lock."""
+        manifest = self._load_manifest(shard)
+        removed = 0
+        for key in keys:
+            existed = manifest["entries"].pop(key, None) is not None
+            try:
+                os.unlink(self.entry_path(key))
+                existed = True
+            except FileNotFoundError:
+                pass
+            if existed:
+                removed += 1
+        self._write_manifest_locked(shard, manifest)
+        return removed
+
+    # -- budget ----------------------------------------------------------
+
+    def total_bytes(self) -> int:
+        """Accounted store size: the sum of every shard manifest."""
+        total = 0
+        for shard in self._shards():
+            manifest = self._load_manifest(shard)
+            for size, _stamp in manifest["entries"].values():
+                total += size
+        return total
+
+    def _enforce_budget(self) -> None:
+        """Evict least-recently-stamped entries until the budget holds.
+
+        The candidate scan reads manifest *snapshots* without locks (a
+        stale snapshot can only make eviction conservative or pick a
+        key another process already removed); each doomed shard is then
+        locked -- one at a time, never nested -- and its manifest
+        re-read before anything is deleted, so the actual removal is a
+        proper locked read-modify-write.
+        """
+        if self.max_bytes <= 0:
+            return
+        candidates: list[tuple[int, str, str, int]] = []
+        for shard in self._shards():
+            manifest = self._load_manifest(shard)
+            for key in sorted(manifest["entries"]):
+                size, stamp = manifest["entries"][key]
+                candidates.append((stamp, key, shard, size))
+        total = sum(size for _, _, _, size in candidates)
+        if total <= self.max_bytes:
+            return
+        candidates.sort()
+        doomed: dict[str, list[str]] = {}
+        for stamp, key, shard, size in candidates:
+            if total <= self.max_bytes:
+                break
+            doomed.setdefault(shard, []).append(key)
+            total -= size
+        for shard in sorted(doomed):
+            try:
+                with shard_lock(self._lock_path(shard)):
+                    self.evictions += self._remove_locked(shard, doomed[shard])
+            except OSError:
+                continue

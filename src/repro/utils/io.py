@@ -1,6 +1,6 @@
-"""Atomic file writes: the one ``mkstemp`` + ``os.replace`` seam.
+"""Atomic file writes and advisory locks: the cross-process I/O seams.
 
-Every artifact store in the package -- the runner's result cache, the
+Every artifact store in the package -- the runner's result store, the
 pinned trace store, bench snapshots, and the lint analysis cache and
 baseline -- writes through :func:`atomic_write_text` (or the
 :func:`atomic_write_json` convenience on top of it), so a reader can
@@ -20,15 +20,25 @@ Failure semantics: the temp file is unlinked and the :class:`OSError`
 re-raised.  Callers for whom a write is an optimization (the result
 cache) catch it; callers for whom it is a commit point (the trace
 store) let it propagate.
+
+:func:`shard_lock` is the companion *mutual-exclusion* seam.  Atomic
+replace makes any single write safe, but a read-modify-write cycle --
+the sharded result store's manifest updates, eviction's
+scan-then-delete -- spans multiple filesystem operations, and two
+processes interleaving them lose updates even though every individual
+write is atomic.  Lint rules CONC001/CONC002 enforce the discipline:
+cross-process file mutation in store modules happens under a shard
+lock, acquired only through ``with``, one shard at a time.
 """
 
 from __future__ import annotations
 
+import contextlib
 import json
 import os
 import tempfile
 
-__all__ = ["atomic_write_text", "atomic_write_json"]
+__all__ = ["atomic_write_text", "atomic_write_json", "shard_lock"]
 
 
 def atomic_write_text(path: str, text: str, encoding: str = "utf-8") -> None:
@@ -66,3 +76,45 @@ def atomic_write_json(
     """
     text = json.dumps(payload, sort_keys=sort_keys, indent=indent)
     atomic_write_text(path, text, encoding=encoding)
+
+
+@contextlib.contextmanager
+def shard_lock(path: str):
+    """Hold an exclusive advisory lock on ``path`` (created if absent).
+
+    The lock serializes read-modify-write cycles on one store shard
+    across processes: manifest updates, eviction's scan-then-delete,
+    and corrupt-entry removal.  It is advisory (``fcntl.flock``), so it
+    only coordinates writers that also take it -- which is exactly what
+    lint rule CONC001 proves about the store modules.
+
+    Degradation is deliberate and safe-by-construction: on platforms
+    without ``fcntl`` (or filesystems refusing ``flock``) the context
+    still runs, unlocked.  Every write inside a locked region must
+    therefore *also* go through the atomic-replace seam, so losing the
+    lock can lose an LRU stamp or an eviction race, never produce a
+    torn file.
+    """
+    try:
+        import fcntl
+    except ImportError:  # pragma: no cover - non-POSIX platforms
+        fcntl = None
+    fd = None
+    try:
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_RDWR)
+            if fcntl is not None:
+                fcntl.flock(fd, fcntl.LOCK_EX)
+        except OSError:
+            # Advisory: an unlockable shard degrades to atomic-writes-
+            # only coordination instead of failing the simulation.
+            pass
+        yield
+    finally:
+        if fd is not None:
+            if fcntl is not None:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_UN)
+                except OSError:  # pragma: no cover - release is best-effort
+                    pass
+            os.close(fd)

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.bench.cases import (
+    collision_cases,
     kernel_cases,
     profiling_cases,
     replay_cases,
@@ -140,6 +141,12 @@ class TestSuite:
         assert names == ["profile/reference", "profile/fast"]
         without = [case.name for case in profiling_cases(include_fast=False)]
         assert without == ["profile/reference"]
+
+    def test_collision_cases_pair_scalar_and_vectorized(self):
+        names = [case.name for case in collision_cases(include_fast=True)]
+        assert names == ["collision/reference", "collision/fast"]
+        without = [case.name for case in collision_cases(include_fast=False)]
+        assert without == ["collision/reference"]
 
     def test_replay_cases_pure_simulation(self):
         names = [case.name for case in replay_cases()]

@@ -25,6 +25,11 @@ from repro.kernels import (
     validate_kernel_mode,
 )
 from repro.profiling.accuracy import _measure_accuracy_scalar, measure_accuracy
+from repro.profiling.collision_profile import (
+    _fast_collision_records,
+    _measure_collision_involvement_scalar,
+    measure_collision_involvement,
+)
 from repro.predictors.bimodal import BimodalPredictor
 from repro.predictors.ghist import GhistPredictor
 from repro.predictors.gshare import GsharePredictor
@@ -265,3 +270,67 @@ class TestExperimentContext:
     def test_invalid_kernel_rejected(self):
         with pytest.raises(ConfigurationError):
             ExperimentContext(trace_length=1000, kernel="warp")
+
+
+class TestCollisionVectorization:
+    """The vectorized collision-involvement path is bit-identical to the
+    scalar reference loop — same per-branch charges AND the same dict
+    insertion order (selection schemes iterate profiles in order)."""
+
+    FAMILIES = [
+        lambda: BimodalPredictor(64),
+        lambda: GsharePredictor(64, history_length=5),
+        lambda: GhistPredictor(64, history_length=6),
+    ]
+
+    @staticmethod
+    def as_plain(profile):
+        return [
+            (addr, rec.executions, rec.destructive, rec.constructive)
+            for addr, rec in profile.branches.items()
+        ]
+
+    @pytest.mark.parametrize("factory", FAMILIES)
+    @pytest.mark.parametrize("length", [0, 1, 2, 500, 3000])
+    def test_fast_matches_scalar(self, factory, length):
+        trace = random_trace(derive_seed(99, "collisions", length), length)
+        fast = measure_collision_involvement(trace, factory())
+        scalar = _measure_collision_involvement_scalar(trace, factory())
+        assert self.as_plain(fast) == self.as_plain(scalar)
+        assert (fast.program_name, fast.input_name, fast.predictor_name) \
+            == (scalar.program_name, scalar.input_name, scalar.predictor_name)
+
+    @pytest.mark.parametrize("factory", FAMILIES)
+    def test_fast_path_is_taken(self, factory):
+        trace = random_trace(derive_seed(99, "collisions", "taken"), 400)
+        records = _fast_collision_records(trace, factory())
+        assert records is not None
+        scalar = _measure_collision_involvement_scalar(trace, factory())
+        assert list(records) == list(scalar.branches)
+
+    def test_kernel_less_predictor_falls_back(self):
+        trace = random_trace(derive_seed(99, "collisions", "fallback"), 300)
+        predictor = make_predictor("2bcgskew", 2048)
+        assert _fast_collision_records(trace, predictor) is None
+        profile = measure_collision_involvement(trace, predictor)
+        scalar = _measure_collision_involvement_scalar(
+            trace, make_predictor("2bcgskew", 2048))
+        assert self.as_plain(profile) == self.as_plain(scalar)
+
+    def test_out_of_limits_predictor_falls_back(self):
+        # Counter widths past the kernels' int32 headroom guard must
+        # fall back to the scalar loop, not crash or diverge.
+        trace = random_trace(derive_seed(99, "collisions", "large"), 100)
+        wide = lambda: BimodalPredictor(64, counter_bits=17)  # noqa: E731
+        assert _fast_collision_records(trace, wide()) is None
+        profile = measure_collision_involvement(trace, wide())
+        scalar = _measure_collision_involvement_scalar(trace, wide())
+        assert self.as_plain(profile) == self.as_plain(scalar)
+
+    def test_gcc_trace_end_to_end(self, gcc_trace):
+        fast = measure_collision_involvement(gcc_trace,
+                                             GsharePredictor(256))
+        scalar = _measure_collision_involvement_scalar(gcc_trace,
+                                                       GsharePredictor(256))
+        assert self.as_plain(fast) == self.as_plain(scalar)
+        assert fast.total_destructive == scalar.total_destructive

@@ -673,6 +673,7 @@ class TestEngineAndReport:
             "WID001", "WID002", "WID003", "WID004",
             "PERF001", "PERF002", "PERF003", "PERF004",
             "KEY001", "KEY002", "ENV001", "ATM001", "ATM002",
+            "CONC001", "CONC002", "CONC003", "CONC004",
         }
         assert all(RULES[r].summary for r in RULES)
 

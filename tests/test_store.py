@@ -1,0 +1,268 @@
+"""Tests for the sharded, bounded result store.
+
+The load-bearing guarantees:
+
+* layout compatibility -- entry paths and bytes are exactly the flat
+  cache's (``root/<k[:2]>/<key>.json``), so pre-existing caches stay
+  warm and legacy entries are adopted into the manifests on first read;
+* hygiene -- a corrupt or truncated entry reads as a miss and is
+  *deleted* (with its manifest record), so the disk budget never keeps
+  paying for dead bytes;
+* the budget -- ``REPRO_CACHE_MAX_BYTES`` bounds the accounted size via
+  LRU eviction, with a recently-read entry surviving over a stale one;
+* concurrency -- N writer processes racing an eviction budget never
+  produce a torn entry, never lose a result (every write is either
+  readable afterwards or counted as an eviction), and the per-process
+  eviction counters sum to exactly the number of deleted entries.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from hashlib import sha256
+from pathlib import Path
+
+from repro.experiments.common import ExperimentContext
+from repro.runner import Cell, CellExecutor, ResultCache, ShardedResultStore
+from repro.runner.cells import execute_cell
+from repro.runner.store import MANIFEST_NAME, default_cache_max_bytes
+
+TINY = dict(trace_length=3_000, site_scale=0.02, seed=11)
+
+
+def key_for(tag: str) -> str:
+    return sha256(tag.encode("utf-8")).hexdigest()
+
+
+def payload_for(tag: str) -> dict:
+    return {"tag": tag, "filler": "x" * 64}
+
+
+def entry_files(root: Path) -> list[Path]:
+    return sorted(p for p in root.glob("??/*.json")
+                  if p.name != MANIFEST_NAME)
+
+
+class TestLayout:
+    def test_entry_path_matches_flat_cache_layout(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path))
+        key = key_for("a")
+        assert store.entry_path(key) == str(
+            tmp_path / key[:2] / (key + ".json"))
+
+    def test_roundtrip_and_bytes_are_canonical_json(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path))
+        key = key_for("a")
+        store.write(key, payload_for("a"))
+        assert store.read(key) == payload_for("a")
+        raw = Path(store.entry_path(key)).read_text(encoding="utf-8")
+        assert raw == json.dumps(payload_for("a"), sort_keys=True)
+
+    def test_legacy_flat_entry_is_readable_and_adopted(self, tmp_path):
+        # An entry written by the pre-manifest flat cache: no manifest,
+        # no lockfile, just the JSON.  Reading it must hit -- and adopt
+        # it into the shard manifest so the budget can account for it.
+        key = key_for("legacy")
+        entry = tmp_path / key[:2] / (key + ".json")
+        entry.parent.mkdir(parents=True)
+        entry.write_text(json.dumps(payload_for("legacy")), encoding="utf-8")
+        store = ShardedResultStore(str(tmp_path))
+        assert store.read(key) == payload_for("legacy")
+        manifest = json.loads(
+            (tmp_path / key[:2] / MANIFEST_NAME).read_text())
+        assert key in manifest["entries"]
+        assert store.total_bytes() == entry.stat().st_size
+
+    def test_read_of_absent_key_is_none_without_side_effects(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path))
+        assert store.read(key_for("ghost")) is None
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestCorruptEntryHygiene:
+    def test_truncated_entry_is_deleted_on_read(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path))
+        key = key_for("a")
+        store.write(key, payload_for("a"))
+        entry = Path(store.entry_path(key))
+        # Hand-truncate the entry mid-token: a torn write survivor.
+        raw = entry.read_text(encoding="utf-8")
+        entry.write_text(raw[: len(raw) // 2], encoding="utf-8")
+        assert store.read(key) is None
+        assert not entry.exists()
+        manifest = json.loads(
+            (tmp_path / key[:2] / MANIFEST_NAME).read_text())
+        assert key not in manifest["entries"]
+        assert store.total_bytes() == 0
+
+    def test_non_dict_payload_is_deleted_on_read(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path))
+        key = key_for("a")
+        store.write(key, payload_for("a"))
+        entry = Path(store.entry_path(key))
+        entry.write_text("[1, 2, 3]", encoding="utf-8")
+        assert store.read(key) is None
+        assert not entry.exists()
+
+    def test_cache_deletes_truncated_entry_on_corrupt_read(self, tmp_path):
+        # The regression the ISSUE names, at the ResultCache level: a
+        # hand-truncated entry is a miss and the file is gone after.
+        ctx = ExperimentContext(**TINY)
+        cache = ResultCache(str(tmp_path))
+        cell = Cell.make("gcc", "bimodal", 256)
+        cache.put_result(ctx, cell, execute_cell(ctx, cell))
+        key = cache.result_key(ctx, cell)
+        path = tmp_path / key[:2] / (key + ".json")
+        raw = path.read_text(encoding="utf-8")
+        path.write_text(raw[:37], encoding="utf-8")
+        assert cache.get_result(ctx, cell) is None
+        assert not path.exists()
+
+
+class TestBudget:
+    def test_zero_budget_means_unbounded(self, tmp_path):
+        store = ShardedResultStore(str(tmp_path), max_bytes=0)
+        for i in range(16):
+            store.write(key_for(f"k{i}"), payload_for(f"k{i}"))
+        assert len(entry_files(tmp_path)) == 16
+        assert store.evictions == 0
+
+    def test_budget_bounds_accounted_bytes(self, tmp_path):
+        entry_size = len(json.dumps(payload_for("k0"), sort_keys=True))
+        budget = entry_size * 3 + 1
+        store = ShardedResultStore(str(tmp_path), max_bytes=budget)
+        for i in range(12):
+            store.write(key_for(f"k{i}"), payload_for(f"k{i}"))
+        assert store.total_bytes() <= budget
+        assert store.evictions == 12 - len(entry_files(tmp_path))
+        assert store.evictions > 0
+
+    def test_recently_read_entry_survives_eviction(self, tmp_path):
+        # LRU is per-use stamps, not insertion order: rereading the
+        # oldest entry must save it from the next eviction pass.
+        entry_size = len(json.dumps(payload_for("k0"), sort_keys=True))
+        store = ShardedResultStore(str(tmp_path), max_bytes=entry_size * 2)
+        store.write(key_for("k0"), payload_for("k0"))
+        store.write(key_for("k1"), payload_for("k1"))
+        assert store.read(key_for("k0")) is not None  # refresh k0's stamp
+        store.write(key_for("k2"), payload_for("k2"))
+        assert store.read(key_for("k0")) is not None
+        assert store.read(key_for("k1")) is None
+
+    def test_default_budget_comes_from_env_knob(self, monkeypatch, tmp_path):
+        monkeypatch.delenv("REPRO_CACHE_MAX_BYTES", raising=False)
+        assert default_cache_max_bytes() == 0
+        monkeypatch.setenv("REPRO_CACHE_MAX_BYTES", "4096")
+        assert default_cache_max_bytes() == 4096
+        assert ShardedResultStore(str(tmp_path)).max_bytes == 4096
+        assert ShardedResultStore(str(tmp_path), max_bytes=7).max_bytes == 7
+
+
+class TestRunnerStats:
+    def test_summary_reports_store_counters(self, tmp_path):
+        ctx = ExperimentContext(**TINY)
+        cells = [Cell.make("gcc", "bimodal", 256),
+                 Cell.make("gcc", "gshare", 512)]
+        cold = CellExecutor(ctx, cache=ResultCache(str(tmp_path)))
+        cold.execute(cells)
+        assert cold.summary.cache_misses == 2
+        assert cold.summary.cache_evictions == 0
+        assert cold.summary.store_bytes is not None
+        assert cold.summary.store_bytes > 0
+        warm = CellExecutor(
+            ExperimentContext(**TINY), cache=ResultCache(str(tmp_path)))
+        warm.execute(cells)
+        assert warm.summary.cache_hits == 2
+        assert warm.summary.simulated == 0
+        text = warm.summary.describe()
+        assert "store: 2 hits, 0 misses, 0 evictions," in text
+
+    def test_summary_reports_evictions_under_tiny_budget(self, tmp_path):
+        ctx = ExperimentContext(**TINY)
+        cells = [Cell.make("gcc", "bimodal", 256),
+                 Cell.make("gcc", "gshare", 512),
+                 Cell.make("go", "bimodal", 256)]
+        executor = CellExecutor(
+            ctx, cache=ResultCache(str(tmp_path), max_bytes=1))
+        executor.execute(cells)
+        assert executor.summary.cache_evictions > 0
+        assert "evictions" in executor.summary.describe()
+
+    def test_no_cache_means_no_store_line(self):
+        ctx = ExperimentContext(**TINY)
+        executor = CellExecutor(ctx)
+        executor.execute([Cell.make("gcc", "bimodal", 256)])
+        assert executor.summary.store_bytes is None
+        assert "store:" not in executor.summary.describe()
+
+
+# -- multi-process stress ---------------------------------------------------
+
+_WRITES_PER_WRITER = 24
+
+
+def _stress_writer(args: tuple[str, int, int]) -> int:
+    """Write a batch of entries under a tiny budget; return evictions."""
+    root, writer, max_bytes = args
+    store = ShardedResultStore(root, max_bytes=max_bytes)
+    for i in range(_WRITES_PER_WRITER):
+        tag = f"w{writer}-{i}"
+        store.write(key_for(tag), payload_for(tag))
+    return store.evictions
+
+
+class TestMultiProcessStress:
+    def test_concurrent_writers_and_evictors(self, tmp_path):
+        # N writers race: every write triggers an eviction pass, so the
+        # evictor role is played concurrently by every process.  The
+        # invariants: no torn files, every entry's bytes match its key's
+        # expected payload (no lost or cross-wired results), and the
+        # per-process eviction counters account for exactly the entries
+        # that are gone.
+        writers = 4
+        entry_size = len(json.dumps(payload_for("w0-0"), sort_keys=True))
+        budget = entry_size * 10
+        with ProcessPoolExecutor(max_workers=writers) as pool:
+            evictions = list(pool.map(
+                _stress_writer,
+                [(str(tmp_path), w, budget) for w in range(writers)],
+            ))
+
+        expected = {
+            key_for(f"w{w}-{i}"): payload_for(f"w{w}-{i}")
+            for w in range(writers)
+            for i in range(_WRITES_PER_WRITER)
+        }
+        survivors = entry_files(tmp_path)
+        for entry in survivors:
+            payload = json.loads(entry.read_text(encoding="utf-8"))
+            assert payload == expected[entry.stem]
+
+        total_writes = writers * _WRITES_PER_WRITER
+        assert len(survivors) + sum(evictions) == total_writes
+        assert sum(evictions) > 0
+
+        # No orphaned temp files, and the manifests parse and agree
+        # with the surviving files' sizes.
+        assert list(tmp_path.glob("??/*.tmp")) == []
+        verifier = ShardedResultStore(str(tmp_path), max_bytes=budget)
+        accounted = verifier.total_bytes()
+        on_disk = sum(e.stat().st_size for e in survivors)
+        assert accounted == on_disk
+
+    def test_stress_survivors_stay_warm(self, tmp_path):
+        # A surviving entry must be a genuine hit afterwards -- the
+        # stress must not leave the store in a state where reads miss.
+        budget = 10_000_000  # roomy: nothing evicted
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            evictions = list(pool.map(
+                _stress_writer,
+                [(str(tmp_path), w, budget) for w in range(2)],
+            ))
+        assert sum(evictions) == 0
+        store = ShardedResultStore(str(tmp_path), max_bytes=budget)
+        for w in range(2):
+            for i in range(_WRITES_PER_WRITER):
+                tag = f"w{w}-{i}"
+                assert store.read(key_for(tag)) == payload_for(tag)
