@@ -45,6 +45,7 @@ __all__ = [
     "profiling_cases",
     "replay_cases",
     "run_suite",
+    "service_cases",
 ]
 
 DEFAULT_TRACE_LENGTH = 200_000
@@ -137,12 +138,65 @@ def replay_cases() -> tuple[BenchCase, ...]:
     return (BenchCase("replay/gshare", "gshare", _SIZE_BYTES, "auto"),)
 
 
+def service_cases() -> tuple[BenchCase, ...]:
+    """The service-path round-trip bench (always run; CI-gated).
+
+    One in-process :class:`~repro.service.server.PredictorService` on an
+    OS-assigned port, one pipelined client, one *cached* cell: the timed
+    region is protocol encode -> TCP -> scheduler memo hit -> response,
+    i.e. the whole serving overhead with zero simulation inside it.
+    Setup (server start, connect, the priming submit that warms the
+    memo) happens in the runner factory; teardown in its cleanup hook.
+    The result's ``branches`` count is 1, so the reported
+    "branches/s" column reads directly as requests/s, and the CI 2x
+    gate trips on service-path latency regressions.
+    """
+    return (BenchCase("service/roundtrip", "gshare", _SIZE_BYTES, "auto"),)
+
+
 def end_to_end_cases() -> tuple[BenchCase, ...]:
     """The full-flow benches (static_95 selection + combined measure)."""
     return (
         BenchCase("e2e/gshare/static_95", "gshare", _SIZE_BYTES,
                   "auto", scheme="static_95"),
     )
+
+
+def _service_runner(case: BenchCase, ctx: ExperimentContext):
+    """The service round-trip closure (see :func:`service_cases`).
+
+    The server, client, and priming submit live in this factory; the
+    returned closure times one cached submit.  ``run.cleanup`` tears the
+    stack down -- :func:`run_suite` calls it after ``measure``.
+    """
+    import asyncio
+
+    from repro.service.client import ServiceClient
+    from repro.service.config import ServiceConfig
+    from repro.service.server import PredictorService
+
+    loop = asyncio.new_event_loop()
+    config = ServiceConfig(port=0, window_s=0.0)
+    service = PredictorService(ctx, config, jobs=1, cache=None)
+    loop.run_until_complete(service.start())
+    client = loop.run_until_complete(
+        ServiceClient.connect(config.host, service.port))
+    cell = {"program": _PROGRAM, "predictor": case.predictor,
+            "size_bytes": case.size_bytes}
+    # Prime the scheduler memo: the timed region below is then the pure
+    # serving overhead (encode -> TCP -> memo hit -> response).
+    loop.run_until_complete(client.submit_result(cell))
+
+    def run() -> None:
+        loop.run_until_complete(client.submit_result(cell))
+
+    def cleanup() -> None:
+        loop.run_until_complete(client.close())
+        loop.run_until_complete(service.stop())
+        loop.close()
+
+    run.cleanup = cleanup
+    return run
 
 
 def _case_runner(case: BenchCase, ctx: ExperimentContext):
@@ -157,6 +211,8 @@ def _case_runner(case: BenchCase, ctx: ExperimentContext):
             ctx.run(_PROGRAM, case.predictor, case.size_bytes,
                     scheme=case.scheme, measure_input=_INPUT)
         return run
+    if case.name.startswith("service/"):
+        return _service_runner(case, ctx)
     if case.name.startswith("replay/"):
         from repro.traces import TraceSpec, TraceStore
 
@@ -218,16 +274,24 @@ def run_suite(
         repeats = QUICK_REPEATS if quick else DEFAULT_REPEATS
     ctx = ExperimentContext(trace_length=trace_length, kernel="auto")
     cases = (kernel_cases() + profiling_cases() + collision_cases()
-             + replay_cases())
+             + replay_cases() + service_cases())
     if not quick:
         cases = cases + end_to_end_cases()
     results = []
     for case in cases:
-        stats = measure(_case_runner(case, ctx), repeats=repeats,
-                        warmup=WARMUP)
+        runner = _case_runner(case, ctx)
+        try:
+            stats = measure(runner, repeats=repeats, warmup=WARMUP)
+        finally:
+            cleanup = getattr(runner, "cleanup", None)
+            if cleanup is not None:
+                cleanup()
         results.append(BenchResult(
             case=case.name,
-            branches=trace_length,
+            # Service cases time one request, so their "branches/s"
+            # column reads directly as requests/s.
+            branches=(1 if case.name.startswith("service/")
+                      else trace_length),
             median_s=stats.median_s,
             iqr_s=stats.iqr_s,
         ))

@@ -16,6 +16,12 @@ Subcommands::
     repro interference --program gcc --predictor gshare --size 2048
     repro bench [--quick] [--name NAME] [--out FILE] \
                 [--compare BASELINE [CURRENT]] [--max-regression 20%]
+    repro serve [--host H] [--port P] [--jobs N] [--window-ms MS] \
+                [--max-batch N] [--queue-limit N] [--timeout-s S] \
+                [--stats-file FILE]
+    repro loadgen [--requests N] [--concurrency N] [--mode closed|open] \
+                  [--rate R] [--mix N] [--json FILE] [--wait-health S] \
+                  [--expect-hit-rate F] [--expect-zero-errors] [--shutdown]
     repro lint [--format json|sarif] [--select RULES] [--changed] \
                [--baseline [FILE]] [--update-baseline] [--cache [FILE]] \
                [--hot-report] [paths]
@@ -37,6 +43,13 @@ suites with per-spec store status, and ``info`` dumps the manifests;
 array-backed fast kernels) and writes a ``BENCH_<name>.json`` snapshot;
 with ``--compare`` it gates against a baseline snapshot and exits 1 on
 any case slower than ``--max-regression`` allows;
+``serve`` runs the predictor service (:mod:`repro.service`): an asyncio
+TCP server batching cell submissions over the persistent runner pool,
+draining gracefully on a ``shutdown`` request; ``loadgen`` drives
+measured traffic at a running server and prints/writes a latency
+report, with ``--expect-hit-rate``/``--expect-zero-errors`` turning the
+report into a gate (exit 1 on miss) — the knobs both commands share
+default from the ``REPRO_SERVICE_*`` environment registry;
 ``lint`` statically checks the determinism, predictor, and parallelism
 invariants the results depend on (exit status 1 when any finding
 survives); ``--baseline`` ratchets against accepted debt so only *new*
@@ -220,6 +233,81 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regression", default="20%",
                        help="tolerated slowdown for --compare: '20%%', "
                             "'2x', or a bare factor (default: 20%%)")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the predictor service (async batching over the runner)",
+    )
+    serve.add_argument("--host", default=None,
+                       help="bind host (default: REPRO_SERVICE_HOST or "
+                            "127.0.0.1)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="bind port (default: REPRO_SERVICE_PORT or "
+                            "8177; 0 = OS-assigned)")
+    serve.add_argument("--jobs", type=int, default=None,
+                       help="worker processes (default: REPRO_JOBS or 1)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the persistent result cache")
+    serve.add_argument("--cache-dir", default=None,
+                       help="result cache location (default: "
+                            "REPRO_CACHE_DIR or .repro-cache)")
+    serve.add_argument("--window-ms", type=float, default=None,
+                       help="batch coalescing window in milliseconds "
+                            "(default: REPRO_SERVICE_BATCH_WINDOW_MS or 5)")
+    serve.add_argument("--max-batch", type=int, default=None,
+                       help="max cells per dispatched batch (default: "
+                            "REPRO_SERVICE_MAX_BATCH or 64)")
+    serve.add_argument("--queue-limit", type=int, default=None,
+                       help="queued+in-flight bound before backpressure "
+                            "(default: REPRO_SERVICE_QUEUE_LIMIT or 1024)")
+    serve.add_argument("--timeout-s", type=float, default=None,
+                       help="per-request timeout in seconds (default: "
+                            "REPRO_SERVICE_TIMEOUT_S or 60)")
+    serve.add_argument("--stats-file", default=None,
+                       help="persist the final stats payload here on "
+                            "graceful shutdown")
+    serve.add_argument("--length", type=int, default=None)
+    serve.add_argument("--seed", type=int, default=None)
+    serve.add_argument("--scale", type=float, default=None)
+    serve.add_argument("--kernel", default=None, choices=KERNEL_MODES)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="drive measured traffic at a running predictor service",
+    )
+    loadgen.add_argument("--host", default=None,
+                         help="service host (default: REPRO_SERVICE_HOST "
+                              "or 127.0.0.1)")
+    loadgen.add_argument("--port", type=int, default=None,
+                         help="service port (default: REPRO_SERVICE_PORT "
+                              "or 8177)")
+    loadgen.add_argument("--requests", type=int, default=200)
+    loadgen.add_argument("--concurrency", type=int, default=8,
+                         help="concurrent connections")
+    loadgen.add_argument("--mode", default="closed",
+                         choices=("closed", "open"),
+                         help="closed: next request on completion; open: "
+                              "requests issued on a fixed --rate clock")
+    loadgen.add_argument("--rate", type=float, default=None,
+                         help="open-loop target rate in requests/s")
+    loadgen.add_argument("--mix", type=int, default=4,
+                         help="distinct cells in the request mix")
+    loadgen.add_argument("--json", default=None, dest="json_out",
+                         metavar="FILE",
+                         help="also write the report as JSON")
+    loadgen.add_argument("--wait-health", type=float, default=None,
+                         metavar="SECONDS",
+                         help="poll the health endpoint up to this long "
+                              "before generating load")
+    loadgen.add_argument("--expect-hit-rate", type=float, default=None,
+                         metavar="FRACTION",
+                         help="exit 1 if the measured hit-rate is below "
+                              "this")
+    loadgen.add_argument("--expect-zero-errors", action="store_true",
+                         help="exit 1 on any error or rejection")
+    loadgen.add_argument("--shutdown", action="store_true",
+                         help="send a graceful shutdown request after "
+                              "the run")
 
     lint = sub.add_parser(
         "lint",
@@ -560,6 +648,97 @@ def _print_speedups(snapshot) -> None:
                   f"{fast_bps / reference_bps:.1f}x reference")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.runner import ResultCache, default_cache_dir, default_jobs
+    from repro.service import PredictorService, ServiceConfig
+
+    config = ServiceConfig.from_env().override(
+        host=args.host,
+        port=args.port,
+        window_s=(args.window_ms / 1000.0
+                  if args.window_ms is not None else None),
+        max_batch=args.max_batch,
+        queue_limit=args.queue_limit,
+        timeout_s=args.timeout_s,
+    )
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    service = PredictorService(_context(args), config, jobs=jobs, cache=cache)
+
+    async def _serve() -> None:
+        await service.start()
+        print(f"serving on {config.host}:{service.port} with {jobs} job(s) "
+              f"(window {config.window_s * 1000.0:.1f}ms, "
+              f"max batch {config.max_batch}, "
+              f"queue limit {config.queue_limit})", flush=True)
+        try:
+            await service.wait_shutdown()
+        finally:
+            await service.stop(stats_path=args.stats_file)
+            stats = service.stats_payload()["scheduler"]
+            print(f"drained: {stats['completed']} completed, "
+                  f"{stats['cache_hits']} cache hits, "
+                  f"{stats['batches']} batch(es), "
+                  f"{stats['rejected']} rejected", flush=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import ServiceConfig
+    from repro.service.client import ServiceClient
+    from repro.service.loadgen import default_mix, run_loadgen
+
+    config = ServiceConfig.from_env().override(host=args.host, port=args.port)
+
+    async def _drive():
+        report = await run_loadgen(
+            config.host, config.port,
+            requests=args.requests, concurrency=args.concurrency,
+            mode=args.mode, rate=args.rate, mix=default_mix(args.mix),
+            wait_health_s=args.wait_health,
+        )
+        if args.shutdown:
+            async with await ServiceClient.connect(
+                config.host, config.port
+            ) as client:
+                await client.shutdown()
+        return report
+
+    report = asyncio.run(_drive())
+    print(report.describe())
+    if args.json_out:
+        report.write_json(args.json_out)
+        print(f"wrote {args.json_out}")
+    failures = []
+    if args.expect_hit_rate is not None:
+        measured = report.hit_rate
+        if measured is None or measured < args.expect_hit_rate - 1e-9:
+            shown = "n/a" if measured is None else f"{measured:.3f}"
+            failures.append(
+                f"hit-rate {shown} below expected "
+                f"{args.expect_hit_rate:.3f}"
+            )
+    if args.expect_zero_errors and (report.errors or report.rejected):
+        failures.append(
+            f"{report.errors} error(s) and {report.rejected} rejection(s); "
+            f"expected none"
+        )
+    if failures:
+        raise ReproError("; ".join(failures))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     import repro
     from repro.errors import LintError
@@ -675,6 +854,8 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], int]] = {
     "classify": _cmd_classify,
     "interference": _cmd_interference,
     "bench": _cmd_bench,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
     "lint": _cmd_lint,
 }
 

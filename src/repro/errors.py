@@ -60,6 +60,15 @@ class ExperimentError(ReproError):
     """An experiment was requested with an unknown id or bad parameters."""
 
 
+class ServiceError(ReproError):
+    """The predictor service failed: protocol violations, a queue past
+    its bound, a request past its deadline, or a server that cannot
+    bind its endpoint.  Load shedding (a ``rejected`` response with a
+    ``retry_after``) is *not* an error — it is the backpressure
+    contract working; this class covers the failures around it.
+    """
+
+
 class LintError(ReproError):
     """The static-analysis pass was misconfigured (bad path, bad rule id).
 

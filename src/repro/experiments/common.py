@@ -99,6 +99,12 @@ ENV_KNOBS = {
     "REPRO_CACHE_MAX_BYTES": ("int", 0, "result-store size budget in bytes (0 = unbounded)"),
     "REPRO_JOBS": ("int", 1, "runner worker count"),
     "REPRO_SITE_SCALE": ("float", 1.0, "global static-site scale for workload construction"),
+    "REPRO_SERVICE_HOST": ("str", "127.0.0.1", "predictor-service bind/connect host"),
+    "REPRO_SERVICE_PORT": ("int", 8177, "predictor-service TCP port"),
+    "REPRO_SERVICE_BATCH_WINDOW_MS": ("float", 5.0, "batching window in milliseconds"),
+    "REPRO_SERVICE_MAX_BATCH": ("int", 64, "max cells dispatched per batch"),
+    "REPRO_SERVICE_QUEUE_LIMIT": ("int", 1024, "queued+in-flight bound before backpressure"),
+    "REPRO_SERVICE_TIMEOUT_S": ("float", 60.0, "per-request service timeout in seconds"),
 }
 
 

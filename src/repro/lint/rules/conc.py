@@ -68,6 +68,11 @@ __all__ = [
 
 ENGINE_SUFFIX = "runner/engine.py"
 CELLS_SUFFIX = "runner/cells.py"
+#: The service's batch dispatch entry: it feeds the same persistent
+#: pool the parent-side runner does, so everything it reaches is
+#: parent-region code for CONC003's worker∩parent intersection.
+SERVICE_BATCHING_SUFFIX = "service/batching.py"
+SERVICE_DISPATCH_ENTRY = "_dispatch"
 
 #: Modules through which worker/parent-shared filesystem writes are
 #: sanctioned (CONC003): the cache facade, the sharded store, and the
@@ -342,7 +347,9 @@ class SharedStateEscapeRule(ProjectRule):
     * the worker region — everything reachable from ``execute_cell``
       and the ``_worker_*`` pool entry points;
     * the parent region — everything reachable from the scheduling
-      entry point (``CellExecutor.execute``).
+      entry points: ``CellExecutor.execute`` and the service's batch
+      dispatcher (``BatchingScheduler._dispatch``), which drives the
+      same persistent pool from the event loop.
 
     Any function in *both* regions can run concurrently in N+1
     processes.  If it performs a raw file write or a path mutation
@@ -377,6 +384,9 @@ class SharedStateEscapeRule(ProjectRule):
         seam_suffixes: tuple[str, ...] = STORE_SEAM_SUFFIXES,
         extra_worker_roots: tuple[str, ...] = (),
         extra_parent_roots: tuple[str, ...] = (),
+        parent_entry_sites: tuple[tuple[str, str], ...] = (
+            (SERVICE_DISPATCH_ENTRY, SERVICE_BATCHING_SUFFIX),
+        ),
     ):
         self.anchor = anchor
         self.worker_entry = worker_entry
@@ -385,6 +395,10 @@ class SharedStateEscapeRule(ProjectRule):
         self.seam_suffixes = seam_suffixes
         self._extra_worker_roots = extra_worker_roots
         self._extra_parent_roots = extra_parent_roots
+        #: (function name, path suffix) pairs resolved against the
+        #: linted tree at check time — absent modules simply contribute
+        #: no roots, so fixture trees without the service still lint.
+        self.parent_entry_sites = parent_entry_sites
 
     def check_project(self, anchor_ctx, project) -> Iterator[Finding]:
         from repro.lint.concurrency import seam_blocked_reach
@@ -406,6 +420,10 @@ class SharedStateEscapeRule(ProjectRule):
             fn.qualname
             for fn in graph.functions_named(self.parent_entry, self.anchor)
         ]
+        for name, suffix in self.parent_entry_sites:
+            parent_roots += [
+                fn.qualname for fn in graph.functions_named(name, suffix)
+            ]
         parent_roots += list(self._extra_parent_roots)
 
         workers = seam_blocked_reach(graph, worker_roots, self.seam_suffixes)

@@ -65,8 +65,12 @@ CELLS_SUFFIX = "runner/cells.py"
 CACHE_SUFFIX = "runner/cache.py"
 #: ENV001 anchor: where the ``ENV_KNOBS`` registry is declared.
 COMMON_SUFFIX = "experiments/common.py"
-#: Path fragments identifying artifact-store modules (ATM scope).
-STORE_FRAGMENTS = ("/runner/", "/traces/", "/bench/")
+#: Path fragments identifying artifact-store modules (ATM scope).  The
+#: service layer is in scope too: its latency reports and drained
+#: counters are durable artifacts with concurrent readers (CI tails the
+#: report while loadgen writes it), so they get the same torn-file
+#: guarantees as cache entries and bench snapshots.
+STORE_FRAGMENTS = ("/runner/", "/traces/", "/bench/", "/service/")
 #: The one module allowed to perform raw writes (the seam itself).
 IO_SEAM_SUFFIX = "utils/io.py"
 #: The one module allowed to read ``os.environ`` (the accessor seam).

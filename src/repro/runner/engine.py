@@ -54,6 +54,7 @@ class RunSummary:
 
     jobs: int = 1
     cells: int = 0
+    batches: int = 0
     simulated: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
@@ -143,20 +144,68 @@ def _worker_run(cell: Cell) -> tuple[Cell, dict, float, str]:
 # -- parent side -----------------------------------------------------------
 
 class CellExecutor:
-    """Schedules cells over a cache and (optionally) a process pool."""
+    """Schedules cells over a cache and (optionally) a process pool.
+
+    By default each :meth:`execute` call builds and tears down its own
+    process pool — the right shape for one-shot CLI runs, where worker
+    startup is amortized over the whole figure.  With
+    ``persistent=True`` the pool is built on first parallel need and
+    reused across every subsequent call until :meth:`close`; the
+    service layer depends on this, since paying worker startup (and
+    re-memoizing traces) per batch would dwarf the batches themselves.
+    The executor is also a context manager: ``with`` closes the pool on
+    exit either way.
+    """
 
     def __init__(
         self,
         ctx: ExperimentContext,
         jobs: int = 1,
         cache: ResultCache | None = None,
+        persistent: bool = False,
     ):
         if jobs < 1:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.ctx = ctx
         self.jobs = jobs
         self.cache = cache
+        self.persistent = persistent
         self.summary = RunSummary(jobs=jobs)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def __enter__(self) -> CellExecutor:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut down the persistent pool (idempotent).
+
+        In-flight work finishes first (``wait=True``): the service
+        calls this during graceful drain, after the scheduler has
+        stopped feeding new batches, so a worker mid-simulation gets to
+        write its result back before the process exits.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent pool, built on first use at full ``jobs`` width.
+
+        Unlike the per-call path, width is not trimmed to the batch
+        size: the pool outlives this batch, and later (larger) batches
+        should find every worker already warm.
+        """
+        if self._pool is None:
+            cache_root = self.cache.root if self.cache is not None else None
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_worker_init,
+                initargs=(self.ctx, cache_root),
+            )
+        return self._pool
 
     def execute(self, cells: list[Cell]) -> dict[Cell, SimulationResult]:
         """Execute cells (deduplicated), returning ``{cell: result}``.
@@ -176,12 +225,13 @@ class CellExecutor:
             else:
                 to_run.append(cell)
 
-        if self.jobs == 1 or len(to_run) <= 1:
-            self._execute_serial(to_run, results)
-        else:
+        if len(to_run) > 1 and (self.jobs > 1 or self._pool is not None):
             self._execute_parallel(to_run, results)
+        else:
+            self._execute_serial(to_run, results)
 
         self.summary.cells += len(ordered)
+        self.summary.batches += 1
         if self.cache is not None:
             self.summary.cache_hits = self.cache.hits
             self.summary.cache_misses = self.cache.misses
@@ -207,6 +257,9 @@ class CellExecutor:
     def _execute_parallel(
         self, to_run: list[Cell], results: dict[Cell, SimulationResult]
     ) -> None:
+        if self.persistent:
+            self._drain_pool(self._ensure_pool(), to_run, results)
+            return
         cache_root = self.cache.root if self.cache is not None else None
         workers = min(self.jobs, len(to_run))
         with ProcessPoolExecutor(
@@ -214,13 +267,21 @@ class CellExecutor:
             initializer=_worker_init,
             initargs=(self.ctx, cache_root),
         ) as pool:
-            pending = {pool.submit(_worker_run, cell) for cell in to_run}
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    cell, payload, elapsed, label = future.result()
-                    result = SimulationResult.from_dict(payload)
-                    if self.cache is not None:
-                        self.cache.put_result(self.ctx, cell, result)
-                    results[cell] = result
-                    self.summary.record_execution(label, result.branches, elapsed)
+            self._drain_pool(pool, to_run, results)
+
+    def _drain_pool(
+        self,
+        pool: ProcessPoolExecutor,
+        to_run: list[Cell],
+        results: dict[Cell, SimulationResult],
+    ) -> None:
+        pending = {pool.submit(_worker_run, cell) for cell in to_run}
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                cell, payload, elapsed, label = future.result()
+                result = SimulationResult.from_dict(payload)
+                if self.cache is not None:
+                    self.cache.put_result(self.ctx, cell, result)
+                results[cell] = result
+                self.summary.record_execution(label, result.branches, elapsed)

@@ -1,0 +1,45 @@
+"""Predictor-as-a-service: an async batching front-end over the runner.
+
+The package turns the one-shot experiment runner into a long-running
+server: clients submit experiment cells over a newline-delimited JSON
+protocol (:mod:`~repro.service.protocol`), a batching scheduler
+(:mod:`~repro.service.batching`) coalesces compatible cells within a
+configurable window and dedupes them against the content-addressed
+result cache, and a persistent :class:`~repro.runner.engine.CellExecutor`
+pool simulates only what the cache has never seen.  A client library and
+load generator (:mod:`~repro.service.client`,
+:mod:`~repro.service.loadgen`) make the "heavy traffic" claim
+measurable: p50/p90/p99 latency, requests/s, hit-rate, and error-rate,
+gated in CI.
+
+Layering (top to bottom; each layer only calls downward)::
+
+    server    -- connections, message routing, request registry
+    batching  -- window coalescing, bounded queue, backpressure, drain
+    runner    -- persistent CellExecutor pool + sharded ResultCache
+
+Everything here is stdlib ``asyncio``; the simulation work itself runs
+in worker *processes* (the runner's pool), bridged off the event loop
+with ``asyncio.to_thread``.
+"""
+
+from repro.service.batching import (
+    BatchingScheduler,
+    QueueFullError,
+    RequestTimeoutError,
+    SchedulerStats,
+)
+from repro.service.config import ServiceConfig
+from repro.service.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.service.server import PredictorService
+
+__all__ = [
+    "BatchingScheduler",
+    "PredictorService",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "SchedulerStats",
+    "ServiceConfig",
+]

@@ -1,0 +1,258 @@
+"""The batching scheduler: window coalescing over the runner.
+
+``submit(cell)`` is the whole client-facing surface.  Its fast path is
+memoized: a cell already seen (in the scheduler's in-memory memo, or in
+the persistent :class:`~repro.runner.cache.ResultCache`) resolves
+inline, without touching the queue -- this is what makes a warm server
+answer in microseconds, and it is the hit counted by
+``SchedulerStats.cache_hits``.  A miss enters a bounded queue; the
+dispatcher task wakes on the first enqueue, sleeps one coalescing
+window so concurrent submissions pile up behind it, then drains up to
+``max_batch`` entries into one
+:meth:`~repro.runner.engine.CellExecutor.execute` call.  The executor
+dedupes identical cells within the batch and fans the rest out across
+its persistent worker pool, so N clients asking the same question cost
+one simulation.
+
+Backpressure is reject-not-buffer: when queued + in-flight work reaches
+``queue_limit``, ``submit`` raises :class:`QueueFullError` carrying a
+``retry_after`` estimate (queue depth in batches x the window), and the
+server turns that into a ``rejected`` response.  An unbounded queue
+would instead convert overload into unbounded memory and timeout churn.
+
+Batches dispatch strictly one at a time (the executor and its summary
+are not thread-safe); concurrency lives in the worker pool underneath,
+not in overlapping dispatches.  Draining is therefore simple: refuse
+new submissions, let the dispatcher run the queue dry, then close the
+pool.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.metrics import SimulationResult
+from repro.errors import ServiceError
+from repro.runner.cells import Cell
+from repro.runner.engine import CellExecutor
+
+__all__ = [
+    "BatchingScheduler",
+    "DrainingError",
+    "QueueFullError",
+    "RequestTimeoutError",
+    "SchedulerStats",
+]
+
+#: In-memory memo bound (distinct cells).  The memo exists to keep the
+#: warm path off the disk store; past this many distinct cells the
+#: oldest entries fall back to store lookups, which is a latency
+#: regression, not a correctness one.
+MEMO_LIMIT = 65_536
+
+
+class QueueFullError(ServiceError):
+    """Load shed: the queue is at its bound; retry after ``retry_after``."""
+
+    def __init__(self, retry_after: float):
+        super().__init__(
+            f"service queue is full; retry after {retry_after:.3f}s"
+        )
+        self.retry_after = retry_after
+
+
+class RequestTimeoutError(ServiceError):
+    """A submission exceeded the per-request timeout while queued."""
+
+
+class DrainingError(ServiceError):
+    """The scheduler is draining for shutdown and accepts no new work."""
+
+
+@dataclass(slots=True)
+class SchedulerStats:
+    """Service-level counters (distinct from the executor's summary).
+
+    ``cache_hits`` counts *inline* resolutions only -- requests served
+    without ever entering the queue.  The executor's own hit counters
+    additionally see intra-batch dedup and store races, so the service
+    hit-rate (what the load generator asserts on) is computed from
+    these counters, not the store's.
+    """
+
+    submitted: int = 0
+    completed: int = 0
+    cache_hits: int = 0
+    batches: int = 0
+    batched_cells: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    failures: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "cache_hits": self.cache_hits,
+            "batches": self.batches,
+            "batched_cells": self.batched_cells,
+            "rejected": self.rejected,
+            "timeouts": self.timeouts,
+            "failures": self.failures,
+        }
+
+
+class BatchingScheduler:
+    """Coalesces cell submissions into executor batches (see module doc)."""
+
+    def __init__(
+        self,
+        executor: CellExecutor,
+        window_s: float = 0.005,
+        max_batch: int = 64,
+        queue_limit: int = 1024,
+        timeout_s: float = 60.0,
+    ):
+        self.executor = executor
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.queue_limit = queue_limit
+        self.timeout_s = timeout_s
+        self.stats = SchedulerStats()
+        self._queue: deque[tuple[Cell, asyncio.Future]] = deque()
+        self._inflight = 0
+        self._memo: dict[Cell, SimulationResult] = {}
+        self._wake = asyncio.Event()
+        self._task: asyncio.Task | None = None
+        self._draining = False
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    @property
+    def depth(self) -> int:
+        """Queued plus in-flight submissions (the backpressure gauge)."""
+        return len(self._queue) + self._inflight
+
+    async def start(self) -> None:
+        if self._task is None:
+            self._draining = False
+            self._task = asyncio.create_task(self._run())
+
+    async def stop(self) -> None:
+        """Drain: refuse new work, run the queue dry, close the pool."""
+        self._draining = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+        await asyncio.to_thread(self.executor.close)
+
+    async def submit(self, cell: Cell) -> SimulationResult:
+        """One cell's result: memo hit inline, or batched simulation.
+
+        Raises :class:`DrainingError` during shutdown,
+        :class:`QueueFullError` past the queue bound, and
+        :class:`RequestTimeoutError` past ``timeout_s`` -- the batch a
+        timed-out cell rode in still completes and still feeds the
+        memo, so the retry is a cache hit.
+        """
+        if self._draining:
+            raise DrainingError("service is draining; no new submissions")
+        self.stats.submitted += 1
+        cached = self._lookup(cell)
+        if cached is not None:
+            self.stats.cache_hits += 1
+            self.stats.completed += 1
+            return cached
+        if self.depth >= self.queue_limit:
+            self.stats.rejected += 1
+            raise QueueFullError(retry_after=self._retry_after())
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._queue.append((cell, future))
+        self._wake.set()
+        try:
+            result = await asyncio.wait_for(future, self.timeout_s)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise RequestTimeoutError(
+                f"request exceeded the {self.timeout_s:.1f}s service timeout"
+            ) from None
+        except ServiceError:
+            self.stats.failures += 1
+            raise
+        self.stats.completed += 1
+        return result
+
+    # -- internals ---------------------------------------------------------
+
+    def _lookup(self, cell: Cell) -> SimulationResult | None:
+        result = self._memo.get(cell)
+        if result is None and self.executor.cache is not None:
+            result = self.executor.cache.get_result(self.executor.ctx, cell)
+            if result is not None:
+                self._remember(cell, result)
+        return result
+
+    def _remember(self, cell: Cell, result: SimulationResult) -> None:
+        if len(self._memo) >= MEMO_LIMIT:
+            self._memo.pop(next(iter(self._memo)))
+        self._memo[cell] = result
+
+    def _retry_after(self) -> float:
+        """Backpressure hint: estimated windows until the queue drains."""
+        batches = max(1, -(-self.depth // self.max_batch))
+        return max(self.window_s, 0.001) * batches
+
+    async def _run(self) -> None:
+        while True:
+            if self._draining and not self._queue:
+                break
+            await self._wake.wait()
+            if self._draining and not self._queue:
+                break
+            if not self._queue:
+                self._wake.clear()
+                continue
+            if self.window_s > 0 and not self._draining:
+                await asyncio.sleep(self.window_s)
+            batch: list[tuple[Cell, asyncio.Future]] = []
+            while self._queue and len(batch) < self.max_batch:
+                batch.append(self._queue.popleft())
+            if not self._queue and not self._draining:
+                self._wake.clear()
+            self._inflight += len(batch)
+            try:
+                await self._dispatch(batch)
+            finally:
+                self._inflight -= len(batch)
+
+    async def _dispatch(
+        self, batch: list[tuple[Cell, asyncio.Future]]
+    ) -> None:
+        """One executor call for one coalesced batch.
+
+        Runs in a thread so the event loop keeps serving protocol
+        traffic (health probes, stats, more submissions) while the pool
+        simulates.  Futures whose waiters already timed out are simply
+        skipped -- their results still land in the memo.
+        """
+        cells = list(dict.fromkeys(cell for cell, _ in batch))
+        try:
+            results = await asyncio.to_thread(self.executor.execute, cells)
+        except Exception as exc:
+            failure = ServiceError(f"batch execution failed: {exc}")
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(failure)
+            return
+        self.stats.batches += 1
+        self.stats.batched_cells += len(batch)
+        for cell, result in results.items():
+            self._remember(cell, result)
+        for cell, future in batch:
+            if not future.done():
+                future.set_result(results[cell])

@@ -1,0 +1,220 @@
+"""Async client for the predictor service.
+
+A :class:`ServiceClient` owns one connection and supports *pipelining*:
+any number of requests may be in flight at once, each stamped with a
+counter-assigned ``tag``, and a background reader task routes responses
+back to the matching waiter.  This is what lets the load generator's
+open-loop mode issue requests on a clock instead of waiting for the
+previous reply, over a handful of connections instead of thousands.
+
+Responses are returned as decoded message dicts -- the client does not
+raise on ``rejected``/``error`` responses, because to a load generator
+(and to any retrying caller) load-shed is data, not an exception.  The
+:meth:`ServiceClient.submit_result` helper converts to raise-on-error
+for callers that do want exceptions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+
+from repro.core.metrics import SimulationResult
+from repro.errors import ServiceError
+from repro.service.protocol import (
+    MAX_LINE_BYTES,
+    RESPONSE_TYPES,
+    ProtocolError,
+    decode,
+    encode,
+    request,
+)
+
+__all__ = ["ServiceClient", "wait_healthy"]
+
+
+class ServiceClient:
+    """One pipelined connection to a running predictor service."""
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._tags = itertools.count(1)
+        self._pending: dict[str, asyncio.Future] = {}
+        self._streams: dict[str, asyncio.Queue] = {}
+        self._write_lock = asyncio.Lock()
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> ServiceClient:
+        try:
+            reader, writer = await asyncio.open_connection(
+                host, port, limit=MAX_LINE_BYTES + 1024
+            )
+        except OSError as exc:
+            raise ServiceError(
+                f"cannot connect to the service at {host}:{port}: {exc}"
+            ) from exc
+        return cls(reader, writer)
+
+    async def close(self) -> None:
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except asyncio.CancelledError:
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+
+    async def __aenter__(self) -> ServiceClient:
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- request primitives ------------------------------------------------
+
+    async def call(self, kind: str, **fields) -> dict:
+        """One request, one response (matched by tag)."""
+        tag = str(next(self._tags))
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[tag] = future
+        try:
+            await self._send(request(kind, tag=tag, **fields))
+            return await future
+        finally:
+            self._pending.pop(tag, None)
+
+    async def stream(self, cells: list[dict]) -> list[dict]:
+        """Submit a cell list; responses in completion order, end trimmed."""
+        tag = str(next(self._tags))
+        queue: asyncio.Queue = asyncio.Queue()
+        self._streams[tag] = queue
+        try:
+            await self._send(request("stream", tag=tag, cells=cells))
+            messages: list[dict] = []
+            while True:
+                message = await queue.get()
+                if isinstance(message, Exception):
+                    raise message
+                if message["type"] == "stream-end":
+                    return messages
+                messages.append(message)
+        finally:
+            self._streams.pop(tag, None)
+
+    # -- conveniences ------------------------------------------------------
+
+    async def submit(self, cell: dict, wait: bool = True) -> dict:
+        """Submit one wire-format cell; returns the raw response message."""
+        return await self.call("submit", cell=cell, wait=wait)
+
+    async def submit_result(self, cell: dict) -> SimulationResult:
+        """Submit and decode, raising :class:`ServiceError` on anything
+        but a ``result`` response."""
+        message = await self.submit(cell)
+        kind = message["type"]
+        if kind == "rejected":
+            raise ServiceError(
+                f"service rejected the request; retry after "
+                f"{message.get('retry_after')}s"
+            )
+        if kind != "result":
+            raise ServiceError(
+                f"service error: {message.get('error', kind)}"
+            )
+        return SimulationResult.from_dict(message["result"])
+
+    async def health(self) -> dict:
+        return await self.call("health")
+
+    async def stats(self) -> dict:
+        return await self.call("stats")
+
+    async def shutdown(self) -> dict:
+        return await self.call("shutdown")
+
+    # -- response routing --------------------------------------------------
+
+    async def _send(self, message: dict) -> None:
+        payload = encode(message)
+        async with self._write_lock:
+            self._writer.write(payload)
+            await self._writer.drain()
+
+    async def _read_loop(self) -> None:
+        failure: Exception = ServiceError("connection closed by the service")
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    message = decode(line, kinds=RESPONSE_TYPES)
+                except ProtocolError as exc:
+                    failure = exc
+                    break
+                self._route(message)
+        except (ConnectionResetError, ValueError) as exc:
+            failure = ServiceError(f"connection lost: {exc}")
+        self._fail_waiters(failure)
+
+    def _route(self, message: dict) -> None:
+        tag = message.get("tag")
+        queue = self._streams.get(tag)
+        if queue is not None:
+            queue.put_nowait(message)
+            return
+        future = self._pending.get(tag)
+        if future is not None and not future.done():
+            future.set_result(message)
+
+    def _fail_waiters(self, failure: Exception) -> None:
+        for tag in list(self._pending):
+            future = self._pending.pop(tag)
+            if not future.done():
+                future.set_exception(failure)
+        for tag in list(self._streams):
+            self._streams.pop(tag).put_nowait(failure)
+
+
+async def wait_healthy(
+    host: str, port: int, timeout_s: float = 30.0, interval_s: float = 0.2
+) -> dict:
+    """Poll the health endpoint until the service answers ``ok``.
+
+    The CI service job (and any supervisor) uses this to sequence
+    "start the server in the background, then aim load at it" without
+    racing the bind.  The budget is spent in wall-clock-free style: a
+    fixed number of ``interval_s`` sleeps rather than a deadline clock,
+    so the loop stays deterministic under the lint rules.
+    """
+    attempts = max(1, int(timeout_s / max(interval_s, 0.01)))
+    failure: Exception | None = None
+    for _ in range(attempts):
+        try:
+            client = await ServiceClient.connect(host, port)
+        except ServiceError as exc:
+            failure = exc
+            await asyncio.sleep(interval_s)
+            continue
+        try:
+            report = await asyncio.wait_for(client.health(), interval_s * 10)
+        except (ServiceError, asyncio.TimeoutError) as exc:
+            failure = exc
+            await asyncio.sleep(interval_s)
+            continue
+        finally:
+            await client.close()
+        if report.get("status") == "ok":
+            return report
+        await asyncio.sleep(interval_s)
+    raise ServiceError(
+        f"service at {host}:{port} did not become healthy within "
+        f"{timeout_s:.0f}s: {failure}"
+    )

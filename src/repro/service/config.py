@@ -1,0 +1,82 @@
+"""Service configuration: the ``REPRO_SERVICE_*`` knob surface.
+
+One dataclass holds every tunable the service layer has, and
+:meth:`ServiceConfig.from_env` is the *only* place the knobs are read --
+through the typed accessors of :mod:`repro.utils.env`, with defaults
+matching the ``ENV_KNOBS`` registry declarations literally (lint rule
+ENV001 cross-checks both directions).  CLI flags override per field via
+:meth:`ServiceConfig.override`, so precedence is flag > environment >
+registry default, same as the rest of the CLI.
+
+None of these knobs can influence a simulated *result* -- they shape
+scheduling, placement, and load shedding only -- which is why none of
+them appear in cache keys (KEY001 reasons over ``ExperimentContext``
+knobs; these never enter the context).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import ServiceError
+from repro.utils.env import env_float, env_int, env_str
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True, slots=True)
+class ServiceConfig:
+    """Resolved service tunables (see module docstring for precedence)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8177
+    window_s: float = 0.005
+    max_batch: int = 64
+    queue_limit: int = 1024
+    timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.window_s < 0:
+            raise ServiceError(
+                f"batch window must be >= 0, got {self.window_s}"
+            )
+        if self.max_batch < 1:
+            raise ServiceError(f"max batch must be >= 1, got {self.max_batch}")
+        if self.queue_limit < 1:
+            raise ServiceError(
+                f"queue limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.timeout_s <= 0:
+            raise ServiceError(
+                f"request timeout must be positive, got {self.timeout_s}"
+            )
+
+    @classmethod
+    def from_env(cls) -> ServiceConfig:
+        """The environment-resolved configuration.
+
+        The window knob is declared in milliseconds (the natural unit to
+        type in a shell) and converted to seconds here, once, so every
+        internal consumer works in seconds like ``asyncio`` does.
+        """
+        return cls(
+            host=env_str("REPRO_SERVICE_HOST", "127.0.0.1"),
+            port=env_int("REPRO_SERVICE_PORT", 8177, error=ServiceError),
+            window_s=env_float(
+                "REPRO_SERVICE_BATCH_WINDOW_MS", 5.0, error=ServiceError
+            ) / 1000.0,
+            max_batch=env_int(
+                "REPRO_SERVICE_MAX_BATCH", 64, error=ServiceError
+            ),
+            queue_limit=env_int(
+                "REPRO_SERVICE_QUEUE_LIMIT", 1024, error=ServiceError
+            ),
+            timeout_s=env_float(
+                "REPRO_SERVICE_TIMEOUT_S", 60.0, error=ServiceError
+            ),
+        )
+
+    def override(self, **fields) -> ServiceConfig:
+        """A copy with the non-``None`` entries of ``fields`` applied."""
+        present = {k: v for k, v in fields.items() if v is not None}
+        return replace(self, **present) if present else self

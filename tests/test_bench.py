@@ -159,8 +159,14 @@ class TestSuite:
         assert "bimodal/reference" in cases
         assert "profile/reference" in cases
         assert "replay/gshare" in cases
+        assert "service/roundtrip" in cases
         assert all(entry.median_s > 0.0 for entry in snap.results)
-        assert all(entry.branches == 2000 for entry in snap.results)
+        # Service cases time one request (branches=1, so branches/s
+        # reads as requests/s); everything else counts the trace.
+        assert all(entry.branches == 2000 for entry in snap.results
+                   if not entry.case.startswith("service/"))
+        assert all(entry.branches == 1 for entry in snap.results
+                   if entry.case.startswith("service/"))
 
     def test_replay_case_reuses_pinned_artifact(self, tmp_path, monkeypatch):
         # Two suite runs at the same knobs must generate the artifact
